@@ -1,0 +1,124 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Each bench binary regenerates one artifact of the paper's evaluation
+// (Table I, Figure 6, Figure 7, Figure 5) and prints measured-vs-paper rows.
+// Knobs come from the environment so CI can run a fast smoke pass:
+//   LEAPS_RUNS    averaging runs (paper: 10)
+//   LEAPS_EVENTS  benign-log events per scenario (mixed = 3/4, malicious = 1/2)
+//   LEAPS_FOLDS   cross-validation folds (paper: 10)
+//   LEAPS_FAST=1  small preset (overrides the above downward)
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/experiment.h"
+#include "ml/metrics.h"
+#include "util/env.h"
+
+namespace leaps::bench {
+
+inline core::ExperimentOptions options_from_env() {
+  core::ExperimentOptions opt;
+  opt.runs = static_cast<std::size_t>(util::env_int("LEAPS_RUNS", 10));
+  const auto events =
+      static_cast<std::size_t>(util::env_int("LEAPS_EVENTS", 12000));
+  opt.sim.benign_events = events;
+  opt.sim.mixed_events = events * 3 / 4;
+  opt.sim.malicious_events = events / 2;
+  opt.cv.folds = static_cast<std::size_t>(util::env_int("LEAPS_FOLDS", 10));
+  if (util::env_flag("LEAPS_FAST")) {
+    opt.runs = std::min<std::size_t>(opt.runs, 2);
+    opt.sim.benign_events = std::min<std::size_t>(opt.sim.benign_events, 4000);
+    opt.sim.mixed_events = std::min<std::size_t>(opt.sim.mixed_events, 3000);
+    opt.sim.malicious_events =
+        std::min<std::size_t>(opt.sim.malicious_events, 2000);
+    opt.cv.folds = 5;
+  }
+  return opt;
+}
+
+inline void print_banner(const char* what,
+                         const core::ExperimentOptions& opt) {
+  std::printf("LEAPS reproduction — %s\n", what);
+  std::printf(
+      "config: events=%zu/%zu/%zu runs=%zu cv_folds=%zu "
+      "(LEAPS_RUNS/LEAPS_EVENTS/LEAPS_FOLDS/LEAPS_FAST to adjust)\n\n",
+      opt.sim.benign_events, opt.sim.mixed_events, opt.sim.malicious_events,
+      opt.runs, opt.cv.folds);
+}
+
+/// Table I of the paper: the WSVM measurements reported per dataset.
+inline const std::map<std::string, ml::Measurements>& paper_table1() {
+  static const std::map<std::string, ml::Measurements> table = {
+      {"winscp_reverse_tcp", {0.932, 0.999, 0.865, 0.999, 0.881}},
+      {"winscp_reverse_https", {0.927, 0.991, 0.862, 0.992, 0.878}},
+      {"chrome_reverse_tcp", {0.877, 0.998, 0.755, 0.999, 0.803}},
+      {"chrome_reverse_https", {0.907, 0.998, 0.815, 0.999, 0.844}},
+      {"notepad++_reverse_tcp", {0.846, 0.998, 0.693, 0.998, 0.765}},
+      {"notepad++_reverse_https", {0.866, 0.998, 0.733, 0.998, 0.789}},
+      {"putty_reverse_tcp", {0.886, 0.815, 0.998, 0.774, 0.998}},
+      {"putty_reverse_https", {0.869, 0.999, 0.739, 0.999, 0.793}},
+      {"vim_reverse_tcp", {0.914, 0.995, 0.832, 0.996, 0.856}},
+      {"vim_reverse_https", {0.919, 0.998, 0.839, 0.999, 0.861}},
+      {"vim_codeinject", {0.852, 0.985, 0.715, 0.989, 0.776}},
+      {"notepad++_codeinject", {0.802, 0.948, 0.639, 0.965, 0.728}},
+      {"putty_codeinject", {0.802, 0.919, 0.661, 0.942, 0.736}},
+      {"putty_reverse_tcp_online", {0.894, 0.825, 0.999, 0.789, 0.999}},
+      {"putty_reverse_https_online", {0.869, 0.999, 0.738, 0.999, 0.792}},
+      {"notepad++_reverse_tcp_online", {0.927, 0.991, 0.861, 0.992, 0.877}},
+      {"notepad++_reverse_https_online", {0.845, 0.998, 0.690, 0.999, 0.763}},
+      {"vim_reverse_tcp_online", {0.963, 0.933, 0.998, 0.928, 0.998}},
+      {"vim_reverse_https_online", {0.919, 0.995, 0.842, 0.996, 0.863}},
+      {"winscp_reverse_tcp_online", {0.950, 0.996, 0.904, 0.996, 0.912}},
+      {"winscp_reverse_https_online", {0.921, 0.998, 0.843, 0.998, 0.864}},
+  };
+  return table;
+}
+
+/// Case-study reference points the paper spells out for CGraph and SVM
+/// (Section V-C); used by the Figure 6/7 binaries as anchors.
+struct CaseStudyRef {
+  double cgraph_acc, svm_acc, wsvm_acc;
+};
+
+inline const std::map<std::string, CaseStudyRef>& paper_case_studies() {
+  static const std::map<std::string, CaseStudyRef> refs = {
+      {"winscp_reverse_tcp", {0.7479, 0.8581, 0.932}},
+      {"vim_codeinject", {0.355, 0.725, 0.852}},
+      {"putty_reverse_https_online", {0.6922, 0.7825, 0.8686}},
+  };
+  return refs;
+}
+
+inline void print_model_rows(const core::ExperimentResult& r) {
+  std::printf("%s\n", core::format_result_row(r, true).c_str());
+}
+
+/// When LEAPS_CSV_DIR is set, opens `<dir>/<name>` for writing and prints
+/// the header; otherwise returns nullptr (CSV output disabled). The caller
+/// owns the handle (fclose).
+inline std::FILE* open_csv(const char* name, const char* header) {
+  const std::string dir = util::env_string("LEAPS_CSV_DIR", "");
+  if (dir.empty()) return nullptr;
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return nullptr;
+  }
+  std::fprintf(f, "%s\n", header);
+  std::printf("(CSV -> %s)\n", path.c_str());
+  return f;
+}
+
+inline void csv_model_row(std::FILE* f, const char* scenario,
+                          const char* model, const core::ModelOutcome& m) {
+  if (f == nullptr) return;
+  std::fprintf(f, "%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", scenario, model,
+               m.mean.acc, m.mean.ppv, m.mean.tpr, m.mean.tnr, m.mean.npv,
+               m.auc);
+}
+
+}  // namespace leaps::bench

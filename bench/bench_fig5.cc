@@ -1,0 +1,104 @@
+// Figure 5 reproduction: the SVM-vs-WSVM illustration on 2-D synthetic
+// data. Negatives include mislabeled copies of the benign cluster (the
+// "mixed data points [that] actually belong to benign events"); the WSVM
+// receives CFG-style confidence weights. The binary prints both decision
+// boundaries' error rates and an ASCII rendering of the two classifiers.
+#include <cstdio>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "ml/svm.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Fig5Data {
+  leaps::ml::Dataset train;       // with confidence weights
+  leaps::ml::Dataset test_benign;  // pure benign, label +1
+  leaps::ml::Dataset test_malicious;
+};
+
+Fig5Data make_data(leaps::util::Rng& rng, int n_per_class,
+                   double mislabeled_fraction) {
+  Fig5Data d;
+  auto benign_point = [&rng]() {
+    return leaps::ml::FeatureVector{rng.next_gaussian() * 0.5 - 1.0,
+                                    rng.next_gaussian() * 0.5 + 1.0};
+  };
+  auto malicious_point = [&rng]() {
+    return leaps::ml::FeatureVector{rng.next_gaussian() * 0.5 + 1.0,
+                                    rng.next_gaussian() * 0.5 - 1.0};
+  };
+  for (int i = 0; i < n_per_class; ++i) {
+    d.train.add(benign_point(), 1, 1.0);
+    d.train.add(malicious_point(), -1, 1.0);
+    // Mislabeled benign events inside the "mixed" negative set. Their CFG
+    // weight is near zero; a plain SVM sees them at full strength.
+    if (i < static_cast<int>(mislabeled_fraction * n_per_class)) {
+      d.train.add(benign_point(), -1, 0.05);
+    }
+    d.test_benign.add(benign_point(), 1, 1.0);
+    d.test_malicious.add(malicious_point(), -1, 1.0);
+  }
+  return d;
+}
+
+void evaluate(const char* name, const leaps::ml::SvmModel& model,
+              const Fig5Data& d) {
+  leaps::ml::ConfusionMatrix cm;
+  for (const auto& x : d.test_benign.X) cm.add(1, model.predict(x));
+  for (const auto& x : d.test_malicious.X) cm.add(-1, model.predict(x));
+  const auto m = leaps::ml::Measurements::from(cm);
+  std::printf("%-6s %s  (support vectors: %zu)\n", name,
+              m.to_string().c_str(), model.support_vector_count());
+}
+
+void ascii_boundary(const leaps::ml::SvmModel& plain,
+                    const leaps::ml::SvmModel& weighted) {
+  std::printf("\nDecision maps over [-2.5,2.5]^2 (.=benign  #=malicious):\n");
+  std::printf("%-28s  %-28s\n", "original SVM", "Weighted SVM");
+  for (int row = 0; row < 13; ++row) {
+    const double y = 2.5 - row * (5.0 / 12.0);
+    std::string left, right;
+    for (int col = 0; col < 26; ++col) {
+      const double x = -2.5 + col * (5.0 / 25.0);
+      left += plain.predict({x, y}) == 1 ? '.' : '#';
+      right += weighted.predict({x, y}) == 1 ? '.' : '#';
+    }
+    std::printf("%s  %s\n", left.c_str(), right.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace leaps;
+  util::Rng rng(static_cast<std::uint64_t>(util::env_int("LEAPS_SEED", 42)));
+  const int n = static_cast<int>(util::env_int("LEAPS_FIG5_N", 120));
+
+  std::printf("LEAPS reproduction — Figure 5 (SVM vs Weighted SVM on noisy "
+              "2-D training data)\n");
+  std::printf("train: %d benign, %d malicious, %d mislabeled-benign "
+              "negatives (weight 0.05)\n\n",
+              n, n, n / 2);
+  const Fig5Data d = make_data(rng, n, 0.5);
+
+  ml::SvmParams params;
+  params.lambda = 10.0;
+  params.kernel.sigma2 = 1.0;
+
+  ml::Dataset plain_train = d.train;
+  std::fill(plain_train.weight.begin(), plain_train.weight.end(), 1.0);
+  const ml::SvmModel plain = ml::SvmTrainer(params).train(plain_train);
+  const ml::SvmModel weighted = ml::SvmTrainer(params).train(d.train);
+
+  evaluate("SVM", plain, d);
+  evaluate("WSVM", weighted, d);
+  ascii_boundary(plain, weighted);
+  std::printf(
+      "\nexpected shape (paper Fig. 5): the plain SVM concedes part of the "
+      "benign\ncluster to the malicious side; the weighted SVM restores the "
+      "boundary.\n");
+  return 0;
+}

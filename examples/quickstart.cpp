@@ -1,0 +1,43 @@
+// Quickstart: the whole LEAPS workflow on one camouflaged attack.
+//
+// 1. Simulate a trojaned WinSCP (reverse TCP shell implant) and record the
+//    three raw event logs (benign / mixed / pure-malicious).
+// 2. Run the training pipeline: parse → partition → preprocess → CFG
+//    inference → weight assessment → Weighted SVM.
+// 3. Evaluate against the call-graph and plain-SVM baselines.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "util/env.h"
+
+int main() {
+  using namespace leaps;
+
+  core::ExperimentOptions options;
+  options.sim.benign_events =
+      static_cast<std::size_t>(util::env_int("LEAPS_EVENTS", 12000));
+  options.sim.mixed_events = options.sim.benign_events * 3 / 4;
+  options.sim.malicious_events = options.sim.benign_events / 2;
+  options.runs = static_cast<std::size_t>(util::env_int("LEAPS_RUNS", 3));
+
+  const sim::ScenarioSpec& spec = sim::find_scenario("winscp_reverse_tcp");
+  std::printf("Scenario: %s (%s, app=%s, payload=%s)\n", spec.name.c_str(),
+              std::string(sim::attack_method_name(spec.method)).c_str(),
+              spec.app.c_str(), spec.payload.c_str());
+  std::printf("Simulating %zu/%zu/%zu events, %zu runs...\n\n",
+              options.sim.benign_events, options.sim.mixed_events,
+              options.sim.malicious_events, options.runs);
+
+  const core::ExperimentRunner runner(options);
+  const core::ExperimentResult r = runner.run_scenario(spec);
+
+  std::printf("%s\n", core::format_result_header(true).c_str());
+  std::printf("%s\n\n", core::format_result_row(r, true).c_str());
+  std::printf("WSVM params: lambda=%.1f sigma2=%.1f\n", r.wsvm.params.lambda,
+              r.wsvm.params.kernel.sigma2);
+  std::printf("Paper (Table I, winscp_reverse_tcp, WSVM): ACC=0.932 "
+              "PPV=0.999 TPR=0.865 TNR=0.999 NPV=0.881\n");
+  return 0;
+}

@@ -1,0 +1,284 @@
+#include "cfg/alignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace leaps::cfg {
+
+NodeFingerprints node_fingerprints(const trace::PartitionedLog& log) {
+  NodeFingerprints fp;
+  for (const trace::PartitionedEvent& e : log.events) {
+    const auto type = static_cast<std::size_t>(trace::event_type_id(e.type));
+    for (const std::uint64_t addr : e.app_stack) {
+      auto& hist = fp[addr];
+      if (hist.empty()) hist.assign(trace::kEventTypeCount, 0.0);
+      hist[type] += 1.0;
+    }
+  }
+  return fp;
+}
+
+namespace {
+
+using Address = std::uint64_t;
+
+struct GraphView {
+  std::vector<Address> nodes;  // ascending address order
+  std::vector<std::vector<std::size_t>> succ;
+  std::vector<std::vector<std::size_t>> pred;
+
+  explicit GraphView(const AddressGraph& g) {
+    nodes = g.nodes();
+    std::unordered_map<Address, std::size_t> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) index[nodes[i]] = i;
+    succ.resize(nodes.size());
+    pred.resize(nodes.size());
+    for (const auto& [from, tos] : g.adjacency()) {
+      const std::size_t fi = index.at(from);
+      for (const Address to : tos) {
+        const std::size_t ti = index.at(to);
+        succ[fi].push_back(ti);
+        pred[ti].push_back(fi);
+      }
+    }
+  }
+};
+
+/// Degree-profile similarity in [0, 1]: identical in/out degrees score 1.
+double degree_similarity(const GraphView& gb, std::size_t i,
+                         const GraphView& gm, std::size_t j) {
+  const auto din = static_cast<double>(gb.pred[i].size()) -
+                   static_cast<double>(gm.pred[j].size());
+  const auto dout = static_cast<double>(gb.succ[i].size()) -
+                    static_cast<double>(gm.succ[j].size());
+  return 1.0 / (1.0 + std::abs(din) + std::abs(dout));
+}
+
+/// Cosine similarity of two event-type histograms (0 when either node has
+/// no fingerprint).
+double fingerprint_similarity(const NodeFingerprints* fb, Address a,
+                              const NodeFingerprints* fm, Address b) {
+  if (fb == nullptr || fm == nullptr) return 0.0;
+  const auto ia = fb->find(a);
+  const auto ib = fm->find(b);
+  if (ia == fb->end() || ib == fm->end()) return 0.0;
+  const auto& x = ia->second;
+  const auto& y = ib->second;
+  double dot = 0.0;
+  double nx = 0.0;
+  double ny = 0.0;
+  for (std::size_t k = 0; k < x.size() && k < y.size(); ++k) {
+    dot += x[k] * y[k];
+    nx += x[k] * x[k];
+    ny += y[k] * y[k];
+  }
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot / std::sqrt(nx * ny);
+}
+
+/// Monotone matching maximizing total (score - threshold) via global
+/// sequence alignment with free gaps. Returns matched index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> dp_align(
+    const std::vector<std::vector<double>>& score, double threshold) {
+  const std::size_t nb = score.size();
+  const std::size_t nm = nb == 0 ? 0 : score[0].size();
+  // A[i][j]: best total over prefixes b[0..i), m[0..j).
+  std::vector<std::vector<double>> a(nb + 1, std::vector<double>(nm + 1, 0));
+  for (std::size_t i = 1; i <= nb; ++i) {
+    for (std::size_t j = 1; j <= nm; ++j) {
+      double best = std::max(a[i - 1][j], a[i][j - 1]);
+      const double gain = score[i - 1][j - 1] - threshold;
+      if (gain > 0.0) best = std::max(best, a[i - 1][j - 1] + gain);
+      a[i][j] = best;
+    }
+  }
+  // Backtrack.
+  std::vector<std::pair<std::size_t, std::size_t>> matches;
+  std::size_t i = nb;
+  std::size_t j = nm;
+  while (i > 0 && j > 0) {
+    const double gain = score[i - 1][j - 1] - threshold;
+    if (gain > 0.0 && a[i][j] == a[i - 1][j - 1] + gain) {
+      matches.emplace_back(i - 1, j - 1);
+      --i;
+      --j;
+    } else if (a[i][j] == a[i - 1][j]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace
+
+Alignment CfgAligner::align(const AddressGraph& benign,
+                            const AddressGraph& mixed,
+                            const NodeFingerprints* benign_fp,
+                            const NodeFingerprints* mixed_fp) const {
+  // Pivotal-node alignment as iterative monotone sequence alignment:
+  // compilation preserves the relative order of the benign functions, so
+  // the correspondence must be monotone in the address order — a global
+  // sequence alignment with the payload block absorbed as a gap. Node
+  // similarity starts from degree profiles (robust to log-sampling noise)
+  // and is sharpened by matched-neighbor support over a few passes.
+  Alignment result;
+  const GraphView gb(benign);
+  const GraphView gm(mixed);
+  result.benign_nodes = gb.nodes.size();
+  result.mixed_nodes = gm.nodes.size();
+  if (gb.nodes.empty() || gm.nodes.empty()) return result;
+
+  const std::size_t nb = gb.nodes.size();
+  const std::size_t nm = gm.nodes.size();
+  const bool have_fp = benign_fp != nullptr && mixed_fp != nullptr;
+  // Base similarity: behavioral fingerprint (dominant when available) plus
+  // degree profile. Cached — it does not change across passes.
+  std::vector<std::vector<double>> base(nb, std::vector<double>(nm, 0.0));
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < nm; ++j) {
+      const double deg = degree_similarity(gb, i, gm, j);
+      if (have_fp) {
+        const double fp = fingerprint_similarity(benign_fp, gb.nodes[i],
+                                                 mixed_fp, gm.nodes[j]);
+        base[i][j] = 0.75 * fp + 0.25 * deg;
+      } else {
+        base[i][j] = deg;
+      }
+    }
+  }
+  std::vector<std::vector<double>> score = base;
+
+  std::vector<std::pair<std::size_t, std::size_t>> matches;
+  // benign index -> matched mixed index (and inverse) for support lookups.
+  std::vector<std::size_t> match_of_b(nb);
+  std::vector<std::size_t> match_of_m(nm);
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
+    result.passes = pass + 1;
+    auto new_matches = dp_align(score, /*threshold=*/0.25);
+    const bool stable = new_matches == matches;
+    matches = std::move(new_matches);
+    if (stable || pass + 1 == options_.max_passes) break;
+
+    std::fill(match_of_b.begin(), match_of_b.end(), kNone);
+    std::fill(match_of_m.begin(), match_of_m.end(), kNone);
+    for (const auto& [bi, mj] : matches) {
+      match_of_b[bi] = mj;
+      match_of_m[mj] = bi;
+    }
+
+    // Neighbor support: the fraction of i's neighbors whose match is a
+    // neighbor of j (successors and predecessors pooled).
+    const auto support = [&](std::size_t i, std::size_t j) {
+      std::size_t hits = 0;
+      std::size_t total = 0;
+      for (const std::size_t s : gb.succ[i]) {
+        ++total;
+        const std::size_t m = match_of_b[s];
+        if (m != kNone &&
+            std::find(gm.succ[j].begin(), gm.succ[j].end(), m) !=
+                gm.succ[j].end()) {
+          ++hits;
+        }
+      }
+      for (const std::size_t p : gb.pred[i]) {
+        ++total;
+        const std::size_t m = match_of_b[p];
+        if (m != kNone &&
+            std::find(gm.pred[j].begin(), gm.pred[j].end(), m) !=
+                gm.pred[j].end()) {
+          ++hits;
+        }
+      }
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(total);
+    };
+    for (std::size_t i = 0; i < nb; ++i) {
+      for (std::size_t j = 0; j < nm; ++j) {
+        score[i][j] = 0.6 * base[i][j] + 0.4 * support(i, j);
+      }
+    }
+  }
+
+  // Confidence filter: keep pairs with real structural support so stray
+  // degree coincidences inside the payload block do not become pivots.
+  std::map<Address, Address> pivots;
+  for (const auto& [bi, mj] : matches) {
+    if (score[bi][mj] >= 0.30) {
+      pivots.emplace(gm.nodes[mj], gb.nodes[bi]);
+    }
+  }
+  result.pivots = std::move(pivots);  // monotone by construction (DP)
+  return result;
+}
+
+std::optional<std::uint64_t> CfgAligner::translate(
+    const Alignment& alignment, std::uint64_t mixed_addr) const {
+  const auto& pivots = alignment.pivots;
+  if (pivots.empty()) return std::nullopt;
+  const auto exact = pivots.find(mixed_addr);
+  if (exact != pivots.end()) return exact->second;
+
+  const auto above = pivots.upper_bound(mixed_addr);
+  if (above == pivots.begin() || above == pivots.end()) {
+    // Outside the pivot envelope: unknown territory.
+    return std::nullopt;
+  }
+  const auto below = std::prev(above);
+  const std::uint64_t mixed_gap = above->first - below->first;
+  const std::uint64_t benign_gap = above->second - below->second;
+  if (mixed_gap > benign_gap + options_.interval_tolerance) {
+    // The interval grew in the recompiled binary: inserted code.
+    return std::nullopt;
+  }
+  const std::uint64_t offset = mixed_addr - below->first;
+  // Clamp into the interval (shrunk intervals can otherwise overshoot).
+  return below->second + std::min(offset, benign_gap);
+}
+
+InferredCfg CfgAligner::translate_cfg(const Alignment& alignment,
+                                      const InferredCfg& mixed) const {
+  InferredCfg out;
+  // Distinct sentinel per untranslatable source address, assigned in
+  // address order for determinism.
+  std::map<std::uint64_t, std::uint64_t> sentinels;
+  const auto map_addr = [&](std::uint64_t a) {
+    if (const auto t = translate(alignment, a)) return *t;
+    const auto it = sentinels.find(a);
+    if (it != sentinels.end()) return it->second;
+    const std::uint64_t s =
+        options_.sentinel_base + sentinels.size() * 0x100;
+    sentinels.emplace(a, s);
+    return s;
+  };
+  for (const auto& [from, tos] : mixed.graph.adjacency()) {
+    for (const std::uint64_t to : tos) {
+      const std::uint64_t nf = map_addr(from);
+      const std::uint64_t nt = map_addr(to);
+      out.graph.add_edge(nf, nt);
+      auto& events = out.edge_events[{nf, nt}];
+      const auto src = mixed.edge_events.find({from, to});
+      if (src != mixed.edge_events.end()) {
+        events.insert(events.end(), src->second.begin(), src->second.end());
+      }
+    }
+  }
+  // Translation can merge edges; restore per-edge event order/uniqueness.
+  for (auto& [edge, events] : out.edge_events) {
+    std::sort(events.begin(), events.end());
+    events.erase(std::unique(events.begin(), events.end()), events.end());
+  }
+  return out;
+}
+
+}  // namespace leaps::cfg

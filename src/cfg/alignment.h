@@ -1,0 +1,107 @@
+// CFG alignment — the paper's Section VI-A future work, implemented.
+//
+// Against *source-level* trojans the adversary recompiles the application
+// with the payload's source added, so every address shifts and Algorithm
+// 2's exact-address comparison collapses (all mixed paths look in-range).
+// The paper proposes "searching for isomorphic subgraphs in both
+// benign/mixed CFGs by identifying and aligning pivotal nodes"; this module
+// does exactly that:
+//
+//  1. *Pivot discovery* — compilation preserves the relative order of the
+//     benign functions, so the correspondence must be monotone in address
+//     order: pivots come from a global sequence alignment (dynamic
+//     programming with free gaps) over the two node sequences. Node
+//     similarity starts from degree profiles — robust to the sampling
+//     noise of log-inferred CFGs, where exact-neighborhood (WL-style)
+//     signatures never coincide — and is sharpened over a few passes by
+//     matched-neighbor support (a node pair is credible when its
+//     neighbors' matches are neighbors too). A confidence filter keeps
+//     only structurally supported pairs as pivotal nodes.
+//  2. *Interval mapping* — between consecutive pivots, addresses translate
+//     linearly when the interval lengths agree (no insertion); an interval
+//     that grew in the mixed build contains inserted (payload) code, and
+//     its unmatched addresses map to a far sentinel region instead.
+//
+// The resulting address translation turns a shifted mixed CFG back into
+// benign coordinates, after which the standard WeightAssessor applies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cfg/graph.h"
+#include "cfg/inference.h"
+#include "trace/partition.h"
+
+namespace leaps::cfg {
+
+/// Per-node behavioral fingerprint: the histogram of event types whose
+/// stack walks pass through the node. A function keeps its behavior across
+/// recompilation, so fingerprints are the strongest log-derived matching
+/// signal (degree profiles alone are ambiguous on sampled CFGs).
+using NodeFingerprints =
+    std::map<std::uint64_t, std::vector<double>>;  // addr → type histogram
+
+/// Builds fingerprints from a partitioned log (every application frame of
+/// every event contributes to its node's histogram).
+NodeFingerprints node_fingerprints(const trace::PartitionedLog& log);
+
+struct AlignmentOptions {
+  /// Maximum similarity-sharpening passes (alignment usually stabilizes
+  /// after 2-3).
+  std::size_t max_passes = 6;
+  /// Two pivot intervals of lengths within this many bytes of each other
+  /// count as "no insertion" and translate linearly.
+  std::uint64_t interval_tolerance = 0x100;
+  /// Where unmatched / inserted addresses are relocated: far outside any
+  /// benign range, preserving distinctness.
+  std::uint64_t sentinel_base = 0xFFFF900000000000ULL;
+};
+
+struct Alignment {
+  /// Matched pivotal nodes: mixed address -> benign address, monotone.
+  std::map<std::uint64_t, std::uint64_t> pivots;
+  std::size_t benign_nodes = 0;
+  std::size_t mixed_nodes = 0;
+  std::size_t passes = 0;
+
+  double pivot_fraction() const {
+    return mixed_nodes == 0
+               ? 0.0
+               : static_cast<double>(pivots.size()) /
+                     static_cast<double>(mixed_nodes);
+  }
+};
+
+class CfgAligner {
+ public:
+  explicit CfgAligner(AlignmentOptions options = {}) : options_(options) {}
+
+  /// Computes the pivot correspondence between two inferred CFGs. The
+  /// fingerprints are optional but strongly recommended — without them the
+  /// matcher falls back to degree profiles plus neighbor support only.
+  Alignment align(const AddressGraph& benign, const AddressGraph& mixed,
+                  const NodeFingerprints* benign_fp = nullptr,
+                  const NodeFingerprints* mixed_fp = nullptr) const;
+
+  /// Translates one mixed-graph address into benign coordinates using the
+  /// pivot map; nullopt means the address lies in inserted (payload) code
+  /// or outside all pivot intervals.
+  std::optional<std::uint64_t> translate(const Alignment& alignment,
+                                         std::uint64_t mixed_addr) const;
+
+  /// Rewrites a whole inferred CFG into benign coordinates. Untranslatable
+  /// addresses relocate to distinct sentinel addresses (far outside the
+  /// benign density range), so Algorithm 2 scores their paths 0.
+  InferredCfg translate_cfg(const Alignment& alignment,
+                            const InferredCfg& mixed) const;
+
+  const AlignmentOptions& options() const { return options_; }
+
+ private:
+  AlignmentOptions options_;
+};
+
+}  // namespace leaps::cfg

@@ -1,0 +1,24 @@
+#include "cfg/call_graph.h"
+
+namespace leaps::cfg {
+
+std::vector<Edge> SystemCallGraph::event_edges(
+    const trace::PartitionedEvent& event) {
+  std::vector<Edge> edges;
+  const auto& frames = event.system_stack;
+  edges.reserve(frames.size());
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    edges.emplace_back(frames[i + 1].address, frames[i].address);
+  }
+  return edges;
+}
+
+void SystemCallGraph::add_event(const trace::PartitionedEvent& event) {
+  for (const Edge& e : event_edges(event)) graph_.add_edge(e.first, e.second);
+}
+
+void SystemCallGraph::add_log(const trace::PartitionedLog& log) {
+  for (const trace::PartitionedEvent& e : log.events) add_event(e);
+}
+
+}  // namespace leaps::cfg

@@ -1,0 +1,40 @@
+// System-level function call graph (Section III-D-1).
+//
+// The CGraph baseline's substrate: from the *system stack trace* of each
+// event, extract the function-invocation chain (caller → callee pairs of
+// adjacent system frames) and accumulate the edges. Training builds one
+// graph from the benign log (BCG) and one from the mixed log (MCG); the
+// decision model in ml/cgraph_model.h classifies test events by edge
+// membership in the two graphs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cfg/graph.h"
+#include "cfg/inference.h"  // Edge
+#include "trace/partition.h"
+
+namespace leaps::cfg {
+
+class SystemCallGraph {
+ public:
+  /// Caller→callee pairs of one event's system stack trace. Frames are
+  /// innermost-first, so the invocation edge runs frame[i+1] → frame[i].
+  static std::vector<Edge> event_edges(const trace::PartitionedEvent& event);
+
+  void add_event(const trace::PartitionedEvent& event);
+  void add_log(const trace::PartitionedLog& log);
+
+  bool has_edge(std::uint64_t caller, std::uint64_t callee) const {
+    return graph_.has_edge(caller, callee);
+  }
+  std::size_t edge_count() const { return graph_.edge_count(); }
+  const AddressGraph& graph() const { return graph_; }
+
+ private:
+  AddressGraph graph_;
+};
+
+}  // namespace leaps::cfg

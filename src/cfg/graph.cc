@@ -1,0 +1,93 @@
+#include "cfg/graph.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace leaps::cfg {
+
+bool AddressGraph::add_edge(Address from, Address to) {
+  const bool inserted = adjacency_[from].insert(to).second;
+  if (inserted) ++edge_count_;
+  return inserted;
+}
+
+bool AddressGraph::has_edge(Address from, Address to) const {
+  auto it = adjacency_.find(from);
+  return it != adjacency_.end() && it->second.count(to) > 0;
+}
+
+const std::set<AddressGraph::Address>* AddressGraph::successors(
+    Address from) const {
+  auto it = adjacency_.find(from);
+  return it == adjacency_.end() ? nullptr : &it->second;
+}
+
+bool AddressGraph::reachable(Address start, Address end) const {
+  // Iterative DFS over successors of `start`; a hit on `end` anywhere along
+  // the way (including start == end via a cycle) means a path of length >= 1.
+  std::vector<Address> stack;
+  std::set<Address> visited;
+  stack.push_back(start);
+  // `start` itself is expanded but only counts as `end` when re-entered.
+  while (!stack.empty()) {
+    const Address node = stack.back();
+    stack.pop_back();
+    const auto it = adjacency_.find(node);
+    if (it == adjacency_.end()) continue;
+    for (const Address next : it->second) {
+      if (next == end) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<AddressGraph::Address> AddressGraph::nodes() const {
+  std::set<Address> uniq;
+  for (const auto& [from, tos] : adjacency_) {
+    uniq.insert(from);
+    uniq.insert(tos.begin(), tos.end());
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+std::vector<AddressGraph::Address> AddressGraph::density_array() const {
+  std::vector<Address> density;
+  density.reserve(edge_count_ * 2);
+  for (const auto& [from, tos] : adjacency_) {
+    for (const Address to : tos) {
+      density.push_back(from);
+      density.push_back(to);
+    }
+  }
+  std::sort(density.begin(), density.end());
+  return density;
+}
+
+std::size_t AddressGraph::node_count() const { return nodes().size(); }
+
+void AddressGraph::to_dot(
+    std::ostream& os, const std::string& title,
+    const std::function<std::string(Address)>& node_attrs) const {
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const Address node : nodes()) {
+    os << "  \"" << util::hex_addr(node) << "\"";
+    if (node_attrs) {
+      const std::string attrs = node_attrs(node);
+      if (!attrs.empty()) os << " [" << attrs << "]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [from, tos] : adjacency_) {
+    for (const Address to : tos) {
+      os << "  \"" << util::hex_addr(from) << "\" -> \"" << util::hex_addr(to)
+         << "\";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace leaps::cfg

@@ -1,0 +1,60 @@
+// Address-keyed directed graph — the CFG representation of Algorithms 1 & 2.
+//
+// Matches the paper's "cfg dict": adjacency from a start address to the set
+// of end addresses. Ordered containers keep iteration (and therefore DOT
+// output and weight assessment) deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace leaps::cfg {
+
+class AddressGraph {
+ public:
+  using Address = std::uint64_t;
+  using EdgeMap = std::map<Address, std::set<Address>>;
+
+  /// ADDTO_CFG (Algorithm 1, lines 1-5). Returns true if the edge is new.
+  bool add_edge(Address from, Address to);
+
+  bool has_edge(Address from, Address to) const;
+
+  /// Successor set of `from`; nullptr when `from` has no outgoing edges.
+  const std::set<Address>* successors(Address from) const;
+
+  /// CHECK_CFG (Algorithm 2, lines 7-17): true iff a path of length >= 1
+  /// leads from `start` to `end`. Unlike the paper's pseudo-code recursion,
+  /// this DFS carries a visited set, so it terminates on cyclic CFGs and
+  /// returns the identical answer on acyclic ones.
+  bool reachable(Address start, Address end) const;
+
+  /// Every address appearing as an edge endpoint, ascending, deduplicated.
+  std::vector<Address> nodes() const;
+
+  /// GEN_CFG_DENSITY (Algorithm 2, lines 1-6): every endpoint of every edge,
+  /// sorted, duplicates preserved (as in the paper's pseudo-code).
+  std::vector<Address> density_array() const;
+
+  std::size_t node_count() const;
+  std::size_t edge_count() const { return edge_count_; }
+  bool empty() const { return adjacency_.empty(); }
+
+  const EdgeMap& adjacency() const { return adjacency_; }
+
+  /// Graphviz rendering (Figure 4). `node_attrs`, when provided, returns
+  /// extra attributes for a node (e.g. coloring payload-region nodes).
+  void to_dot(std::ostream& os, const std::string& title,
+              const std::function<std::string(Address)>& node_attrs = {}) const;
+
+ private:
+  EdgeMap adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace leaps::cfg

@@ -1,0 +1,53 @@
+#include "cfg/inference.h"
+
+#include <unordered_map>
+
+namespace leaps::cfg {
+
+std::size_t CfgInference::branch_point(
+    const std::vector<std::uint64_t>& prev,
+    const std::vector<std::uint64_t>& curr) {
+  const std::size_t limit = std::min(prev.size(), curr.size());
+  std::size_t i = 0;
+  while (i < limit && prev[i] == curr[i]) ++i;
+  return i;
+}
+
+InferredCfg CfgInference::infer(const trace::PartitionedLog& log) const {
+  InferredCfg out;
+  // prev_stacklist, keyed by thread when per-thread adjacency is on.
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> prev_by_tid;
+
+  auto record = [&out](std::uint64_t from, std::uint64_t to,
+                       std::uint64_t seq) {
+    out.graph.add_edge(from, to);
+    auto& events = out.edge_events[{from, to}];
+    // Events arrive in order; avoid recording the same event twice per edge.
+    if (events.empty() || events.back() != seq) events.push_back(seq);
+  };
+
+  for (const trace::PartitionedEvent& event : log.events) {
+    const std::vector<std::uint64_t>& curr = event.app_stack;
+    if (curr.empty()) continue;
+    const std::uint32_t key = options_.per_thread_adjacency ? event.tid : 0;
+    std::vector<std::uint64_t>& prev = prev_by_tid[key];
+
+    if (!prev.empty()) {
+      // Implicit path (Algorithm 1, lines 12-13). When one walk is a prefix
+      // of the other, the branch index is out of range for the shorter walk
+      // and the explicit edges already cover the containment — skip.
+      const std::size_t idx = branch_point(prev, curr);
+      if (idx < prev.size() && idx < curr.size()) {
+        record(prev[idx], curr[idx], event.seq);
+      }
+    }
+    // Explicit paths (Algorithm 1, lines 14-15).
+    for (std::size_t i = 0; i + 1 < curr.size(); ++i) {
+      record(curr[i], curr[i + 1], event.seq);
+    }
+    prev = curr;
+  }
+  return out;
+}
+
+}  // namespace leaps::cfg

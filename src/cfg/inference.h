@@ -1,0 +1,58 @@
+// Control Flow Graph Inference — Algorithm 1.
+//
+// Builds an application CFG purely from the application stack traces in the
+// event log:
+//  * explicit paths — caller→callee pairs inside one stack walk,
+//  * implicit paths — at the divergence point of two adjacent walks, an edge
+//    from the previous walk's frame to the current walk's frame (Figure 3:
+//    Addr_4 → Addr_6).
+// It also records the reverse mapping from each inferred edge to the events
+// that produced it (the "memap" input of Algorithm 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cfg/graph.h"
+#include "trace/partition.h"
+
+namespace leaps::cfg {
+
+using Edge = std::pair<std::uint64_t, std::uint64_t>;
+
+struct InferredCfg {
+  AddressGraph graph;
+  /// memap: inferred edge -> sequence numbers of the events affiliated with
+  /// it (explicit edges belong to their own event; an implicit edge belongs
+  /// to the later of the two adjacent events).
+  std::map<Edge, std::vector<std::uint64_t>> edge_events;
+};
+
+struct InferenceOptions {
+  /// When true (default), "adjacent events" for implicit paths means
+  /// adjacent within the same thread. The paper's Algorithm 1 is written
+  /// against a single-threaded log (false reproduces it verbatim); with
+  /// multi-threaded mixed logs, global adjacency manufactures spurious
+  /// cross-thread edges, which per-thread adjacency avoids.
+  bool per_thread_adjacency = true;
+};
+
+class CfgInference {
+ public:
+  explicit CfgInference(InferenceOptions options = {}) : options_(options) {}
+
+  /// GEN_CFG over a partitioned log. Events with empty application stacks
+  /// are skipped (they contribute no application control flow).
+  InferredCfg infer(const trace::PartitionedLog& log) const;
+
+  /// BRANCH_POINT (Algorithm 1, lines 6-8): length of the common prefix.
+  static std::size_t branch_point(const std::vector<std::uint64_t>& prev,
+                                  const std::vector<std::uint64_t>& curr);
+
+ private:
+  InferenceOptions options_;
+};
+
+}  // namespace leaps::cfg

@@ -1,0 +1,83 @@
+#include "cfg/weight.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace leaps::cfg {
+
+WeightAssessor::WeightAssessor(const AddressGraph& benign_cfg)
+    : benign_(benign_cfg), density_(benign_cfg.density_array()) {}
+
+bool WeightAssessor::within_range(std::uint64_t start,
+                                  std::uint64_t end) const {
+  if (density_.empty()) return false;
+  const std::uint64_t lo = density_.front();
+  const std::uint64_t hi = density_.back();
+  return start >= lo && start <= hi && end >= lo && end <= hi;
+}
+
+double WeightAssessor::estimate_weight(
+    std::uint64_t addr, const std::vector<std::uint64_t>& density) {
+  LEAPS_CHECK_MSG(!density.empty(), "estimate_weight: empty density array");
+  LEAPS_CHECK_MSG(addr >= density.front() && addr <= density.back(),
+                  "estimate_weight: address out of range");
+  // BISECT = bisect_right: index of the first element > addr.
+  const auto it = std::upper_bound(density.begin(), density.end(), addr);
+  if (it == density.end()) {
+    // addr == density.back(): coincides with a benign node.
+    return 1.0;
+  }
+  const auto idx = static_cast<std::size_t>(it - density.begin());
+  if (idx == 0) return 1.0;  // addr == density.front() with front duplicated
+  const std::uint64_t below = density[idx - 1];
+  const std::uint64_t above = density[idx];
+  const std::uint64_t gap = above - below;
+  if (gap == 0) return 1.0;  // duplicate addresses: addr sits on a node
+  const std::uint64_t mindiff = std::min(addr - below, above - addr);
+  return 1.0 - static_cast<double>(mindiff) / static_cast<double>(gap);
+}
+
+double WeightAssessor::node_benignity(std::uint64_t addr) const {
+  if (density_.empty()) return 0.0;
+  if (addr < density_.front() || addr > density_.back()) return 0.0;
+  return estimate_weight(addr, density_);
+}
+
+double WeightAssessor::path_benignity(std::uint64_t start,
+                                      std::uint64_t end) const {
+  if (benign_.reachable(start, end)) return 1.0;
+  if (within_range(start, end)) return estimate_weight(start, density_);
+  return 0.0;
+}
+
+std::map<std::uint64_t, double> WeightAssessor::assess(
+    const InferredCfg& mixed_cfg) const {
+  // SET_WEIGHT keeps {running mean, count} per event; REBALANCE folds each
+  // new path weight into the mean.
+  struct Acc {
+    double mean = 0.0;
+    std::size_t number = 0;
+  };
+  std::map<std::uint64_t, Acc> accum;
+
+  for (const auto& [start, endset] : mixed_cfg.graph.adjacency()) {
+    for (const std::uint64_t end : endset) {
+      const double weight = path_benignity(start, end);
+      const auto events_it = mixed_cfg.edge_events.find({start, end});
+      if (events_it == mixed_cfg.edge_events.end()) continue;
+      for (const std::uint64_t seq : events_it->second) {
+        Acc& acc = accum[seq];
+        acc.mean = (acc.mean * static_cast<double>(acc.number) + weight) /
+                   static_cast<double>(acc.number + 1);
+        ++acc.number;
+      }
+    }
+  }
+
+  std::map<std::uint64_t, double> result;
+  for (const auto& [seq, acc] : accum) result[seq] = acc.mean;
+  return result;
+}
+
+}  // namespace leaps::cfg

@@ -1,0 +1,61 @@
+// Weight Assessment — Algorithm 2.
+//
+// Compares the mixed CFG against the benign CFG and assigns each mixed-log
+// event a *benignity* in [0, 1]:
+//  * an edge whose endpoints are already connected in the benign CFG scores 1
+//    (CHECK_CFG),
+//  * an edge inside the benign address range but not connected scores an
+//    interpolated value from the density array (ESTIMATE_WEIGHT) — tolerance
+//    for the inferred benign CFG's incompleteness,
+//  * an edge outside the benign range scores 0 — code far from benign code
+//    is almost certainly the payload.
+// Per-event benignity is the running mean over all paths mapped to the event
+// (SET_WEIGHT / REBALANCE).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cfg/graph.h"
+#include "cfg/inference.h"
+
+namespace leaps::cfg {
+
+class WeightAssessor {
+ public:
+  /// Precomputes the density array (GEN_CFG_DENSITY) of the benign CFG.
+  /// The benign graph must outlive the assessor.
+  explicit WeightAssessor(const AddressGraph& benign_cfg);
+
+  /// Benignity of one inferred path (COMPARE_CFG body, lines 33-41).
+  double path_benignity(std::uint64_t start, std::uint64_t end) const;
+
+  /// COMPARE_CFG: per-event benignity for every event referenced by the
+  /// mixed CFG's memap. Events not covered by any path are absent from the
+  /// result (callers choose the default; the LEAPS pipeline uses 1 — no
+  /// evidence of maliciousness).
+  std::map<std::uint64_t, double> assess(const InferredCfg& mixed_cfg) const;
+
+  /// ESTIMATE_WEIGHT (lines 26-30) against an explicit density array;
+  /// `addr` must lie within [density.front(), density.back()].
+  static double estimate_weight(std::uint64_t addr,
+                                const std::vector<std::uint64_t>& density);
+
+  /// Benignity of a single code address: 1 on a benign node, interpolated
+  /// inside the benign range, 0 outside. Used for events whose stack walks
+  /// are too shallow to produce any path (e.g. a one-frame shellcode
+  /// stack) — Algorithm 2's density logic applied to a node instead of an
+  /// edge.
+  double node_benignity(std::uint64_t addr) const;
+
+  const std::vector<std::uint64_t>& density_array() const { return density_; }
+
+ private:
+  bool within_range(std::uint64_t start, std::uint64_t end) const;
+
+  const AddressGraph& benign_;
+  std::vector<std::uint64_t> density_;
+};
+
+}  // namespace leaps::cfg

@@ -1,0 +1,97 @@
+// Evaluation harness (Section V): data selection, the three competing
+// models, the five measurements, and multi-run averaging.
+//
+// For each run:
+//  * pure benign windows are split 50/50 into train/test pools,
+//  * `sample_fraction` (paper: 20%) of each pool — and of the mixed and
+//    pure-malicious windows — is randomly selected,
+//  * CGraph, plain SVM and Weighted SVM are trained on the *same* selection
+//    and evaluated on the same held-out benign + pure-malicious points,
+//  * λ and σ² are tuned by k-fold cross-validation (by default once per
+//    scenario, on the first run's training set — the selection is an i.i.d.
+//    resample, so the tuned values are stable; set tune_every_run to
+//    reproduce the paper's per-run tuning at ~10x the cost).
+// Results are averaged over `runs` (paper: 10) runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ml/cgraph_model.h"
+#include "ml/cross_validation.h"
+#include "ml/hmm.h"
+#include "ml/metrics.h"
+#include "sim/scenario.h"
+
+namespace leaps::core {
+
+struct ExperimentOptions {
+  sim::SimConfig sim;
+  PipelineOptions pipeline;
+  ml::SvmParams svm_base;
+  ml::CrossValidationOptions cv;
+  std::size_t runs = 10;
+  double sample_fraction = 0.20;
+  double benign_train_fraction = 0.50;
+  std::uint64_t seed = 7;
+  bool tune_every_run = false;
+  /// Execute the averaging runs on a thread pool (each run is independently
+  /// seeded and aggregation is order-stable, so results are bit-identical
+  /// to sequential execution).
+  bool parallel_runs = true;
+  /// Score the WSVM's cross-validation folds with confidence-weighted
+  /// accuracy (see CrossValidationOptions::weighted_validation). Exposed so
+  /// the ablation bench can quantify the bias of plain CV under label noise.
+  bool weighted_cv_for_wsvm = true;
+  /// Also train/evaluate the HMM sequence models (Section VI-B extension):
+  /// an unweighted LLR classifier and a CFG-weighted one. Off by default —
+  /// the paper's evaluation compares CGraph/SVM/WSVM only.
+  bool include_hmm = false;
+  ml::HmmClassifier::Options hmm;
+};
+
+struct ModelOutcome {
+  ml::Measurements mean;
+  ml::Measurements stddev;
+  /// Mean area under the ROC curve across runs (threshold-free quality).
+  double auc = 0.0;
+  /// Confusion counts pooled over all runs (diagnostics).
+  ml::ConfusionMatrix pooled;
+  /// Hyper-parameters used (SVM/WSVM only).
+  ml::SvmParams params;
+};
+
+struct ExperimentResult {
+  sim::ScenarioSpec spec;
+  std::size_t runs = 0;
+  ModelOutcome cgraph;
+  ModelOutcome svm;
+  ModelOutcome wsvm;
+  /// Populated only when ExperimentOptions::include_hmm is set.
+  ModelOutcome hmm;        // unweighted sequences
+  ModelOutcome whmm;       // CFG-weighted sequences
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentOptions options)
+      : options_(std::move(options)) {}
+
+  /// Generates the scenario's logs and evaluates all three models.
+  ExperimentResult run_scenario(const sim::ScenarioSpec& spec) const;
+
+  /// Evaluates all three models on pre-generated logs.
+  ExperimentResult run_on_logs(const sim::ScenarioLogs& logs) const;
+
+  const ExperimentOptions& options() const { return options_; }
+
+ private:
+  ExperimentOptions options_;
+};
+
+/// Fixed-width table formatting shared by the bench binaries.
+std::string format_result_header(bool with_models);
+std::string format_result_row(const ExperimentResult& r, bool with_models);
+
+}  // namespace leaps::core

@@ -1,0 +1,261 @@
+#include "core/persist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace leaps::core {
+
+namespace {
+
+constexpr const char* kMagic = "LEAPS-DETECTOR";
+constexpr const char* kVersion = "v1";
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw PersistError(what);
+}
+
+void check_token(const std::string& token) {
+  require(!token.empty(), "empty token");
+  for (const char c : token) {
+    require(!std::isspace(static_cast<unsigned char>(c)),
+            "token contains whitespace: '" + token + "'");
+  }
+}
+
+void write_clusterer(std::ostream& os, const char* tag,
+                     const SetClusterer& c) {
+  os << "CLUSTERER " << tag << ' ' << c.unique_sets().size() << ' '
+     << c.cluster_count() << '\n';
+  const ml::ClusterResult& r = c.result();
+  for (int id = 0; id < c.cluster_count(); ++id) {
+    os << "POS " << id << ' ' << r.positions[static_cast<std::size_t>(id)]
+       << '\n';
+  }
+  for (std::size_t i = 0; i < c.unique_sets().size(); ++i) {
+    const ml::StringSet& set = c.unique_sets()[i];
+    os << "SET " << r.assignment[i] << ' ' << set.size();
+    for (const std::string& member : set) {
+      check_token(member);
+      os << ' ' << member;
+    }
+    os << '\n';
+  }
+}
+
+/// Token-stream reader with error context.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::string word() {
+    std::string w;
+    require(static_cast<bool>(is_ >> w), "unexpected end of input");
+    return w;
+  }
+  void expect(const std::string& token) {
+    const std::string w = word();
+    require(w == token, "expected '" + token + "', got '" + w + "'");
+  }
+  long long integer() {
+    const std::string w = word();
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(w, &pos);
+      require(pos == w.size(), "bad integer '" + w + "'");
+      return v;
+    } catch (const std::logic_error&) {
+      throw PersistError("bad integer '" + w + "'");
+    }
+  }
+  double real() {
+    const std::string w = word();
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(w, &pos);
+      require(pos == w.size(), "bad number '" + w + "'");
+      return v;
+    } catch (const std::logic_error&) {
+      throw PersistError("bad number '" + w + "'");
+    }
+  }
+
+ private:
+  std::istream& is_;
+};
+
+SetClusterer read_clusterer(Reader& r, const char* tag,
+                            ml::ClusterOptions options) {
+  r.expect("CLUSTERER");
+  r.expect(tag);
+  const auto set_count = static_cast<std::size_t>(r.integer());
+  const auto cluster_count = static_cast<std::size_t>(r.integer());
+  require(cluster_count > 0 && set_count >= cluster_count,
+          "implausible clusterer sizes");
+
+  ml::ClusterResult result;
+  result.cluster_count = static_cast<int>(cluster_count);
+  result.positions.assign(cluster_count, 0.0);
+  for (std::size_t i = 0; i < cluster_count; ++i) {
+    r.expect("POS");
+    const auto id = static_cast<std::size_t>(r.integer());
+    require(id < cluster_count, "POS id out of range");
+    result.positions[id] = r.real();
+  }
+  std::vector<ml::StringSet> sets;
+  sets.reserve(set_count);
+  result.assignment.reserve(set_count);
+  for (std::size_t i = 0; i < set_count; ++i) {
+    r.expect("SET");
+    const auto id = r.integer();
+    require(id >= 0 && static_cast<std::size_t>(id) < cluster_count,
+            "SET cluster id out of range");
+    result.assignment.push_back(static_cast<int>(id));
+    const auto members = static_cast<std::size_t>(r.integer());
+    ml::StringSet set;
+    set.reserve(members);
+    for (std::size_t m = 0; m < members; ++m) set.push_back(r.word());
+    require(std::is_sorted(set.begin(), set.end()), "SET not sorted");
+    sets.push_back(std::move(set));
+  }
+  // leaf_order is not needed for assignment/position lookups; store the
+  // identity to keep the result internally consistent.
+  result.leaf_order.resize(set_count);
+  for (std::size_t i = 0; i < set_count; ++i) result.leaf_order[i] = i;
+  return SetClusterer::from_state(options, std::move(sets),
+                                  std::move(result));
+}
+
+}  // namespace
+
+void save_detector(const Detector& detector, std::ostream& os) {
+  os << std::setprecision(17);
+  const Preprocessor& pre = detector.preprocessor();
+  require(pre.fitted(), "detector preprocessor not fitted");
+  const PreprocessOptions& popt = pre.options();
+
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "OPTIONS " << popt.window << ' '
+     << popt.lib_clustering.cut_distance << ' '
+     << popt.lib_clustering.gap_scale << ' '
+     << popt.func_clustering.cut_distance << ' '
+     << popt.func_clustering.gap_scale << '\n';
+  write_clusterer(os, "LIB", pre.lib_clusterer());
+  write_clusterer(os, "FUNC", pre.func_clusterer());
+
+  const ml::MinMaxScaler& scaler = detector.scaler();
+  os << "SCALER " << scaler.dims() << '\n';
+  os << "MIN";
+  for (const double v : scaler.mins()) os << ' ' << v;
+  os << "\nRANGE";
+  for (const double v : scaler.ranges()) os << ' ' << v;
+  os << '\n';
+
+  const ml::SvmModel& model = detector.model();
+  const ml::KernelParams& kernel = model.kernel();
+  os << "SVM " << kernel_type_name(kernel.type) << ' ' << kernel.sigma2
+     << ' ' << kernel.degree << ' ' << kernel.coef0 << ' ' << model.bias()
+     << ' ' << model.support_vector_count() << ' '
+     << (model.support_vector_count() > 0 ? model.support_vectors()[0].size()
+                                          : 0)
+     << '\n';
+  for (std::size_t i = 0; i < model.support_vector_count(); ++i) {
+    os << "SV " << model.coefficients()[i];
+    for (const double v : model.support_vectors()[i]) os << ' ' << v;
+    os << '\n';
+  }
+  os << "THRESHOLD " << detector.decision_threshold() << '\n';
+  os << "END\n";
+  require(static_cast<bool>(os), "write failure");
+}
+
+Detector load_detector(std::istream& is) {
+  Reader r(is);
+  r.expect(kMagic);
+  r.expect(kVersion);
+
+  r.expect("OPTIONS");
+  PreprocessOptions popt;
+  popt.window = static_cast<std::size_t>(r.integer());
+  require(popt.window >= 1, "bad window");
+  popt.lib_clustering.cut_distance = r.real();
+  popt.lib_clustering.gap_scale = r.real();
+  popt.func_clustering.cut_distance = r.real();
+  popt.func_clustering.gap_scale = r.real();
+
+  SetClusterer libs = read_clusterer(r, "LIB", popt.lib_clustering);
+  SetClusterer funcs = read_clusterer(r, "FUNC", popt.func_clustering);
+  Preprocessor pre =
+      Preprocessor::from_state(popt, std::move(libs), std::move(funcs));
+
+  r.expect("SCALER");
+  const auto dims = static_cast<std::size_t>(r.integer());
+  require(dims == 3 * popt.window, "scaler dims disagree with window");
+  std::vector<double> mins(dims);
+  std::vector<double> ranges(dims);
+  r.expect("MIN");
+  for (double& v : mins) v = r.real();
+  r.expect("RANGE");
+  for (double& v : ranges) v = r.real();
+  ml::MinMaxScaler scaler =
+      ml::MinMaxScaler::from_state(std::move(mins), std::move(ranges));
+
+  r.expect("SVM");
+  ml::KernelParams kernel;
+  const std::string kernel_name = r.word();
+  if (kernel_name == "gaussian") {
+    kernel.type = ml::KernelType::kGaussian;
+  } else if (kernel_name == "linear") {
+    kernel.type = ml::KernelType::kLinear;
+  } else if (kernel_name == "polynomial") {
+    kernel.type = ml::KernelType::kPolynomial;
+  } else {
+    throw PersistError("unknown kernel '" + kernel_name + "'");
+  }
+  kernel.sigma2 = r.real();
+  require(kernel.sigma2 > 0.0, "bad sigma2");
+  kernel.degree = static_cast<int>(r.integer());
+  kernel.coef0 = r.real();
+  const double bias = r.real();
+  const auto sv_count = static_cast<std::size_t>(r.integer());
+  const auto sv_dims = static_cast<std::size_t>(r.integer());
+  require(sv_count == 0 || sv_dims == dims, "SV dims disagree with scaler");
+  std::vector<ml::FeatureVector> svs;
+  std::vector<double> coefs;
+  svs.reserve(sv_count);
+  coefs.reserve(sv_count);
+  for (std::size_t i = 0; i < sv_count; ++i) {
+    r.expect("SV");
+    coefs.push_back(r.real());
+    ml::FeatureVector x(sv_dims);
+    for (double& v : x) v = r.real();
+    svs.push_back(std::move(x));
+  }
+  r.expect("THRESHOLD");
+  const double threshold = r.real();
+  r.expect("END");
+
+  ml::SvmModel model(std::move(svs), std::move(coefs), bias, kernel);
+  Detector detector(std::move(pre), std::move(scaler), std::move(model));
+  detector.set_decision_threshold(threshold);
+  return detector;
+}
+
+void save_detector_file(const Detector& detector, const std::string& path) {
+  std::ofstream os(path);
+  require(static_cast<bool>(os), "cannot open for writing: " + path);
+  save_detector(detector, os);
+  require(static_cast<bool>(os), "write failed: " + path);
+}
+
+Detector load_detector_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw PersistError("cannot open: " + path);
+  return load_detector(is);
+}
+
+}  // namespace leaps::core

@@ -1,0 +1,47 @@
+// Detector persistence: save a trained Detector (preprocessor clustering
+// state + feature scaler + SVM model) to a versioned, line-oriented text
+// format and load it back — train once on a controlled host, deploy the
+// classifier against production logs elsewhere (the paper's deployment
+// story for the Testing Phase).
+//
+// Format sketch (all tokens whitespace-separated, doubles in %.17g):
+//   LEAPS-DETECTOR v1
+//   OPTIONS window=10 lib_cut=0.3 func_cut=0.35 lib_gap=10 func_gap=10
+//   CLUSTERER LIB <unique_sets> <clusters>
+//   SET <cluster_id> <position> <n> <member>...
+//   ...
+//   CLUSTERER FUNC ...
+//   SCALER <dims>
+//   MIN <v>... / RANGE <v>...
+//   SVM <kernel> <sigma2> <degree> <coef0> <bias> <sv_count> <dims>
+//   SV <coef> <x>...
+//   END
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace leaps::core {
+
+class PersistError : public std::runtime_error {
+ public:
+  explicit PersistError(const std::string& what)
+      : std::runtime_error("detector persistence: " + what) {}
+};
+
+/// Serializes a trained detector. Throws PersistError on unserializable
+/// state (e.g. set members containing whitespace).
+void save_detector(const Detector& detector, std::ostream& os);
+
+/// Deserializes; throws PersistError on malformed or version-mismatched
+/// input.
+Detector load_detector(std::istream& is);
+
+/// Convenience file-path wrappers (throw PersistError on I/O failure).
+void save_detector_file(const Detector& detector, const std::string& path);
+Detector load_detector_file(const std::string& path);
+
+}  // namespace leaps::core

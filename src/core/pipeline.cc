@@ -1,0 +1,171 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace leaps::core {
+
+TrainingData LeapsPipeline::prepare(
+    const trace::PartitionedLog& benign_log,
+    const trace::PartitionedLog& mixed_log) const {
+  TrainingData out;
+
+  // --- Data Preprocessing Module ----------------------------------------
+  out.preprocessor = Preprocessor(options_.preprocess);
+  out.preprocessor.fit({&benign_log, &mixed_log});
+  out.benign_windows = out.preprocessor.make_windows(benign_log);
+  out.mixed_windows = out.preprocessor.make_windows(mixed_log);
+
+  // --- Control Flow Graph Inference Module ------------------------------
+  const cfg::CfgInference inference(options_.inference);
+  out.benign_cfg = inference.infer(benign_log);
+  out.mixed_cfg = inference.infer(mixed_log);
+
+  // --- CFG Alignment (Section VI-A extension, optional) -----------------
+  const cfg::CfgAligner aligner(options_.alignment);
+  const cfg::InferredCfg* assessed_mixed = &out.mixed_cfg;
+  cfg::InferredCfg translated;
+  if (options_.align_cfgs) {
+    const cfg::NodeFingerprints benign_fp = cfg::node_fingerprints(benign_log);
+    const cfg::NodeFingerprints mixed_fp = cfg::node_fingerprints(mixed_log);
+    out.alignment = aligner.align(out.benign_cfg.graph, out.mixed_cfg.graph,
+                                  &benign_fp, &mixed_fp);
+    translated = aligner.translate_cfg(out.alignment, out.mixed_cfg);
+    assessed_mixed = &translated;
+  }
+
+  // --- Weight Assessment -------------------------------------------------
+  const cfg::WeightAssessor assessor(out.benign_cfg.graph);
+  out.event_benignity = assessor.assess(*assessed_mixed);
+  // Events no inferred path maps to (one-frame walks produce no edges) are
+  // scored by their frame addresses against the same density array; only
+  // events with *no* application frames at all fall back to the default.
+  for (const trace::PartitionedEvent& e : mixed_log.events) {
+    if (out.event_benignity.count(e.seq) > 0) continue;
+    if (e.app_stack.empty()) {
+      out.event_benignity[e.seq] = options_.default_benignity;
+      continue;
+    }
+    double sum = 0.0;
+    for (std::uint64_t addr : e.app_stack) {
+      if (options_.align_cfgs) {
+        const auto t = aligner.translate(out.alignment, addr);
+        // Untranslatable = inserted or unknown code: benignity 0.
+        if (!t.has_value()) continue;
+        addr = *t;
+      }
+      sum += assessor.node_benignity(addr);
+    }
+    out.event_benignity[e.seq] =
+        sum / static_cast<double>(e.app_stack.size());
+  }
+
+  // --- assemble datasets ---------------------------------------------------
+  for (const ml::FeatureVector& x : out.benign_windows.X) {
+    out.benign.add(x, /*label=*/1, /*weight=*/1.0);
+  }
+  for (std::size_t w = 0; w < out.mixed_windows.X.size(); ++w) {
+    double malice_sum = 0.0;
+    const auto& indices = out.mixed_windows.event_indices[w];
+    for (const std::size_t idx : indices) {
+      const std::uint64_t seq = mixed_log.events[idx].seq;
+      const auto it = out.event_benignity.find(seq);
+      const double benignity = it == out.event_benignity.end()
+                                   ? options_.default_benignity
+                                   : it->second;
+      malice_sum += 1.0 - std::clamp(benignity, 0.0, 1.0);
+    }
+    const double weight =
+        indices.empty() ? 0.0
+                        : malice_sum / static_cast<double>(indices.size());
+    out.mixed.add(out.mixed_windows.X[w], /*label=*/-1, weight);
+  }
+  return out;
+}
+
+Detector::Detector(Preprocessor preprocessor, ml::MinMaxScaler scaler,
+                   ml::SvmModel model)
+    : preprocessor_(std::move(preprocessor)),
+      scaler_(std::move(scaler)),
+      model_(std::move(model)) {
+  LEAPS_CHECK_MSG(preprocessor_.fitted(), "Detector needs a fitted pipeline");
+  LEAPS_CHECK_MSG(scaler_.fitted(), "Detector needs a fitted scaler");
+}
+
+double Detector::ScanResult::malicious_fraction() const {
+  const std::size_t total = benign_windows + malicious_windows;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(malicious_windows) /
+                   static_cast<double>(total);
+}
+
+Detector::ScanResult Detector::scan(const trace::PartitionedLog& log) const {
+  ScanResult result;
+  const WindowedData windows = preprocessor_.make_windows(log);
+  result.window_labels.reserve(windows.X.size());
+  for (const ml::FeatureVector& x : windows.X) {
+    const int label = predict(x);
+    result.window_labels.push_back(label);
+    (label == 1 ? result.benign_windows : result.malicious_windows) += 1;
+  }
+  return result;
+}
+
+int Detector::predict(const ml::FeatureVector& raw_features) const {
+  const double f = model_.decision_value(scaler_.transform(raw_features));
+  return f >= decision_threshold_ ? 1 : -1;
+}
+
+double Detector::calibrate(const trace::PartitionedLog& clean_log,
+                           double max_false_alarm_rate) {
+  LEAPS_CHECK_MSG(max_false_alarm_rate >= 0.0 && max_false_alarm_rate <= 1.0,
+                  "false-alarm rate must be in [0,1]");
+  const WindowedData windows = preprocessor_.make_windows(clean_log);
+  LEAPS_CHECK_MSG(!windows.X.empty(), "calibrate needs at least one window");
+  std::vector<double> scores;
+  scores.reserve(windows.X.size());
+  for (const ml::FeatureVector& x : windows.X) {
+    scores.push_back(model_.decision_value(scaler_.transform(x)));
+  }
+  std::sort(scores.begin(), scores.end());
+  // Allow at most floor(rate * n) clean windows below the threshold.
+  const auto allowed = static_cast<std::size_t>(
+      max_false_alarm_rate * static_cast<double>(scores.size()));
+  if (allowed == 0) {
+    // Strictly below the lowest clean score.
+    decision_threshold_ = scores.front() - 1e-9;
+  } else {
+    // Threshold between the allowed-th and the next clean score.
+    decision_threshold_ = allowed >= scores.size()
+                              ? scores.back() + 1e-9
+                              : (scores[allowed - 1] + scores[allowed]) / 2.0;
+  }
+  std::size_t flagged = 0;
+  for (const double s : scores) flagged += s < decision_threshold_ ? 1 : 0;
+  return static_cast<double>(flagged) / static_cast<double>(scores.size());
+}
+
+Detector::Stream::Stream(const Detector& detector) : detector_(&detector) {
+  pending_.reserve(3 * detector.preprocessor().window());
+}
+
+std::optional<int> Detector::Stream::push(
+    const trace::PartitionedEvent& event) {
+  const EventTuple t = detector_->preprocessor().tuple(event);
+  pending_.push_back(static_cast<double>(t.event_type));
+  pending_.push_back(t.lib_coord);
+  pending_.push_back(t.func_coord);
+  ++events_seen_;
+  if (pending_.size() < 3 * detector_->preprocessor().window()) {
+    return std::nullopt;
+  }
+  const int label = detector_->predict(pending_);
+  pending_.clear();
+  tally_.window_labels.push_back(label);
+  (label == 1 ? tally_.benign_windows : tally_.malicious_windows) += 1;
+  return label;
+}
+
+}  // namespace leaps::core

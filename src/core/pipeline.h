@@ -1,0 +1,142 @@
+// The LEAPS training pipeline (Figure 1) and the trained detector.
+//
+// prepare() runs the full front half of the workflow on a (benign, mixed)
+// pair of partitioned logs:
+//   Stack-partitioned events
+//     → Data Preprocessing (clustered {Event_Type, Lib, Func} tuples,
+//        coalesced into windows)                                → features
+//     → CFG Inference on both application stack traces (Alg. 1)
+//     → Weight Assessment mixed-vs-benign (Alg. 2)              → benignity
+//     → per-window SVM weights  c = 1 − mean benignity.
+//
+// The benignity→c flip is deliberate (see DESIGN.md): Algorithm 2 measures
+// *benignity*, while Eqn. 2's cᵢ is the importance of a *negative* training
+// sample — a mixed-log window that the CFG proves benign must not act as a
+// malicious exemplar.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "cfg/alignment.h"
+#include "cfg/inference.h"
+#include "cfg/weight.h"
+#include "core/preprocess.h"
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+#include "trace/partition.h"
+
+namespace leaps::core {
+
+struct PipelineOptions {
+  PreprocessOptions preprocess;
+  cfg::InferenceOptions inference;
+  /// Benignity assumed for mixed events with no application frames at all.
+  double default_benignity = 1.0;
+  /// Align the mixed CFG to the benign CFG structurally before weight
+  /// assessment (Section VI-A extension). Required for source-level
+  /// trojans, where recompilation shifts every address; harmless (pivots
+  /// are identities) for the binary attacks of Table I.
+  bool align_cfgs = false;
+  cfg::AlignmentOptions alignment;
+};
+
+/// Everything prepare() learns from one (benign, mixed) training pair.
+struct TrainingData {
+  Preprocessor preprocessor;  // fitted on both logs
+  /// Positive samples: label +1, weight 1.
+  ml::Dataset benign;
+  /// Negative samples: label -1, weight = CFG-derived maliciousness.
+  ml::Dataset mixed;
+  /// Window → source-event indices (for the CGraph baseline and tests).
+  WindowedData benign_windows;
+  WindowedData mixed_windows;
+  /// Diagnostics: the inferred CFGs and raw per-event benignity.
+  cfg::InferredCfg benign_cfg;
+  cfg::InferredCfg mixed_cfg;
+  std::map<std::uint64_t, double> event_benignity;  // seq → [0,1]
+  /// Populated when PipelineOptions::align_cfgs is set.
+  cfg::Alignment alignment;
+};
+
+class LeapsPipeline {
+ public:
+  explicit LeapsPipeline(PipelineOptions options = {}) : options_(options) {}
+
+  TrainingData prepare(const trace::PartitionedLog& benign_log,
+                       const trace::PartitionedLog& mixed_log) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+/// A deployed classifier: preprocessing + scaling + (W)SVM, applied to any
+/// partitioned log (the Testing Phase).
+class Detector {
+ public:
+  Detector(Preprocessor preprocessor, ml::MinMaxScaler scaler,
+           ml::SvmModel model);
+
+  struct ScanResult {
+    std::vector<int> window_labels;  // +1 benign / -1 malicious per window
+    std::size_t benign_windows = 0;
+    std::size_t malicious_windows = 0;
+    double malicious_fraction() const;
+  };
+
+  /// Classifies every window of the log.
+  ScanResult scan(const trace::PartitionedLog& log) const;
+
+  /// Classifies one already-extracted (unscaled) feature window.
+  int predict(const ml::FeatureVector& raw_features) const;
+
+  /// Calibrates the verdict threshold so that at most
+  /// `max_false_alarm_rate` of the given known-clean log's windows are
+  /// flagged malicious (an operator-facing operating point; the default
+  /// threshold 0 is the SVM's natural boundary). Returns the fraction of
+  /// clean windows flagged after calibration.
+  double calibrate(const trace::PartitionedLog& clean_log,
+                   double max_false_alarm_rate);
+
+  /// Decision offset: a window is malicious when the SVM decision value
+  /// falls below this.
+  double decision_threshold() const { return decision_threshold_; }
+  void set_decision_threshold(double t) { decision_threshold_ = t; }
+
+  const ml::SvmModel& model() const { return model_; }
+  const Preprocessor& preprocessor() const { return preprocessor_; }
+  const ml::MinMaxScaler& scaler() const { return scaler_; }
+
+  /// Online scanning: feed events as the tracer produces them; a verdict
+  /// (+1 benign / -1 malicious) pops out every `window` events. The stream
+  /// borrows the detector, which must outlive it.
+  class Stream {
+   public:
+    explicit Stream(const Detector& detector);
+
+    /// Returns a verdict when this event completes a window.
+    std::optional<int> push(const trace::PartitionedEvent& event);
+
+    std::size_t events_seen() const { return events_seen_; }
+    const ScanResult& tally() const { return tally_; }
+
+   private:
+    const Detector* detector_;
+    ml::FeatureVector pending_;
+    std::size_t events_seen_ = 0;
+    ScanResult tally_;
+  };
+  Stream stream() const { return Stream(*this); }
+
+ private:
+  Preprocessor preprocessor_;
+  ml::MinMaxScaler scaler_;
+  ml::SvmModel model_;
+  double decision_threshold_ = 0.0;
+};
+
+}  // namespace leaps::core

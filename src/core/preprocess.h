@@ -1,0 +1,155 @@
+// Data Preprocessing Module (Section III-A, Figure 2).
+//
+// Turns partitioned events into discretized feature tuples:
+//   {Event_Type, Lib, Func}
+// where Event_Type maps to its integer id and the Lib/Func *sets* of the
+// system stack trace are replaced by hierarchical-cluster numbers (UPGMA,
+// Jaccard distance, Eqn. 1). Tuples of `window` consecutive events are then
+// coalesced into one (3 × window)-dimensional data point (Section V-A-2:
+// 10 events → 30 dimensions).
+//
+// The clusterers are fit on the training logs; unseen test sets are mapped
+// to the nearest training set's cluster.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/distance.h"
+#include "ml/hcluster.h"
+#include "trace/partition.h"
+
+namespace leaps::core {
+
+/// Clusters string sets and assigns cluster ids to unseen sets by
+/// nearest-neighbor among the training sets.
+class SetClusterer {
+ public:
+  explicit SetClusterer(ml::ClusterOptions options = {})
+      : options_(options) {}
+
+  /// Deduplicates, builds the Jaccard matrix, runs UPGMA, numbers clusters
+  /// in dendrogram leaf order.
+  void fit(const std::vector<ml::StringSet>& sets);
+
+  /// Cluster id for a set: exact training match, else the cluster of the
+  /// nearest (Eqn. 1) training set. Must be fitted.
+  int assign(const ml::StringSet& set) const;
+
+  /// The cluster's coordinate on the dendrogram axis — the discretized
+  /// feature value (similar clusters sit numerically close, dissimilar
+  /// clusters far apart).
+  double position(int cluster_id) const;
+
+  int cluster_count() const { return result_.cluster_count; }
+  bool fitted() const { return !unique_sets_.empty(); }
+  const ml::ClusterOptions& options() const { return options_; }
+  std::size_t unique_set_count() const { return unique_sets_.size(); }
+  const ml::ClusterResult& result() const { return result_; }
+  const std::vector<ml::StringSet>& unique_sets() const {
+    return unique_sets_;
+  }
+
+  /// Reconstructs a fitted clusterer from serialized state (persistence).
+  static SetClusterer from_state(ml::ClusterOptions options,
+                                 std::vector<ml::StringSet> unique_sets,
+                                 ml::ClusterResult result);
+
+ private:
+  ml::ClusterOptions options_;
+  std::vector<ml::StringSet> unique_sets_;
+  std::map<ml::StringSet, int> exact_;  // set -> cluster id
+  ml::ClusterResult result_;
+};
+
+/// The discretized 3-tuple of one event (Figure 2's "@107 7 2 40" row).
+/// The *_cluster fields are the cluster ids; the *_coord fields are the
+/// dissimilarity-scaled cluster positions actually used as feature values.
+struct EventTuple {
+  int event_type = 0;
+  int lib_cluster = 0;
+  int func_cluster = 0;
+  double lib_coord = 0.0;
+  double func_coord = 0.0;
+};
+
+/// Feature windows with provenance back to the source events (needed by the
+/// CGraph baseline and by weight aggregation).
+struct WindowedData {
+  std::vector<ml::FeatureVector> X;
+  /// X[w] was built from log.events[event_indices[w][0..window)].
+  std::vector<std::vector<std::size_t>> event_indices;
+};
+
+struct PreprocessOptions {
+  ml::ClusterOptions lib_clustering{.cut_distance = 0.3, .max_clusters = 0};
+  ml::ClusterOptions func_clustering{.cut_distance = 0.35, .max_clusters = 0};
+  /// Consecutive events per data point (paper: 10 → 30 dimensions).
+  std::size_t window = 10;
+};
+
+/// Dense symbol ids for discretized event tuples — the observation alphabet
+/// of the sequence models (Section VI-B). Symbol 0 is reserved for tuples
+/// unseen at fit time.
+class TupleVocabulary {
+ public:
+  /// Collects every distinct tuple the (fitted) preprocessor produces on
+  /// the given logs.
+  void fit(const std::vector<const trace::PartitionedLog*>& logs,
+           const class Preprocessor& preprocessor);
+
+  /// Symbol id of a tuple: [1, size) for known tuples, 0 for unknown.
+  int symbol(const EventTuple& tuple) const;
+
+  /// Alphabet size including the unknown symbol.
+  std::size_t size() const { return ids_.size() + 1; }
+  bool fitted() const { return !ids_.empty(); }
+
+  /// Encodes a window of events (by log indices) into a symbol sequence.
+  std::vector<int> encode(const trace::PartitionedLog& log,
+                          const std::vector<std::size_t>& event_indices,
+                          const Preprocessor& preprocessor) const;
+
+ private:
+  std::map<std::tuple<int, int, int>, int> ids_;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessOptions options = {}) : options_(options) {}
+
+  /// Fits the Lib and Func clusterers on the union of the given logs
+  /// (training phase: benign + mixed).
+  void fit(const std::vector<const trace::PartitionedLog*>& logs);
+
+  /// Lib set (module names) / func set ("module!function") of one event's
+  /// system stack trace, sorted and deduplicated.
+  static ml::StringSet lib_set(const trace::PartitionedEvent& event);
+  static ml::StringSet func_set(const trace::PartitionedEvent& event);
+
+  EventTuple tuple(const trace::PartitionedEvent& event) const;
+
+  /// Non-overlapping windows over the log. A trailing partial window is
+  /// dropped. Must be fitted.
+  WindowedData make_windows(const trace::PartitionedLog& log) const;
+
+  const SetClusterer& lib_clusterer() const { return libs_; }
+  const SetClusterer& func_clusterer() const { return funcs_; }
+  std::size_t window() const { return options_.window; }
+  bool fitted() const { return libs_.fitted(); }
+  const PreprocessOptions& options() const { return options_; }
+
+  /// Reconstructs a fitted preprocessor from serialized state.
+  static Preprocessor from_state(PreprocessOptions options, SetClusterer libs,
+                                 SetClusterer funcs);
+
+ private:
+  PreprocessOptions options_;
+  SetClusterer libs_{};
+  SetClusterer funcs_{};
+};
+
+}  // namespace leaps::core

@@ -1,0 +1,74 @@
+#include "ml/cgraph_model.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+
+void CallGraphModel::train(const trace::PartitionedLog& benign_log,
+                           const trace::PartitionedLog& mixed_log) {
+  bcg_ = cfg::SystemCallGraph();
+  mcg_ = cfg::SystemCallGraph();
+  bcg_.add_log(benign_log);
+  mcg_.add_log(mixed_log);
+  trained_ = true;
+}
+
+int CallGraphModel::tie_break(std::uint64_t key) const {
+  // Deterministic unbiased coin: undecidable points are split 50/50 without
+  // consulting ground truth.
+  return (util::splitmix64(key) & 1) == 0 ? 1 : -1;
+}
+
+namespace {
+
+long event_score(const cfg::SystemCallGraph& bcg,
+                 const cfg::SystemCallGraph& mcg,
+                 const trace::PartitionedEvent& event,
+                 std::uint64_t* hash_acc) {
+  long score = 0;
+  for (const cfg::Edge& e : cfg::SystemCallGraph::event_edges(event)) {
+    const bool in_b = bcg.has_edge(e.first, e.second);
+    const bool in_m = mcg.has_edge(e.first, e.second);
+    if (in_b && !in_m) ++score;
+    if (in_m && !in_b) --score;
+    *hash_acc = util::splitmix64(*hash_acc ^ e.first) ^ e.second;
+  }
+  return score;
+}
+
+}  // namespace
+
+int CallGraphModel::predict_event(const trace::PartitionedEvent& event) const {
+  LEAPS_CHECK_MSG(trained_, "CallGraphModel used before train()");
+  std::uint64_t h = event.seq;
+  const long score = event_score(bcg_, mcg_, event, &h);
+  if (score > 0) return 1;
+  if (score < 0) return -1;
+  return tie_break(h);
+}
+
+long CallGraphModel::score_window(
+    std::span<const trace::PartitionedEvent* const> events) const {
+  LEAPS_CHECK_MSG(trained_, "CallGraphModel used before train()");
+  long score = 0;
+  std::uint64_t h = 0;
+  for (const trace::PartitionedEvent* e : events) {
+    score += event_score(bcg_, mcg_, *e, &h);
+  }
+  return score;
+}
+
+int CallGraphModel::predict_window(
+    std::span<const trace::PartitionedEvent* const> events) const {
+  const long score = score_window(events);
+  if (score > 0) return 1;
+  if (score < 0) return -1;
+  std::uint64_t h = 0;
+  for (const trace::PartitionedEvent* e : events) {
+    h = util::splitmix64(h ^ e->seq);
+  }
+  return tie_break(h);
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,51 @@
+// Decision model based on the system-level call graph (Section III-D-1) —
+// the paper's non-learning baseline ("CGraph" in Figures 6 & 7).
+//
+// Training builds the benign call graph (BCG) from the benign log and the
+// mixed call graph (MCG) from the mixed log. A test point (a window of
+// events) is scored by edge membership: an edge present only in the BCG
+// votes benign, one present only in the MCG votes malicious; edges in both
+// or in neither are uninformative — exactly the weakness the paper
+// documents. A zero score is "undecidable"; the model resolves it with a
+// deterministic hash-parity coin flip (no ground-truth peeking), so
+// undecidable events hurt both hit rates, as observed in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cfg/call_graph.h"
+#include "trace/partition.h"
+
+namespace leaps::ml {
+
+class CallGraphModel {
+ public:
+  void train(const trace::PartitionedLog& benign_log,
+             const trace::PartitionedLog& mixed_log);
+
+  /// +1 benign / -1 malicious for one event.
+  int predict_event(const trace::PartitionedEvent& event) const;
+
+  /// +1 / -1 for a window of events (a coalesced test point): the votes of
+  /// all edges in the window are pooled before the tie-break.
+  int predict_window(
+      std::span<const trace::PartitionedEvent* const> events) const;
+
+  /// Signed vote balance: (#edges only in BCG) - (#edges only in MCG).
+  long score_window(
+      std::span<const trace::PartitionedEvent* const> events) const;
+
+  const cfg::SystemCallGraph& bcg() const { return bcg_; }
+  const cfg::SystemCallGraph& mcg() const { return mcg_; }
+  bool trained() const { return trained_; }
+
+ private:
+  int tie_break(std::uint64_t key) const;
+
+  cfg::SystemCallGraph bcg_;
+  cfg::SystemCallGraph mcg_;
+  bool trained_ = false;
+};
+
+}  // namespace leaps::ml

@@ -1,0 +1,46 @@
+#include "ml/distance.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+double set_dissimilarity(const StringSet& a, const StringSet& b) {
+  LEAPS_DCHECK(std::is_sorted(a.begin(), a.end()));
+  LEAPS_DCHECK(std::is_sorted(b.begin(), b.end()));
+  if (a.empty() && b.empty()) return 0.0;
+  // Merge walk over two sorted sets.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::vector<double>> jaccard_distance_matrix(
+    const std::vector<StringSet>& sets) {
+  const std::size_t n = sets.size();
+  std::vector<std::vector<double>> dm(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = set_dissimilarity(sets[i], sets[j]);
+      dm[i][j] = d;
+      dm[j][i] = d;
+    }
+  }
+  return dm;
+}
+
+}  // namespace leaps::ml

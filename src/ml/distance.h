@@ -1,0 +1,22 @@
+// Set-dissimilarity metric (Eqn. 1) and pairwise distance matrices for the
+// hierarchical-clustering stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leaps::ml {
+
+/// A lib/func set, sorted and deduplicated (callers must maintain this; the
+/// matrix builder checks it).
+using StringSet = std::vector<std::string>;
+
+/// set_dissimilarity(a, b) = 1 - |a ∩ b| / |a ∪ b|  (Eqn. 1).
+/// Two empty sets are identical (distance 0).
+double set_dissimilarity(const StringSet& a, const StringSet& b);
+
+/// Full symmetric pairwise matrix DM[i][j] = set_dissimilarity(i, j).
+std::vector<std::vector<double>> jaccard_distance_matrix(
+    const std::vector<StringSet>& sets);
+
+}  // namespace leaps::ml

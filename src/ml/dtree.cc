@@ -1,0 +1,248 @@
+#include "ml/dtree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+namespace {
+
+double gini(double pos, double neg) {
+  const double total = pos + neg;
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitChoice {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+/// Shared recursive CART builder; `rng` + feature_fraction < 1 turns on
+/// per-split feature subsampling (random-forest mode).
+class Builder {
+ public:
+  Builder(const Dataset& data, const DTreeParams& params,
+          std::vector<double> weights, util::Rng* rng,
+          double feature_fraction)
+      : data_(data),
+        params_(params),
+        weights_(std::move(weights)),
+        rng_(rng),
+        feature_fraction_(feature_fraction) {}
+
+  std::int32_t build(std::vector<std::size_t>& idx, std::size_t depth,
+                     std::vector<DecisionTreeModel::Node>& nodes) {
+    double pos = 0.0;
+    double neg = 0.0;
+    for (const std::size_t i : idx) {
+      (data_.y[i] > 0 ? pos : neg) += weights_[i];
+    }
+    const auto node_id = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back({});
+    nodes[static_cast<std::size_t>(node_id)].leaf_score =
+        pos + neg > 0.0 ? (pos - neg) / (pos + neg) : 0.0;
+
+    if (depth >= params_.max_depth || pos == 0.0 || neg == 0.0 ||
+        idx.size() < 2) {
+      return node_id;
+    }
+    const SplitChoice split = best_split(idx, pos, neg);
+    if (split.feature < 0 || split.gain < params_.min_gain) return node_id;
+
+    std::vector<std::size_t> left;
+    std::vector<std::size_t> right;
+    for (const std::size_t i : idx) {
+      (data_.X[i][static_cast<std::size_t>(split.feature)] <=
+               split.threshold
+           ? left
+           : right)
+          .push_back(i);
+    }
+    if (left.empty() || right.empty()) return node_id;
+    idx.clear();
+    idx.shrink_to_fit();
+
+    const std::int32_t l = build(left, depth + 1, nodes);
+    const std::int32_t r = build(right, depth + 1, nodes);
+    auto& node = nodes[static_cast<std::size_t>(node_id)];
+    node.feature = split.feature;
+    node.threshold = split.threshold;
+    node.left = l;
+    node.right = r;
+    return node_id;
+  }
+
+ private:
+  SplitChoice best_split(const std::vector<std::size_t>& idx, double pos,
+                         double neg) {
+    const std::size_t dims = data_.dims();
+    std::vector<std::size_t> features(dims);
+    std::iota(features.begin(), features.end(), 0);
+    if (rng_ != nullptr && feature_fraction_ < 1.0) {
+      rng_->shuffle(features);
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(feature_fraction_ *
+                                      static_cast<double>(dims)));
+      features.resize(keep);
+    }
+    const double parent = gini(pos, neg);
+
+    SplitChoice best;
+    std::vector<std::pair<double, std::size_t>> column(idx.size());
+    for (const std::size_t f : features) {
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        column[k] = {data_.X[idx[k]][f], idx[k]};
+      }
+      std::sort(column.begin(), column.end());
+      double lp = 0.0;
+      double ln = 0.0;
+      for (std::size_t k = 0; k + 1 < column.size(); ++k) {
+        const std::size_t i = column[k].second;
+        (data_.y[i] > 0 ? lp : ln) += weights_[i];
+        if (column[k].first == column[k + 1].first) continue;
+        const double lw = lp + ln;
+        const double rw = (pos + neg) - lw;
+        if (lw < params_.min_leaf_weight || rw < params_.min_leaf_weight) {
+          continue;
+        }
+        const double child =
+            (lw * gini(lp, ln) + rw * gini(pos - lp, neg - ln)) /
+            (pos + neg);
+        const double gain = parent - child;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = (column[k].first + column[k + 1].first) / 2.0;
+        }
+      }
+    }
+    return best;
+  }
+
+  const Dataset& data_;
+  const DTreeParams& params_;
+  std::vector<double> weights_;  // may differ from data.weight (bootstrap)
+  util::Rng* rng_;
+  double feature_fraction_;
+};
+
+void validate_trainable(const Dataset& data) {
+  data.validate();
+  LEAPS_CHECK_MSG(data.size() >= 2, "tree needs at least two samples");
+  bool pos = false;
+  bool neg = false;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.weight[i] > 0.0) (data.y[i] > 0 ? pos : neg) = true;
+  }
+  if (!pos || !neg) {
+    throw std::invalid_argument(
+        "DecisionTreeTrainer: need positively-weighted samples of both "
+        "classes");
+  }
+}
+
+}  // namespace
+
+int DecisionTreeModel::predict(const FeatureVector& x) const {
+  return score(x) >= 0.0 ? 1 : -1;
+}
+
+double DecisionTreeModel::score(const FeatureVector& x) const {
+  LEAPS_CHECK_MSG(!nodes_.empty(), "DecisionTreeModel used before train()");
+  std::size_t node = 0;
+  while (nodes_[node].left >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    LEAPS_CHECK_MSG(f < x.size(), "dimension mismatch");
+    node = static_cast<std::size_t>(x[f] <= nodes_[node].threshold
+                                        ? nodes_[node].left
+                                        : nodes_[node].right);
+  }
+  return nodes_[node].leaf_score;
+}
+
+std::size_t DecisionTreeModel::depth() const {
+  // Iterative depth computation over the implicit tree.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].left >= 0) {
+      stack.push_back({static_cast<std::size_t>(nodes_[node].left),
+                       depth + 1});
+      stack.push_back({static_cast<std::size_t>(nodes_[node].right),
+                       depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+DecisionTreeModel DecisionTreeTrainer::train(const Dataset& data) const {
+  validate_trainable(data);
+  DecisionTreeModel model;
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.weight[i] > 0.0) idx.push_back(i);
+  }
+  Builder builder(data, params_, data.weight, nullptr, 1.0);
+  builder.build(idx, 0, model.nodes_);
+  return model;
+}
+
+int RandomForestModel::predict(const FeatureVector& x) const {
+  return score(x) >= 0.0 ? 1 : -1;
+}
+
+double RandomForestModel::score(const FeatureVector& x) const {
+  LEAPS_CHECK_MSG(!trees_.empty(), "RandomForestModel used before train()");
+  double sum = 0.0;
+  for (const DecisionTreeModel& t : trees_) sum += t.score(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+RandomForestModel RandomForestTrainer::train(const Dataset& data) const {
+  validate_trainable(data);
+  LEAPS_CHECK_MSG(params_.trees >= 1, "forest needs at least one tree");
+  RandomForestModel model;
+  util::Rng rng(params_.seed);
+  const auto sample_size = std::max<std::size_t>(
+      2, static_cast<std::size_t>(params_.sample_fraction *
+                                  static_cast<double>(data.size())));
+  for (std::size_t t = 0; t < params_.trees; ++t) {
+    // Weighted bootstrap: draw with probability proportional to cᵢ, then
+    // train the tree with unit weights on the draw (bagging).
+    std::vector<std::size_t> idx;
+    std::vector<double> draw_weights = data.weight;
+    std::vector<double> tree_weights(data.size(), 0.0);
+    util::Rng tree_rng = rng.fork(t + 1);
+    for (std::size_t k = 0; k < sample_size; ++k) {
+      const std::size_t i = tree_rng.sample_weighted(draw_weights);
+      tree_weights[i] += 1.0;
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (tree_weights[i] > 0.0) idx.push_back(i);
+    }
+    // Degenerate draws (one class) are skipped; the forest keeps going.
+    bool pos = false;
+    bool neg = false;
+    for (const std::size_t i : idx) (data.y[i] > 0 ? pos : neg) = true;
+    if (!pos || !neg) continue;
+
+    DecisionTreeModel tree;
+    Builder builder(data, params_.tree, tree_weights, &tree_rng,
+                    params_.feature_fraction);
+    builder.build(idx, 0, tree.nodes_);
+    model.trees_.push_back(std::move(tree));
+  }
+  LEAPS_CHECK_MSG(!model.trees_.empty(), "all bootstrap draws degenerate");
+  return model;
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,99 @@
+// Weighted CART decision trees and a bagged random forest — the decision-
+// tree alternative Section III-D-2 cites ([27]) alongside LR and SVM.
+//
+// Trees split on weighted Gini impurity; every sample carries the same
+// CFG-derived confidence cᵢ used by the Weighted SVM, entering all impurity
+// and leaf-vote computations as a fractional count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+
+struct DTreeParams {
+  std::size_t max_depth = 8;
+  /// A split is rejected if either side would carry less total weight.
+  double min_leaf_weight = 2.0;
+  /// Minimum weighted-Gini decrease for a split to be kept.
+  double min_gain = 1e-7;
+};
+
+class DecisionTreeModel {
+ public:
+  /// +1 benign / -1 malicious (weighted majority of the reached leaf).
+  int predict(const FeatureVector& x) const;
+  /// Signed confidence in [-1, 1]: (benign − malicious) weight share of
+  /// the reached leaf; larger leans benign.
+  double score(const FeatureVector& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+  bool empty() const { return nodes_.empty(); }
+
+  /// Tree storage (public so the trainers' internal builder can produce
+  /// it; not part of the stable API).
+  struct Node {
+    // Internal node: feature/threshold with children; leaf: children = -1.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double leaf_score = 0.0;  // signed weight share at leaves
+  };
+
+ private:
+  friend class DecisionTreeTrainer;
+  friend class RandomForestTrainer;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+class DecisionTreeTrainer {
+ public:
+  explicit DecisionTreeTrainer(DTreeParams params = {}) : params_(params) {}
+
+  /// Requires both classes with positive weight.
+  DecisionTreeModel train(const Dataset& data) const;
+
+ private:
+  DTreeParams params_;
+};
+
+struct ForestParams {
+  DTreeParams tree;
+  std::size_t trees = 25;
+  /// Features considered per split (fraction of dims, at least 1).
+  double feature_fraction = 0.6;
+  /// Bootstrap sample size as a fraction of the training set.
+  double sample_fraction = 0.8;
+  std::uint64_t seed = 1;
+};
+
+class RandomForestModel {
+ public:
+  int predict(const FeatureVector& x) const;
+  /// Mean tree score in [-1, 1]; larger leans benign.
+  double score(const FeatureVector& x) const;
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  friend class RandomForestTrainer;
+  std::vector<DecisionTreeModel> trees_;
+};
+
+class RandomForestTrainer {
+ public:
+  explicit RandomForestTrainer(ForestParams params = {}) : params_(params) {}
+
+  RandomForestModel train(const Dataset& data) const;
+
+ private:
+  ForestParams params_;
+};
+
+}  // namespace leaps::ml

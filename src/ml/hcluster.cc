@@ -1,0 +1,187 @@
+#include "ml/hcluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+namespace {
+
+struct MergeRecord {
+  std::size_t left;   // node id
+  std::size_t right;  // node id
+  double distance;
+};
+
+}  // namespace
+
+ClusterResult HierarchicalClusterer::cluster(
+    const std::vector<std::vector<double>>& distance) const {
+  const std::size_t n = distance.size();
+  LEAPS_CHECK_MSG(n > 0, "clustering an empty set");
+  for (const auto& row : distance) {
+    LEAPS_CHECK_MSG(row.size() == n, "distance matrix not square");
+  }
+
+  ClusterResult result;
+  if (n == 1) {
+    result.assignment = {0};
+    result.cluster_count = 1;
+    result.leaf_order = {0};
+    result.positions = {0.0};
+    return result;
+  }
+
+  // --- full UPGMA merge to a single root --------------------------------
+  // Active clusters are tracked in slot arrays; nodes are numbered leaves
+  // first (0..n-1), then internal nodes in merge order (n..2n-2).
+  std::vector<std::size_t> slot_node(n);
+  std::vector<std::size_t> node_size(2 * n - 1, 1);
+  std::vector<MergeRecord> merges;
+  merges.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) slot_node[i] = i;
+
+  // Working copy of the distance matrix, indexed by slot.
+  std::vector<std::vector<double>> d = distance;
+  std::size_t active = n;
+
+  while (active > 1) {
+    // Closest active pair.
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active; ++i) {
+      for (std::size_t j = i + 1; j < active; ++j) {
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    const std::size_t node_i = slot_node[bi];
+    const std::size_t node_j = slot_node[bj];
+    const std::size_t new_node = n + merges.size();
+    merges.push_back({node_i, node_j, best});
+    const auto si = static_cast<double>(node_size[node_i]);
+    const auto sj = static_cast<double>(node_size[node_j]);
+    node_size[new_node] = node_size[node_i] + node_size[node_j];
+
+    // Lance–Williams update for average linkage:
+    // d(new, k) = (|i| d(i,k) + |j| d(j,k)) / (|i| + |j|)
+    for (std::size_t k = 0; k < active; ++k) {
+      if (k == bi || k == bj) continue;
+      const double dk = (si * d[bi][k] + sj * d[bj][k]) / (si + sj);
+      d[bi][k] = dk;
+      d[k][bi] = dk;
+    }
+    slot_node[bi] = new_node;
+    // Remove slot bj by swapping in the last slot.
+    const std::size_t last = active - 1;
+    if (bj != last) {
+      slot_node[bj] = slot_node[last];
+      for (std::size_t k = 0; k < active; ++k) {
+        d[bj][k] = d[last][k];
+        d[k][bj] = d[k][last];
+      }
+      d[bj][bj] = 0.0;
+    }
+    --active;
+  }
+
+  // --- choose how many leading merges the cut applies -------------------
+  // UPGMA merge distances are monotone non-decreasing, so both criteria
+  // select a prefix of the merge sequence.
+  std::size_t by_cut = 0;
+  while (by_cut < merges.size() &&
+         merges[by_cut].distance <= options_.cut_distance) {
+    ++by_cut;
+  }
+  std::size_t applied = by_cut;
+  if (options_.max_clusters > 0 && n > options_.max_clusters) {
+    applied = std::max(applied, n - options_.max_clusters);
+  }
+
+  // --- union-find over the applied prefix -------------------------------
+  std::vector<std::size_t> parent(2 * n - 1);
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t m = 0; m < applied; ++m) {
+    const std::size_t root = n + m;
+    parent[find(merges[m].left)] = root;
+    parent[find(merges[m].right)] = root;
+  }
+
+  // --- dendrogram leaf order (full tree, iterative in-order) ------------
+  // Alongside the order, record the cophenetic distance at each boundary
+  // between consecutive leaves: the boundary between the left and right
+  // subtree of node X is exactly X's merge distance.
+  result.leaf_order.reserve(n);
+  std::vector<double> boundary_gaps;  // size n-1 when done
+  boundary_gaps.reserve(n - 1);
+  {
+    struct Item {
+      std::size_t node;
+      double gap;
+      bool is_gap;
+    };
+    std::vector<Item> stack = {{2 * n - 2, 0.0, false}};
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      if (item.is_gap) {
+        boundary_gaps.push_back(item.gap);
+        continue;
+      }
+      if (item.node < n) {
+        result.leaf_order.push_back(item.node);
+      } else {
+        const MergeRecord& m = merges[item.node - n];
+        // Visit order: left subtree, boundary marker, right subtree.
+        stack.push_back({m.right, 0.0, false});
+        stack.push_back({0, m.distance, true});
+        stack.push_back({m.left, 0.0, false});
+      }
+    }
+  }
+
+  // --- number clusters by first appearance in leaf order ----------------
+  result.assignment.assign(n, -1);
+  int next_id = 0;
+  std::vector<int> root_to_id(2 * n - 1, -1);
+  for (const std::size_t leaf : result.leaf_order) {
+    const std::size_t root = find(leaf);
+    if (root_to_id[root] < 0) root_to_id[root] = next_id++;
+    result.assignment[leaf] = root_to_id[root];
+  }
+  result.cluster_count = next_id;
+
+  // --- cluster positions: leaf-order coordinates with dissimilarity-
+  // proportional gaps. A cluster's leaves are contiguous in leaf order
+  // (clusters are dendrogram subtrees), so the transition gap between two
+  // clusters is the boundary gap at their interface.
+  result.positions.assign(static_cast<std::size_t>(next_id), 0.0);
+  double coord = 0.0;
+  int prev_id = result.assignment[result.leaf_order.front()];
+  result.positions[static_cast<std::size_t>(prev_id)] = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const int id = result.assignment[result.leaf_order[i]];
+    if (id != prev_id) {
+      coord += 1.0 + options_.gap_scale * boundary_gaps[i - 1];
+      result.positions[static_cast<std::size_t>(id)] = coord;
+      prev_id = id;
+    }
+  }
+  return result;
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,62 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+std::string_view kernel_type_name(KernelType t) {
+  switch (t) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPolynomial:
+      return "polynomial";
+  }
+  return "unknown";
+}
+
+double KernelParams::operator()(const std::vector<double>& a,
+                                const std::vector<double>& b) const {
+  LEAPS_DCHECK(a.size() == b.size());
+  switch (type) {
+    case KernelType::kGaussian: {
+      LEAPS_DCHECK(sigma2 > 0.0);
+      double sq = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sq += d * d;
+      }
+      return std::exp(-sq / sigma2);
+    }
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return std::pow(dot + coef0, degree);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::vector<double>> gram_matrix(
+    const std::vector<std::vector<double>>& X, const KernelParams& kernel) {
+  const std::size_t n = X.size();
+  std::vector<std::vector<double>> K(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(X[i], X[j]);
+      K[i][j] = v;
+      K[j][i] = v;
+    }
+  }
+  return K;
+}
+
+}  // namespace leaps::ml

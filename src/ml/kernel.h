@@ -1,0 +1,36 @@
+// Kernel functions for the (W)SVM (Section III-D-2).
+//
+// The paper uses a Gaussian kernel k(x, z) = exp(-||x - z||² / σ²) with σ²
+// as the radius parameter tuned by cross-validation; linear and polynomial
+// kernels are provided for ablations.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace leaps::ml {
+
+enum class KernelType : int {
+  kGaussian = 0,
+  kLinear,
+  kPolynomial,
+};
+
+std::string_view kernel_type_name(KernelType t);
+
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  double sigma2 = 1.0;  // Gaussian radius (σ²)
+  int degree = 3;       // polynomial degree
+  double coef0 = 1.0;   // polynomial offset
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+};
+
+/// Full symmetric Gram matrix K[i][j] = k(X[i], X[j]).
+std::vector<std::vector<double>> gram_matrix(
+    const std::vector<std::vector<double>>& X, const KernelParams& kernel);
+
+}  // namespace leaps::ml

@@ -1,0 +1,164 @@
+#include "ml/logreg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Solves A x = rhs for symmetric positive-definite A via Cholesky
+/// (in-place on copies); dimension is tiny (≈31), so O(d³) is free.
+std::vector<double> cholesky_solve(std::vector<std::vector<double>> a,
+                                   std::vector<double> rhs) {
+  const std::size_t d = a.size();
+  // Decompose A = L Lᵀ.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        LEAPS_CHECK_MSG(sum > 0.0, "matrix not positive definite");
+        a[i][i] = std::sqrt(sum);
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+  }
+  // Forward substitution L y = rhs.
+  for (std::size_t i = 0; i < d; ++i) {
+    double sum = rhs[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i][k] * rhs[k];
+    rhs[i] = sum / a[i][i];
+  }
+  // Back substitution Lᵀ x = y.
+  for (std::size_t i = d; i-- > 0;) {
+    double sum = rhs[i];
+    for (std::size_t k = i + 1; k < d; ++k) sum -= a[k][i] * rhs[k];
+    rhs[i] = sum / a[i][i];
+  }
+  return rhs;
+}
+
+}  // namespace
+
+LogRegModel::LogRegModel(std::vector<double> weights, double bias)
+    : weights_(std::move(weights)), bias_(bias) {}
+
+double LogRegModel::decision_value(const FeatureVector& x) const {
+  LEAPS_CHECK_MSG(x.size() == weights_.size(), "dimension mismatch");
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return z;
+}
+
+int LogRegModel::predict(const FeatureVector& x) const {
+  return decision_value(x) >= 0.0 ? 1 : -1;
+}
+
+double LogRegModel::probability(const FeatureVector& x) const {
+  return sigmoid(decision_value(x));
+}
+
+LogRegModel LogRegTrainer::train(const Dataset& data,
+                                 LogRegStats* stats) const {
+  data.validate();
+  const std::size_t n = data.size();
+  LEAPS_CHECK_MSG(n >= 2, "logistic regression needs at least two samples");
+  bool has_pos = false;
+  bool has_neg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data.weight[i] > 0.0) (data.y[i] > 0 ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument(
+        "LogRegTrainer: need positively-weighted samples of both classes");
+  }
+
+  const std::size_t d = data.dims();
+  const std::size_t dim = d + 1;  // + bias, regularization excludes it
+  std::vector<double> theta(dim, 0.0);
+
+  const auto margin = [&](std::size_t i) {
+    double z = theta[d];
+    for (std::size_t j = 0; j < d; ++j) z += theta[j] * data.X[i][j];
+    return z;
+  };
+
+  bool converged = false;
+  std::size_t iter = 0;
+  for (; iter < params_.max_iterations; ++iter) {
+    // Gradient and Hessian of the weighted negative log-likelihood.
+    std::vector<double> grad(dim, 0.0);
+    std::vector<std::vector<double>> hess(dim, std::vector<double>(dim, 0.0));
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] += params_.l2 * theta[j];
+      hess[j][j] += params_.l2;
+    }
+    hess[d][d] += 1e-9;  // keep the bias row PD even in degenerate cases
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = data.weight[i];
+      if (c <= 0.0) continue;
+      const double y = static_cast<double>(data.y[i]);
+      const double p = sigmoid(y * margin(i));   // P(correct)
+      const double g = -c * y * (1.0 - p);       // dLoss/dz
+      const double h = c * p * (1.0 - p);        // d²Loss/dz²
+      for (std::size_t j = 0; j < d; ++j) {
+        grad[j] += g * data.X[i][j];
+        for (std::size_t k = 0; k <= j; ++k) {
+          hess[j][k] += h * data.X[i][j] * data.X[i][k];
+        }
+        hess[j][d] += h * data.X[i][j];
+      }
+      grad[d] += g;
+      hess[d][d] += h;
+    }
+    // Mirror the lower triangle.
+    for (std::size_t j = 0; j < dim; ++j) {
+      for (std::size_t k = j + 1; k < dim; ++k) hess[j][k] = hess[k][j];
+    }
+
+    const std::vector<double> step = cholesky_solve(hess, grad);
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      theta[j] -= step[j];
+      max_step = std::max(max_step, std::abs(step[j]));
+    }
+    if (max_step < params_.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->converged = converged;
+    double loss = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      loss += 0.5 * params_.l2 * theta[j] * theta[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data.weight[i] <= 0.0) continue;
+      const double z = static_cast<double>(data.y[i]) * margin(i);
+      // log(1 + exp(-z)) computed stably.
+      loss += data.weight[i] *
+              (z > 0 ? std::log1p(std::exp(-z)) : -z + std::log1p(std::exp(z)));
+    }
+    stats->final_loss = loss;
+  }
+  std::vector<double> w(theta.begin(), theta.begin() + static_cast<long>(d));
+  return LogRegModel(std::move(w), theta[d]);
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,63 @@
+// Weighted L2-regularized logistic regression — the alternative linear
+// classifier Section III-D-2 mentions alongside SVM and decision trees.
+//
+// Minimizes
+//     (l2/2)·||w||² + Σᵢ cᵢ · log(1 + exp(-yᵢ (w·xᵢ + b)))
+// by Newton/IRLS iterations (a dense Cholesky solve per step — the feature
+// dimension here is 3 × window ≈ 30). The per-sample confidences cᵢ play
+// the same role as in the Weighted SVM: CFG-certified-benign negatives
+// contribute (almost) nothing to the loss.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace leaps::ml {
+
+struct LogRegParams {
+  double l2 = 1.0;
+  std::size_t max_iterations = 50;
+  /// Stop when the Newton step's max-norm falls below this.
+  double tolerance = 1e-8;
+};
+
+class LogRegModel {
+ public:
+  LogRegModel() = default;
+  LogRegModel(std::vector<double> weights, double bias);
+
+  /// w·x + b: positive leans benign, mirroring the SVM convention.
+  double decision_value(const FeatureVector& x) const;
+  /// +1 (benign) or -1 (malicious).
+  int predict(const FeatureVector& x) const;
+  /// P(benign | x) under the logistic link.
+  double probability(const FeatureVector& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+struct LogRegStats {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double final_loss = 0.0;
+};
+
+class LogRegTrainer {
+ public:
+  explicit LogRegTrainer(LogRegParams params = {}) : params_(params) {}
+
+  /// Requires both classes with positive weight (like the SVM trainer).
+  LogRegModel train(const Dataset& data, LogRegStats* stats = nullptr) const;
+
+ private:
+  LogRegParams params_;
+};
+
+}  // namespace leaps::ml

@@ -1,0 +1,118 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace leaps::ml {
+
+namespace {
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  LEAPS_CHECK_MSG((actual == 1 || actual == -1) &&
+                      (predicted == 1 || predicted == -1),
+                  "labels must be +1 or -1");
+  if (actual == 1) {
+    (predicted == 1 ? tp : fn) += 1;
+  } else {
+    (predicted == -1 ? tn : fp) += 1;
+  }
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  tp += other.tp;
+  tn += other.tn;
+  fp += other.fp;
+  fn += other.fn;
+}
+
+double ConfusionMatrix::accuracy() const { return ratio(tp + tn, total()); }
+double ConfusionMatrix::ppv() const { return ratio(tp, tp + fp); }
+double ConfusionMatrix::tpr() const { return ratio(tp, tp + fn); }
+double ConfusionMatrix::tnr() const { return ratio(tn, tn + fp); }
+double ConfusionMatrix::npv() const { return ratio(tn, tn + fn); }
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels) {
+  LEAPS_CHECK(scores.size() == labels.size());
+  // Rank-sum (Mann-Whitney U) with average ranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a,
+                                                  std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+  for (const int y : labels) (y == 1 ? pos : neg) += 1;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Average rank of the tie group (1-based ranks i+1 .. j).
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) /
+                            2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(pos) *
+                       (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  LEAPS_CHECK(scores.size() == labels.size());
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Descending score: start strict (classify nothing benign), loosen.
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a,
+                                                  std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+  for (const int y : labels) (y == 1 ? pos : neg) += 1;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == threshold) {
+      (labels[order[i]] == 1 ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back({neg == 0 ? 0.0 : static_cast<double>(fp) / neg,
+                     pos == 0 ? 0.0 : static_cast<double>(tp) / pos,
+                     threshold});
+  }
+  return curve;
+}
+
+Measurements Measurements::from(const ConfusionMatrix& cm) {
+  return {cm.accuracy(), cm.ppv(), cm.tpr(), cm.tnr(), cm.npv()};
+}
+
+std::string Measurements::to_string() const {
+  return "ACC=" + util::fixed(acc, 3) + " PPV=" + util::fixed(ppv, 3) +
+         " TPR=" + util::fixed(tpr, 3) + " TNR=" + util::fixed(tnr, 3) +
+         " NPV=" + util::fixed(npv, 3);
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,66 @@
+// Classification measurements (Section V-B).
+//
+// Convention from the paper: POSITIVE = benign, NEGATIVE = malicious.
+//   TP benign→benign, TN malicious→malicious,
+//   FP malicious→benign, FN benign→malicious.
+// Derived measures: ACC (Eqn. 6), PPV/precision (7), TPR/recall (8),
+// TNR/specificity (9), NPV (10).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace leaps::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t tn = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  /// Records one prediction. Labels are +1 (benign) / -1 (malicious).
+  void add(int actual, int predicted);
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t total() const { return tp + tn + fp + fn; }
+
+  double accuracy() const;  // ACC
+  double ppv() const;       // precision
+  double tpr() const;       // recall / sensitivity
+  double tnr() const;       // specificity
+  double npv() const;
+};
+
+/// One point of a ROC curve (positive class = benign).
+struct RocPoint {
+  double fpr = 0.0;  // malicious misclassified as benign
+  double tpr = 0.0;  // benign correctly classified
+  double threshold = 0.0;
+};
+
+/// Area under the ROC curve from decision scores, where *larger scores
+/// lean benign* (+1). Equivalent to the Mann-Whitney U statistic; ties
+/// contribute half. Returns 0.5 when either class is absent.
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels);
+
+/// The full ROC polyline, sorted by descending threshold (score). Includes
+/// the (0,0) and (1,1) endpoints.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// The five Table-I measurements as plain values (for aggregation).
+struct Measurements {
+  double acc = 0.0;
+  double ppv = 0.0;
+  double tpr = 0.0;
+  double tnr = 0.0;
+  double npv = 0.0;
+
+  static Measurements from(const ConfusionMatrix& cm);
+  /// "ACC=0.932 PPV=0.999 ..." — for logs and examples.
+  std::string to_string() const;
+};
+
+}  // namespace leaps::ml

@@ -1,0 +1,62 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+void MinMaxScaler::fit(const std::vector<FeatureVector>& X) {
+  LEAPS_CHECK_MSG(!X.empty(), "MinMaxScaler::fit on empty data");
+  const std::size_t d = X.front().size();
+  mins_.assign(d, 0.0);
+  ranges_.assign(d, 0.0);
+  std::vector<double> maxs(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    mins_[j] = X.front()[j];
+    maxs[j] = X.front()[j];
+  }
+  for (const FeatureVector& x : X) {
+    LEAPS_CHECK_MSG(x.size() == d, "inconsistent dimensions in fit");
+    for (std::size_t j = 0; j < d; ++j) {
+      mins_[j] = std::min(mins_[j], x[j]);
+      maxs[j] = std::max(maxs[j], x[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) ranges_[j] = maxs[j] - mins_[j];
+}
+
+MinMaxScaler MinMaxScaler::from_state(std::vector<double> mins,
+                                      std::vector<double> ranges) {
+  LEAPS_CHECK_MSG(mins.size() == ranges.size(), "scaler state mismatch");
+  MinMaxScaler s;
+  s.mins_ = std::move(mins);
+  s.ranges_ = std::move(ranges);
+  return s;
+}
+
+FeatureVector MinMaxScaler::transform(const FeatureVector& x) const {
+  LEAPS_CHECK_MSG(fitted(), "MinMaxScaler used before fit");
+  LEAPS_CHECK_MSG(x.size() == mins_.size(), "dimension mismatch");
+  FeatureVector out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (ranges_[j] == 0.0) {
+      out[j] = 0.0;
+    } else {
+      // Test values outside the training range are clamped so a single
+      // outlier cannot blow up the Gaussian kernel's scale.
+      out[j] = std::clamp((x[j] - mins_[j]) / ranges_[j], -0.5, 1.5);
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::transform_in_place(std::vector<FeatureVector>& X) const {
+  for (FeatureVector& x : X) x = transform(x);
+}
+
+void MinMaxScaler::transform_in_place(Dataset& data) const {
+  transform_in_place(data.X);
+}
+
+}  // namespace leaps::ml

@@ -1,0 +1,37 @@
+// Per-dimension min-max scaling to [0, 1].
+//
+// LIBSVM practice (and a necessity for a shared σ² grid): features are
+// integer ids of very different ranges (event types vs. cluster numbers);
+// scaling is fit on the training set and applied to the test set.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace leaps::ml {
+
+class MinMaxScaler {
+ public:
+  /// Learns per-dimension [min, max] from the rows of X (must be nonempty).
+  void fit(const std::vector<FeatureVector>& X);
+
+  FeatureVector transform(const FeatureVector& x) const;
+  void transform_in_place(std::vector<FeatureVector>& X) const;
+  void transform_in_place(Dataset& data) const;
+
+  bool fitted() const { return !mins_.empty(); }
+  std::size_t dims() const { return mins_.size(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& ranges() const { return ranges_; }
+
+  /// Reconstructs a fitted scaler from serialized state.
+  static MinMaxScaler from_state(std::vector<double> mins,
+                                 std::vector<double> ranges);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> ranges_;  // max - min; 0 collapses the dim to 0
+};
+
+}  // namespace leaps::ml

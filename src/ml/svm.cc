@@ -1,0 +1,208 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leaps::ml {
+
+namespace {
+constexpr double kTau = 1e-12;  // curvature floor (LIBSVM's tau)
+constexpr double kAlphaEps = 1e-12;
+}  // namespace
+
+SvmModel::SvmModel(std::vector<FeatureVector> support_vectors,
+                   std::vector<double> coefficients, double bias,
+                   KernelParams kernel)
+    : svs_(std::move(support_vectors)),
+      coef_(std::move(coefficients)),
+      bias_(bias),
+      kernel_(kernel) {
+  LEAPS_CHECK(svs_.size() == coef_.size());
+}
+
+double SvmModel::decision_value(const FeatureVector& x) const {
+  double f = bias_;
+  for (std::size_t i = 0; i < svs_.size(); ++i) {
+    f += coef_[i] * kernel_(svs_[i], x);
+  }
+  return f;
+}
+
+int SvmModel::predict(const FeatureVector& x) const {
+  return decision_value(x) >= 0.0 ? 1 : -1;
+}
+
+SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
+  data.validate();
+  const std::size_t n = data.size();
+  LEAPS_CHECK_MSG(n >= 2, "SVM needs at least two samples");
+
+  // Per-sample box bounds C_i = λ c_i. A zero weight pins α_i = 0.
+  std::vector<double> C(n);
+  bool has_pos = false;
+  bool has_neg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    C[i] = params_.lambda * data.weight[i];
+    if (C[i] > 0.0) {
+      (data.y[i] > 0 ? has_pos : has_neg) = true;
+    }
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument(
+        "SvmTrainer: need positively-weighted samples of both classes");
+  }
+
+  const std::vector<std::vector<double>> K =
+      gram_matrix(data.X, params_.kernel);
+  const std::vector<int>& y = data.y;
+
+  std::vector<double> alpha(n, 0.0);
+  // G_i = Σ_j α_j y_j K_ij (decision value minus bias); all-zero initially.
+  std::vector<double> G(n, 0.0);
+
+  const std::size_t max_iter =
+      params_.max_iterations > 0
+          ? params_.max_iterations
+          : std::max<std::size_t>(100000, 200 * n);
+
+  const auto in_up = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] < C[t]) || (y[t] < 0 && alpha[t] > 0.0);
+  };
+  const auto in_low = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] > 0.0) || (y[t] < 0 && alpha[t] < C[t]);
+  };
+  // Violation score: -y_t ∇f_t = y_t - G_t.
+  const auto viol = [&](std::size_t t) {
+    return static_cast<double>(y[t]) - G[t];
+  };
+
+  std::size_t iter = 0;
+  bool converged = false;
+  double m_final = 0.0;
+  double M_final = 0.0;
+
+  for (; iter < max_iter; ++iter) {
+    // ---- working-set selection (LIBSVM WSS2: second-order on j) --------
+    std::size_t i = n;
+    double m = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (in_up(t) && viol(t) > m) {
+        m = viol(t);
+        i = t;
+      }
+    }
+    double M = std::numeric_limits<double>::infinity();
+    std::size_t j = n;
+    double best_gain = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!in_low(t)) continue;
+      const double vt = viol(t);
+      M = std::min(M, vt);
+      if (i < n && vt < m) {
+        const double b_it = m - vt;  // > 0
+        const double a_it = std::max(K[i][i] + K[t][t] - 2.0 * K[i][t], kTau);
+        const double gain = -(b_it * b_it) / a_it;
+        if (gain < best_gain) {
+          best_gain = gain;
+          j = t;
+        }
+      }
+    }
+    m_final = m;
+    M_final = M;
+    if (i == n || j == n || m - M < params_.epsilon) {
+      converged = (i == n || j == n) ? true : (m - M < params_.epsilon);
+      break;
+    }
+
+    // ---- analytic two-variable update (Platt, per-sample bounds) -------
+    const double eta =
+        std::max(K[i][i] + K[j][j] - 2.0 * K[i][j], kTau);
+    // E_i - E_j = (G_i - y_i) - (G_j - y_j) = -(viol(i) - viol(j)).
+    const double delta = viol(i) - viol(j);  // = m - viol(j) > 0
+    double L;
+    double H;
+    const double ai = alpha[i];
+    const double aj = alpha[j];
+    if (y[i] != y[j]) {
+      L = std::max(0.0, aj - ai);
+      H = std::min(C[j], C[i] + aj - ai);
+    } else {
+      L = std::max(0.0, ai + aj - C[i]);
+      H = std::min(C[j], ai + aj);
+    }
+    // Platt: α_j += y_j (E_i - E_j) / η with E_i - E_j = -delta.
+    double aj_new = aj - static_cast<double>(y[j]) * delta / eta;
+    aj_new = std::clamp(aj_new, L, H);
+    const double s = static_cast<double>(y[i]) * static_cast<double>(y[j]);
+    double ai_new = std::clamp(ai + s * (aj - aj_new), 0.0, C[i]);
+    // Snap to the box so bound membership stays *exact*: a clipped update
+    // must not leave α a few ulps inside the bound, or the working-set
+    // selection keeps proposing a step the arithmetic cannot take and the
+    // solver stalls far from the optimum.
+    const auto snap = [](double a, double upper) {
+      const double tol = 1e-9 * std::max(1.0, upper);
+      if (a < tol) return 0.0;
+      if (a > upper - tol) return upper;
+      return a;
+    };
+    ai_new = snap(ai_new, C[i]);
+    aj_new = snap(aj_new, C[j]);
+
+    const double dai = ai_new - ai;
+    const double daj = aj_new - aj;
+    if (std::abs(dai) < kAlphaEps && std::abs(daj) < kAlphaEps) {
+      // No representable progress on the best pair: stop rather than spin,
+      // and report honestly that the KKT gap was not driven below epsilon.
+      converged = false;
+      break;
+    }
+    alpha[i] = ai_new;
+    alpha[j] = aj_new;
+    for (std::size_t t = 0; t < n; ++t) {
+      G[t] += static_cast<double>(y[i]) * dai * K[i][t] +
+              static_cast<double>(y[j]) * daj * K[j][t];
+    }
+  }
+
+  // ---- bias: average over free support vectors, else midpoint ----------
+  double b = 0.0;
+  std::size_t free_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kAlphaEps && alpha[t] < C[t] - kAlphaEps) {
+      b += viol(t);
+      ++free_count;
+    }
+  }
+  if (free_count > 0) {
+    b /= static_cast<double>(free_count);
+  } else if (std::isfinite(m_final) && std::isfinite(M_final)) {
+    b = (m_final + M_final) / 2.0;
+  }
+
+  // ---- package the model ------------------------------------------------
+  std::vector<FeatureVector> svs;
+  std::vector<double> coef;
+  double objective = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    objective +=
+        alpha[t] * (static_cast<double>(y[t]) * G[t] / 2.0 - 1.0);
+    if (alpha[t] > kAlphaEps) {
+      svs.push_back(data.X[t]);
+      coef.push_back(alpha[t] * static_cast<double>(y[t]));
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->support_vectors = svs.size();
+    stats->converged = converged;
+    stats->objective = objective;
+  }
+  return SvmModel(std::move(svs), std::move(coef), b, params_.kernel);
+}
+
+}  // namespace leaps::ml

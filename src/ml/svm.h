@@ -1,0 +1,86 @@
+// Weighted Support Vector Machine (Section III-D-2, Eqns. 2-5).
+//
+// Solves the dual problem of Eqn. 4,
+//
+//     min_α  -Σ αᵢ + ½ Σᵢⱼ αᵢ αⱼ yᵢ yⱼ k(xᵢ, xⱼ)
+//     s.t.    0 ≤ αᵢ ≤ λ·cᵢ,   Σ αᵢ yᵢ = 0,
+//
+// with Sequential Minimal Optimization: LIBSVM-style maximal-violating-pair
+// working-set selection, analytic two-variable updates with per-sample box
+// bounds Cᵢ = λ·cᵢ, and a precomputed Gram matrix. A sample with cᵢ = 0 is
+// pinned at αᵢ = 0 — CFG-certified-benign points in the mixed set simply
+// cannot become (negative) support vectors, which is the entire LEAPS
+// mechanism. Plain SVM is the cᵢ ≡ 1 special case.
+//
+// The paper's Eqn. 2 omits the bias; we keep the standard C-SVC bias b
+// (LIBSVM, which the authors built on, has it), so the equality constraint
+// above applies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/kernel.h"
+
+namespace leaps::ml {
+
+struct SvmParams {
+  KernelParams kernel;
+  /// λ in Eqn. 2 (the C of C-SVC).
+  double lambda = 10.0;
+  /// KKT violation tolerance for convergence.
+  double epsilon = 1e-3;
+  /// Hard iteration cap; 0 = automatic (max(10⁵, 200·n)).
+  std::size_t max_iterations = 0;
+};
+
+/// A trained classifier: f(x) = Σ αᵢ yᵢ k(svᵢ, x) + b; benign iff f(x) >= 0
+/// (Eqn. 5: x is classified malicious if the prediction is negative).
+class SvmModel {
+ public:
+  SvmModel() = default;
+  SvmModel(std::vector<FeatureVector> support_vectors,
+           std::vector<double> coefficients, double bias,
+           KernelParams kernel);
+
+  double decision_value(const FeatureVector& x) const;
+  /// +1 (benign) or -1 (malicious).
+  int predict(const FeatureVector& x) const;
+
+  std::size_t support_vector_count() const { return svs_.size(); }
+  double bias() const { return bias_; }
+  const KernelParams& kernel() const { return kernel_; }
+  const std::vector<FeatureVector>& support_vectors() const { return svs_; }
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  std::vector<FeatureVector> svs_;
+  std::vector<double> coef_;  // αᵢ yᵢ
+  double bias_ = 0.0;
+  KernelParams kernel_;
+};
+
+struct TrainStats {
+  std::size_t iterations = 0;
+  std::size_t support_vectors = 0;
+  bool converged = false;
+  double objective = 0.0;  // final dual objective value
+};
+
+class SvmTrainer {
+ public:
+  explicit SvmTrainer(SvmParams params) : params_(params) {}
+
+  /// Trains on `data` (labels ±1, weights in [0,1]). Requires at least one
+  /// sample of each class with positive weight. `stats`, when non-null,
+  /// receives solver diagnostics.
+  SvmModel train(const Dataset& data, TrainStats* stats = nullptr) const;
+
+  const SvmParams& params() const { return params_; }
+
+ private:
+  SvmParams params_;
+};
+
+}  // namespace leaps::ml

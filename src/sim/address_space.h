@@ -1,0 +1,47 @@
+// Simulated x64 address-space layout.
+//
+// The geometry matters: LEAPS's weight assessment (Algorithm 2) reasons about
+// where code lives. The layout mirrors 64-bit Windows conventions:
+//  * the application image at the default EXE base,
+//  * shared user-mode libraries high in user space,
+//  * kernel modules in kernel space,
+//  * runtime-injected payloads in ordinary (far) private allocations, and
+//  * offline-infection payload sections appended after the benign image —
+//    near the benign code but strictly beyond it ("typical attacks choose to
+//    allocate extra memory for malicious payloads").
+#pragma once
+
+#include <cstdint>
+
+namespace leaps::sim {
+
+// Application image (EXE default base on 64-bit Windows).
+inline constexpr std::uint64_t kAppImageBase = 0x0000000140000000ULL;
+// Code section starts at this offset within an image.
+inline constexpr std::uint64_t kCodeSectionOffset = 0x1000;
+// Spacing between synthetic function entry points.
+inline constexpr std::uint64_t kFunctionStride = 0x80;
+
+// User-mode shared libraries.
+inline constexpr std::uint64_t kUserLibBase = 0x00007FF800000000ULL;
+inline constexpr std::uint64_t kUserLibStride = 0x0000000001000000ULL;
+inline constexpr std::uint64_t kLibSize = 0x200000;
+inline constexpr std::uint64_t kLibFunctionStride = 0x100;
+
+// Kernel modules.
+inline constexpr std::uint64_t kKernelBase = 0xFFFFF80000000000ULL;
+inline constexpr std::uint64_t kKernelStride = 0x0000000001000000ULL;
+
+// Online injection: VirtualAlloc'd payload region, far from everything.
+inline constexpr std::uint64_t kInjectionBase = 0x0000020000000000ULL;
+
+// Offline infection: gap between the benign image end and the appended
+// payload section (section alignment padding).
+inline constexpr std::uint64_t kInfectionSectionGap = 0x8000;
+
+/// Rounds `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace leaps::sim

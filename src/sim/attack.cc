@@ -1,0 +1,130 @@
+#include "sim/attack.h"
+
+#include "sim/address_space.h"
+#include "util/check.h"
+
+namespace leaps::sim {
+
+std::string_view attack_method_name(AttackMethod m) {
+  switch (m) {
+    case AttackMethod::kOfflineInfection:
+      return "Offline Infection";
+    case AttackMethod::kOnlineInjection:
+      return "Online Injection";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Picks a non-entry benign function that has callees (a plausible place to
+/// splice a call) as the detour site.
+std::size_t pick_detour_site(const Program& app, util::Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto i =
+        1 + static_cast<std::size_t>(rng.next_below(app.functions.size() - 1));
+    if (!app.functions[i].callees.empty()) return i;
+  }
+  return 1;  // degenerate graphs: any non-entry function works
+}
+
+}  // namespace
+
+InfectedProcess make_offline_infection(Program app, const Program& payload,
+                                       util::Rng& rng) {
+  LEAPS_CHECK(!app.functions.empty());
+  InfectedProcess out;
+  out.method = AttackMethod::kOfflineInfection;
+  const std::uint64_t payload_base =
+      app.image_base + align_up(app.image_size, 0x1000) + kInfectionSectionGap;
+  out.payload = relocate(payload, payload_base);
+  out.image_record_size =
+      (payload_base + out.payload.image_size) - app.image_base;
+  out.detour_function = pick_detour_site(app, rng);
+  out.app = std::move(app);
+  return out;
+}
+
+SourceTrojan make_source_trojan(const Program& app, const Program& payload,
+                                util::Rng& rng) {
+  LEAPS_CHECK(!app.functions.empty());
+  LEAPS_CHECK(!payload.functions.empty());
+  SourceTrojan out;
+  const std::size_t na = app.functions.size();
+  const std::size_t np = payload.functions.size();
+
+  // Insert the payload block at a random position after the entry; link
+  // order changes, relative order of benign functions does not.
+  const auto insert_at =
+      1 + static_cast<std::size_t>(rng.next_below(na));
+  const auto remap_app = [insert_at, np](std::size_t i) {
+    return i < insert_at ? i : i + np;
+  };
+  const auto remap_payload = [insert_at](std::size_t j) {
+    return insert_at + j;
+  };
+
+  Program& merged = out.merged;
+  merged.name = app.name;
+  // Compiled with the application's toolchain: framework chains.
+  merged.chain_style = ChainStyle::kFramework;
+  merged.image_base = app.image_base;
+  merged.entry = remap_app(app.entry);
+  merged.functions.resize(na + np);
+  out.is_payload_fn.assign(na + np, false);
+  for (std::size_t i = 0; i < na; ++i) {
+    ProgramFunction f;
+    f.actions = app.functions[i].actions;
+    for (const std::size_t c : app.functions[i].callees) {
+      f.callees.push_back(remap_app(c));
+    }
+    merged.functions[remap_app(i)] = std::move(f);
+  }
+  for (std::size_t j = 0; j < np; ++j) {
+    ProgramFunction f;
+    f.actions = payload.functions[j].actions;
+    for (const std::size_t c : payload.functions[j].callees) {
+      f.callees.push_back(remap_payload(c));
+    }
+    merged.functions[remap_payload(j)] = std::move(f);
+    out.is_payload_fn[remap_payload(j)] = true;
+  }
+  // Fresh contiguous layout: every address shifts relative to the clean
+  // build (this is exactly what breaks exact-address weight assessment).
+  for (std::size_t i = 0; i < merged.functions.size(); ++i) {
+    merged.functions[i].address =
+        merged.image_base + kCodeSectionOffset + i * kFunctionStride;
+  }
+  merged.image_size = align_up(
+      kCodeSectionOffset + merged.functions.size() * kFunctionStride,
+      0x1000);
+
+  out.payload_entry = remap_payload(payload.entry);
+  // Detour site: a benign function with callees (searched in merged space).
+  out.detour_function = merged.entry;
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    const auto i = static_cast<std::size_t>(
+        rng.next_below(merged.functions.size()));
+    if (!out.is_payload_fn[i] && i != merged.entry &&
+        !merged.functions[i].callees.empty()) {
+      out.detour_function = i;
+      break;
+    }
+  }
+  return out;
+}
+
+InfectedProcess make_online_injection(Program app, const Program& payload,
+                                      util::Rng& rng) {
+  LEAPS_CHECK(!app.functions.empty());
+  (void)rng;
+  InfectedProcess out;
+  out.method = AttackMethod::kOnlineInjection;
+  out.payload = relocate(payload, kInjectionBase);
+  out.image_record_size = app.image_size;
+  out.detour_function = 0;  // unused for online injection
+  out.app = std::move(app);
+  return out;
+}
+
+}  // namespace leaps::sim

@@ -1,0 +1,70 @@
+// Attack transforms: turn a benign program + payload spec into an infected
+// process model.
+//
+// Offline infection ("msfencode-style" trojaned binary): the payload is laid
+// out as an appended section just past the benign image — near the benign
+// code but strictly beyond its address range — and one benign function is
+// detoured to the payload entry, after which control returns to the normal
+// flow. The application MODULE record grows to cover the new section, so the
+// stack partitioner attributes payload frames to the application image
+// (they are part of the binary), exactly as on a real trojaned EXE.
+//
+// Online injection ("payload_inject-style"): the payload lives in a far
+// private allocation with no image record; its frames resolve to no module
+// and a remote thread runs it concurrently with the benign code.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/program.h"
+
+namespace leaps::sim {
+
+enum class AttackMethod : std::uint8_t {
+  kOfflineInfection = 0,
+  kOnlineInjection,
+};
+
+std::string_view attack_method_name(AttackMethod m);
+
+struct InfectedProcess {
+  Program app;
+  Program payload;  // relocated to its attack-dependent base
+  AttackMethod method = AttackMethod::kOfflineInfection;
+  /// Offline only: index of the benign function detoured to the payload.
+  std::size_t detour_function = 0;
+  /// Size to record for the application image (covers the payload section
+  /// for offline infection; the original size for online injection).
+  std::uint64_t image_record_size = 0;
+};
+
+/// `payload` is the payload program as built/compiled (any base); the
+/// transform relocates it to its attack-dependent address.
+InfectedProcess make_offline_infection(Program app, const Program& payload,
+                                       util::Rng& rng);
+
+InfectedProcess make_online_injection(Program app, const Program& payload,
+                                      util::Rng& rng);
+
+/// Source-level trojan (the paper's Section VI-A threat): the adversary
+/// adds the payload's *source* to the application's code base and
+/// recompiles. The payload functions are laid out as a block inside the
+/// application image, every address shifts, and — unlike the binary
+/// attacks — the payload is compiled with the application's toolchain, so
+/// it inherits the framework chain style. Detecting this requires CFG
+/// alignment (cfg/alignment.h) rather than exact address comparison.
+struct SourceTrojan {
+  /// The recompiled trojaned application (one contiguous image).
+  Program merged;
+  /// Ground truth: merged.functions[i] came from the payload.
+  std::vector<bool> is_payload_fn;
+  /// Index of the payload's entry inside `merged`.
+  std::size_t payload_entry = 0;
+  /// Benign function detoured to the payload entry.
+  std::size_t detour_function = 0;
+};
+
+SourceTrojan make_source_trojan(const Program& app, const Program& payload,
+                                util::Rng& rng);
+
+}  // namespace leaps::sim

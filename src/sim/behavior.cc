@@ -1,0 +1,476 @@
+#include "sim/behavior.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace leaps::sim {
+
+using trace::EventType;
+
+std::string_view action_kind_name(ActionKind k) {
+  static constexpr std::array<std::string_view, kActionKindCount> kNames = {
+      "FileOpen",    "FileRead",     "FileWrite",  "RegRead",
+      "RegWrite",    "TcpConnect",   "TcpSend",    "TcpRecv",
+      "HttpOpen",    "HttpRequest",  "TlsHandshake", "CryptoOp",
+      "UiGetMessage", "UiDialog",    "UiPaint",    "KeyLog",
+      "MemAlloc",    "MemProtect",   "ThreadCreate", "ProcessCreate",
+      "ProcSnapshot", "ImageLoad",   "TokenQuery", "DnsResolve",
+  };
+  const auto i = static_cast<std::size_t>(k);
+  LEAPS_CHECK(i < kNames.size());
+  return kNames[i];
+}
+
+namespace {
+
+std::vector<std::vector<ActionVariant>> build_variant_table() {
+  std::vector<std::vector<ActionVariant>> t(kActionKindCount);
+  auto set = [&t](ActionKind k, std::vector<ActionVariant> vs) {
+    t[static_cast<std::size_t>(k)] = std::move(vs);
+  };
+
+  set(ActionKind::kFileOpen,
+      {{EventType::kFileCreate,
+        {{"ntfs.sys", "NtfsFsdCreate"},
+         {"fltmgr.sys", "FltpCreate"},
+         {"ntoskrnl.exe", "IopParseDevice"},
+         {"ntoskrnl.exe", "ObOpenObjectByName"},
+         {"ntoskrnl.exe", "NtCreateFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtCreateFile"},
+         {"kernelbase.dll", "CreateFileW"},
+         {"kernel32.dll", "CreateFileW"}}},
+       {EventType::kFileCreate,
+        {{"ntfs.sys", "NtfsFsdCreate"},
+         {"fltmgr.sys", "FltpCreate"},
+         {"ntoskrnl.exe", "IopParseDevice"},
+         {"ntoskrnl.exe", "NtCreateFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtCreateFile"},
+         {"kernelbase.dll", "CreateFileW"},
+         {"msvcrt.dll", "fopen"}}}});
+
+  set(ActionKind::kFileRead,
+      {{EventType::kFileRead,
+        {{"ntfs.sys", "NtfsFsdRead"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "IopSynchronousServiceTail"},
+         {"ntoskrnl.exe", "NtReadFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtReadFile"},
+         {"kernelbase.dll", "ReadFile"},
+         {"kernel32.dll", "ReadFile"}}},
+       {EventType::kFileRead,
+        {{"ntfs.sys", "NtfsFsdRead"},
+         {"ntfs.sys", "NtfsCommonRead"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "NtReadFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtReadFile"},
+         {"kernelbase.dll", "ReadFile"},
+         {"msvcrt.dll", "fread"}}},
+       {EventType::kFileRead,
+        {{"ntoskrnl.exe", "CcCopyRead"},
+         {"ntoskrnl.exe", "NtReadFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtReadFile"},
+         {"kernelbase.dll", "ReadFile"},
+         {"kernel32.dll", "ReadFile"}}},
+       // Direct NtReadFile from shellcode: no Win32 façade frames.
+       {EventType::kFileRead,
+        {{"ntfs.sys", "NtfsCommonRead"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "NtReadFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtReadFile"}},
+        ChainStyle::kDirect}});
+
+  set(ActionKind::kFileWrite,
+      {{EventType::kFileWrite,
+        {{"ntfs.sys", "NtfsFsdWrite"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "NtWriteFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtWriteFile"},
+         {"kernelbase.dll", "WriteFile"},
+         {"kernel32.dll", "WriteFile"}}},
+       {EventType::kFileWrite,
+        {{"ntfs.sys", "NtfsFsdWrite"},
+         {"ntfs.sys", "NtfsCommonWrite"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "NtWriteFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtWriteFile"},
+         {"kernelbase.dll", "WriteFile"},
+         {"msvcrt.dll", "fwrite"}}},
+       {EventType::kFileWrite,
+        {{"ntfs.sys", "NtfsCommonWrite"},
+         {"ntoskrnl.exe", "IofCallDriver"},
+         {"ntoskrnl.exe", "NtWriteFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtWriteFile"}},
+        ChainStyle::kDirect}});
+
+  set(ActionKind::kRegRead,
+      {{EventType::kRegistryRead,
+        {{"ntoskrnl.exe", "CmQueryValueKey"},
+         {"ntoskrnl.exe", "NtQueryValueKey"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtQueryValueKey"},
+         {"advapi32.dll", "RegQueryValueExW"}}},
+       {EventType::kRegistryRead,
+        {{"ntoskrnl.exe", "CmQueryValueKey"},
+         {"ntoskrnl.exe", "NtQueryValueKey"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtQueryValueKey"},
+         {"advapi32.dll", "RegOpenKeyExW"},
+         {"advapi32.dll", "RegQueryValueExW"}}}});
+
+  set(ActionKind::kRegWrite,
+      {{EventType::kRegistryWrite,
+        {{"ntoskrnl.exe", "CmSetValueKey"},
+         {"ntoskrnl.exe", "NtSetValueKey"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtSetValueKey"},
+         {"advapi32.dll", "RegSetValueExW"}}}});
+
+  set(ActionKind::kTcpConnect,
+      {{EventType::kNetworkConnect,
+        {{"tcpip.sys", "TcpCreateAndConnectTcb"},
+         {"tcpip.sys", "TcpConnect"},
+         {"afd.sys", "AfdConnect"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPConnect"},
+         {"ws2_32.dll", "connect"}},
+        ChainStyle::kFramework},
+       // Position-independent code calls the socket API directly; no
+       // Winsock service-provider frames.
+       {EventType::kNetworkConnect,
+        {{"tcpip.sys", "TcpConnect"},
+         {"afd.sys", "AfdDispatchDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"ws2_32.dll", "connect"}},
+        ChainStyle::kDirect}});
+
+  set(ActionKind::kTcpSend,
+      {{EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdSend"},
+         {"afd.sys", "AfdFastIoDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPSend"},
+         {"ws2_32.dll", "send"}}},
+       {EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdFastIoDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPSend"},
+         {"ws2_32.dll", "WSASend"}}},
+       {EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdDispatchDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"ws2_32.dll", "send"}},
+        ChainStyle::kDirect}});
+
+  set(ActionKind::kTcpRecv,
+      {{EventType::kNetworkRecv,
+        {{"tcpip.sys", "TcpReceive"},
+         {"afd.sys", "AfdReceive"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPRecv"},
+         {"ws2_32.dll", "recv"}}},
+       {EventType::kNetworkRecv,
+        {{"tcpip.sys", "TcpReceive"},
+         {"afd.sys", "AfdReceive"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPRecv"},
+         {"ws2_32.dll", "WSARecv"},
+         {"ws2_32.dll", "select"}}},
+       {EventType::kNetworkRecv,
+        {{"tcpip.sys", "TcpReceive"},
+         {"afd.sys", "AfdDispatchDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"ws2_32.dll", "recv"}},
+        ChainStyle::kDirect}});
+
+  set(ActionKind::kHttpOpen,
+      {{EventType::kNetworkConnect,
+        {{"tcpip.sys", "TcpConnect"},
+         {"afd.sys", "AfdConnect"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPConnect"},
+         {"ws2_32.dll", "connect"},
+         {"wininet.dll", "InternetConnectW"},
+         {"wininet.dll", "InternetOpenW"}}}});
+
+  set(ActionKind::kHttpRequest,
+      {{EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdSend"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPSend"},
+         {"ws2_32.dll", "send"},
+         {"wininet.dll", "HttpSendRequestW"},
+         {"wininet.dll", "HttpOpenRequestW"}}},
+       {EventType::kNetworkRecv,
+        {{"tcpip.sys", "TcpReceive"},
+         {"afd.sys", "AfdReceive"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPRecv"},
+         {"ws2_32.dll", "recv"},
+         {"wininet.dll", "InternetReadFile"}}}});
+
+  set(ActionKind::kTlsHandshake,
+      {{EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdSend"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPSend"},
+         {"ws2_32.dll", "send"},
+         {"secur32.dll", "InitializeSecurityContextW"},
+         {"wininet.dll", "HttpSendRequestW"}}},
+       {EventType::kNetworkSend,
+        {{"tcpip.sys", "TcpSendData"},
+         {"afd.sys", "AfdSend"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"mswsock.dll", "WSPSend"},
+         {"ws2_32.dll", "send"},
+         {"secur32.dll", "EncryptMessage"},
+         {"secur32.dll", "InitializeSecurityContextW"}}}});
+
+  set(ActionKind::kCryptoOp,
+      {{EventType::kSysCallEnter,
+        {{"cng.sys", "CngEncrypt"},
+         {"cng.sys", "CngDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"bcrypt.dll", "BCryptEncrypt"}}},
+       {EventType::kSysCallEnter,
+        {{"cng.sys", "CngEncrypt"},
+         {"cng.sys", "CngDeviceControl"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"bcrypt.dll", "BCryptHashData"},
+         {"crypt32.dll", "CryptProtectData"}}}});
+
+  set(ActionKind::kUiGetMessage,
+      {{EventType::kUiMessage,
+        {{"win32k.sys", "xxxRealInternalGetMessage"},
+         {"win32k.sys", "NtUserGetMessage"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"user32.dll", "NtUserGetMessage"},
+         {"user32.dll", "GetMessageW"}}},
+       {EventType::kUiMessage,
+        {{"win32k.sys", "xxxRealInternalGetMessage"},
+         {"win32k.sys", "NtUserPeekMessage"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"user32.dll", "NtUserPeekMessage"},
+         {"user32.dll", "PeekMessageW"}}}});
+
+  set(ActionKind::kUiDialog,
+      {{EventType::kUiMessage,
+        {{"win32k.sys", "NtUserCreateWindowEx"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"user32.dll", "NtUserCreateWindowEx"},
+         {"user32.dll", "CreateWindowExW"},
+         {"user32.dll", "DialogBoxParamW"}}},
+       {EventType::kUiMessage,
+        {{"win32k.sys", "NtUserCreateWindowEx"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"user32.dll", "NtUserCreateWindowEx"},
+         {"user32.dll", "CreateWindowExW"},
+         {"comctl32.dll", "PropertySheetW"}}}});
+
+  set(ActionKind::kUiPaint,
+      {{EventType::kUiMessage,
+        {{"win32k.sys", "NtGdiBitBlt"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"gdi32.dll", "NtGdiBitBlt"},
+         {"gdi32.dll", "BitBlt"}}},
+       {EventType::kUiMessage,
+        {{"win32k.sys", "NtGdiExtTextOutW"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"gdi32.dll", "NtGdiExtTextOutW"},
+         {"gdi32.dll", "TextOutW"}}}});
+
+  set(ActionKind::kKeyLog,
+      {{EventType::kUiMessage,
+        {{"win32k.sys", "NtUserGetAsyncKeyState"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"user32.dll", "NtUserGetAsyncKeyState"},
+         {"user32.dll", "GetAsyncKeyState"}}}});
+
+  set(ActionKind::kMemAlloc,
+      {{EventType::kMemAlloc,
+        {{"ntoskrnl.exe", "MiAllocateVad"},
+         {"ntoskrnl.exe", "NtAllocateVirtualMemory"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtAllocateVirtualMemory"},
+         {"kernelbase.dll", "VirtualAlloc"}}},
+       {EventType::kMemAlloc,
+        {{"ntoskrnl.exe", "MiAllocateVad"},
+         {"ntoskrnl.exe", "NtAllocateVirtualMemory"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtAllocateVirtualMemory"},
+         {"ntdll.dll", "RtlpAllocateHeapInternal"},
+         {"ntdll.dll", "RtlAllocateHeap"},
+         {"msvcrt.dll", "malloc"}}}});
+
+  set(ActionKind::kMemProtect,
+      {{EventType::kMemProtect,
+        {{"ntoskrnl.exe", "MiProtectVirtualMemory"},
+         {"ntoskrnl.exe", "NtProtectVirtualMemory"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtProtectVirtualMemory"},
+         {"kernelbase.dll", "VirtualProtect"}}}});
+
+  set(ActionKind::kThreadCreate,
+      {{EventType::kThreadCreate,
+        {{"ntoskrnl.exe", "PspCreateThread"},
+         {"ntoskrnl.exe", "NtCreateThreadEx"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtCreateThreadEx"},
+         {"kernelbase.dll", "CreateThread"},
+         {"kernel32.dll", "CreateThread"}}}});
+
+  set(ActionKind::kProcessCreate,
+      {{EventType::kProcessCreate,
+        {{"ntoskrnl.exe", "PspInsertProcess"},
+         {"ntoskrnl.exe", "NtCreateUserProcess"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtCreateUserProcess"},
+         {"kernelbase.dll", "CreateProcessW"},
+         {"kernel32.dll", "CreateProcessW"}}}});
+
+  set(ActionKind::kProcSnapshot,
+      {{EventType::kSysCallEnter,
+        {{"ntoskrnl.exe", "ExpQuerySystemInformation"},
+         {"ntoskrnl.exe", "NtQuerySystemInformation"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtQuerySystemInformation"},
+         {"kernel32.dll", "CreateToolhelp32Snapshot"}}}});
+
+  set(ActionKind::kImageLoad,
+      {{EventType::kImageLoad,
+        {{"ntoskrnl.exe", "MmMapViewOfSection"},
+         {"ntoskrnl.exe", "NtMapViewOfSection"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtMapViewOfSection"},
+         {"ntdll.dll", "LdrLoadDll"},
+         {"kernelbase.dll", "LoadLibraryW"}}},
+       {EventType::kImageLoad,
+        {{"ntoskrnl.exe", "MmMapViewOfSection"},
+         {"ntoskrnl.exe", "NtMapViewOfSection"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtMapViewOfSection"},
+         {"ntdll.dll", "LdrLoadDll"},
+         {"kernel32.dll", "LoadLibraryW"},
+         {"kernel32.dll", "GetProcAddress"}}}});
+
+  set(ActionKind::kTokenQuery,
+      {{EventType::kSysCallEnter,
+        {{"ntoskrnl.exe", "SeQueryInformationToken"},
+         {"ntoskrnl.exe", "NtQueryInformationToken"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtQueryInformationToken"},
+         {"advapi32.dll", "GetTokenInformation"},
+         {"advapi32.dll", "OpenProcessToken"}}}});
+
+  set(ActionKind::kDnsResolve,
+      {{EventType::kNetworkSend,
+        {{"tcpip.sys", "UdpSendMessages"},
+         {"afd.sys", "AfdSend"},
+         {"ntoskrnl.exe", "NtDeviceIoControlFile"},
+         {"ntoskrnl.exe", "KiSystemServiceCopyEnd"},
+         {"ntdll.dll", "NtDeviceIoControlFile"},
+         {"ws2_32.dll", "getaddrinfo"},
+         {"dnsapi.dll", "DnsQuery_W"}}}});
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    LEAPS_CHECK_MSG(!t[i].empty(), "action kind has no variants");
+  }
+  return t;
+}
+
+const std::vector<std::vector<ActionVariant>>& variant_table() {
+  static const auto table = build_variant_table();
+  return table;
+}
+
+}  // namespace
+
+const std::vector<ActionVariant>& action_variants(ActionKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  LEAPS_CHECK(i < kActionKindCount);
+  return variant_table()[i];
+}
+
+BehaviorTable::BehaviorTable(const LibraryRegistry& registry) {
+  resolved_.resize(kActionKindCount);
+  by_style_framework_.resize(kActionKindCount);
+  by_style_direct_.resize(kActionKindCount);
+  for (std::size_t i = 0; i < kActionKindCount; ++i) {
+    for (const ActionVariant& v :
+         action_variants(static_cast<ActionKind>(i))) {
+      ResolvedVariant rv;
+      rv.event_type = v.event_type;
+      rv.style = v.style;
+      rv.frame_addresses.reserve(v.frames.size());
+      for (const SystemFrameSpec& f : v.frames) {
+        rv.frame_addresses.push_back(registry.address_of(f.lib, f.func));
+      }
+      (v.style == ChainStyle::kDirect ? by_style_direct_
+                                      : by_style_framework_)[i]
+          .push_back(rv);
+      resolved_[i].push_back(std::move(rv));
+    }
+  }
+}
+
+const std::vector<ResolvedVariant>& BehaviorTable::variants(
+    ActionKind k) const {
+  const auto i = static_cast<std::size_t>(k);
+  LEAPS_CHECK(i < resolved_.size());
+  return resolved_[i];
+}
+
+const std::vector<ResolvedVariant>& BehaviorTable::variants(
+    ActionKind k, ChainStyle style) const {
+  const auto i = static_cast<std::size_t>(k);
+  LEAPS_CHECK(i < resolved_.size());
+  const auto& view = style == ChainStyle::kDirect ? by_style_direct_[i]
+                                                  : by_style_framework_[i];
+  return view.empty() ? resolved_[i] : view;
+}
+
+}  // namespace leaps::sim

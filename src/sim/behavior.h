@@ -1,0 +1,114 @@
+// System-interaction behavior model.
+//
+// An Action is one class of application↔system interaction (read a file,
+// send on a TCP socket, pump a UI message, …). Each action has one or more
+// stack-walk *variants*: the chain of system frames, innermost (deepest
+// kernel frame) first, that the tracer observes when the action fires, plus
+// the system event type the logger records for it. Multiple variants per
+// action give the hierarchical-clustering stage realistic diversity: the
+// same behavior reaches the kernel through slightly different library
+// chains (e.g. fread → ReadFile vs. ReadFile directly).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/library.h"
+#include "trace/event.h"
+
+namespace leaps::sim {
+
+enum class ActionKind : std::uint8_t {
+  kFileOpen = 0,
+  kFileRead,
+  kFileWrite,
+  kRegRead,
+  kRegWrite,
+  kTcpConnect,
+  kTcpSend,
+  kTcpRecv,
+  kHttpOpen,
+  kHttpRequest,
+  kTlsHandshake,
+  kCryptoOp,
+  kUiGetMessage,
+  kUiDialog,
+  kUiPaint,
+  kKeyLog,
+  kMemAlloc,
+  kMemProtect,
+  kThreadCreate,
+  kProcessCreate,
+  kProcSnapshot,
+  kImageLoad,
+  kTokenQuery,
+  kDnsResolve,
+  kCount,  // sentinel
+};
+
+constexpr std::size_t kActionKindCount =
+    static_cast<std::size_t>(ActionKind::kCount);
+
+std::string_view action_kind_name(ActionKind k);
+
+/// One system frame in a variant: library name + exported function name.
+struct SystemFrameSpec {
+  std::string_view lib;
+  std::string_view func;
+};
+
+/// How code reaches the system service. Applications go through framework
+/// wrappers (Winsock service providers, the CRT, kernel32 façades);
+/// position-independent payload code links nothing and calls the thinnest
+/// API surface directly. This is the system-level behavioral contrast the
+/// paper's features rely on ("the system-level behavior of anomalous
+/// execution ... is different from the system-level behavior of benign
+/// code").
+enum class ChainStyle : std::uint8_t {
+  kFramework = 0,
+  kDirect,
+};
+
+/// One way an action can appear in a stack walk.
+struct ActionVariant {
+  trace::EventType event_type;
+  /// System frames, innermost first (deepest kernel frame → outermost
+  /// user-mode API wrapper).
+  std::vector<SystemFrameSpec> frames;
+  ChainStyle style = ChainStyle::kFramework;
+};
+
+/// The variant table for an action kind. At least one variant per kind.
+const std::vector<ActionVariant>& action_variants(ActionKind k);
+
+/// A variant with frame addresses resolved against a library registry —
+/// what the executor actually splices into raw stack walks.
+struct ResolvedVariant {
+  trace::EventType event_type;
+  std::vector<std::uint64_t> frame_addresses;  // innermost first
+  ChainStyle style = ChainStyle::kFramework;
+};
+
+/// Resolves every variant of every action once up front.
+class BehaviorTable {
+ public:
+  explicit BehaviorTable(const LibraryRegistry& registry);
+
+  /// All variants of an action.
+  const std::vector<ResolvedVariant>& variants(ActionKind k) const;
+
+  /// Variants matching the given chain style; falls back to all variants
+  /// when the action has none of that style (most actions have only a
+  /// framework form).
+  const std::vector<ResolvedVariant>& variants(ActionKind k,
+                                               ChainStyle style) const;
+
+ private:
+  std::vector<std::vector<ResolvedVariant>> resolved_;
+  // Per-kind, per-style views (copies; small and built once).
+  std::vector<std::vector<ResolvedVariant>> by_style_framework_;
+  std::vector<std::vector<ResolvedVariant>> by_style_direct_;
+};
+
+}  // namespace leaps::sim

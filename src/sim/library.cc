@@ -1,0 +1,152 @@
+#include "sim/library.h"
+
+#include <stdexcept>
+
+#include "sim/address_space.h"
+#include "util/check.h"
+
+namespace leaps::sim {
+
+std::uint64_t SystemLibrary::function_address(std::size_t index) const {
+  LEAPS_CHECK_MSG(index < functions.size(), "function index out of range");
+  return base + kCodeSectionOffset + index * kLibFunctionStride;
+}
+
+void LibraryRegistry::add(SystemLibrary lib) {
+  const std::size_t slot = libs_.size();
+  const std::uint64_t space = lib.is_kernel ? kKernelBase : kUserLibBase;
+  const std::uint64_t stride = lib.is_kernel ? kKernelStride : kUserLibStride;
+  // Kernel and user libraries are numbered within their own spaces so that
+  // the ranges never collide.
+  std::size_t rank = 0;
+  for (const SystemLibrary& existing : libs_) {
+    if (existing.is_kernel == lib.is_kernel) ++rank;
+  }
+  lib.base = space + rank * stride;
+  lib.size = kLibSize;
+  LEAPS_CHECK_MSG(kCodeSectionOffset +
+                          lib.functions.size() * kLibFunctionStride <=
+                      lib.size,
+                  "too many functions in " + lib.name);
+  for (std::size_t i = 0; i < lib.functions.size(); ++i) {
+    addr_index_.emplace(lib.name + "!" + lib.functions[i],
+                        lib.base + kCodeSectionOffset +
+                            i * kLibFunctionStride);
+  }
+  libs_.push_back(std::move(lib));
+  (void)slot;
+}
+
+std::uint64_t LibraryRegistry::address_of(std::string_view lib,
+                                          std::string_view func) const {
+  const std::string key = std::string(lib) + "!" + std::string(func);
+  auto it = addr_index_.find(key);
+  if (it == addr_index_.end()) {
+    throw std::logic_error("LibraryRegistry: unknown function " + key);
+  }
+  return it->second;
+}
+
+void LibraryRegistry::append_records(trace::RawLog& log) const {
+  for (const SystemLibrary& lib : libs_) {
+    log.modules.push_back({lib.base, lib.size, lib.name});
+    for (std::size_t i = 0; i < lib.functions.size(); ++i) {
+      log.symbols.push_back({lib.function_address(i), lib.functions[i]});
+    }
+  }
+}
+
+LibraryRegistry LibraryRegistry::standard() {
+  LibraryRegistry r;
+  // --- user-mode shared libraries -------------------------------------
+  r.add({"ntdll.dll", 0, 0, false,
+         {"NtReadFile", "NtWriteFile", "NtCreateFile", "NtOpenKey",
+          "NtQueryValueKey", "NtSetValueKey", "NtDeviceIoControlFile",
+          "NtAllocateVirtualMemory", "NtProtectVirtualMemory",
+          "NtCreateThreadEx", "NtMapViewOfSection", "NtQueryInformationToken",
+          "NtQuerySystemInformation", "NtCreateUserProcess", "NtUserGetMessage",
+          "NtUserGetAsyncKeyState", "RtlAllocateHeap",
+          "RtlpAllocateHeapInternal", "LdrLoadDll", "RtlUserThreadStart",
+          "NtClose", "NtWaitForSingleObject", "NtDelayExecution"}});
+  r.add({"kernel32.dll", 0, 0, false,
+         {"ReadFile", "WriteFile", "CreateFileW", "CreateThread",
+          "CreateProcessW", "CreateToolhelp32Snapshot", "LoadLibraryW",
+          "GetProcAddress", "BaseThreadInitThunk", "WriteProcessMemory",
+          "VirtualAllocEx", "CreateRemoteThread", "Sleep",
+          "WaitForSingleObject"}});
+  r.add({"kernelbase.dll", 0, 0, false,
+         {"ReadFile", "WriteFile", "CreateFileW", "CreateThread",
+          "CreateProcessW", "VirtualAlloc", "VirtualProtect", "LoadLibraryW",
+          "Sleep", "CloseHandle"}});
+  r.add({"user32.dll", 0, 0, false,
+         {"GetMessageW", "PeekMessageW", "DispatchMessageW", "CreateWindowExW",
+          "DialogBoxParamW", "GetAsyncKeyState", "NtUserGetMessage",
+          "NtUserPeekMessage", "NtUserGetAsyncKeyState",
+          "NtUserCreateWindowEx", "SendMessageW", "TranslateMessage"}});
+  r.add({"gdi32.dll", 0, 0, false,
+         {"BitBlt", "NtGdiBitBlt", "TextOutW", "NtGdiExtTextOutW",
+          "SelectObject"}});
+  r.add({"advapi32.dll", 0, 0, false,
+         {"RegOpenKeyExW", "RegQueryValueExW", "RegSetValueExW",
+          "RegCloseKey", "GetTokenInformation", "OpenProcessToken",
+          "CryptAcquireContextW"}});
+  r.add({"ws2_32.dll", 0, 0, false,
+         {"socket", "connect", "send", "recv", "WSAStartup", "WSASend",
+          "WSARecv", "closesocket", "getaddrinfo", "select"}});
+  r.add({"mswsock.dll", 0, 0, false,
+         {"WSPConnect", "WSPSend", "WSPRecv", "WSPSocket", "WSPCloseSocket"}});
+  r.add({"wininet.dll", 0, 0, false,
+         {"InternetOpenW", "InternetConnectW", "InternetOpenUrlW",
+          "HttpOpenRequestW", "HttpSendRequestW", "InternetReadFile",
+          "InternetCloseHandle"}});
+  r.add({"secur32.dll", 0, 0, false,
+         {"InitializeSecurityContextW", "AcquireCredentialsHandleW",
+          "EncryptMessage", "DecryptMessage"}});
+  r.add({"crypt32.dll", 0, 0, false,
+         {"CryptProtectData", "CryptUnprotectData", "CertOpenStore",
+          "CertFindCertificateInStore"}});
+  r.add({"bcrypt.dll", 0, 0, false,
+         {"BCryptEncrypt", "BCryptDecrypt", "BCryptGenRandom",
+          "BCryptOpenAlgorithmProvider", "BCryptHashData"}});
+  r.add({"msvcrt.dll", 0, 0, false,
+         {"fread", "fwrite", "fopen", "malloc", "free", "memcpy", "strlen"}});
+  r.add({"dnsapi.dll", 0, 0, false, {"DnsQuery_W", "DnsFree"}});
+  r.add({"shell32.dll", 0, 0, false,
+         {"ShellExecuteW", "SHGetFolderPathW", "SHGetFileInfoW"}});
+  r.add({"comctl32.dll", 0, 0, false,
+         {"PropertySheetW", "CreatePropertySheetPageW", "InitCommonControlsEx"}});
+  // --- kernel modules ---------------------------------------------------
+  r.add({"ntoskrnl.exe", 0, 0, true,
+         {"KiSystemServiceCopyEnd", "NtReadFile", "NtWriteFile",
+          "NtCreateFile", "NtOpenKey", "NtQueryValueKey", "NtSetValueKey",
+          "NtDeviceIoControlFile", "NtAllocateVirtualMemory",
+          "NtProtectVirtualMemory", "NtCreateThreadEx", "NtMapViewOfSection",
+          "NtQueryInformationToken", "NtQuerySystemInformation",
+          "NtCreateUserProcess", "IofCallDriver", "IopSynchronousServiceTail",
+          "IopParseDevice", "ObOpenObjectByName", "CcCopyRead",
+          "CmQueryValueKey", "CmSetValueKey", "MiAllocateVad",
+          "MiProtectVirtualMemory", "MmMapViewOfSection", "PspCreateThread",
+          "PspInsertProcess", "SeQueryInformationToken",
+          "ExpQuerySystemInformation", "ObCloseHandle",
+          "KeWaitForSingleObject", "KeDelayExecutionThread"}});
+  r.add({"win32k.sys", 0, 0, true,
+         {"NtUserGetMessage", "NtUserPeekMessage", "NtUserGetAsyncKeyState",
+          "NtUserCreateWindowEx", "NtGdiBitBlt", "NtGdiExtTextOutW",
+          "xxxRealInternalGetMessage"}});
+  r.add({"ntfs.sys", 0, 0, true,
+         {"NtfsFsdRead", "NtfsFsdWrite", "NtfsFsdCreate", "NtfsCommonRead",
+          "NtfsCommonWrite"}});
+  r.add({"tcpip.sys", 0, 0, true,
+         {"TcpConnect", "TcpSendData", "TcpReceive", "TcpCreateAndConnectTcb",
+          "UdpSendMessages"}});
+  r.add({"afd.sys", 0, 0, true,
+         {"AfdConnect", "AfdSend", "AfdReceive", "AfdFastIoDeviceControl",
+          "AfdDispatchDeviceControl"}});
+  r.add({"fltmgr.sys", 0, 0, true,
+         {"FltpCreate", "FltpDispatch", "FltpPerformPreCallbacks"}});
+  r.add({"cng.sys", 0, 0, true,
+         {"CngEncrypt", "CngDecrypt", "CngDeviceControl"}});
+  return r;
+}
+
+}  // namespace leaps::sim

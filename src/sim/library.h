@@ -1,0 +1,53 @@
+// Registry of modeled system libraries and kernel modules.
+//
+// Each library exports a fixed set of functions at deterministic addresses.
+// The registry provides the MODULE/SYMBOL records for raw logs (system
+// modules ship symbols; the application image does not) and address lookup
+// for the executor when it fabricates stack walks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/raw_log.h"
+
+namespace leaps::sim {
+
+struct SystemLibrary {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  bool is_kernel = false;
+  std::vector<std::string> functions;  // entry i at base + offset(i)
+
+  std::uint64_t function_address(std::size_t index) const;
+};
+
+class LibraryRegistry {
+ public:
+  /// Builds the standard registry: ntdll, kernel32, kernelbase, user32,
+  /// gdi32, advapi32, ws2_32, mswsock, wininet, secur32, crypt32, bcrypt,
+  /// msvcrt, dnsapi, shell32, comctl32 + kernel modules (ntoskrnl, win32k,
+  /// ntfs, tcpip, afd, fltmgr, cng).
+  static LibraryRegistry standard();
+
+  /// Resolves a library!function pair to its synthetic address.
+  /// Throws std::logic_error if the pair is not registered (a table bug).
+  std::uint64_t address_of(std::string_view lib, std::string_view func) const;
+
+  const std::vector<SystemLibrary>& libraries() const { return libs_; }
+
+  /// MODULE + SYMBOL records for every system library (for raw-log headers).
+  void append_records(trace::RawLog& log) const;
+
+ private:
+  void add(SystemLibrary lib);
+
+  std::vector<SystemLibrary> libs_;
+  std::unordered_map<std::string, std::uint64_t> addr_index_;  // "lib!func"
+};
+
+}  // namespace leaps::sim

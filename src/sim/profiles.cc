@@ -1,0 +1,116 @@
+#include "sim/profiles.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace leaps::sim {
+
+namespace {
+using K = ActionKind;
+}  // namespace
+
+ProgramSpec app_spec(std::string_view app_name) {
+  ProgramSpec s;
+  if (app_name == "winscp") {
+    s.name = "winscp.exe";
+    s.function_count = 120;
+    s.branching = 2.3;
+    s.mix = {{K::kFileRead, 0.16},   {K::kFileWrite, 0.14},
+             {K::kFileOpen, 0.08},   {K::kTcpSend, 0.14},
+             {K::kTcpRecv, 0.14},    {K::kTcpConnect, 0.03},
+             {K::kUiGetMessage, 0.10}, {K::kUiPaint, 0.05},
+             {K::kRegRead, 0.07},    {K::kMemAlloc, 0.05},
+             {K::kCryptoOp, 0.04}};
+  } else if (app_name == "chrome") {
+    s.name = "chrome.exe";
+    s.function_count = 200;
+    s.branching = 2.8;
+    s.mix = {{K::kTcpConnect, 0.05}, {K::kTcpSend, 0.14},
+             {K::kTcpRecv, 0.18},    {K::kDnsResolve, 0.04},
+             {K::kUiPaint, 0.14},    {K::kUiGetMessage, 0.10},
+             {K::kFileRead, 0.08},   {K::kFileWrite, 0.05},
+             {K::kMemAlloc, 0.09},   {K::kImageLoad, 0.03},
+             {K::kThreadCreate, 0.03}, {K::kCryptoOp, 0.05},
+             {K::kRegRead, 0.02}};
+  } else if (app_name == "notepad++") {
+    s.name = "notepad++.exe";
+    s.function_count = 100;
+    s.branching = 2.1;
+    s.mix = {{K::kFileRead, 0.20},  {K::kFileWrite, 0.15},
+             {K::kFileOpen, 0.10},  {K::kUiGetMessage, 0.20},
+             {K::kUiPaint, 0.15},   {K::kRegRead, 0.09},
+             {K::kMemAlloc, 0.06},  {K::kImageLoad, 0.03},
+             {K::kUiDialog, 0.02}};
+  } else if (app_name == "putty") {
+    s.name = "putty.exe";
+    s.function_count = 90;
+    s.branching = 2.2;
+    s.mix = {{K::kTcpConnect, 0.04}, {K::kTcpSend, 0.20},
+             {K::kTcpRecv, 0.24},    {K::kUiGetMessage, 0.14},
+             {K::kUiPaint, 0.09},    {K::kFileRead, 0.04},
+             {K::kRegRead, 0.09},    {K::kRegWrite, 0.02},
+             {K::kMemAlloc, 0.05},   {K::kCryptoOp, 0.09}};
+  } else if (app_name == "vim") {
+    s.name = "vim.exe";
+    s.function_count = 110;
+    s.branching = 2.0;
+    s.mix = {{K::kFileRead, 0.26},  {K::kFileWrite, 0.20},
+             {K::kFileOpen, 0.10},  {K::kUiGetMessage, 0.12},
+             {K::kUiPaint, 0.08},   {K::kRegRead, 0.05},
+             {K::kMemAlloc, 0.12},  {K::kTokenQuery, 0.02},
+             {K::kImageLoad, 0.02}};
+  } else {
+    throw std::invalid_argument("unknown application: " +
+                                std::string(app_name));
+  }
+  return s;
+}
+
+ProgramSpec payload_spec(std::string_view payload_name) {
+  ProgramSpec s;
+  // Payloads are small, tight loops — shellcode-sized programs that call
+  // the thinnest API surface directly (no framework wrapper frames).
+  s.chain_style = ChainStyle::kDirect;
+  s.function_count = 24;
+  s.branching = 1.8;
+  s.back_edge_fraction = 0.15;
+  s.action_fraction = 0.7;
+  if (payload_name == "reverse_tcp") {
+    s.name = "reverse_tcp";
+    s.mix = {{K::kTcpConnect, 0.07}, {K::kTcpSend, 0.24},
+             {K::kTcpRecv, 0.24},    {K::kProcSnapshot, 0.08},
+             {K::kKeyLog, 0.10},     {K::kProcessCreate, 0.06},
+             {K::kFileRead, 0.06},   {K::kMemAlloc, 0.06},
+             {K::kMemProtect, 0.04}, {K::kThreadCreate, 0.03},
+             {K::kTokenQuery, 0.02}};
+  } else if (payload_name == "reverse_https") {
+    s.name = "reverse_https";
+    s.mix = {{K::kHttpOpen, 0.07},   {K::kHttpRequest, 0.28},
+             {K::kTlsHandshake, 0.12}, {K::kCryptoOp, 0.12},
+             {K::kTcpRecv, 0.08},    {K::kProcSnapshot, 0.06},
+             {K::kKeyLog, 0.06},     {K::kProcessCreate, 0.04},
+             {K::kMemAlloc, 0.06},   {K::kMemProtect, 0.04},
+             {K::kImageLoad, 0.03},  {K::kDnsResolve, 0.04}};
+  } else if (payload_name == "pwddlg") {
+    s.name = "pwddlg";
+    s.function_count = 16;
+    s.mix = {{K::kUiDialog, 0.34},   {K::kUiGetMessage, 0.24},
+             {K::kUiPaint, 0.10},    {K::kRegRead, 0.10},
+             {K::kRegWrite, 0.05},   {K::kFileRead, 0.05},
+             {K::kMemAlloc, 0.05},   {K::kTokenQuery, 0.07}};
+  } else {
+    throw std::invalid_argument("unknown payload: " +
+                                std::string(payload_name));
+  }
+  return s;
+}
+
+std::vector<std::string_view> known_apps() {
+  return {"winscp", "chrome", "notepad++", "putty", "vim"};
+}
+
+std::vector<std::string_view> known_payloads() {
+  return {"reverse_tcp", "reverse_https", "pwddlg"};
+}
+
+}  // namespace leaps::sim

@@ -1,0 +1,31 @@
+// Behavioral profiles of the five benign applications and three malicious
+// payloads evaluated in the paper (Table I).
+//
+// Profiles are deliberately contrastive along the same axes as the real
+// programs: Putty/WinSCP are network-and-crypto heavy (overlapping the
+// reverse-shell payloads — the paper's hardest cases), Chrome touches many
+// subsystems, Notepad++/Vim are file-and-UI editors. Payload profiles mirror
+// the Metasploit Meterpreter behaviors (reverse TCP / reverse HTTPS) and the
+// Codeinject password-dialog payload.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace leaps::sim {
+
+/// Spec for a benign application by name: "winscp", "chrome", "notepad++",
+/// "putty", "vim". Throws std::invalid_argument for unknown names.
+ProgramSpec app_spec(std::string_view app_name);
+
+/// Spec for a payload by name: "reverse_tcp", "reverse_https", "pwddlg"
+/// (the paper's "Pwddlg" code-inject payload). Throws std::invalid_argument
+/// for unknown names.
+ProgramSpec payload_spec(std::string_view payload_name);
+
+std::vector<std::string_view> known_apps();
+std::vector<std::string_view> known_payloads();
+
+}  // namespace leaps::sim

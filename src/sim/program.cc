@@ -1,0 +1,108 @@
+#include "sim/program.h"
+
+#include <algorithm>
+
+#include "sim/address_space.h"
+#include "util/check.h"
+
+namespace leaps::sim {
+
+std::uint64_t Program::function_address(std::size_t index) const {
+  LEAPS_CHECK(index < functions.size());
+  return functions[index].address;
+}
+
+std::uint64_t Program::min_address() const {
+  LEAPS_CHECK(!functions.empty());
+  return functions.front().address;
+}
+
+std::uint64_t Program::max_address() const {
+  LEAPS_CHECK(!functions.empty());
+  return functions.back().address;
+}
+
+Program relocate(const Program& program, std::uint64_t new_base) {
+  Program out = program;
+  out.image_base = new_base;
+  for (std::size_t i = 0; i < out.functions.size(); ++i) {
+    const std::uint64_t offset =
+        program.functions[i].address - program.image_base;
+    out.functions[i].address = new_base + offset;
+  }
+  return out;
+}
+
+Program build_program(const ProgramSpec& spec, std::uint64_t image_base,
+                      util::Rng& rng) {
+  LEAPS_CHECK_MSG(spec.function_count >= 2, "program needs >= 2 functions");
+  LEAPS_CHECK_MSG(!spec.mix.empty(), "program needs an action mix");
+
+  Program p;
+  p.name = spec.name;
+  p.chain_style = spec.chain_style;
+  p.image_base = image_base;
+  p.entry = 0;
+  p.functions.resize(spec.function_count);
+  for (std::size_t i = 0; i < spec.function_count; ++i) {
+    p.functions[i].address =
+        image_base + kCodeSectionOffset + i * kFunctionStride;
+  }
+  p.image_size = align_up(
+      kCodeSectionOffset + spec.function_count * kFunctionStride, 0x1000);
+
+  // Call graph: every function i>0 gets one incoming edge from an earlier
+  // function (guaranteeing reachability from the entry), then extra forward
+  // edges until the average out-degree reaches `branching`, then a few back
+  // edges for loops.
+  const std::size_t n = spec.function_count;
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<std::size_t>(rng.next_below(i));
+    p.functions[parent].callees.push_back(i);
+  }
+  const auto extra_edges = static_cast<std::size_t>(
+      std::max(0.0, spec.branching - 1.0) * static_cast<double>(n));
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto from = static_cast<std::size_t>(rng.next_below(n - 1));
+    const auto to = from + 1 +
+                    static_cast<std::size_t>(rng.next_below(n - 1 - from));
+    auto& callees = p.functions[from].callees;
+    if (std::find(callees.begin(), callees.end(), to) == callees.end()) {
+      callees.push_back(to);
+    }
+  }
+  for (std::size_t i = 2; i < n; ++i) {
+    if (rng.next_bool(spec.back_edge_fraction)) {
+      const auto to = static_cast<std::size_t>(rng.next_below(i - 1)) + 1;
+      auto& callees = p.functions[i].callees;
+      if (std::find(callees.begin(), callees.end(), to) == callees.end()) {
+        callees.push_back(to);
+      }
+    }
+  }
+
+  // Actions: leaves always act; interior functions act with probability
+  // action_fraction. Kinds are drawn from the mix.
+  std::vector<ActionKind> kinds;
+  std::vector<double> weights;
+  for (const auto& [kind, w] : spec.mix) {
+    LEAPS_CHECK_MSG(w >= 0.0, "negative action-mix weight");
+    if (w > 0.0) {
+      kinds.push_back(kind);
+      weights.push_back(w);
+    }
+  }
+  LEAPS_CHECK_MSG(!kinds.empty(), "action mix has no positive weights");
+  for (auto& fn : p.functions) {
+    const bool is_leaf = fn.callees.empty();
+    if (is_leaf || rng.next_bool(spec.action_fraction)) {
+      fn.actions.push_back(kinds[rng.sample_weighted(weights)]);
+      if (rng.next_bool(0.3)) {
+        fn.actions.push_back(kinds[rng.sample_weighted(weights)]);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace leaps::sim

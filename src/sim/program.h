@@ -1,0 +1,71 @@
+// Synthetic program model.
+//
+// A Program is the simulator's stand-in for a compiled application or
+// payload: a set of functions at concrete addresses, a ground-truth static
+// call graph, and per-function system-interaction actions. The executor
+// random-walks this structure to produce event logs whose *inferred* CFG
+// (Algorithm 1) is an incomplete sample of this ground truth — the same
+// relationship the paper has between real binaries and ETW traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/behavior.h"
+#include "util/rng.h"
+
+namespace leaps::sim {
+
+struct ProgramFunction {
+  std::uint64_t address = 0;
+  std::vector<std::size_t> callees;    // indices into Program::functions
+  std::vector<ActionKind> actions;     // system interactions this fn performs
+};
+
+struct Program {
+  std::string name;
+  /// How this code reaches system services (see behavior.h); payloads use
+  /// direct chains, applications framework chains.
+  ChainStyle chain_style = ChainStyle::kFramework;
+  std::uint64_t image_base = 0;
+  std::uint64_t image_size = 0;  // code extent used for layout decisions
+  std::size_t entry = 0;         // index of the entry function
+  std::vector<ProgramFunction> functions;
+
+  std::uint64_t function_address(std::size_t index) const;
+  /// Lowest / highest function entry address (for layout assertions).
+  std::uint64_t min_address() const;
+  std::uint64_t max_address() const;
+};
+
+/// Relative frequencies of the system interactions a program performs.
+using ActionMix = std::map<ActionKind, double>;
+
+/// Shape parameters for generating a synthetic program.
+struct ProgramSpec {
+  std::string name;
+  ChainStyle chain_style = ChainStyle::kFramework;
+  std::size_t function_count = 80;
+  /// Average out-degree of the call graph (forward edges).
+  double branching = 2.2;
+  /// Fraction of functions that get a back edge (loops).
+  double back_edge_fraction = 0.08;
+  /// Fraction of functions performing at least one action
+  /// (leaves always do).
+  double action_fraction = 0.55;
+  ActionMix mix;
+};
+
+/// Deterministically generates a Program at `image_base` from the spec.
+/// The call graph is guaranteed connected from the entry: function i > 0 is
+/// reachable from function 0.
+Program build_program(const ProgramSpec& spec, std::uint64_t image_base,
+                      util::Rng& rng);
+
+/// The same code at a different base (rebasing / recompilation): structure,
+/// call graph and per-function behavior are preserved; only addresses move.
+Program relocate(const Program& program, std::uint64_t new_base);
+
+}  // namespace leaps::sim

@@ -1,0 +1,214 @@
+#include "sim/scenario.h"
+
+#include <stdexcept>
+
+#include "sim/address_space.h"
+#include "sim/profiles.h"
+#include "util/check.h"
+
+namespace leaps::sim {
+
+const std::vector<ScenarioSpec>& table1_scenarios() {
+  using enum AttackMethod;
+  static const std::vector<ScenarioSpec> specs = {
+      // --- offline infection (Table I, upper block) ---
+      {"winscp_reverse_tcp", "winscp", "reverse_tcp", kOfflineInfection},
+      {"winscp_reverse_https", "winscp", "reverse_https", kOfflineInfection},
+      {"chrome_reverse_tcp", "chrome", "reverse_tcp", kOfflineInfection},
+      {"chrome_reverse_https", "chrome", "reverse_https", kOfflineInfection},
+      {"notepad++_reverse_tcp", "notepad++", "reverse_tcp",
+       kOfflineInfection},
+      {"notepad++_reverse_https", "notepad++", "reverse_https",
+       kOfflineInfection},
+      {"putty_reverse_tcp", "putty", "reverse_tcp", kOfflineInfection},
+      {"putty_reverse_https", "putty", "reverse_https", kOfflineInfection},
+      {"vim_reverse_tcp", "vim", "reverse_tcp", kOfflineInfection},
+      {"vim_reverse_https", "vim", "reverse_https", kOfflineInfection},
+      {"vim_codeinject", "vim", "pwddlg", kOfflineInfection},
+      {"notepad++_codeinject", "notepad++", "pwddlg", kOfflineInfection},
+      {"putty_codeinject", "putty", "pwddlg", kOfflineInfection},
+      // --- online injection (Table I, lower block) ---
+      {"putty_reverse_tcp_online", "putty", "reverse_tcp", kOnlineInjection},
+      {"putty_reverse_https_online", "putty", "reverse_https",
+       kOnlineInjection},
+      {"notepad++_reverse_tcp_online", "notepad++", "reverse_tcp",
+       kOnlineInjection},
+      {"notepad++_reverse_https_online", "notepad++", "reverse_https",
+       kOnlineInjection},
+      {"vim_reverse_tcp_online", "vim", "reverse_tcp", kOnlineInjection},
+      {"vim_reverse_https_online", "vim", "reverse_https", kOnlineInjection},
+      {"winscp_reverse_tcp_online", "winscp", "reverse_tcp",
+       kOnlineInjection},
+      {"winscp_reverse_https_online", "winscp", "reverse_https",
+       kOnlineInjection},
+  };
+  return specs;
+}
+
+const ScenarioSpec& find_scenario(std::string_view name) {
+  for (const ScenarioSpec& s : table1_scenarios()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown scenario: " + std::string(name));
+}
+
+ScenarioLogs generate_scenario(const ScenarioSpec& spec,
+                               const SimConfig& config) {
+  ScenarioLogs out;
+  out.spec = spec;
+
+  util::Rng master(config.seed ^ util::hash_string(spec.name));
+  util::Rng build_rng = master.fork(1);
+
+  // The benign application is built once and shared by the benign run and
+  // the infected run — the trojaned binary contains the *same* benign code.
+  const Program app = build_program(app_spec(spec.app), kAppImageBase,
+                                    build_rng);
+  // The payload is built once: the implanted copy and the "recompiled as
+  // independent malware" copy are the same code at different bases.
+  util::Rng payload_rng = master.fork(7);
+  Program payload =
+      build_program(payload_spec(spec.payload), kAppImageBase, payload_rng);
+  if (config.payload_framework_chains) {
+    payload.chain_style = ChainStyle::kFramework;
+  }
+
+  util::Rng attack_rng = master.fork(2);
+  const InfectedProcess infected =
+      spec.method == AttackMethod::kOfflineInfection
+          ? make_offline_infection(app, payload, attack_rng)
+          : make_online_injection(app, payload, attack_rng);
+
+  const LibraryRegistry registry = LibraryRegistry::standard();
+  const Executor executor(registry, config.exec);
+
+  out.benign = executor.run_benign(app, config.benign_events, master.fork(3));
+  auto mixed = executor.run_infected_with_truth(
+      infected, config.mixed_events, master.fork(4));
+  out.mixed = std::move(mixed.log);
+  out.mixed_truth = std::move(mixed.is_malicious);
+
+  // "We manually extract the malicious payloads and recompile them as
+  // independent malware": same code, stand-alone process, default EXE base.
+  out.malicious = executor.run_payload_standalone(
+      payload, config.malicious_events, master.fork(6));
+  return out;
+}
+
+ScenarioLogs generate_source_trojan_scenario(std::string_view app,
+                                             std::string_view payload,
+                                             const SimConfig& config) {
+  ScenarioLogs out;
+  out.spec.name =
+      std::string(app) + "_" + std::string(payload) + "_srctrojan";
+  out.spec.app = std::string(app);
+  out.spec.payload = std::string(payload);
+  out.spec.method = AttackMethod::kOfflineInfection;
+
+  util::Rng master(config.seed ^ util::hash_string(out.spec.name));
+  util::Rng build_rng = master.fork(1);
+  const Program clean_app =
+      build_program(app_spec(app), kAppImageBase, build_rng);
+  util::Rng payload_rng = master.fork(7);
+  // Compiled from source with the application's toolchain: framework
+  // chains, both inside the trojan and in the standalone ground truth.
+  ProgramSpec pspec = payload_spec(payload);
+  pspec.chain_style = ChainStyle::kFramework;
+  const Program payload_prog =
+      build_program(pspec, kAppImageBase, payload_rng);
+
+  util::Rng attack_rng = master.fork(2);
+  const SourceTrojan trojan =
+      make_source_trojan(clean_app, payload_prog, attack_rng);
+
+  const LibraryRegistry registry = LibraryRegistry::standard();
+  const Executor executor(registry, config.exec);
+  out.benign =
+      executor.run_benign(clean_app, config.benign_events, master.fork(3));
+  auto mixed = executor.run_source_trojan(trojan, config.mixed_events,
+                                          master.fork(4));
+  out.mixed = std::move(mixed.log);
+  out.mixed_truth = std::move(mixed.is_malicious);
+  out.malicious = executor.run_payload_standalone(
+      payload_prog, config.malicious_events, master.fork(6));
+  return out;
+}
+
+SystemCapture generate_system_capture(
+    const ScenarioSpec& spec, const SimConfig& config,
+    const std::vector<std::string>& background_apps) {
+  SystemCapture out;
+  util::Rng master(config.seed ^ util::hash_string(spec.name) ^
+                   0x5E57E31ULL);
+
+  // The target process: same construction as generate_scenario's mixed log.
+  util::Rng build_rng = master.fork(1);
+  const Program app = build_program(app_spec(spec.app), kAppImageBase,
+                                    build_rng);
+  util::Rng payload_rng = master.fork(7);
+  const Program payload =
+      build_program(payload_spec(spec.payload), kAppImageBase, payload_rng);
+  util::Rng attack_rng = master.fork(2);
+  const InfectedProcess infected =
+      spec.method == AttackMethod::kOfflineInfection
+          ? make_offline_infection(app, payload, attack_rng)
+          : make_online_injection(app, payload, attack_rng);
+
+  const LibraryRegistry registry = LibraryRegistry::standard();
+  const Executor executor(registry, config.exec);
+  const auto target_run = executor.run_infected_with_truth(
+      infected, config.mixed_events, master.fork(4));
+  out.target_truth = target_run.is_malicious;
+
+  // Background processes: clean runs of other applications.
+  std::vector<trace::RawLog> process_logs = {target_run.log};
+  for (std::size_t b = 0; b < background_apps.size(); ++b) {
+    util::Rng bg_build = master.fork(100 + b);
+    const Program bg = build_program(app_spec(background_apps[b]),
+                                     kAppImageBase, bg_build);
+    process_logs.push_back(executor.run_benign(
+        bg, config.benign_events / 2, master.fork(200 + b)));
+  }
+
+  // Assemble the capture: shared system modules once, per-process images.
+  trace::SystemRawLog& capture = out.capture;
+  {
+    trace::RawLog shared;
+    registry.append_records(shared);
+    capture.shared_modules = std::move(shared.modules);
+    capture.symbols = std::move(shared.symbols);
+  }
+  out.target_pid = 1000;
+  for (std::size_t p = 0; p < process_logs.size(); ++p) {
+    const auto pid = static_cast<std::uint32_t>(1000 + p * 4);
+    capture.process_names[pid] = process_logs[p].process_name;
+    // The process's own image record (its modules minus the shared ones —
+    // by construction, the first module is the application image).
+    capture.process_modules[pid] = {process_logs[p].modules.front()};
+  }
+
+  // Interleave events proportionally to remaining counts (capture order),
+  // re-stamping sequence numbers globally.
+  util::Rng merge_rng = master.fork(3);
+  std::vector<std::size_t> cursor(process_logs.size(), 0);
+  std::uint64_t seq = 0;
+  while (true) {
+    std::vector<double> remaining(process_logs.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t p = 0; p < process_logs.size(); ++p) {
+      remaining[p] = static_cast<double>(process_logs[p].events.size() -
+                                         cursor[p]);
+      total += remaining[p];
+    }
+    if (total == 0.0) break;
+    const std::size_t p = merge_rng.sample_weighted(remaining);
+    trace::SystemRawLog::Entry entry;
+    entry.pid = static_cast<std::uint32_t>(1000 + p * 4);
+    entry.event = process_logs[p].events[cursor[p]++];
+    entry.event.seq = seq++;
+    capture.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace leaps::sim

@@ -1,0 +1,85 @@
+// The 21 evaluation datasets of Table I.
+//
+// A scenario names one (application, payload, attack-method) combination and
+// generates its three raw logs: pure benign, mixed, and pure malicious —
+// the training/testing subsets Section V-A describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/attack.h"
+#include "sim/executor.h"
+#include "trace/raw_log.h"
+#include "trace/system_log.h"
+
+namespace leaps::sim {
+
+struct ScenarioSpec {
+  std::string name;       // e.g. "putty_reverse_https_online"
+  std::string app;        // e.g. "putty"
+  std::string payload;    // e.g. "reverse_https"
+  AttackMethod method = AttackMethod::kOfflineInfection;
+};
+
+/// All 21 scenarios, in Table I order.
+const std::vector<ScenarioSpec>& table1_scenarios();
+
+/// Looks a scenario up by name; throws std::invalid_argument if unknown.
+const ScenarioSpec& find_scenario(std::string_view name);
+
+struct SimConfig {
+  std::size_t benign_events = 12000;
+  std::size_t mixed_events = 9000;
+  std::size_t malicious_events = 6000;
+  std::uint64_t seed = 2015;  // venue year — any fixed value works
+  /// Ablation knob: strip the payload's direct-chain style so its stack
+  /// walks use the same framework wrappers as the application.
+  bool payload_framework_chains = false;
+  ExecConfig exec;
+};
+
+struct ScenarioLogs {
+  ScenarioSpec spec;
+  trace::RawLog benign;
+  trace::RawLog mixed;
+  trace::RawLog malicious;
+  /// Ground truth for the mixed log (tests/diagnostics only; see Executor).
+  std::vector<bool> mixed_truth;
+};
+
+/// Generates the three logs for a scenario. Fully deterministic in
+/// (spec.name, config.seed): the program layouts, the infection, and all
+/// three walks derive their streams from those two values.
+ScenarioLogs generate_scenario(const ScenarioSpec& spec,
+                               const SimConfig& config);
+
+/// Source-level trojan dataset (Section VI-A): the payload's source is
+/// compiled into the application, shifting every address. The benign log
+/// comes from the *clean* build, the mixed log from the recompiled trojan,
+/// and the pure-malicious log from the payload built standalone (with the
+/// application toolchain's framework chains, like the trojan). The
+/// ScenarioSpec name is "<app>_<payload>_srctrojan".
+ScenarioLogs generate_source_trojan_scenario(std::string_view app,
+                                             std::string_view payload,
+                                             const SimConfig& config);
+
+/// A machine-wide capture: the infected target process interleaved with
+/// clean background applications, as a real tracer records it. LEAPS's
+/// front end then performs application slicing (trace/system_log.h).
+struct SystemCapture {
+  trace::SystemRawLog capture;
+  std::uint32_t target_pid = 0;
+  /// Ground truth for the target's events, in the target's slice order.
+  std::vector<bool> target_truth;
+};
+
+/// Generates the capture for a scenario's *mixed* phase plus clean runs of
+/// the named background applications (each contributing
+/// config.benign_events / 2 events). Deterministic like generate_scenario.
+SystemCapture generate_system_capture(
+    const ScenarioSpec& spec, const SimConfig& config,
+    const std::vector<std::string>& background_apps);
+
+}  // namespace leaps::sim

@@ -1,0 +1,55 @@
+// Compact binary raw-log format (the textual format's wire twin).
+//
+// Real tracers write binary logs (ETW's ETL); the textual format in
+// raw_log.h is for inspection. This encoding is ~6-10× smaller:
+//
+//   magic "LEAPSB01"
+//   string   process name               (varint length + bytes)
+//   varint   module count;  per module: varint base, varint size, string
+//   varint   symbol count;  per symbol: varint addr, string
+//   varint   event count;   per event:  varint seq, varint tid, u8 type,
+//            varint frames; per frame:  zigzag-varint delta from the
+//            previous frame's address (stack walks are address-local, so
+//            deltas are short)
+//
+// All integers are LEB128 varints; frame addresses are delta-coded with
+// zigzag signing. read_raw_log_binary throws BinaryLogError with a byte
+// offset on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/raw_log.h"
+
+namespace leaps::trace {
+
+inline constexpr char kBinaryLogMagic[8] = {'L', 'E', 'A', 'P',
+                                            'S', 'B', '0', '1'};
+
+class BinaryLogError : public std::runtime_error {
+ public:
+  BinaryLogError(std::size_t offset, const std::string& what)
+      : std::runtime_error("binary log error at byte " +
+                           std::to_string(offset) + ": " + what),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+void write_raw_log_binary(const RawLog& log, std::ostream& os);
+RawLog read_raw_log_binary(std::istream& is);
+
+/// True when the stream starts with the binary magic (peeked, stream
+/// position restored) — lets tools accept either format transparently.
+bool is_binary_log(std::istream& is);
+
+/// Reads a raw log in either format (binary detected by magic, otherwise
+/// parsed as text via RawLogParser). Throws BinaryLogError / ParseError.
+RawLog read_raw_log_any(std::istream& is);
+
+}  // namespace leaps::trace

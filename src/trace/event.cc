@@ -1,0 +1,29 @@
+#include "trace/event.h"
+
+#include <array>
+
+namespace leaps::trace {
+
+namespace {
+constexpr std::array<std::string_view, kEventTypeCount> kNames = {
+    "SysCallEnter", "SysCallExit",   "ProcessCreate", "ThreadCreate",
+    "ImageLoad",    "FileRead",      "FileWrite",     "FileCreate",
+    "RegistryRead", "RegistryWrite", "NetworkConnect", "NetworkSend",
+    "NetworkRecv",  "MemAlloc",      "MemProtect",    "UiMessage",
+};
+}  // namespace
+
+std::string_view event_type_name(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  if (i >= kNames.size()) return "Unknown";
+  return kNames[i];
+}
+
+std::optional<EventType> event_type_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<EventType>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace leaps::trace

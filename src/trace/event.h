@@ -1,0 +1,83 @@
+// System-event model: the in-memory representation of a stack-event
+// correlated log (the output of the Raw Log Parser, Section II-B of the
+// paper).
+//
+// An Event is one logged system event plus its stack walk. Frames are stored
+// innermost-first (the kernel-side leaf is frame 0), matching how real
+// stack-walking tracers such as ETW emit them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leaps::trace {
+
+/// The system-event classes the simulated logger can capture. Mirrors the
+/// stack-walk-enabled ETW event classes the paper lists (system call,
+/// process/thread creation, image load, file operations, registry tracing)
+/// plus network and memory events used by the payload models.
+enum class EventType : std::uint8_t {
+  kSysCallEnter = 0,
+  kSysCallExit,
+  kProcessCreate,
+  kThreadCreate,
+  kImageLoad,
+  kFileRead,
+  kFileWrite,
+  kFileCreate,
+  kRegistryRead,
+  kRegistryWrite,
+  kNetworkConnect,
+  kNetworkSend,
+  kNetworkRecv,
+  kMemAlloc,
+  kMemProtect,
+  kUiMessage,
+  kCount,  // sentinel
+};
+
+constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kCount);
+
+/// Stable integer id used as the Event_Type feature (paper: "Event_Type is
+/// well defined in the system, and thus can be naturally mapped to the
+/// integer space").
+constexpr int event_type_id(EventType t) { return static_cast<int>(t); }
+
+std::string_view event_type_name(EventType t);
+
+/// Parses the textual name back to the enum; nullopt for unknown names.
+std::optional<EventType> event_type_from_name(std::string_view name);
+
+/// One stack-walk frame. `module` and `function` are resolved by the parser
+/// from the log's MODULE/SYMBOL records; they stay empty for frames in
+/// unmapped memory (e.g. injected payload pages) and for modules without
+/// symbols (the application image — its symbols are "not available", exactly
+/// the setting the paper assumes).
+struct StackFrame {
+  std::uint64_t address = 0;
+  std::string module;    // empty => unmapped region
+  std::string function;  // empty => no symbol
+
+  bool operator==(const StackFrame&) const = default;
+};
+
+/// One correlated system event.
+struct Event {
+  std::uint64_t seq = 0;   // event number within the log ("@107" in Fig. 2)
+  std::uint32_t tid = 0;   // simulated thread id
+  EventType type = EventType::kSysCallEnter;
+  std::vector<StackFrame> stack;  // innermost first
+
+  bool operator==(const Event&) const = default;
+};
+
+/// A parsed, stack-event correlated log for one process.
+struct CorrelatedLog {
+  std::string process_name;
+  std::vector<Event> events;
+};
+
+}  // namespace leaps::trace

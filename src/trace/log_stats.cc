@@ -1,0 +1,78 @@
+#include "trace/log_stats.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace leaps::trace {
+
+LogStats compute_stats(const PartitionedLog& log) {
+  LogStats s;
+  s.process_name = log.process_name;
+  s.events = log.events.size();
+  std::set<std::uint64_t> app_addresses;
+  std::size_t depth_total = 0;
+  for (const PartitionedEvent& e : log.events) {
+    s.events_by_type[e.type] += 1;
+    s.events_by_thread[e.tid] += 1;
+    s.app_frames += e.app_stack.size();
+    s.system_frames += e.system_stack.size();
+    const std::size_t depth = e.app_stack.size() + e.system_stack.size();
+    depth_total += depth;
+    s.max_stack_depth = std::max(s.max_stack_depth, depth);
+    for (const StackFrame& f : e.system_stack) {
+      s.frames_by_module[f.module] += 1;
+    }
+    for (const std::uint64_t a : e.app_stack) app_addresses.insert(a);
+  }
+  s.distinct_app_addresses = app_addresses.size();
+  if (!app_addresses.empty()) {
+    s.app_address_min = *app_addresses.begin();
+    s.app_address_max = *app_addresses.rbegin();
+  }
+  if (s.events > 0) {
+    s.mean_stack_depth =
+        static_cast<double>(depth_total) / static_cast<double>(s.events);
+  }
+  return s;
+}
+
+std::string LogStats::to_string() const {
+  std::ostringstream os;
+  os << "process " << process_name << ": " << events << " events, mean "
+     << "stack depth " << util::fixed(mean_stack_depth, 1) << " (max "
+     << max_stack_depth << ")\n";
+  os << "threads:";
+  for (const auto& [tid, count] : events_by_thread) {
+    os << "  tid " << tid << " x" << count;
+  }
+  os << "\napplication side: " << app_frames << " frames over "
+     << distinct_app_addresses << " distinct addresses ["
+     << util::hex_addr(app_address_min) << ", "
+     << util::hex_addr(app_address_max) << "]\n";
+  os << "event types:\n";
+  for (const auto& [type, count] : events_by_type) {
+    os << "  " << event_type_name(type) << ": " << count << " ("
+       << util::fixed(100.0 * static_cast<double>(count) /
+                          static_cast<double>(std::max<std::size_t>(1,
+                                                                    events)),
+                      1)
+       << "%)\n";
+  }
+  // Modules, most-hit first.
+  std::vector<std::pair<std::size_t, std::string>> mods;
+  for (const auto& [name, count] : frames_by_module) {
+    mods.emplace_back(count, name);
+  }
+  std::sort(mods.rbegin(), mods.rend());
+  os << "system frames by module:\n";
+  for (const auto& [count, name] : mods) {
+    os << "  " << name << ": " << count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace leaps::trace

@@ -1,0 +1,38 @@
+// Trace summary statistics — what an analyst looks at before training:
+// event-type mix, module/frame distribution, thread activity, stack
+// depths. Consumed by the leaps-stat tool and useful for sanity-checking
+// any capture before feeding it to the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "trace/partition.h"
+
+namespace leaps::trace {
+
+struct LogStats {
+  std::string process_name;
+  std::size_t events = 0;
+  std::map<EventType, std::size_t> events_by_type;
+  std::map<std::uint32_t, std::size_t> events_by_thread;
+  /// Frames per system module across all stack walks.
+  std::map<std::string, std::size_t> frames_by_module;
+  std::size_t app_frames = 0;
+  std::size_t system_frames = 0;
+  double mean_stack_depth = 0.0;
+  std::size_t max_stack_depth = 0;
+  /// Distinct application-side addresses (≈ exercised functions).
+  std::size_t distinct_app_addresses = 0;
+  /// Lowest / highest application-side address seen.
+  std::uint64_t app_address_min = 0;
+  std::uint64_t app_address_max = 0;
+
+  /// Human-readable multi-line report.
+  std::string to_string() const;
+};
+
+LogStats compute_stats(const PartitionedLog& log);
+
+}  // namespace leaps::trace

@@ -1,0 +1,50 @@
+#include "trace/module_map.h"
+
+#include "util/check.h"
+
+namespace leaps::trace {
+
+void ModuleMap::add_module(ModuleInfo info) {
+  LEAPS_CHECK_MSG(info.size > 0, "module with zero size: " + info.name);
+  // Reject overlap with the neighbor below and above.
+  auto it = by_base_.upper_bound(info.base);
+  if (it != by_base_.begin()) {
+    const ModuleInfo& below = modules_list_[std::prev(it)->second];
+    LEAPS_CHECK_MSG(below.base + below.size <= info.base,
+                    "module overlaps " + below.name + ": " + info.name);
+  }
+  if (it != by_base_.end()) {
+    const ModuleInfo& above = modules_list_[it->second];
+    LEAPS_CHECK_MSG(info.base + info.size <= above.base,
+                    "module overlaps " + above.name + ": " + info.name);
+  }
+  by_base_.emplace(info.base, modules_list_.size());
+  modules_list_.push_back(std::move(info));
+}
+
+void ModuleMap::add_symbol(std::uint64_t addr, std::string function) {
+  LEAPS_CHECK_MSG(find_module(addr) != nullptr,
+                  "symbol outside any module: " + function);
+  symbols_[addr] = std::move(function);
+}
+
+const ModuleInfo* ModuleMap::find_module(std::uint64_t addr) const {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) return nullptr;
+  const ModuleInfo& m = modules_list_[std::prev(it)->second];
+  return m.contains(addr) ? &m : nullptr;
+}
+
+Resolution ModuleMap::resolve(std::uint64_t addr) const {
+  Resolution r;
+  r.module = find_module(addr);
+  if (r.module == nullptr) return r;
+  auto it = symbols_.upper_bound(addr);
+  if (it == symbols_.begin()) return r;
+  --it;
+  // The nearest preceding symbol must live in the same module to count.
+  if (r.module->contains(it->first)) r.function = it->second;
+  return r;
+}
+
+}  // namespace leaps::trace

@@ -1,0 +1,50 @@
+// Raw Log Parser (Section II-B): turns a raw trace into a stack-event
+// correlated log, resolving each frame address against the module map and
+// symbol table carried in the log header — the same correlate-and-slice role
+// Introperf's front end plays for ETW traces in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "trace/event.h"
+#include "trace/module_map.h"
+#include "trace/raw_log.h"
+
+namespace leaps::trace {
+
+/// Parse failure: malformed line, unknown record kind, etc. Carries the
+/// 1-based line number of the offending record.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("raw log parse error at line " +
+                           std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Result of parsing: the correlated log plus the module map built from the
+/// log's MODULE/SYMBOL records (needed downstream by the stack partitioner).
+struct ParsedTrace {
+  CorrelatedLog log;
+  ModuleMap modules;
+};
+
+class RawLogParser {
+ public:
+  /// Parses the textual raw-log format. Throws ParseError on malformed input.
+  ParsedTrace parse(std::istream& is) const;
+  ParsedTrace parse_string(std::string_view text) const;
+
+  /// Parses an in-memory RawLog (skipping serialization) — used by the
+  /// pipeline when simulator output stays in memory.
+  ParsedTrace parse_raw(const RawLog& raw) const;
+};
+
+}  // namespace leaps::trace

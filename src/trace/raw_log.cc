@@ -1,0 +1,35 @@
+#include "trace/raw_log.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace leaps::trace {
+
+void write_raw_log(const RawLog& log, std::ostream& os) {
+  os << "# LEAPS raw event trace v1\n";
+  os << "PROCESS " << log.process_name << '\n';
+  for (const RawModule& m : log.modules) {
+    os << "MODULE " << util::hex_addr(m.base) << ' ' << util::hex_addr(m.size)
+       << ' ' << m.name << '\n';
+  }
+  for (const RawSymbol& s : log.symbols) {
+    os << "SYMBOL " << util::hex_addr(s.address) << ' ' << s.function << '\n';
+  }
+  for (const RawEvent& e : log.events) {
+    os << "EVENT " << e.seq << ' ' << e.tid << ' ' << event_type_name(e.type)
+       << '\n';
+    for (std::uint64_t addr : e.stack) {
+      os << "STACK " << util::hex_addr(addr) << '\n';
+    }
+  }
+}
+
+std::string raw_log_to_string(const RawLog& log) {
+  std::ostringstream os;
+  write_raw_log(log, os);
+  return os.str();
+}
+
+}  // namespace leaps::trace

@@ -1,0 +1,69 @@
+// The raw event-trace log format (the ETL-file stand-in).
+//
+// A raw log is what the simulated tracing engine writes: image-load records,
+// system symbols, and events whose stack walks are raw addresses only. The
+// textual format is deliberately line-oriented so that the Raw Log Parser has
+// real parsing work to do, mirroring LEAPS's front end:
+//
+//   # LEAPS raw event trace v1
+//   PROCESS putty.exe
+//   MODULE 0x00007ff810000000 0x0000000000040000 kernel32.dll
+//   SYMBOL 0x00007ff810001200 ReadFile
+//   EVENT 107 3 SysCallEnter
+//   STACK 0xfffff80000012340
+//   STACK 0x00007ff800001200
+//   ...
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace leaps::trace {
+
+/// One traced event before symbolication: raw return addresses only,
+/// innermost first.
+struct RawEvent {
+  std::uint64_t seq = 0;
+  std::uint32_t tid = 0;
+  EventType type = EventType::kSysCallEnter;
+  std::vector<std::uint64_t> stack;
+
+  bool operator==(const RawEvent&) const = default;
+};
+
+struct RawSymbol {
+  std::uint64_t address = 0;
+  std::string function;
+
+  bool operator==(const RawSymbol&) const = default;
+};
+
+struct RawModule {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  std::string name;
+
+  bool operator==(const RawModule&) const = default;
+};
+
+/// A complete raw trace for one process.
+struct RawLog {
+  std::string process_name;
+  std::vector<RawModule> modules;
+  std::vector<RawSymbol> symbols;
+  std::vector<RawEvent> events;
+
+  bool operator==(const RawLog&) const = default;
+};
+
+/// Serializes the log in the textual format above.
+void write_raw_log(const RawLog& log, std::ostream& os);
+
+/// Convenience: serialize to a string.
+std::string raw_log_to_string(const RawLog& log);
+
+}  // namespace leaps::trace

@@ -1,0 +1,40 @@
+// Lightweight invariant checking for LEAPS.
+//
+// LEAPS_CHECK is always on (library invariants, precondition violations are
+// programming errors and throw std::logic_error so callers and tests can
+// observe them); LEAPS_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace leaps::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LEAPS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace leaps::util
+
+#define LEAPS_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::leaps::util::check_failed(#expr, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define LEAPS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::leaps::util::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define LEAPS_DCHECK(expr) ((void)0)
+#else
+#define LEAPS_DCHECK(expr) LEAPS_CHECK(expr)
+#endif

@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace leaps::util {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0) return fallback;
+  return parsed;
+}
+
+bool env_flag(const std::string& name) {
+  std::string v = env_string(name, "");
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace leaps::util

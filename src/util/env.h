@@ -1,0 +1,24 @@
+// Environment-variable configuration knobs shared by benches and examples.
+//
+// The benchmark harness is sized so that every binary completes in minutes;
+// these knobs let CI (LEAPS_FAST=1) or a patient user (LEAPS_RUNS=10,
+// LEAPS_EVENTS=20000) trade fidelity against wall-clock time without
+// recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leaps::util {
+
+/// Returns the env var value, or fallback when unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Returns the env var parsed as a non-negative integer, or fallback when
+/// unset or unparseable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// True when the env var is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const std::string& name);
+
+}  // namespace leaps::util

@@ -1,0 +1,37 @@
+// Small summary-statistics helpers used by the experiment harness
+// (10-run averaging) and the micro-benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace leaps::util {
+
+/// Welford online accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Linear-interpolated percentile; p in [0, 100]. xs need not be sorted.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace leaps::util

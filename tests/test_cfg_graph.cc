@@ -1,0 +1,106 @@
+// Unit tests for the address graph: edges, reachability (CHECK_CFG
+// semantics), density arrays, DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cfg/graph.h"
+
+namespace leaps::cfg {
+namespace {
+
+TEST(AddressGraph, AddAndQueryEdges) {
+  AddressGraph g;
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(1, 2));  // duplicate
+  EXPECT_TRUE(g.add_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.edge_count(), 2u);
+  ASSERT_NE(g.successors(1), nullptr);
+  EXPECT_EQ(g.successors(1)->size(), 2u);
+  EXPECT_EQ(g.successors(42), nullptr);
+}
+
+TEST(AddressGraph, NodesAreSortedUnique) {
+  AddressGraph g;
+  g.add_edge(5, 1);
+  g.add_edge(1, 5);
+  g.add_edge(5, 9);
+  const auto nodes = g.nodes();
+  EXPECT_EQ(nodes, (std::vector<std::uint64_t>{1, 5, 9}));
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(AddressGraph, ReachableAlongChains) {
+  AddressGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.reachable(1, 2));
+  EXPECT_TRUE(g.reachable(1, 4));
+  EXPECT_FALSE(g.reachable(4, 1));
+  EXPECT_FALSE(g.reachable(1, 99));
+  EXPECT_FALSE(g.reachable(99, 1));
+}
+
+TEST(AddressGraph, ReachabilityRequiresAtLeastOneEdge) {
+  // CHECK_CFG: "start = end ∧ level ≠ 0" — a node does not reach itself
+  // unless a cycle returns to it.
+  AddressGraph g;
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.reachable(1, 1));
+  g.add_edge(2, 1);
+  EXPECT_TRUE(g.reachable(1, 1));
+}
+
+TEST(AddressGraph, ReachableTerminatesOnCycles) {
+  AddressGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);  // cycle — the paper's recursion would never return
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.reachable(1, 4));
+  EXPECT_FALSE(g.reachable(4, 1));
+  EXPECT_TRUE(g.reachable(2, 2));
+}
+
+TEST(AddressGraph, SelfLoopReachesItself) {
+  AddressGraph g;
+  g.add_edge(7, 7);
+  EXPECT_TRUE(g.reachable(7, 7));
+}
+
+TEST(AddressGraph, DensityArrayKeepsDuplicatesSorted) {
+  AddressGraph g;
+  g.add_edge(30, 10);
+  g.add_edge(10, 20);
+  const auto density = g.density_array();
+  // GEN_CFG_DENSITY inserts both endpoints of every edge.
+  EXPECT_EQ(density, (std::vector<std::uint64_t>{10, 10, 20, 30}));
+}
+
+TEST(AddressGraph, EmptyGraphBehaves) {
+  AddressGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.density_array().empty());
+  EXPECT_FALSE(g.reachable(1, 2));
+}
+
+TEST(AddressGraph, DotExportContainsNodesAndEdges) {
+  AddressGraph g;
+  g.add_edge(0x10, 0x20);
+  std::ostringstream os;
+  g.to_dot(os, "test", [](std::uint64_t a) {
+    return a == 0x20 ? std::string("color=red") : std::string();
+  });
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("0x0000000000000010"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leaps::cfg

@@ -1,0 +1,170 @@
+// Unit tests for CFG inference (Algorithm 1) and the system call graph.
+#include <gtest/gtest.h>
+
+#include "cfg/call_graph.h"
+#include "cfg/inference.h"
+#include "trace/partition.h"
+
+namespace leaps::cfg {
+namespace {
+
+trace::PartitionedEvent make_event(std::uint64_t seq,
+                                   std::vector<std::uint64_t> app_stack,
+                                   std::uint32_t tid = 1) {
+  trace::PartitionedEvent e;
+  e.seq = seq;
+  e.tid = tid;
+  e.app_stack = std::move(app_stack);
+  return e;
+}
+
+TEST(BranchPoint, CommonPrefixLength) {
+  EXPECT_EQ(CfgInference::branch_point({1, 2, 3}, {1, 2, 4}), 2u);
+  EXPECT_EQ(CfgInference::branch_point({1, 2}, {1, 2, 3}), 2u);
+  EXPECT_EQ(CfgInference::branch_point({9}, {1}), 0u);
+  EXPECT_EQ(CfgInference::branch_point({}, {1}), 0u);
+  EXPECT_EQ(CfgInference::branch_point({1, 2}, {1, 2}), 2u);
+}
+
+TEST(CfgInference, Figure3Example) {
+  // Event 1: Addr_1..Addr_5; Event 2: Addr_1..Addr_3, Addr_6, Addr_7.
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {1, 2, 3, 4, 5}));
+  log.events.push_back(make_event(1, {1, 2, 3, 6, 7}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  // Explicit paths of event 1.
+  EXPECT_TRUE(cfg.graph.has_edge(1, 2));
+  EXPECT_TRUE(cfg.graph.has_edge(2, 3));
+  EXPECT_TRUE(cfg.graph.has_edge(3, 4));
+  EXPECT_TRUE(cfg.graph.has_edge(4, 5));
+  // Explicit paths of event 2.
+  EXPECT_TRUE(cfg.graph.has_edge(3, 6));
+  EXPECT_TRUE(cfg.graph.has_edge(6, 7));
+  // The implicit path of Figure 3: Addr_4 → Addr_6.
+  EXPECT_TRUE(cfg.graph.has_edge(4, 6));
+  // Nothing else.
+  EXPECT_EQ(cfg.graph.edge_count(), 7u);
+}
+
+TEST(CfgInference, MemapAttributesEdgesToEvents) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(10, {1, 2}));
+  log.events.push_back(make_event(11, {1, 3}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  // Explicit edge (1,2) belongs to event 10.
+  ASSERT_TRUE(cfg.edge_events.count({1, 2}));
+  EXPECT_EQ(cfg.edge_events.at({1, 2}),
+            (std::vector<std::uint64_t>{10}));
+  // The implicit edge (2,3) belongs to the *later* event 11.
+  ASSERT_TRUE(cfg.edge_events.count({2, 3}));
+  EXPECT_EQ(cfg.edge_events.at({2, 3}),
+            (std::vector<std::uint64_t>{11}));
+}
+
+TEST(CfgInference, RepeatedEdgeCollectsAllEvents) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {1, 2}));
+  log.events.push_back(make_event(1, {1, 2}));
+  log.events.push_back(make_event(2, {1, 2}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  EXPECT_EQ(cfg.edge_events.at({1, 2}),
+            (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(CfgInference, PrefixStacksProduceNoImplicitEdge) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {1, 2, 3}));
+  log.events.push_back(make_event(1, {1, 2}));  // pure prefix
+  const InferredCfg cfg = CfgInference().infer(log);
+  // Only the explicit edges; no out-of-range implicit edge was fabricated.
+  EXPECT_EQ(cfg.graph.edge_count(), 2u);
+  EXPECT_TRUE(cfg.graph.has_edge(1, 2));
+  EXPECT_TRUE(cfg.graph.has_edge(2, 3));
+}
+
+TEST(CfgInference, EmptyAppStacksAreSkipped) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {}));
+  log.events.push_back(make_event(1, {1, 2}));
+  log.events.push_back(make_event(2, {}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  EXPECT_EQ(cfg.graph.edge_count(), 1u);
+}
+
+TEST(CfgInference, SingleFrameStacksYieldOnlyImplicitEdges) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {5}));
+  log.events.push_back(make_event(1, {6}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  EXPECT_EQ(cfg.graph.edge_count(), 1u);
+  EXPECT_TRUE(cfg.graph.has_edge(5, 6));
+}
+
+TEST(CfgInference, PerThreadAdjacencySeparatesThreads) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {1, 2}, /*tid=*/1));
+  log.events.push_back(make_event(1, {9, 8}, /*tid=*/2));
+  log.events.push_back(make_event(2, {1, 3}, /*tid=*/1));
+  // Per-thread (default): thread 1's adjacent pair is events 0 and 2.
+  const InferredCfg per_thread = CfgInference().infer(log);
+  EXPECT_TRUE(per_thread.graph.has_edge(2, 3));
+  EXPECT_FALSE(per_thread.graph.has_edge(1, 9));
+  // Global adjacency (the paper's verbatim Algorithm 1): cross-thread
+  // implicit edges appear.
+  const InferredCfg global =
+      CfgInference({.per_thread_adjacency = false}).infer(log);
+  EXPECT_TRUE(global.graph.has_edge(1, 9));
+  EXPECT_FALSE(global.graph.has_edge(2, 3));
+}
+
+TEST(CfgInference, IdenticalAdjacentStacksAddNoImplicitEdge) {
+  trace::PartitionedLog log;
+  log.events.push_back(make_event(0, {1, 2, 3}));
+  log.events.push_back(make_event(1, {1, 2, 3}));
+  const InferredCfg cfg = CfgInference().infer(log);
+  EXPECT_EQ(cfg.graph.edge_count(), 2u);
+}
+
+// ------------------------------------------------------ SystemCallGraph ----
+
+trace::PartitionedEvent make_sys_event(
+    std::vector<std::pair<std::uint64_t, std::string>> frames) {
+  trace::PartitionedEvent e;
+  for (auto& [addr, name] : frames) {
+    trace::StackFrame f;
+    f.address = addr;
+    f.module = "lib.dll";
+    f.function = name;
+    e.system_stack.push_back(std::move(f));
+  }
+  return e;
+}
+
+TEST(SystemCallGraph, EdgesRunCallerToCallee) {
+  // Innermost-first frames [leaf, mid, root] → edges root→mid, mid→leaf.
+  const auto e = make_sys_event({{1, "leaf"}, {2, "mid"}, {3, "root"}});
+  const auto edges = SystemCallGraph::event_edges(e);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{2, 1}));
+  EXPECT_EQ(edges[1], (Edge{3, 2}));
+}
+
+TEST(SystemCallGraph, AccumulatesOverLog) {
+  SystemCallGraph g;
+  trace::PartitionedLog log;
+  log.events.push_back(make_sys_event({{1, "a"}, {2, "b"}}));
+  log.events.push_back(make_sys_event({{1, "a"}, {3, "c"}}));
+  g.add_log(log);
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(SystemCallGraph, SingleFrameHasNoEdges) {
+  EXPECT_TRUE(
+      SystemCallGraph::event_edges(make_sys_event({{1, "only"}})).empty());
+}
+
+}  // namespace
+}  // namespace leaps::cfg

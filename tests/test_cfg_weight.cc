@@ -1,0 +1,141 @@
+// Unit tests for Weight Assessment (Algorithm 2): ESTIMATE_WEIGHT,
+// path benignity, and per-event averaging.
+#include <gtest/gtest.h>
+
+#include "cfg/weight.h"
+
+namespace leaps::cfg {
+namespace {
+
+AddressGraph chain_graph() {
+  // Benign CFG: 100 → 200 → 300; density array {100,100,200,200,300,300}.
+  AddressGraph g;
+  g.add_edge(100, 200);
+  g.add_edge(200, 300);
+  return g;
+}
+
+TEST(EstimateWeight, ExactNodeScoresOne) {
+  const std::vector<std::uint64_t> density = {100, 200, 300};
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(100, density), 1.0);
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(200, density), 1.0);
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(300, density), 1.0);
+}
+
+TEST(EstimateWeight, MidpointScoresHalf) {
+  const std::vector<std::uint64_t> density = {100, 200};
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(150, density), 0.5);
+}
+
+TEST(EstimateWeight, InterpolatesTowardNearestNode) {
+  const std::vector<std::uint64_t> density = {100, 200};
+  // 110 is 10 away from 100 in a gap of 100: weight 1 - 10/100 = 0.9.
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(110, density), 0.9);
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(190, density), 0.9);
+}
+
+TEST(EstimateWeight, DuplicateNodesNeverDivideByZero) {
+  const std::vector<std::uint64_t> density = {100, 100, 100};
+  EXPECT_DOUBLE_EQ(WeightAssessor::estimate_weight(100, density), 1.0);
+}
+
+TEST(EstimateWeight, OutOfRangeIsAPreconditionViolation) {
+  const std::vector<std::uint64_t> density = {100, 200};
+  EXPECT_THROW(WeightAssessor::estimate_weight(99, density),
+               std::logic_error);
+  EXPECT_THROW(WeightAssessor::estimate_weight(201, density),
+               std::logic_error);
+  EXPECT_THROW(WeightAssessor::estimate_weight(100, {}), std::logic_error);
+}
+
+TEST(PathBenignity, ConnectedPathScoresOne) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(100, 200), 1.0);
+  // Transitively connected counts too (CHECK_CFG is a reachability test).
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(100, 300), 1.0);
+}
+
+TEST(PathBenignity, UnconnectedInRangePathIsEstimated) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+  // 300 → 100 is not a benign path but both endpoints sit on benign nodes.
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(300, 100), 1.0);
+  // Start between nodes: estimated from the density array.
+  const double w = assessor.path_benignity(150, 100);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LT(w, 1.0);
+}
+
+TEST(PathBenignity, FarPathsScoreZero) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(5000, 6000), 0.0);
+  // One endpoint out of range is enough (WITHIN_RANGE checks both).
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(200, 5000), 0.0);
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(5000, 200), 0.0);
+  EXPECT_DOUBLE_EQ(assessor.path_benignity(10, 200), 0.0);
+}
+
+TEST(WeightAssessor, DensityArrayComesFromBenignGraph) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+  // Two edges, each contributing both endpoints: {100,200} and {200,300}.
+  EXPECT_EQ(assessor.density_array(),
+            (std::vector<std::uint64_t>{100, 200, 200, 300}));
+}
+
+TEST(WeightAssessor, AssessAveragesPathWeightsPerEvent) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+
+  InferredCfg mixed;
+  // Event 7 maps to a benign path (weight 1) and a far path (weight 0):
+  // running mean = 0.5.
+  mixed.graph.add_edge(100, 200);
+  mixed.edge_events[{100, 200}] = {7};
+  mixed.graph.add_edge(5000, 6000);
+  mixed.edge_events[{5000, 6000}] = {7, 8};
+
+  const auto weights = assessor.assess(mixed);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights.at(7), 0.5);
+  EXPECT_DOUBLE_EQ(weights.at(8), 0.0);
+}
+
+TEST(WeightAssessor, AssessEmptyMixedGraph) {
+  const AddressGraph benign = chain_graph();
+  const WeightAssessor assessor(benign);
+  EXPECT_TRUE(assessor.assess(InferredCfg{}).empty());
+}
+
+TEST(WeightAssessor, EmptyBenignGraphScoresEverythingZero) {
+  const AddressGraph benign;  // no benign evidence at all
+  const WeightAssessor assessor(benign);
+  InferredCfg mixed;
+  mixed.graph.add_edge(1, 2);
+  mixed.edge_events[{1, 2}] = {0};
+  const auto weights = assessor.assess(mixed);
+  EXPECT_DOUBLE_EQ(weights.at(0), 0.0);
+}
+
+TEST(WeightAssessor, AllWeightsWithinUnitInterval) {
+  AddressGraph benign;
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    benign.add_edge(1000 + a * 16, 1000 + ((a * 7) % 50) * 16);
+  }
+  const WeightAssessor assessor(benign);
+  InferredCfg mixed;
+  std::uint64_t seq = 0;
+  for (std::uint64_t a = 990; a < 1900; a += 13) {
+    mixed.graph.add_edge(a, a + 5);
+    mixed.edge_events[{a, a + 5}] = {seq++};
+  }
+  for (const auto& [ev, w] : assessor.assess(mixed)) {
+    EXPECT_GE(w, 0.0) << "event " << ev;
+    EXPECT_LE(w, 1.0) << "event " << ev;
+  }
+}
+
+}  // namespace
+}  // namespace leaps::cfg

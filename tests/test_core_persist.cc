@@ -1,0 +1,145 @@
+// Unit tests for detector persistence: round-trip fidelity and rejection
+// of malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/persist.h"
+#include "ml/cross_validation.h"
+#include "sim/scenario.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+
+namespace leaps::core {
+namespace {
+
+trace::PartitionedLog parse_and_partition(const trace::RawLog& raw) {
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+struct Fixture {
+  sim::ScenarioLogs logs;
+  trace::PartitionedLog benign;
+  trace::PartitionedLog mixed;
+  trace::PartitionedLog malicious;
+  Detector detector;
+
+  static Fixture make() {
+    sim::SimConfig cfg;
+    cfg.benign_events = 2500;
+    cfg.mixed_events = 2000;
+    cfg.malicious_events = 1000;
+    sim::ScenarioLogs logs =
+        sim::generate_scenario(sim::find_scenario("vim_reverse_tcp"), cfg);
+    trace::PartitionedLog benign = parse_and_partition(logs.benign);
+    trace::PartitionedLog mixed = parse_and_partition(logs.mixed);
+    trace::PartitionedLog malicious = parse_and_partition(logs.malicious);
+
+    const TrainingData td = LeapsPipeline().prepare(benign, mixed);
+    ml::Dataset train = td.benign;
+    train.append(td.mixed);
+    ml::MinMaxScaler scaler;
+    scaler.fit(train.X);
+    scaler.transform_in_place(train);
+    ml::SvmParams params;
+    params.lambda = 10.0;
+    params.kernel.sigma2 = 8.0;
+    const ml::SvmModel model = ml::SvmTrainer(params).train(train);
+    return Fixture{std::move(logs), std::move(benign), std::move(mixed),
+                   std::move(malicious),
+                   Detector(td.preprocessor, scaler, model)};
+  }
+};
+
+TEST(Persist, RoundTripPreservesEveryPrediction) {
+  const Fixture f = Fixture::make();
+  std::stringstream buffer;
+  save_detector(f.detector, buffer);
+  const Detector loaded = load_detector(buffer);
+
+  for (const trace::PartitionedLog* log :
+       {&f.benign, &f.mixed, &f.malicious}) {
+    const auto before = f.detector.scan(*log);
+    const auto after = loaded.scan(*log);
+    ASSERT_EQ(before.window_labels.size(), after.window_labels.size());
+    for (std::size_t w = 0; w < before.window_labels.size(); ++w) {
+      EXPECT_EQ(before.window_labels[w], after.window_labels[w])
+          << "window " << w;
+    }
+  }
+}
+
+TEST(Persist, RoundTripPreservesModelGeometry) {
+  const Fixture f = Fixture::make();
+  std::stringstream buffer;
+  save_detector(f.detector, buffer);
+  const Detector loaded = load_detector(buffer);
+  EXPECT_EQ(loaded.model().support_vector_count(),
+            f.detector.model().support_vector_count());
+  EXPECT_DOUBLE_EQ(loaded.model().bias(), f.detector.model().bias());
+  EXPECT_EQ(loaded.preprocessor().window(),
+            f.detector.preprocessor().window());
+  EXPECT_EQ(loaded.preprocessor().func_clusterer().cluster_count(),
+            f.detector.preprocessor().func_clusterer().cluster_count());
+}
+
+TEST(Persist, SerializedFormIsStableText) {
+  const Fixture f = Fixture::make();
+  std::stringstream a;
+  std::stringstream b;
+  save_detector(f.detector, a);
+  save_detector(f.detector, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().rfind("LEAPS-DETECTOR v1", 0), 0u);  // header
+}
+
+TEST(Persist, FileRoundTrip) {
+  const Fixture f = Fixture::make();
+  const std::string path = ::testing::TempDir() + "/leaps_detector_test.txt";
+  save_detector_file(f.detector, path);
+  const Detector loaded = load_detector_file(path);
+  EXPECT_EQ(loaded.scan(f.malicious).malicious_windows,
+            f.detector.scan(f.malicious).malicious_windows);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsMalformedInput) {
+  const auto expect_reject = [](const std::string& text) {
+    std::stringstream is(text);
+    EXPECT_THROW(load_detector(is), PersistError) << text;
+  };
+  expect_reject("");
+  expect_reject("NOT-A-DETECTOR v1");
+  expect_reject("LEAPS-DETECTOR v999");
+  expect_reject("LEAPS-DETECTOR v1 OPTIONS ten 0.3 10 0.35 10");
+  // Truncated mid-stream.
+  const Fixture f = Fixture::make();
+  std::stringstream full;
+  save_detector(f.detector, full);
+  const std::string text = full.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_detector(truncated), PersistError);
+}
+
+TEST(Persist, RejectsInconsistentDimensions) {
+  const Fixture f = Fixture::make();
+  std::stringstream buffer;
+  save_detector(f.detector, buffer);
+  // Corrupt the SCALER dims so they disagree with the window.
+  std::string text = buffer.str();
+  const auto pos = text.find("SCALER 30");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "SCALER 31");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_detector(corrupted), PersistError);
+}
+
+TEST(Persist, MissingFileThrows) {
+  EXPECT_THROW(load_detector_file("/nonexistent/detector.txt"),
+               PersistError);
+}
+
+}  // namespace
+}  // namespace leaps::core

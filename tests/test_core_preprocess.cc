@@ -1,0 +1,185 @@
+// Unit tests for the Data Preprocessing Module: set extraction, clustering
+// assignment, 3-tuples, and window coalescing.
+#include <gtest/gtest.h>
+
+#include "core/preprocess.h"
+
+namespace leaps::core {
+namespace {
+
+trace::PartitionedEvent event_with_frames(
+    trace::EventType type,
+    std::vector<std::pair<std::string, std::string>> frames,
+    std::uint64_t seq = 0) {
+  trace::PartitionedEvent e;
+  e.seq = seq;
+  e.type = type;
+  std::uint64_t addr = 0x1000;
+  for (auto& [mod, fn] : frames) {
+    trace::StackFrame f;
+    f.address = addr;
+    addr += 0x10;
+    f.module = mod;
+    f.function = fn;
+    e.system_stack.push_back(std::move(f));
+  }
+  return e;
+}
+
+TEST(SetExtraction, LibSetIsSortedUniqueModules) {
+  const auto e = event_with_frames(
+      trace::EventType::kFileRead,
+      {{"ntdll.dll", "NtReadFile"}, {"kernel32.dll", "ReadFile"},
+       {"ntdll.dll", "NtClose"}});
+  EXPECT_EQ(Preprocessor::lib_set(e),
+            (ml::StringSet{"kernel32.dll", "ntdll.dll"}));
+}
+
+TEST(SetExtraction, FuncSetIsModuleQualified) {
+  const auto e = event_with_frames(
+      trace::EventType::kFileRead,
+      {{"a.dll", "ReadFile"}, {"b.dll", "ReadFile"}});
+  // Same exported name in two modules stays two distinct functions.
+  EXPECT_EQ(Preprocessor::func_set(e),
+            (ml::StringSet{"a.dll!ReadFile", "b.dll!ReadFile"}));
+}
+
+TEST(SetClusterer, ExactAndNearestAssignment) {
+  SetClusterer c({.cut_distance = 0.4});
+  c.fit({{"a", "b"}, {"a", "b", "c"}, {"x", "y"}, {"x", "y", "z"}});
+  EXPECT_EQ(c.cluster_count(), 2);
+  // Exact matches.
+  EXPECT_EQ(c.assign({"a", "b"}), c.assign({"a", "b", "c"}));
+  EXPECT_NE(c.assign({"a", "b"}), c.assign({"x", "y"}));
+  // Unseen sets map to the nearest cluster.
+  EXPECT_EQ(c.assign({"a", "b", "d"}), c.assign({"a", "b"}));
+  EXPECT_EQ(c.assign({"x", "y", "w"}), c.assign({"x", "y"}));
+}
+
+TEST(SetClusterer, DeduplicatesBeforeClustering) {
+  SetClusterer c;
+  c.fit({{"a"}, {"a"}, {"a"}, {"b"}});
+  EXPECT_EQ(c.unique_set_count(), 2u);
+}
+
+TEST(SetClusterer, UseBeforeFitThrows) {
+  const SetClusterer c;
+  EXPECT_THROW(c.assign({"a"}), std::logic_error);
+}
+
+class PreprocessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two event flavors: "file" events and "net" events.
+    for (int i = 0; i < 6; ++i) {
+      log_.events.push_back(event_with_frames(
+          trace::EventType::kFileRead,
+          {{"ntdll.dll", "NtReadFile"}, {"kernel32.dll", "ReadFile"}},
+          static_cast<std::uint64_t>(i * 2)));
+      log_.events.push_back(event_with_frames(
+          trace::EventType::kNetworkSend,
+          {{"ws2_32.dll", "send"}, {"mswsock.dll", "WSPSend"}},
+          static_cast<std::uint64_t>(i * 2 + 1)));
+    }
+    options_.window = 4;
+    pre_ = Preprocessor(options_);
+    pre_.fit({&log_});
+  }
+
+  trace::PartitionedLog log_;
+  PreprocessOptions options_;
+  Preprocessor pre_{};
+};
+
+TEST_F(PreprocessorTest, TupleDiscretizesEventTypeAndClusters) {
+  const EventTuple t = pre_.tuple(log_.events[0]);
+  EXPECT_EQ(t.event_type, trace::event_type_id(trace::EventType::kFileRead));
+  EXPECT_GE(t.lib_cluster, 0);
+  EXPECT_GE(t.func_cluster, 0);
+  // The two flavors land in different clusters.
+  const EventTuple u = pre_.tuple(log_.events[1]);
+  EXPECT_NE(t.func_cluster, u.func_cluster);
+  EXPECT_NE(t.lib_cluster, u.lib_cluster);
+}
+
+TEST_F(PreprocessorTest, WindowsCoalesceTuples) {
+  const WindowedData wd = pre_.make_windows(log_);
+  // 12 events at window 4 → 3 windows of 12 dims.
+  ASSERT_EQ(wd.X.size(), 3u);
+  ASSERT_EQ(wd.event_indices.size(), 3u);
+  for (const auto& x : wd.X) EXPECT_EQ(x.size(), 12u);
+  // Provenance covers consecutive indices without overlap.
+  EXPECT_EQ(wd.event_indices[0],
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(wd.event_indices[2],
+            (std::vector<std::size_t>{8, 9, 10, 11}));
+}
+
+TEST_F(PreprocessorTest, WindowFeatureLayoutIsTripletPerEvent) {
+  const WindowedData wd = pre_.make_windows(log_);
+  const EventTuple t0 = pre_.tuple(log_.events[0]);
+  EXPECT_DOUBLE_EQ(wd.X[0][0], static_cast<double>(t0.event_type));
+  EXPECT_DOUBLE_EQ(wd.X[0][1], static_cast<double>(t0.lib_cluster));
+  EXPECT_DOUBLE_EQ(wd.X[0][2], static_cast<double>(t0.func_cluster));
+  const EventTuple t1 = pre_.tuple(log_.events[1]);
+  EXPECT_DOUBLE_EQ(wd.X[0][3], static_cast<double>(t1.event_type));
+}
+
+TEST_F(PreprocessorTest, TrailingPartialWindowIsDropped) {
+  trace::PartitionedLog longer = log_;
+  longer.events.push_back(log_.events[0]);  // 13 events now
+  EXPECT_EQ(pre_.make_windows(longer).X.size(), 3u);
+}
+
+TEST_F(PreprocessorTest, VocabularyAssignsDenseSymbols) {
+  TupleVocabulary vocab;
+  vocab.fit({&log_}, pre_);
+  ASSERT_TRUE(vocab.fitted());
+  // Two event flavors → two known symbols (+ the reserved unknown 0).
+  EXPECT_EQ(vocab.size(), 3u);
+  const int file_sym = vocab.symbol(pre_.tuple(log_.events[0]));
+  const int net_sym = vocab.symbol(pre_.tuple(log_.events[1]));
+  EXPECT_GT(file_sym, 0);
+  EXPECT_GT(net_sym, 0);
+  EXPECT_NE(file_sym, net_sym);
+  // Unseen tuples map to the unknown symbol.
+  EventTuple alien;
+  alien.event_type = 99;
+  EXPECT_EQ(vocab.symbol(alien), 0);
+}
+
+TEST_F(PreprocessorTest, VocabularyEncodesWindows) {
+  TupleVocabulary vocab;
+  vocab.fit({&log_}, pre_);
+  const WindowedData wd = pre_.make_windows(log_);
+  const std::vector<int> seq =
+      vocab.encode(log_, wd.event_indices[0], pre_);
+  ASSERT_EQ(seq.size(), 4u);
+  // Alternating flavors alternate symbols.
+  EXPECT_EQ(seq[0], seq[2]);
+  EXPECT_EQ(seq[1], seq[3]);
+  EXPECT_NE(seq[0], seq[1]);
+}
+
+TEST(TupleVocabulary, UseBeforeFitThrows) {
+  const TupleVocabulary vocab;
+  trace::PartitionedLog log;
+  log.events.push_back({});
+  const Preprocessor pre;
+  EXPECT_THROW(vocab.encode(log, {0}, pre), std::logic_error);
+}
+
+TEST(Preprocessor, UseBeforeFitThrows) {
+  const Preprocessor p;
+  trace::PartitionedLog log;
+  EXPECT_THROW(p.make_windows(log), std::logic_error);
+  EXPECT_FALSE(p.fitted());
+}
+
+TEST(Preprocessor, FitRequiresLogs) {
+  Preprocessor p;
+  EXPECT_THROW(p.fit({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leaps::core

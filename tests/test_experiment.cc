@@ -1,0 +1,134 @@
+// Integration tests for the evaluation harness: data selection, the
+// three-model comparison, averaging, and the headline LEAPS claim
+// (WSVM >= SVM and CGraph on accuracy).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace leaps::core {
+namespace {
+
+ExperimentOptions small_options(std::size_t runs = 2) {
+  ExperimentOptions opt;
+  opt.sim.benign_events = 3000;
+  opt.sim.mixed_events = 2400;
+  opt.sim.malicious_events = 1500;
+  opt.runs = runs;
+  opt.cv.folds = 5;
+  opt.cv.lambdas = {10.0};
+  opt.cv.sigma2s = {8.0};
+  return opt;
+}
+
+TEST(Experiment, ProducesCompleteResults) {
+  const ExperimentRunner runner(small_options());
+  const ExperimentResult r =
+      runner.run_scenario(sim::find_scenario("vim_reverse_tcp"));
+  EXPECT_EQ(r.spec.name, "vim_reverse_tcp");
+  EXPECT_EQ(r.runs, 2u);
+  for (const ModelOutcome* m : {&r.cgraph, &r.svm, &r.wsvm}) {
+    EXPECT_GT(m->pooled.total(), 0u);
+    EXPECT_GE(m->mean.acc, 0.0);
+    EXPECT_LE(m->mean.acc, 1.0);
+    EXPECT_GE(m->mean.tpr, 0.0);
+    EXPECT_LE(m->mean.tnr, 1.0);
+  }
+}
+
+TEST(Experiment, IsDeterministicForFixedOptions) {
+  const ExperimentRunner runner(small_options());
+  const sim::ScenarioLogs logs = sim::generate_scenario(
+      sim::find_scenario("putty_codeinject"), small_options().sim);
+  const ExperimentResult a = runner.run_on_logs(logs);
+  const ExperimentResult b = runner.run_on_logs(logs);
+  EXPECT_DOUBLE_EQ(a.wsvm.mean.acc, b.wsvm.mean.acc);
+  EXPECT_DOUBLE_EQ(a.svm.mean.tpr, b.svm.mean.tpr);
+  EXPECT_DOUBLE_EQ(a.cgraph.mean.npv, b.cgraph.mean.npv);
+}
+
+TEST(Experiment, SeedChangesResults) {
+  ExperimentOptions opt = small_options();
+  const sim::ScenarioLogs logs = sim::generate_scenario(
+      sim::find_scenario("putty_codeinject"), opt.sim);
+  const ExperimentResult a = ExperimentRunner(opt).run_on_logs(logs);
+  opt.seed += 1;
+  const ExperimentResult b = ExperimentRunner(opt).run_on_logs(logs);
+  EXPECT_NE(a.wsvm.mean.acc, b.wsvm.mean.acc);
+}
+
+// The paper's headline: the CFG-guided WSVM beats the plain SVM and the
+// call-graph baseline. A small slack absorbs small-sample noise at this
+// reduced log size.
+TEST(Experiment, WsvmWinsOnAccuracy) {
+  ExperimentOptions opt = small_options(3);
+  opt.sim.benign_events = 6000;
+  opt.sim.mixed_events = 4500;
+  opt.sim.malicious_events = 3000;
+  const ExperimentRunner runner(opt);
+  for (const char* name : {"winscp_reverse_tcp", "vim_reverse_tcp_online"}) {
+    const ExperimentResult r =
+        runner.run_scenario(sim::find_scenario(name));
+    EXPECT_GT(r.wsvm.mean.acc, r.svm.mean.acc - 0.02) << name;
+    EXPECT_GT(r.wsvm.mean.acc, r.cgraph.mean.acc - 0.02) << name;
+    EXPECT_GT(r.wsvm.mean.acc, 0.75) << name;
+  }
+}
+
+TEST(Experiment, AucTracksAccuracyOrdering) {
+  ExperimentOptions opt = small_options(3);
+  opt.sim.benign_events = 6000;
+  opt.sim.mixed_events = 4500;
+  opt.sim.malicious_events = 3000;
+  const ExperimentResult r = ExperimentRunner(opt).run_scenario(
+      sim::find_scenario("vim_reverse_tcp_online"));
+  // AUC is threshold-free: the WSVM separates nearly perfectly here.
+  EXPECT_GT(r.wsvm.auc, 0.95);
+  EXPECT_GE(r.wsvm.auc, r.svm.auc - 0.02);
+  for (const ModelOutcome* m : {&r.cgraph, &r.svm, &r.wsvm}) {
+    EXPECT_GE(m->auc, 0.0);
+    EXPECT_LE(m->auc, 1.0);
+  }
+}
+
+TEST(Experiment, ParallelAndSequentialRunsAgreeExactly) {
+  ExperimentOptions opt = small_options(3);
+  const sim::ScenarioLogs logs = sim::generate_scenario(
+      sim::find_scenario("winscp_reverse_https"), opt.sim);
+  opt.parallel_runs = false;
+  const ExperimentResult seq = ExperimentRunner(opt).run_on_logs(logs);
+  opt.parallel_runs = true;
+  const ExperimentResult par = ExperimentRunner(opt).run_on_logs(logs);
+  EXPECT_DOUBLE_EQ(seq.wsvm.mean.acc, par.wsvm.mean.acc);
+  EXPECT_DOUBLE_EQ(seq.svm.mean.tpr, par.svm.mean.tpr);
+  EXPECT_DOUBLE_EQ(seq.cgraph.auc, par.cgraph.auc);
+  EXPECT_EQ(seq.wsvm.pooled.tp, par.wsvm.pooled.tp);
+}
+
+TEST(Experiment, PooledConfusionMatchesRunsTimesSamples) {
+  const ExperimentOptions opt = small_options();
+  const ExperimentRunner runner(opt);
+  const ExperimentResult r =
+      runner.run_scenario(sim::find_scenario("notepad++_reverse_https"));
+  // All three models saw the same number of test points.
+  EXPECT_EQ(r.cgraph.pooled.total(), r.svm.pooled.total());
+  EXPECT_EQ(r.svm.pooled.total(), r.wsvm.pooled.total());
+  EXPECT_EQ(r.svm.pooled.total() % opt.runs, 0u);
+}
+
+TEST(Experiment, FormattersProduceAlignedRows) {
+  const ExperimentRunner runner(small_options(1));
+  const ExperimentResult r =
+      runner.run_scenario(sim::find_scenario("vim_codeinject"));
+  const std::string header = format_result_header(true);
+  EXPECT_NE(header.find("ACC"), std::string::npos);
+  EXPECT_NE(header.find("NPV"), std::string::npos);
+  const std::string rows = format_result_row(r, true);
+  EXPECT_NE(rows.find("CGraph"), std::string::npos);
+  EXPECT_NE(rows.find("WSVM"), std::string::npos);
+  const std::string single = format_result_row(r, false);
+  EXPECT_EQ(single.find("WSVM"), std::string::npos);
+  EXPECT_NE(single.find("vim_codeinject"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leaps::core

@@ -1,0 +1,165 @@
+// Unit tests for Eqn. 1 set dissimilarity and UPGMA hierarchical clustering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/distance.h"
+#include "ml/hcluster.h"
+
+namespace leaps::ml {
+namespace {
+
+// ----------------------------------------------------------- distance ----
+
+TEST(SetDissimilarity, MatchesEqnOne) {
+  const StringSet a = {"a", "b", "c"};
+  const StringSet b = {"b", "c", "d"};
+  // |∩| = 2, |∪| = 4 → 1 - 2/4 = 0.5.
+  EXPECT_DOUBLE_EQ(set_dissimilarity(a, b), 0.5);
+}
+
+TEST(SetDissimilarity, IdenticalSetsAreDistanceZero) {
+  const StringSet a = {"x", "y"};
+  EXPECT_DOUBLE_EQ(set_dissimilarity(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(set_dissimilarity({}, {}), 0.0);
+}
+
+TEST(SetDissimilarity, DisjointSetsAreDistanceOne) {
+  EXPECT_DOUBLE_EQ(set_dissimilarity({"a"}, {"b"}), 1.0);
+  EXPECT_DOUBLE_EQ(set_dissimilarity({}, {"b"}), 1.0);
+}
+
+TEST(SetDissimilarity, SubsetDistance) {
+  // |∩| = 1, |∪| = 3 → 2/3.
+  EXPECT_NEAR(set_dissimilarity({"a"}, {"a", "b", "c"}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardMatrix, SymmetricZeroDiagonal) {
+  const std::vector<StringSet> sets = {{"a"}, {"a", "b"}, {"c"}};
+  const auto dm = jaccard_distance_matrix(sets);
+  ASSERT_EQ(dm.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(dm[i][i], 0.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(dm[i][j], dm[j][i]);
+  }
+  EXPECT_DOUBLE_EQ(dm[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(dm[0][2], 1.0);
+}
+
+// ----------------------------------------------------------- hcluster ----
+
+std::vector<std::vector<double>> matrix_from(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  std::vector<std::vector<double>> m;
+  for (const auto& r : rows) m.emplace_back(r);
+  return m;
+}
+
+TEST(HierarchicalClusterer, TwoObviousGroups) {
+  // Items {0,1} close, {2,3} close, groups far apart.
+  const auto dm = matrix_from({{0.0, 0.1, 0.9, 0.95},
+                               {0.1, 0.0, 0.92, 0.9},
+                               {0.9, 0.92, 0.0, 0.05},
+                               {0.95, 0.9, 0.05, 0.0}});
+  const auto res = HierarchicalClusterer({.cut_distance = 0.5}).cluster(dm);
+  EXPECT_EQ(res.cluster_count, 2);
+  EXPECT_EQ(res.assignment[0], res.assignment[1]);
+  EXPECT_EQ(res.assignment[2], res.assignment[3]);
+  EXPECT_NE(res.assignment[0], res.assignment[2]);
+}
+
+TEST(HierarchicalClusterer, CutZeroKeepsAllSeparate) {
+  const auto dm = matrix_from(
+      {{0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}});
+  const auto res = HierarchicalClusterer({.cut_distance = 0.0}).cluster(dm);
+  EXPECT_EQ(res.cluster_count, 3);
+}
+
+TEST(HierarchicalClusterer, LargeCutMergesEverything) {
+  const auto dm = matrix_from(
+      {{0.0, 0.5, 0.9}, {0.5, 0.0, 0.7}, {0.9, 0.7, 0.0}});
+  const auto res = HierarchicalClusterer({.cut_distance = 1.0}).cluster(dm);
+  EXPECT_EQ(res.cluster_count, 1);
+}
+
+TEST(HierarchicalClusterer, MaxClustersBoundForcesMerging) {
+  const auto dm = matrix_from({{0.0, 0.9, 0.9, 0.9},
+                               {0.9, 0.0, 0.9, 0.9},
+                               {0.9, 0.9, 0.0, 0.9},
+                               {0.9, 0.9, 0.9, 0.0}});
+  // Cut alone would keep 4 clusters; the bound forces 2.
+  const auto res =
+      HierarchicalClusterer({.cut_distance = 0.1, .max_clusters = 2})
+          .cluster(dm);
+  EXPECT_EQ(res.cluster_count, 2);
+}
+
+TEST(HierarchicalClusterer, SingletonInput) {
+  const auto res = HierarchicalClusterer().cluster(matrix_from({{0.0}}));
+  EXPECT_EQ(res.cluster_count, 1);
+  EXPECT_EQ(res.assignment, (std::vector<int>{0}));
+  EXPECT_EQ(res.leaf_order, (std::vector<std::size_t>{0}));
+}
+
+TEST(HierarchicalClusterer, IdenticalItemsMergeFirst) {
+  const auto dm = matrix_from(
+      {{0.0, 0.0, 0.8}, {0.0, 0.0, 0.8}, {0.8, 0.8, 0.0}});
+  const auto res = HierarchicalClusterer({.cut_distance = 0.4}).cluster(dm);
+  EXPECT_EQ(res.cluster_count, 2);
+  EXPECT_EQ(res.assignment[0], res.assignment[1]);
+}
+
+TEST(HierarchicalClusterer, LeafOrderIsAPermutation) {
+  const auto dm = matrix_from({{0.0, 0.3, 0.6, 0.9},
+                               {0.3, 0.0, 0.5, 0.8},
+                               {0.6, 0.5, 0.0, 0.4},
+                               {0.9, 0.8, 0.4, 0.0}});
+  const auto res = HierarchicalClusterer().cluster(dm);
+  auto order = res.leaf_order;
+  std::sort(order.begin(), order.end());
+  std::vector<std::size_t> expect(4);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(HierarchicalClusterer, ClusterIdsAreDenseAndLeafOrdered) {
+  const auto dm = matrix_from({{0.0, 0.05, 0.9, 0.9},
+                               {0.05, 0.0, 0.9, 0.9},
+                               {0.9, 0.9, 0.0, 0.05},
+                               {0.9, 0.9, 0.05, 0.0}});
+  const auto res = HierarchicalClusterer({.cut_distance = 0.5}).cluster(dm);
+  // Ids must be 0..cluster_count-1, numbered by first leaf appearance.
+  std::vector<int> seen_order;
+  for (const std::size_t leaf : res.leaf_order) {
+    const int id = res.assignment[leaf];
+    if (std::find(seen_order.begin(), seen_order.end(), id) ==
+        seen_order.end()) {
+      seen_order.push_back(id);
+    }
+  }
+  for (int i = 0; i < res.cluster_count; ++i) EXPECT_EQ(seen_order[i], i);
+}
+
+TEST(HierarchicalClusterer, UpgmaUsesAverageLinkage) {
+  // Three points on a line: 0 at x=0, 1 at x=1, 2 at x=2.4.
+  // Single linkage would merge {0,1} then attach 2 at distance 1.4;
+  // UPGMA attaches 2 at the *average* distance (2.4 + 1.4)/2 = 1.9.
+  const auto dm = matrix_from(
+      {{0.0, 1.0, 2.4}, {1.0, 0.0, 1.4}, {2.4, 1.4, 0.0}});
+  // Cut at 1.5: single linkage would merge everything; UPGMA must keep 2
+  // clusters because the second merge happens at 1.9 > 1.5.
+  const auto res = HierarchicalClusterer({.cut_distance = 1.5}).cluster(dm);
+  EXPECT_EQ(res.cluster_count, 2);
+  EXPECT_EQ(res.assignment[0], res.assignment[1]);
+  EXPECT_NE(res.assignment[0], res.assignment[2]);
+}
+
+TEST(HierarchicalClusterer, RejectsMalformedMatrix) {
+  HierarchicalClusterer c;
+  EXPECT_THROW(c.cluster({}), std::logic_error);
+  EXPECT_THROW(c.cluster({{0.0, 1.0}}), std::logic_error);  // not square
+}
+
+}  // namespace
+}  // namespace leaps::ml

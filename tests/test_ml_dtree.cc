@@ -1,0 +1,178 @@
+// Unit tests for weighted CART decision trees and the bagged forest.
+#include <gtest/gtest.h>
+
+#include "ml/dtree.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+namespace {
+
+/// Benign = the lower-left quadrant; greedy CART learns this with two
+/// axis-aligned splits (unlike symmetric XOR, whose first split has zero
+/// Gini gain for any greedy tree).
+Dataset quadrant_data(util::Rng& rng, int per_corner = 25) {
+  Dataset d;
+  for (int i = 0; i < per_corner; ++i) {
+    const double n1 = rng.next_gaussian() * 0.05;
+    const double n2 = rng.next_gaussian() * 0.05;
+    d.add({0.0 + n1, 0.0 + n2}, 1);
+    d.add({1.0 + n1, 1.0 + n2}, -1);
+    d.add({0.0 + n1, 1.0 + n2}, -1);
+    d.add({1.0 + n1, 0.0 + n2}, -1);
+  }
+  return d;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<double>(i), 0.0}, i < 10 ? 1 : -1);
+  }
+  const DecisionTreeModel m = DecisionTreeTrainer().train(d);
+  EXPECT_EQ(m.predict({3.0, 0.0}), 1);
+  EXPECT_EQ(m.predict({15.0, 0.0}), -1);
+  EXPECT_LE(m.depth(), 2u);  // one split suffices
+}
+
+TEST(DecisionTree, SolvesQuadrant) {
+  util::Rng rng(1);
+  const Dataset d = quadrant_data(rng);
+  const DecisionTreeModel m = DecisionTreeTrainer().train(d);
+  EXPECT_EQ(m.predict({0.0, 0.0}), 1);
+  EXPECT_EQ(m.predict({1.0, 1.0}), -1);
+  EXPECT_EQ(m.predict({0.0, 1.0}), -1);
+  EXPECT_EQ(m.predict({1.0, 0.0}), -1);
+}
+
+TEST(DecisionTree, ScoreReflectsLeafPurity) {
+  util::Rng rng(2);
+  const Dataset d = quadrant_data(rng);
+  const DecisionTreeModel m = DecisionTreeTrainer().train(d);
+  EXPECT_GT(m.score({0.0, 0.0}), 0.9);   // pure benign leaf
+  EXPECT_LT(m.score({1.0, 0.0}), -0.9);  // pure malicious leaf
+}
+
+TEST(DecisionTree, MaxDepthBounds) {
+  util::Rng rng(3);
+  const Dataset d = quadrant_data(rng);
+  DTreeParams p;
+  p.max_depth = 1;
+  const DecisionTreeModel m = DecisionTreeTrainer(p).train(d);
+  EXPECT_LE(m.depth(), 2u);  // root + one level
+}
+
+TEST(DecisionTree, ZeroWeightSamplesAreInvisible) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<double>(i)}, i < 10 ? 1 : -1);
+  }
+  const DecisionTreeModel clean = DecisionTreeTrainer().train(d);
+  // Poison: flipped labels at weight 0 everywhere.
+  Dataset poisoned = d;
+  for (int i = 0; i < 20; ++i) {
+    poisoned.add({static_cast<double>(i)}, i < 10 ? -1 : 1, 0.0);
+  }
+  const DecisionTreeModel after = DecisionTreeTrainer().train(poisoned);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(clean.predict({static_cast<double>(i)}),
+              after.predict({static_cast<double>(i)}));
+  }
+}
+
+TEST(DecisionTree, LowWeightLabelNoiseIsOutvoted) {
+  // Mislabeled benign duplicates at low weight must not flip the region.
+  Dataset d;
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.next_double();
+    d.add({x, 1.0}, 1, 1.0);
+    d.add({x, -1.0}, -1, 1.0);
+    d.add({x, 1.0}, -1, 0.05);  // CFG says: almost certainly benign
+  }
+  const DecisionTreeModel m = DecisionTreeTrainer().train(d);
+  EXPECT_EQ(m.predict({0.5, 1.0}), 1);
+  EXPECT_EQ(m.predict({0.5, -1.0}), -1);
+}
+
+TEST(DecisionTree, RejectsDegenerateData) {
+  Dataset d;
+  d.add({1.0}, 1);
+  EXPECT_THROW(DecisionTreeTrainer().train(d), std::logic_error);
+  d.add({2.0}, 1);
+  EXPECT_THROW(DecisionTreeTrainer().train(d), std::invalid_argument);
+  EXPECT_THROW(DecisionTreeModel().predict({1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, PureClassDataYieldsSingleLeafAfterWeighting) {
+  // Both labels present but one side dominated: tree still trains.
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 1, 1.0);
+  d.add({100.0}, -1, 1.0);
+  const DecisionTreeModel m = DecisionTreeTrainer().train(d);
+  EXPECT_EQ(m.predict({0.0}), 1);
+}
+
+// ------------------------------------------------------------- forest ----
+
+TEST(RandomForest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  util::Rng rng(5);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 150; ++i) {
+    const int label = rng.next_bool(0.5) ? 1 : -1;
+    FeatureVector x(6);
+    for (double& v : x) v = rng.next_gaussian();
+    x[1] += 0.9 * label;
+    x[4] -= 0.6 * label;
+    (i < 100 ? train : test).add(x, label);
+  }
+  const DecisionTreeModel tree = DecisionTreeTrainer().train(train);
+  ForestParams fp;
+  fp.trees = 30;
+  const RandomForestModel forest = RandomForestTrainer(fp).train(train);
+  std::size_t tree_ok = 0;
+  std::size_t forest_ok = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    tree_ok += tree.predict(test.X[i]) == test.y[i] ? 1 : 0;
+    forest_ok += forest.predict(test.X[i]) == test.y[i] ? 1 : 0;
+  }
+  EXPECT_GE(forest_ok + 2, tree_ok);  // at worst marginally below
+  EXPECT_GT(forest_ok, test.size() * 7 / 10);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  util::Rng rng(6);
+  const Dataset d = quadrant_data(rng);
+  const RandomForestModel a = RandomForestTrainer().train(d);
+  const RandomForestModel b = RandomForestTrainer().train(d);
+  util::Rng probe(7);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureVector x = {probe.next_double() * 1.5 - 0.25,
+                             probe.next_double() * 1.5 - 0.25};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(RandomForest, ScoreIsMeanOfTreeVotes) {
+  util::Rng rng(8);
+  const Dataset d = quadrant_data(rng);
+  const RandomForestModel m = RandomForestTrainer().train(d);
+  const double s = m.score({0.0, 0.0});
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GT(s, 0.5);  // strongly benign corner
+  EXPECT_GT(m.tree_count(), 0u);
+}
+
+TEST(RandomForest, UsageErrors) {
+  EXPECT_THROW(RandomForestModel().predict({1.0}), std::logic_error);
+  Dataset d;
+  d.add({1.0}, 1);
+  d.add({2.0}, -1);
+  ForestParams p;
+  p.trees = 0;
+  EXPECT_THROW(RandomForestTrainer(p).train(d), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leaps::ml

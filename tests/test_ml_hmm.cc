@@ -1,0 +1,232 @@
+// Unit tests for the discrete HMM (Baum-Welch / forward algorithm) and the
+// LLR classifier — the Section VI-B extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/hmm.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+namespace {
+
+/// Samples sequences from a known 2-state generator for recovery tests.
+std::vector<Sequence> sample_from(const std::vector<double>& initial,
+                                  const std::vector<std::vector<double>>& a,
+                                  const std::vector<std::vector<double>>& b,
+                                  std::size_t count, std::size_t length,
+                                  util::Rng& rng) {
+  std::vector<Sequence> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Sequence seq;
+    std::size_t state = rng.sample_weighted(initial);
+    for (std::size_t t = 0; t < length; ++t) {
+      seq.push_back(static_cast<int>(rng.sample_weighted(b[state])));
+      state = rng.sample_weighted(a[state]);
+    }
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+TEST(Hmm, ForwardMatchesHandComputedExample) {
+  // Model known in closed form: 1 state, 2 symbols, B = [0.25, 0.75].
+  const std::vector<Sequence> data = {{0, 1, 1}};
+  HmmParams p;
+  p.states = 1;
+  p.max_iterations = 50;
+  p.smoothing = 0.0;
+  const Hmm m = Hmm::train(data, {1.0}, 2, p);
+  // ML solution emits exactly the empirical frequencies.
+  EXPECT_NEAR(m.emission()[0][0], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(m.emission()[0][1], 2.0 / 3.0, 1e-6);
+  // log P(0,1,1) = log(1/3) + 2 log(2/3).
+  EXPECT_NEAR(m.log_likelihood({0, 1, 1}),
+              std::log(1.0 / 3.0) + 2 * std::log(2.0 / 3.0), 1e-6);
+}
+
+TEST(Hmm, TrainingIncreasesDataLikelihood) {
+  util::Rng rng(5);
+  const std::vector<std::vector<double>> a = {{0.9, 0.1}, {0.2, 0.8}};
+  const std::vector<std::vector<double>> b = {{0.8, 0.1, 0.1},
+                                              {0.1, 0.1, 0.8}};
+  const auto data = sample_from({0.5, 0.5}, a, b, 40, 25, rng);
+  const std::vector<double> ones(data.size(), 1.0);
+  HmmParams p1;
+  p1.max_iterations = 1;
+  HmmParams p30;
+  p30.max_iterations = 30;
+  const Hmm early = Hmm::train(data, ones, 3, p1);
+  const Hmm late = Hmm::train(data, ones, 3, p30);
+  double ll_early = 0.0;
+  double ll_late = 0.0;
+  for (const Sequence& s : data) {
+    ll_early += early.log_likelihood(s);
+    ll_late += late.log_likelihood(s);
+  }
+  EXPECT_GT(ll_late, ll_early);
+}
+
+TEST(Hmm, LearnsToSeparateTwoGenerators) {
+  util::Rng rng(7);
+  // Generator A favors symbols {0,1} with sticky states; B favors {2,3}.
+  const auto data_a = sample_from(
+      {1.0, 0.0}, {{0.9, 0.1}, {0.1, 0.9}},
+      {{0.7, 0.25, 0.025, 0.025}, {0.25, 0.7, 0.025, 0.025}}, 30, 20, rng);
+  const auto data_b = sample_from(
+      {1.0, 0.0}, {{0.9, 0.1}, {0.1, 0.9}},
+      {{0.025, 0.025, 0.7, 0.25}, {0.025, 0.025, 0.25, 0.7}}, 30, 20, rng);
+  const std::vector<double> ones(30, 1.0);
+  HmmParams p;
+  p.states = 2;
+  const Hmm ma = Hmm::train(data_a, ones, 4, p);
+  const Hmm mb = Hmm::train(data_b, ones, 4, p);
+  // Held-out sequences are explained better by their own model.
+  util::Rng rng2(8);
+  const auto test_a = sample_from(
+      {1.0, 0.0}, {{0.9, 0.1}, {0.1, 0.9}},
+      {{0.7, 0.25, 0.025, 0.025}, {0.25, 0.7, 0.025, 0.025}}, 10, 20, rng2);
+  for (const Sequence& s : test_a) {
+    EXPECT_GT(ma.log_likelihood(s), mb.log_likelihood(s));
+  }
+}
+
+TEST(Hmm, ZeroWeightSequencesAreIgnored) {
+  // Poison sequences of symbol 2 at weight 0 must not affect the model.
+  std::vector<Sequence> data = {{0, 0, 1, 0}, {1, 0, 0, 1}};
+  std::vector<double> weights = {1.0, 1.0};
+  HmmParams p;
+  p.states = 1;
+  p.smoothing = 0.0;
+  const Hmm clean = Hmm::train(data, weights, 3, p);
+  data.push_back({2, 2, 2, 2});
+  weights.push_back(0.0);
+  const Hmm poisoned = Hmm::train(data, weights, 3, p);
+  EXPECT_NEAR(clean.emission()[0][0], poisoned.emission()[0][0], 1e-9);
+  EXPECT_NEAR(clean.emission()[0][2], poisoned.emission()[0][2], 1e-9);
+}
+
+TEST(Hmm, RowsAreDistributions) {
+  util::Rng rng(9);
+  const auto data = sample_from({0.5, 0.5}, {{0.5, 0.5}, {0.5, 0.5}},
+                                {{0.5, 0.5}, {0.5, 0.5}}, 10, 15, rng);
+  const std::vector<double> ones(data.size(), 1.0);
+  const Hmm m = Hmm::train(data, ones, 2, {});
+  double pi_sum = 0.0;
+  for (const double v : m.initial()) {
+    EXPECT_GT(v, 0.0);
+    pi_sum += v;
+  }
+  EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+  for (const auto& row : m.transition()) {
+    double sum = 0.0;
+    for (const double v : row) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (const auto& row : m.emission()) {
+    double sum = 0.0;
+    for (const double v : row) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Hmm, RejectsMalformedInput) {
+  EXPECT_THROW(Hmm::train({{0}}, {1.0, 1.0}, 2, {}),
+               std::invalid_argument);                               // sizes
+  EXPECT_THROW(Hmm::train({{5}}, {1.0}, 2, {}), std::invalid_argument);
+  EXPECT_THROW(Hmm::train({{0}}, {0.0}, 2, {}), std::invalid_argument);
+  EXPECT_THROW(Hmm::train({{0}}, {-1.0}, 2, {}), std::invalid_argument);
+  EXPECT_THROW(Hmm::train({{0}}, {1.0}, 0, {}), std::invalid_argument);
+}
+
+TEST(Hmm, EmptySequenceScoresZero) {
+  const Hmm m = Hmm::train({{0, 1}}, {1.0}, 2, {});
+  EXPECT_DOUBLE_EQ(m.log_likelihood({}), 0.0);
+}
+
+TEST(Hmm, TrainingIsDeterministic) {
+  util::Rng rng(11);
+  const auto data = sample_from({1.0}, {{1.0}}, {{0.3, 0.7}}, 8, 12, rng);
+  const std::vector<double> ones(data.size(), 1.0);
+  const Hmm a = Hmm::train(data, ones, 2, {});
+  const Hmm b = Hmm::train(data, ones, 2, {});
+  EXPECT_EQ(a.emission(), b.emission());
+  EXPECT_EQ(a.transition(), b.transition());
+}
+
+// ----------------------------------------------------- HmmClassifier ----
+
+TEST(HmmClassifier, SeparatesDistinctSymbolDistributions) {
+  util::Rng rng(13);
+  std::vector<Sequence> benign, mixed, test_b, test_m;
+  for (int i = 0; i < 40; ++i) {
+    Sequence sb, sm, tb, tm;
+    for (int t = 0; t < 10; ++t) {
+      sb.push_back(static_cast<int>(rng.next_below(3)));      // symbols 0-2
+      sm.push_back(3 + static_cast<int>(rng.next_below(3)));  // symbols 3-5
+      tb.push_back(static_cast<int>(rng.next_below(3)));
+      tm.push_back(3 + static_cast<int>(rng.next_below(3)));
+    }
+    benign.push_back(sb);
+    mixed.push_back(sm);
+    test_b.push_back(tb);
+    test_m.push_back(tm);
+  }
+  HmmClassifier clf;
+  clf.fit(benign, mixed, std::vector<double>(mixed.size(), 1.0), 6);
+  ASSERT_TRUE(clf.fitted());
+  std::size_t correct = 0;
+  for (const auto& s : test_b) correct += clf.predict(s) == 1 ? 1 : 0;
+  for (const auto& s : test_m) correct += clf.predict(s) == -1 ? 1 : 0;
+  EXPECT_GT(correct, 76u);  // 95%+
+}
+
+TEST(HmmClassifier, WeightsSuppressMislabeledSequences) {
+  util::Rng rng(17);
+  std::vector<Sequence> benign, mixed;
+  std::vector<double> weights;
+  for (int i = 0; i < 30; ++i) {
+    Sequence sb, sm;
+    for (int t = 0; t < 10; ++t) {
+      sb.push_back(static_cast<int>(rng.next_below(2)));
+      sm.push_back(2 + static_cast<int>(rng.next_below(2)));
+    }
+    benign.push_back(sb);
+    mixed.push_back(sm);
+    weights.push_back(1.0);
+    // Mislabeled benign sequence in the mixed set, CFG weight near zero.
+    if (i < 20) {
+      mixed.push_back(sb);
+      weights.push_back(0.01);
+    }
+  }
+  HmmClassifier weighted;
+  weighted.fit(benign, mixed, weights, 4);
+  HmmClassifier plain;
+  plain.fit(benign, mixed, std::vector<double>(mixed.size(), 1.0), 4);
+
+  // Benign-looking held-out sequences: the weighted classifier must not
+  // call them malicious.
+  util::Rng rng2(18);
+  std::size_t weighted_ok = 0;
+  std::size_t plain_ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    Sequence s;
+    for (int t = 0; t < 10; ++t) {
+      s.push_back(static_cast<int>(rng2.next_below(2)));
+    }
+    weighted_ok += weighted.predict(s) == 1 ? 1 : 0;
+    plain_ok += plain.predict(s) == 1 ? 1 : 0;
+  }
+  EXPECT_GE(weighted_ok, plain_ok);
+  EXPECT_GT(weighted_ok, 25u);
+}
+
+TEST(HmmClassifier, UseBeforeFitThrows) {
+  const HmmClassifier clf;
+  EXPECT_THROW(clf.score({0, 1}), std::logic_error);
+  EXPECT_THROW(clf.benign_model(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leaps::ml

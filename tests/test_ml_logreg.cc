@@ -1,0 +1,134 @@
+// Unit tests for weighted logistic regression (the III-D-2 alternative).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/logreg.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, util::Rng& rng, double separation) {
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({rng.next_gaussian() * 0.3, rng.next_gaussian() * 0.3 + separation},
+          1, 1.0);
+    d.add({rng.next_gaussian() * 0.3, rng.next_gaussian() * 0.3 - separation},
+          -1, 1.0);
+  }
+  return d;
+}
+
+TEST(LogReg, SeparatesTwoBlobs) {
+  util::Rng rng(1);
+  const Dataset d = blobs(50, rng, 1.5);
+  LogRegStats stats;
+  const LogRegModel m = LogRegTrainer(LogRegParams{}).train(d, &stats);
+  EXPECT_TRUE(stats.converged);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (m.predict(d.X[i]) == d.y[i]) ++correct;
+  }
+  EXPECT_GE(correct, d.size() - 2);
+  EXPECT_EQ(m.predict({0.0, 2.0}), 1);
+  EXPECT_EQ(m.predict({0.0, -2.0}), -1);
+}
+
+TEST(LogReg, ProbabilitiesAreCalibratedBySide) {
+  util::Rng rng(2);
+  const Dataset d = blobs(50, rng, 1.5);
+  const LogRegModel m = LogRegTrainer(LogRegParams{}).train(d);
+  EXPECT_GT(m.probability({0.0, 2.0}), 0.9);
+  EXPECT_LT(m.probability({0.0, -2.0}), 0.1);
+  // Decision boundary ≈ probability 0.5.
+  EXPECT_NEAR(m.probability({0.0, -m.bias() / m.weights()[1]}), 0.5, 1e-6);
+}
+
+TEST(LogReg, RegularizationShrinksWeights) {
+  util::Rng rng(3);
+  const Dataset d = blobs(40, rng, 1.0);
+  LogRegParams weak;
+  weak.l2 = 0.01;
+  LogRegParams strong;
+  strong.l2 = 100.0;
+  const LogRegModel mw = LogRegTrainer(weak).train(d);
+  const LogRegModel ms = LogRegTrainer(strong).train(d);
+  const auto norm = [](const LogRegModel& m) {
+    double s = 0.0;
+    for (const double w : m.weights()) s += w * w;
+    return std::sqrt(s);
+  };
+  EXPECT_GT(norm(mw), norm(ms));
+}
+
+TEST(LogReg, ZeroWeightPoisonIsIgnored) {
+  util::Rng rng(4);
+  Dataset d = blobs(40, rng, 1.5);
+  const LogRegModel clean = LogRegTrainer(LogRegParams{}).train(d);
+  for (int i = 0; i < 20; ++i) d.add({0.0, 1.5}, -1, 0.0);
+  const LogRegModel poisoned = LogRegTrainer(LogRegParams{}).train(d);
+  for (std::size_t j = 0; j < clean.weights().size(); ++j) {
+    EXPECT_NEAR(clean.weights()[j], poisoned.weights()[j], 1e-9);
+  }
+  EXPECT_NEAR(clean.bias(), poisoned.bias(), 1e-9);
+}
+
+TEST(LogReg, LowWeightLabelNoiseIsSuppressed) {
+  // The Figure-5 situation again, linear edition.
+  util::Rng rng(5);
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    const double n1 = rng.next_gaussian() * 0.2;
+    const double n2 = rng.next_gaussian() * 0.2;
+    d.add({n1, 1.0 + n2}, 1, 1.0);
+    d.add({n1, -1.0 + n2}, -1, 1.0);
+    d.add({n1, 1.0 - n2}, -1, 1.0);  // mislabeled benign at full weight
+  }
+  Dataset weighted = d;
+  for (std::size_t i = 0; i < weighted.size(); ++i) {
+    if (weighted.y[i] == -1 && weighted.X[i][1] > 0.0) {
+      weighted.weight[i] = 0.02;
+    }
+  }
+  const LogRegModel plain = LogRegTrainer(LogRegParams{}).train(d);
+  const LogRegModel wlr = LogRegTrainer(LogRegParams{}).train(weighted);
+  int plain_benign = 0;
+  int wlr_benign = 0;
+  for (double x = -0.5; x <= 0.5; x += 0.1) {
+    plain_benign += plain.predict({x, 1.0}) == 1 ? 1 : 0;
+    wlr_benign += wlr.predict({x, 1.0}) == 1 ? 1 : 0;
+  }
+  EXPECT_GT(wlr_benign, plain_benign);
+  EXPECT_EQ(wlr.predict({0.0, -1.0}), -1);
+}
+
+TEST(LogReg, RejectsDegenerateData) {
+  Dataset d;
+  d.add({1.0}, 1, 1.0);
+  EXPECT_THROW(LogRegTrainer(LogRegParams{}).train(d), std::logic_error);  // n < 2
+  d.add({2.0}, 1, 1.0);
+  EXPECT_THROW(LogRegTrainer(LogRegParams{}).train(d), std::invalid_argument);
+  d.add({0.0}, -1, 0.0);  // weightless negative
+  EXPECT_THROW(LogRegTrainer(LogRegParams{}).train(d), std::invalid_argument);
+}
+
+TEST(LogReg, DeterministicTraining) {
+  util::Rng rng(6);
+  const Dataset d = blobs(30, rng, 1.0);
+  const LogRegModel a = LogRegTrainer(LogRegParams{}).train(d);
+  const LogRegModel b = LogRegTrainer(LogRegParams{}).train(d);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(LogReg, DecisionValueMatchesDotProduct) {
+  const LogRegModel m({2.0, -1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.decision_value({1.0, 1.0}), 1.5);
+  EXPECT_EQ(m.predict({1.0, 1.0}), 1);
+  EXPECT_EQ(m.predict({-1.0, 1.0}), -1);
+  EXPECT_THROW(m.decision_value({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leaps::ml

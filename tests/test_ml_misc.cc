@@ -1,0 +1,304 @@
+// Unit tests for kernels, scaler, metrics, dataset, and cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/kernel.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "util/rng.h"
+
+namespace leaps::ml {
+namespace {
+
+// ------------------------------------------------------------- kernel ----
+
+TEST(Kernel, GaussianProperties) {
+  KernelParams k;
+  k.type = KernelType::kGaussian;
+  k.sigma2 = 2.0;
+  const FeatureVector a = {1.0, 2.0};
+  const FeatureVector b = {2.0, 0.0};
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);              // k(x,x) = 1
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));          // symmetry
+  EXPECT_DOUBLE_EQ(k(a, b), std::exp(-5.0 / 2.0));
+  EXPECT_GT(k(a, b), 0.0);
+}
+
+TEST(Kernel, LinearIsDotProduct) {
+  KernelParams k;
+  k.type = KernelType::kLinear;
+  EXPECT_DOUBLE_EQ(k({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(Kernel, PolynomialMatchesDefinition) {
+  KernelParams k;
+  k.type = KernelType::kPolynomial;
+  k.degree = 2;
+  k.coef0 = 1.0;
+  EXPECT_DOUBLE_EQ(k({1.0}, {2.0}), 9.0);  // (2+1)^2
+}
+
+TEST(Kernel, KernelTypeNames) {
+  EXPECT_EQ(kernel_type_name(KernelType::kGaussian), "gaussian");
+  EXPECT_EQ(kernel_type_name(KernelType::kLinear), "linear");
+  EXPECT_EQ(kernel_type_name(KernelType::kPolynomial), "polynomial");
+}
+
+TEST(Kernel, GramMatrixSymmetricUnitDiagonal) {
+  const std::vector<FeatureVector> X = {{0.0}, {1.0}, {2.0}};
+  const auto K = gram_matrix(X, {});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(K[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(K[i][j], K[j][i]);
+  }
+}
+
+// -------------------------------------------------------------- scaler ----
+
+TEST(Scaler, MapsTrainingRangeToUnit) {
+  MinMaxScaler s;
+  s.fit({{0.0, 10.0}, {4.0, 20.0}});
+  EXPECT_EQ(s.transform({0.0, 10.0}), (FeatureVector{0.0, 0.0}));
+  EXPECT_EQ(s.transform({4.0, 20.0}), (FeatureVector{1.0, 1.0}));
+  EXPECT_EQ(s.transform({2.0, 15.0}), (FeatureVector{0.5, 0.5}));
+}
+
+TEST(Scaler, ClampsOutOfRangeTestValues) {
+  MinMaxScaler s;
+  s.fit({{0.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(s.transform({100.0})[0], 1.5);
+  EXPECT_DOUBLE_EQ(s.transform({-100.0})[0], -0.5);
+}
+
+TEST(Scaler, DegenerateDimensionCollapsesToZero) {
+  MinMaxScaler s;
+  s.fit({{5.0, 1.0}, {5.0, 2.0}});
+  EXPECT_DOUBLE_EQ(s.transform({5.0, 1.5})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.transform({99.0, 1.5})[0], 0.0);
+}
+
+TEST(Scaler, UsageErrorsThrow) {
+  MinMaxScaler s;
+  EXPECT_THROW(s.transform({1.0}), std::logic_error);  // before fit
+  EXPECT_THROW(s.fit({}), std::logic_error);
+  s.fit({{1.0, 2.0}});
+  EXPECT_THROW(s.transform({1.0}), std::logic_error);  // dim mismatch
+}
+
+TEST(Scaler, TransformInPlaceCoversDataset) {
+  MinMaxScaler s;
+  s.fit({{0.0}, {2.0}});
+  Dataset d;
+  d.add({0.0}, 1);
+  d.add({2.0}, -1);
+  s.transform_in_place(d);
+  EXPECT_DOUBLE_EQ(d.X[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(d.X[1][0], 1.0);
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(ConfusionMatrix, CountsAllFourCells) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);    // TP
+  cm.add(1, -1);   // FN
+  cm.add(-1, -1);  // TN
+  cm.add(-1, -1);  // TN
+  cm.add(-1, 1);   // FP
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+}
+
+TEST(ConfusionMatrix, DerivedMeasuresMatchEqns6To10) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fn = 2;
+  cm.tn = 9;
+  cm.fp = 1;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 17.0 / 20.0);  // Eqn. 6
+  EXPECT_DOUBLE_EQ(cm.ppv(), 8.0 / 9.0);         // Eqn. 7
+  EXPECT_DOUBLE_EQ(cm.tpr(), 8.0 / 10.0);        // Eqn. 8
+  EXPECT_DOUBLE_EQ(cm.tnr(), 9.0 / 10.0);        // Eqn. 9
+  EXPECT_DOUBLE_EQ(cm.npv(), 9.0 / 11.0);        // Eqn. 10
+}
+
+TEST(ConfusionMatrix, EmptyDenominatorsAreZeroNotNan) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.ppv(), 0.0);
+  EXPECT_EQ(cm.tpr(), 0.0);
+  EXPECT_EQ(cm.tnr(), 0.0);
+  EXPECT_EQ(cm.npv(), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAndLabelsValidation) {
+  ConfusionMatrix a;
+  a.add(1, 1);
+  ConfusionMatrix b;
+  b.add(-1, -1);
+  a.merge(b);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.tn, 1u);
+  EXPECT_THROW(a.add(0, 1), std::logic_error);
+}
+
+TEST(Measurements, FromAndToString) {
+  ConfusionMatrix cm;
+  cm.tp = cm.tn = 9;
+  cm.fp = cm.fn = 1;
+  const Measurements m = Measurements::from(cm);
+  EXPECT_DOUBLE_EQ(m.acc, 0.9);
+  EXPECT_NE(m.to_string().find("ACC=0.900"), std::string::npos);
+}
+
+// ----------------------------------------------------------- ROC / AUC ----
+
+TEST(RocAuc, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(
+      roc_auc({3.0, 2.5, -1.0, -2.0}, {1, 1, -1, -1}), 1.0);
+}
+
+TEST(RocAuc, ReversedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(
+      roc_auc({-3.0, -2.5, 1.0, 2.0}, {1, 1, -1, -1}), 0.0);
+}
+
+TEST(RocAuc, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc({1.0, 1.0, 1.0, 1.0}, {1, 1, -1, -1}), 0.5);
+}
+
+TEST(RocAuc, MatchesHandComputedMixedCase) {
+  // scores: pos {3, 1}, neg {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0) → 3/4.
+  EXPECT_DOUBLE_EQ(roc_auc({3.0, 1.0, 2.0, 0.0}, {1, 1, -1, -1}), 0.75);
+}
+
+TEST(RocAuc, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc({1.0, 2.0}, {1, 1}), 0.5);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  const auto curve =
+      roc_curve({3.0, 1.0, 2.0, 0.0, 2.0}, {1, 1, -1, -1, 1});
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+// -------------------------------------------------------------- dataset ----
+
+TEST(Dataset, ValidateCatchesCorruption) {
+  Dataset d;
+  d.add({1.0, 2.0}, 1, 0.5);
+  d.add({3.0, 4.0}, -1, 1.0);
+  EXPECT_NO_THROW(d.validate());
+  d.y[0] = 3;
+  EXPECT_THROW(d.validate(), std::logic_error);
+  d.y[0] = 1;
+  d.weight[0] = 1.5;
+  EXPECT_THROW(d.validate(), std::logic_error);
+  d.weight[0] = 0.5;
+  d.X[0].push_back(9.0);
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dataset, SubsetAndAppend) {
+  Dataset d;
+  d.add({1.0}, 1, 0.1);
+  d.add({2.0}, -1, 0.2);
+  d.add({3.0}, 1, 0.3);
+  const Dataset s = d.subset({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.X[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(s.weight[1], 0.1);
+  EXPECT_THROW(d.subset({9}), std::logic_error);
+  Dataset t;
+  t.append(d);
+  t.append(s);
+  EXPECT_EQ(t.size(), 5u);
+}
+
+// ----------------------------------------------------- cross-validation ----
+
+TEST(CrossValidation, FoldsPartitionTheIndexSpace) {
+  util::Rng rng(1);
+  const auto folds = make_folds(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<char> seen(23, 0);
+  for (const auto& f : folds) {
+    for (const std::size_t i : f) {
+      EXPECT_LT(i, 23u);
+      EXPECT_FALSE(seen[i]) << "index " << i << " in two folds";
+      seen[i] = 1;
+    }
+  }
+  for (const char c : seen) EXPECT_TRUE(c);
+  EXPECT_THROW(make_folds(10, 1, rng), std::logic_error);
+}
+
+Dataset easy_dataset(util::Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    d.add({rng.next_gaussian() * 0.1 + 1.0}, 1, 1.0);
+    d.add({rng.next_gaussian() * 0.1 - 1.0}, -1, 1.0);
+  }
+  return d;
+}
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  util::Rng rng(2);
+  const Dataset d = easy_dataset(rng);
+  util::Rng cv_rng(3);
+  EXPECT_GT(cross_validate(d, {}, 5, cv_rng), 0.9);
+}
+
+TEST(CrossValidation, WeightedValidationIgnoresZeroWeightErrors) {
+  util::Rng rng(4);
+  Dataset d = easy_dataset(rng);
+  // Poison: mislabeled positives at weight 0 — weighted validation must not
+  // let them drag the score down.
+  for (int i = 0; i < 10; ++i) d.add({1.0}, -1, 0.0);
+  util::Rng r1(5);
+  util::Rng r2(5);
+  const double weighted = cross_validate(d, {}, 5, r1, true);
+  const double plain = cross_validate(d, {}, 5, r2, false);
+  EXPECT_GT(weighted, plain);
+  EXPECT_GT(weighted, 0.9);
+}
+
+TEST(CrossValidation, GridSearchFindsAWorkingCell) {
+  util::Rng rng(6);
+  const Dataset d = easy_dataset(rng);
+  CrossValidationOptions opt;
+  opt.lambdas = {0.001, 10.0};
+  opt.sigma2s = {1.0};
+  opt.folds = 5;
+  util::Rng grid_rng(7);
+  const GridSearchResult res = tune_svm(d, {}, opt, grid_rng);
+  EXPECT_EQ(res.trials.size(), 2u);
+  EXPECT_GT(res.best_accuracy, 0.9);
+  EXPECT_DOUBLE_EQ(res.best.lambda, 10.0);
+}
+
+TEST(CrossValidation, GridSearchRejectsEmptyGrid) {
+  util::Rng rng(8);
+  const Dataset d = easy_dataset(rng);
+  CrossValidationOptions opt;
+  opt.lambdas = {};
+  EXPECT_THROW(tune_svm(d, {}, opt, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leaps::ml

@@ -1,0 +1,130 @@
+// Unit tests for the binary raw-log format: round trips, compactness,
+// format auto-detection, corruption rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scenario.h"
+#include "trace/binary_log.h"
+#include "trace/parser.h"
+
+namespace leaps::trace {
+namespace {
+
+RawLog sample_log() {
+  sim::SimConfig cfg;
+  cfg.benign_events = 400;
+  cfg.mixed_events = 200;
+  cfg.malicious_events = 100;
+  return sim::generate_scenario(sim::find_scenario("putty_reverse_tcp"),
+                                cfg)
+      .benign;
+}
+
+std::string to_binary(const RawLog& log) {
+  std::ostringstream os(std::ios::binary);
+  write_raw_log_binary(log, os);
+  return os.str();
+}
+
+TEST(BinaryLog, RoundTripIsExact) {
+  const RawLog log = sample_log();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_raw_log_binary(log, buffer);
+  const RawLog back = read_raw_log_binary(buffer);
+  EXPECT_EQ(back, log);
+}
+
+TEST(BinaryLog, RoundTripHandlesExtremeAddresses) {
+  RawLog log;
+  log.process_name = "x.exe";
+  log.modules.push_back({0, 1, "zero.dll"});
+  log.modules.push_back({~0ULL - 0x1000, 0x1000, "top.dll"});
+  RawEvent e;
+  e.seq = ~0ULL;
+  e.tid = ~0U;
+  e.type = static_cast<EventType>(kEventTypeCount - 1);
+  // Descending then ascending addresses exercise negative deltas.
+  e.stack = {~0ULL - 1, 0, 0x8000000000000000ULL, 1};
+  log.events.push_back(e);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_raw_log_binary(log, buffer);
+  EXPECT_EQ(read_raw_log_binary(buffer), log);
+}
+
+TEST(BinaryLog, SubstantiallySmallerThanText) {
+  const RawLog log = sample_log();
+  const std::string binary = to_binary(log);
+  const std::string text = raw_log_to_string(log);
+  EXPECT_LT(binary.size() * 4, text.size());  // at least 4x smaller
+}
+
+TEST(BinaryLog, DetectionDistinguishesFormats) {
+  const RawLog log = sample_log();
+  std::stringstream binary(to_binary(log),
+                           std::ios::in | std::ios::binary);
+  EXPECT_TRUE(is_binary_log(binary));
+  // Detection must not consume the stream.
+  EXPECT_EQ(read_raw_log_binary(binary), log);
+
+  std::stringstream text(raw_log_to_string(log));
+  EXPECT_FALSE(is_binary_log(text));
+}
+
+TEST(BinaryLog, ReadAnyHandlesBothFormats) {
+  const RawLog log = sample_log();
+  std::stringstream binary(to_binary(log),
+                           std::ios::in | std::ios::binary);
+  EXPECT_EQ(read_raw_log_any(binary), log);
+
+  std::stringstream text(raw_log_to_string(log));
+  const RawLog from_text = read_raw_log_any(text);
+  // The text round trip preserves everything the pipeline consumes.
+  EXPECT_EQ(from_text.process_name, log.process_name);
+  EXPECT_EQ(from_text.modules, log.modules);
+  EXPECT_EQ(from_text.events, log.events);
+  EXPECT_EQ(from_text.symbols.size(), log.symbols.size());
+}
+
+TEST(BinaryLog, RejectsCorruption) {
+  const std::string good = to_binary(sample_log());
+  const auto expect_reject = [](std::string text) {
+    std::stringstream is(std::move(text),
+                         std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_raw_log_binary(is), BinaryLogError);
+  };
+  expect_reject("");                           // empty
+  expect_reject("LEAPSB99" + good.substr(8));  // wrong magic
+  expect_reject(good.substr(0, good.size() / 2));  // truncated
+  expect_reject(good.substr(0, 20));               // truncated header
+  // Implausible count: magic + tiny name + huge module count.
+  std::string bomb(kBinaryLogMagic, sizeof(kBinaryLogMagic));
+  bomb += '\x01';
+  bomb += 'x';
+  bomb += "\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x01";  // ~2^63
+  expect_reject(bomb);
+}
+
+TEST(BinaryLog, ErrorsCarryByteOffsets) {
+  const std::string good = to_binary(sample_log());
+  std::stringstream is(good.substr(0, 30),
+                       std::ios::in | std::ios::binary);
+  try {
+    read_raw_log_binary(is);
+    FAIL() << "expected BinaryLogError";
+  } catch (const BinaryLogError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_LE(e.offset(), 31u);
+  }
+}
+
+TEST(BinaryLog, EmptyLogRoundTrips) {
+  RawLog log;
+  log.process_name = "empty.exe";
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_raw_log_binary(log, buffer);
+  EXPECT_EQ(read_raw_log_binary(buffer), log);
+}
+
+}  // namespace
+}  // namespace leaps::trace

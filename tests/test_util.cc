@@ -1,0 +1,278 @@
+// Unit tests for the util module: RNG, statistics, env parsing, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace leaps::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.fork(1);
+  Rng child_again = Rng(99).fork(1);
+  EXPECT_EQ(child.next_u64(), child_again.next_u64());
+  // Different stream ids diverge.
+  Rng c1 = Rng(99).fork(1);
+  Rng c2 = Rng(99).fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.next_int(3, 2), std::logic_error);
+}
+
+TEST(Rng, NextBoolEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMomentsAreSane) {
+  Rng rng(23);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, SampleWeightedRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.sample_weighted(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(Rng, SampleWeightedRejectsDegenerateInput) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_weighted({}), std::logic_error);
+  EXPECT_THROW(rng.sample_weighted({0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(rng.sample_weighted({1.0, -1.0}), std::logic_error);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, HashStringIsStableAndSpread) {
+  EXPECT_EQ(hash_string("abc"), hash_string("abc"));
+  EXPECT_NE(hash_string("abc"), hash_string("abd"));
+  EXPECT_NE(hash_string(""), hash_string("a"));
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  EXPECT_NEAR(s.variance(), 9.583333333, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  RunningStats a, b, all;
+  for (double x : {1.0, 3.0, 5.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (double x : {2.0, 4.0}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MeanAndStddevHelpers) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(stddev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_THROW(percentile({}, 50), std::logic_error);
+  EXPECT_THROW(percentile(xs, 101), std::logic_error);
+}
+
+// ---------------------------------------------------------------- env ----
+
+TEST(Env, StringIntFlagParsing) {
+  ::setenv("LEAPS_TEST_STR", "hello", 1);
+  ::setenv("LEAPS_TEST_INT", "42", 1);
+  ::setenv("LEAPS_TEST_BAD", "4x2", 1);
+  ::setenv("LEAPS_TEST_FLAG", "yes", 1);
+  EXPECT_EQ(env_string("LEAPS_TEST_STR", "d"), "hello");
+  EXPECT_EQ(env_string("LEAPS_TEST_MISSING", "d"), "d");
+  EXPECT_EQ(env_int("LEAPS_TEST_INT", 7), 42);
+  EXPECT_EQ(env_int("LEAPS_TEST_BAD", 7), 7);
+  EXPECT_EQ(env_int("LEAPS_TEST_MISSING", 7), 7);
+  EXPECT_TRUE(env_flag("LEAPS_TEST_FLAG"));
+  EXPECT_FALSE(env_flag("LEAPS_TEST_MISSING"));
+  ::unsetenv("LEAPS_TEST_STR");
+  ::unsetenv("LEAPS_TEST_INT");
+  ::unsetenv("LEAPS_TEST_BAD");
+  ::unsetenv("LEAPS_TEST_FLAG");
+}
+
+// ------------------------------------------------------------- strings ----
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, ParseHexRoundTrip) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_hex_u64("0x1f", v));
+  EXPECT_EQ(v, 0x1fu);
+  EXPECT_TRUE(parse_hex_u64("FFFFFFFFFFFFFFFF", v));
+  EXPECT_EQ(v, ~0ULL);
+  EXPECT_FALSE(parse_hex_u64("", v));
+  EXPECT_FALSE(parse_hex_u64("0x", v));
+  EXPECT_FALSE(parse_hex_u64("12g4", v));
+  const std::uint64_t addr = 0x00007FF810001200ULL;
+  std::uint64_t back = 0;
+  EXPECT_TRUE(parse_hex_u64(hex_addr(addr), back));
+  EXPECT_EQ(back, addr);
+}
+
+TEST(Strings, StartsWithAndFixed) {
+  EXPECT_TRUE(starts_with("MODULE x", "MODULE"));
+  EXPECT_FALSE(starts_with("MOD", "MODULE"));
+  EXPECT_EQ(fixed(0.93251, 3), "0.933");
+  EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+// --------------------------------------------------------------- check ----
+
+TEST(Check, ThrowsLogicErrorWithContext) {
+  try {
+    LEAPS_CHECK_MSG(false, "ctx");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+  }
+  EXPECT_NO_THROW(LEAPS_CHECK(true));
+}
+
+}  // namespace
+}  // namespace leaps::util

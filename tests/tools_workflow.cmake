@@ -1,0 +1,48 @@
+# CTest script: end-to-end CLI workflow integration test.
+#
+# Drives the three tools exactly as a user would:
+#   leaps-sim   → raw logs (text and binary)
+#   leaps-train → detector file (with calibration)
+#   leaps-scan  → exit 3 on the malicious log, exit 0 on the benign log
+# Any deviation fails the test.
+#
+# Variables (passed with -D): LEAPS_SIM, LEAPS_TRAIN, LEAPS_SCAN, WORK_DIR.
+
+function(run_checked expect_rc)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "command [${ARGN}] exited ${rc} (expected "
+                        "${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# --- text-format round ----------------------------------------------------
+run_checked(0 ${LEAPS_SIM} vim_reverse_tcp_online ${WORK_DIR}
+            --events 3000 --seed 99)
+run_checked(0 ${LEAPS_TRAIN} ${WORK_DIR}/benign.log ${WORK_DIR}/mixed.log
+            ${WORK_DIR}/detector.txt --folds 5 --max-false-alarms 0.05)
+run_checked(3 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/malicious.log)
+run_checked(0 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log)
+
+# --- binary-format round (same detector must accept both) ------------------
+file(MAKE_DIRECTORY ${WORK_DIR}/bin)
+run_checked(0 ${LEAPS_SIM} vim_reverse_tcp_online ${WORK_DIR}/bin
+            --events 3000 --seed 99 --binary)
+run_checked(3 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/bin/malicious.log)
+
+# --- stats tool over both formats -------------------------------------------
+run_checked(0 ${LEAPS_STAT} ${WORK_DIR}/benign.log ${WORK_DIR}/bin/mixed.log)
+run_checked(1 ${LEAPS_STAT} /nonexistent.log)
+
+# --- error handling ---------------------------------------------------------
+run_checked(2 ${LEAPS_SIM} no_such_scenario ${WORK_DIR})
+run_checked(2 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt)
+run_checked(1 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt /nonexistent.log)
+
+message(STATUS "tools workflow OK")

@@ -1,0 +1,39 @@
+// leaps_stat — summarize a raw trace log (text or binary) before using it.
+//
+// Usage: leaps_stat <trace.log> [more.log ...]
+#include <cstdio>
+#include <fstream>
+
+#include "trace/binary_log.h"
+#include "trace/log_stats.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+
+int main(int argc, char** argv) {
+  using namespace leaps;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: leaps_stat <trace.log> [more.log ...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream is(argv[i], std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "leaps_stat: cannot open %s\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    try {
+      const trace::RawLog raw = trace::read_raw_log_any(is);
+      const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+      const trace::PartitionedLog log =
+          trace::StackPartitioner(t.log.process_name).partition(t.log);
+      std::printf("== %s ==\n%s\n", argv[i],
+                  trace::compute_stats(log).to_string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "leaps_stat: %s: %s\n", argv[i], e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}
