@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hmm.dir/bench/bench_hmm.cc.o"
+  "CMakeFiles/bench_hmm.dir/bench/bench_hmm.cc.o.d"
+  "bench/bench_hmm"
+  "bench/bench_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_srctrojan.dir/bench/bench_srctrojan.cc.o"
+  "CMakeFiles/bench_srctrojan.dir/bench/bench_srctrojan.cc.o.d"
+  "bench/bench_srctrojan"
+  "bench/bench_srctrojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srctrojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

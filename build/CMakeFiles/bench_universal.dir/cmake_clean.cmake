@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_universal.dir/bench/bench_universal.cc.o"
+  "CMakeFiles/bench_universal.dir/bench/bench_universal.cc.o.d"
+  "bench/bench_universal"
+  "bench/bench_universal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_compare.dir/cfg_compare.cpp.o"
+  "CMakeFiles/cfg_compare.dir/cfg_compare.cpp.o.d"
+  "cfg_compare"
+  "cfg_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_tour.dir/detection_tour.cpp.o"
+  "CMakeFiles/detection_tour.dir/detection_tour.cpp.o.d"
+  "detection_tour"
+  "detection_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

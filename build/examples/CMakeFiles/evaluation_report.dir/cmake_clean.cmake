@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_report.dir/evaluation_report.cpp.o"
+  "CMakeFiles/evaluation_report.dir/evaluation_report.cpp.o.d"
+  "evaluation_report"
+  "evaluation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

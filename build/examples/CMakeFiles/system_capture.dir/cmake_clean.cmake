@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_capture.dir/system_capture.cpp.o"
+  "CMakeFiles/system_capture.dir/system_capture.cpp.o.d"
+  "system_capture"
+  "system_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/alignment.cc" "src/cfg/CMakeFiles/leaps_cfg.dir/alignment.cc.o" "gcc" "src/cfg/CMakeFiles/leaps_cfg.dir/alignment.cc.o.d"
+  "/root/repo/src/cfg/call_graph.cc" "src/cfg/CMakeFiles/leaps_cfg.dir/call_graph.cc.o" "gcc" "src/cfg/CMakeFiles/leaps_cfg.dir/call_graph.cc.o.d"
+  "/root/repo/src/cfg/graph.cc" "src/cfg/CMakeFiles/leaps_cfg.dir/graph.cc.o" "gcc" "src/cfg/CMakeFiles/leaps_cfg.dir/graph.cc.o.d"
+  "/root/repo/src/cfg/inference.cc" "src/cfg/CMakeFiles/leaps_cfg.dir/inference.cc.o" "gcc" "src/cfg/CMakeFiles/leaps_cfg.dir/inference.cc.o.d"
+  "/root/repo/src/cfg/weight.cc" "src/cfg/CMakeFiles/leaps_cfg.dir/weight.cc.o" "gcc" "src/cfg/CMakeFiles/leaps_cfg.dir/weight.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/leaps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

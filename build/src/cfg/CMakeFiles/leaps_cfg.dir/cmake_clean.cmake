@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_cfg.dir/alignment.cc.o"
+  "CMakeFiles/leaps_cfg.dir/alignment.cc.o.d"
+  "CMakeFiles/leaps_cfg.dir/call_graph.cc.o"
+  "CMakeFiles/leaps_cfg.dir/call_graph.cc.o.d"
+  "CMakeFiles/leaps_cfg.dir/graph.cc.o"
+  "CMakeFiles/leaps_cfg.dir/graph.cc.o.d"
+  "CMakeFiles/leaps_cfg.dir/inference.cc.o"
+  "CMakeFiles/leaps_cfg.dir/inference.cc.o.d"
+  "CMakeFiles/leaps_cfg.dir/weight.cc.o"
+  "CMakeFiles/leaps_cfg.dir/weight.cc.o.d"
+  "libleaps_cfg.a"
+  "libleaps_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_core.dir/experiment.cc.o"
+  "CMakeFiles/leaps_core.dir/experiment.cc.o.d"
+  "CMakeFiles/leaps_core.dir/persist.cc.o"
+  "CMakeFiles/leaps_core.dir/persist.cc.o.d"
+  "CMakeFiles/leaps_core.dir/pipeline.cc.o"
+  "CMakeFiles/leaps_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/leaps_core.dir/preprocess.cc.o"
+  "CMakeFiles/leaps_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/leaps_core.dir/universal.cc.o"
+  "CMakeFiles/leaps_core.dir/universal.cc.o.d"
+  "libleaps_core.a"
+  "libleaps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

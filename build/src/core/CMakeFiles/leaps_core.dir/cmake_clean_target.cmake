@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleaps_core.a"
+)

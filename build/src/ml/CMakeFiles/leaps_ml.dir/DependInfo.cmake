@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cgraph_model.cc" "src/ml/CMakeFiles/leaps_ml.dir/cgraph_model.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/cgraph_model.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/leaps_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/leaps_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/distance.cc" "src/ml/CMakeFiles/leaps_ml.dir/distance.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/distance.cc.o.d"
+  "/root/repo/src/ml/dtree.cc" "src/ml/CMakeFiles/leaps_ml.dir/dtree.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/dtree.cc.o.d"
+  "/root/repo/src/ml/hcluster.cc" "src/ml/CMakeFiles/leaps_ml.dir/hcluster.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/hcluster.cc.o.d"
+  "/root/repo/src/ml/hmm.cc" "src/ml/CMakeFiles/leaps_ml.dir/hmm.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/hmm.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/ml/CMakeFiles/leaps_ml.dir/kernel.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/kernel.cc.o.d"
+  "/root/repo/src/ml/logreg.cc" "src/ml/CMakeFiles/leaps_ml.dir/logreg.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/logreg.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/leaps_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/leaps_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/leaps_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/leaps_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/leaps_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/leaps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_ml.dir/cgraph_model.cc.o"
+  "CMakeFiles/leaps_ml.dir/cgraph_model.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/leaps_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/dataset.cc.o"
+  "CMakeFiles/leaps_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/distance.cc.o"
+  "CMakeFiles/leaps_ml.dir/distance.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/dtree.cc.o"
+  "CMakeFiles/leaps_ml.dir/dtree.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/hcluster.cc.o"
+  "CMakeFiles/leaps_ml.dir/hcluster.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/hmm.cc.o"
+  "CMakeFiles/leaps_ml.dir/hmm.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/kernel.cc.o"
+  "CMakeFiles/leaps_ml.dir/kernel.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/logreg.cc.o"
+  "CMakeFiles/leaps_ml.dir/logreg.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/metrics.cc.o"
+  "CMakeFiles/leaps_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/scaler.cc.o"
+  "CMakeFiles/leaps_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/leaps_ml.dir/svm.cc.o"
+  "CMakeFiles/leaps_ml.dir/svm.cc.o.d"
+  "libleaps_ml.a"
+  "libleaps_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack.cc" "src/sim/CMakeFiles/leaps_sim.dir/attack.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/attack.cc.o.d"
+  "/root/repo/src/sim/behavior.cc" "src/sim/CMakeFiles/leaps_sim.dir/behavior.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/behavior.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/leaps_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/library.cc" "src/sim/CMakeFiles/leaps_sim.dir/library.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/library.cc.o.d"
+  "/root/repo/src/sim/profiles.cc" "src/sim/CMakeFiles/leaps_sim.dir/profiles.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/profiles.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/leaps_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/program.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/leaps_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/leaps_sim.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/leaps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_sim.dir/attack.cc.o"
+  "CMakeFiles/leaps_sim.dir/attack.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/behavior.cc.o"
+  "CMakeFiles/leaps_sim.dir/behavior.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/executor.cc.o"
+  "CMakeFiles/leaps_sim.dir/executor.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/library.cc.o"
+  "CMakeFiles/leaps_sim.dir/library.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/profiles.cc.o"
+  "CMakeFiles/leaps_sim.dir/profiles.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/program.cc.o"
+  "CMakeFiles/leaps_sim.dir/program.cc.o.d"
+  "CMakeFiles/leaps_sim.dir/scenario.cc.o"
+  "CMakeFiles/leaps_sim.dir/scenario.cc.o.d"
+  "libleaps_sim.a"
+  "libleaps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary_log.cc" "src/trace/CMakeFiles/leaps_trace.dir/binary_log.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/binary_log.cc.o.d"
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/leaps_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/log_stats.cc" "src/trace/CMakeFiles/leaps_trace.dir/log_stats.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/log_stats.cc.o.d"
+  "/root/repo/src/trace/module_map.cc" "src/trace/CMakeFiles/leaps_trace.dir/module_map.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/module_map.cc.o.d"
+  "/root/repo/src/trace/parser.cc" "src/trace/CMakeFiles/leaps_trace.dir/parser.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/parser.cc.o.d"
+  "/root/repo/src/trace/partition.cc" "src/trace/CMakeFiles/leaps_trace.dir/partition.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/partition.cc.o.d"
+  "/root/repo/src/trace/raw_log.cc" "src/trace/CMakeFiles/leaps_trace.dir/raw_log.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/raw_log.cc.o.d"
+  "/root/repo/src/trace/system_log.cc" "src/trace/CMakeFiles/leaps_trace.dir/system_log.cc.o" "gcc" "src/trace/CMakeFiles/leaps_trace.dir/system_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_trace.dir/binary_log.cc.o"
+  "CMakeFiles/leaps_trace.dir/binary_log.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/event.cc.o"
+  "CMakeFiles/leaps_trace.dir/event.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/log_stats.cc.o"
+  "CMakeFiles/leaps_trace.dir/log_stats.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/module_map.cc.o"
+  "CMakeFiles/leaps_trace.dir/module_map.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/parser.cc.o"
+  "CMakeFiles/leaps_trace.dir/parser.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/partition.cc.o"
+  "CMakeFiles/leaps_trace.dir/partition.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/raw_log.cc.o"
+  "CMakeFiles/leaps_trace.dir/raw_log.cc.o.d"
+  "CMakeFiles/leaps_trace.dir/system_log.cc.o"
+  "CMakeFiles/leaps_trace.dir/system_log.cc.o.d"
+  "libleaps_trace.a"
+  "libleaps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

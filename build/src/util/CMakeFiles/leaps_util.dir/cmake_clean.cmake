@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps_util.dir/env.cc.o"
+  "CMakeFiles/leaps_util.dir/env.cc.o.d"
+  "CMakeFiles/leaps_util.dir/rng.cc.o"
+  "CMakeFiles/leaps_util.dir/rng.cc.o.d"
+  "CMakeFiles/leaps_util.dir/stats.cc.o"
+  "CMakeFiles/leaps_util.dir/stats.cc.o.d"
+  "CMakeFiles/leaps_util.dir/strings.cc.o"
+  "CMakeFiles/leaps_util.dir/strings.cc.o.d"
+  "libleaps_util.a"
+  "libleaps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

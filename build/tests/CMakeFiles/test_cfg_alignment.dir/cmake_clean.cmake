@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_alignment.dir/test_cfg_alignment.cc.o"
+  "CMakeFiles/test_cfg_alignment.dir/test_cfg_alignment.cc.o.d"
+  "test_cfg_alignment"
+  "test_cfg_alignment.pdb"
+  "test_cfg_alignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

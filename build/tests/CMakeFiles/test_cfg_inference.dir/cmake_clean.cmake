@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_inference.dir/test_cfg_inference.cc.o"
+  "CMakeFiles/test_cfg_inference.dir/test_cfg_inference.cc.o.d"
+  "test_cfg_inference"
+  "test_cfg_inference.pdb"
+  "test_cfg_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

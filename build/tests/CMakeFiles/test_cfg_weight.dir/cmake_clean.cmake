@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_weight.dir/test_cfg_weight.cc.o"
+  "CMakeFiles/test_cfg_weight.dir/test_cfg_weight.cc.o.d"
+  "test_cfg_weight"
+  "test_cfg_weight.pdb"
+  "test_cfg_weight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

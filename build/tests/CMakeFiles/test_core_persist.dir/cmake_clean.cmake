@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_persist.dir/test_core_persist.cc.o"
+  "CMakeFiles/test_core_persist.dir/test_core_persist.cc.o.d"
+  "test_core_persist"
+  "test_core_persist.pdb"
+  "test_core_persist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

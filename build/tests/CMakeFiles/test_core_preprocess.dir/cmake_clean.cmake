@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_preprocess.dir/test_core_preprocess.cc.o"
+  "CMakeFiles/test_core_preprocess.dir/test_core_preprocess.cc.o.d"
+  "test_core_preprocess"
+  "test_core_preprocess.pdb"
+  "test_core_preprocess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_universal.dir/test_core_universal.cc.o"
+  "CMakeFiles/test_core_universal.dir/test_core_universal.cc.o.d"
+  "test_core_universal"
+  "test_core_universal.pdb"
+  "test_core_universal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_cgraph.dir/test_ml_cgraph.cc.o"
+  "CMakeFiles/test_ml_cgraph.dir/test_ml_cgraph.cc.o.d"
+  "test_ml_cgraph"
+  "test_ml_cgraph.pdb"
+  "test_ml_cgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_cgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

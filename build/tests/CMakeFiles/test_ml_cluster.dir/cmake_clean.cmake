@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_cluster.dir/test_ml_cluster.cc.o"
+  "CMakeFiles/test_ml_cluster.dir/test_ml_cluster.cc.o.d"
+  "test_ml_cluster"
+  "test_ml_cluster.pdb"
+  "test_ml_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

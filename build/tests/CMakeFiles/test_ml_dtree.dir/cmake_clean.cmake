@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_dtree.dir/test_ml_dtree.cc.o"
+  "CMakeFiles/test_ml_dtree.dir/test_ml_dtree.cc.o.d"
+  "test_ml_dtree"
+  "test_ml_dtree.pdb"
+  "test_ml_dtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

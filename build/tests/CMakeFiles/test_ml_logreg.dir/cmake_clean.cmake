@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_logreg.dir/test_ml_logreg.cc.o"
+  "CMakeFiles/test_ml_logreg.dir/test_ml_logreg.cc.o.d"
+  "test_ml_logreg"
+  "test_ml_logreg.pdb"
+  "test_ml_logreg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

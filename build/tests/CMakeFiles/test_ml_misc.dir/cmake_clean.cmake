@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_misc.dir/test_ml_misc.cc.o"
+  "CMakeFiles/test_ml_misc.dir/test_ml_misc.cc.o.d"
+  "test_ml_misc"
+  "test_ml_misc.pdb"
+  "test_ml_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

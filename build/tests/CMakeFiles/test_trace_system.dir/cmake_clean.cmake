@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_system.dir/test_trace_system.cc.o"
+  "CMakeFiles/test_trace_system.dir/test_trace_system.cc.o.d"
+  "test_trace_system"
+  "test_trace_system.pdb"
+  "test_trace_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

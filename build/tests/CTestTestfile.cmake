@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_system[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_binary[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg_inference[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg_weight[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg_alignment[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_svm[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_cgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_hmm[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_logreg[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_dtree[1]_include.cmake")
+include("/root/repo/build/tests/test_core_preprocess[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_core_persist[1]_include.cmake")
+include("/root/repo/build/tests/test_core_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+add_test(tools_workflow "/usr/bin/cmake" "-DLEAPS_SIM=/root/repo/build/tools/leaps-sim" "-DLEAPS_TRAIN=/root/repo/build/tools/leaps-train" "-DLEAPS_SCAN=/root/repo/build/tools/leaps-scan" "-DLEAPS_STAT=/root/repo/build/tools/leaps-stat" "-DWORK_DIR=/root/repo/build/tools_workflow_tmp" "-P" "/root/repo/tests/tools_workflow.cmake")
+set_tests_properties(tools_workflow PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

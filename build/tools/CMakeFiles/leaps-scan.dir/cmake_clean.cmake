@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps-scan.dir/leaps_scan.cc.o"
+  "CMakeFiles/leaps-scan.dir/leaps_scan.cc.o.d"
+  "leaps-scan"
+  "leaps-scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps-scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

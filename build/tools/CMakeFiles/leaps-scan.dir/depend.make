@@ -1,0 +1,2 @@
+# Empty dependencies file for leaps-scan.
+# This may be replaced when dependencies are built.

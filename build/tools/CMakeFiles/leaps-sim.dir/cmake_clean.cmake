@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps-sim.dir/leaps_sim.cc.o"
+  "CMakeFiles/leaps-sim.dir/leaps_sim.cc.o.d"
+  "leaps-sim"
+  "leaps-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps-stat.dir/leaps_stat.cc.o"
+  "CMakeFiles/leaps-stat.dir/leaps_stat.cc.o.d"
+  "leaps-stat"
+  "leaps-stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps-stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaps-train.dir/leaps_train.cc.o"
+  "CMakeFiles/leaps-train.dir/leaps_train.cc.o.d"
+  "leaps-train"
+  "leaps-train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaps-train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
