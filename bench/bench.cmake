@@ -12,6 +12,7 @@ set(LEAPS_BENCH_TARGETS
   bench_baselines
   bench_universal
   bench_micro
+  bench_serve
 )
 foreach(b ${LEAPS_BENCH_TARGETS})
   add_executable(${b} bench/${b}.cc)
@@ -21,3 +22,4 @@ foreach(b ${LEAPS_BENCH_TARGETS})
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)
+target_link_libraries(bench_serve PRIVATE leaps_serve)

@@ -1,0 +1,139 @@
+// bench_serve — serving-layer throughput: aggregate events/sec through the
+// DetectionServer as the worker pool grows, over many concurrent replayed
+// sessions.
+//
+// Sessions are sharded across workers, so scaling comes from session
+// parallelism; with ≥ 8 sessions the pool should scale near-linearly until
+// it runs out of hardware threads (the binary prints the machine's
+// concurrency so a 1-core CI box's flat curve reads as what it is).
+//
+// Knobs: LEAPS_SERVE_SESSIONS (default 8), LEAPS_SERVE_EVENTS per session
+// (default 6000), LEAPS_EVENTS (training-log size), LEAPS_FAST=1.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ml/svm.h"
+#include "serve/server.h"
+#include "sim/scenario.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+#include "util/env.h"
+
+namespace {
+
+using namespace leaps;
+
+trace::PartitionedLog partition_raw(const trace::RawLog& raw) {
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+struct Workload {
+  std::shared_ptr<const core::Detector> detector;
+  trace::PartitionedLog replay;  // the event source every session loops over
+};
+
+Workload build_workload(std::size_t train_events) {
+  sim::SimConfig cfg;
+  cfg.benign_events = train_events;
+  cfg.mixed_events = train_events * 3 / 4;
+  cfg.malicious_events = train_events / 2;
+  const sim::ScenarioLogs logs = sim::generate_scenario(
+      sim::find_scenario("vim_reverse_tcp_online"), cfg);
+
+  Workload w;
+  const trace::PartitionedLog benign = partition_raw(logs.benign);
+  const trace::PartitionedLog mixed = partition_raw(logs.mixed);
+  const core::TrainingData td = core::LeapsPipeline().prepare(benign, mixed);
+  ml::Dataset train = td.benign;
+  train.append(td.mixed);
+  ml::MinMaxScaler scaler;
+  scaler.fit(train.X);
+  scaler.transform_in_place(train);
+  const ml::SvmModel model = ml::SvmTrainer({}).train(train);
+  w.detector = std::make_shared<const core::Detector>(td.preprocessor,
+                                                      scaler, model);
+  w.replay = mixed;
+  return w;
+}
+
+double run_once(const Workload& w, std::size_t workers,
+                std::size_t sessions, std::size_t events_per_session) {
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = 4096;
+  options.batch_size = 128;
+  serve::DetectionServer server(options);
+  server.registry().add("bench", w.detector);
+
+  std::vector<std::shared_ptr<serve::Session>> handles;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    handles.push_back(server.open_session(
+        {"bench" + std::to_string(s), static_cast<std::uint32_t>(s)},
+        "bench"));
+  }
+  server.start();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto& events = w.replay.events;
+      for (std::size_t i = 0; i < events_per_session; ++i) {
+        server.submit(handles[s], events[i % events.size()]);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  server.drain();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  server.stop();
+  return static_cast<double>(sessions * events_per_session) /
+         elapsed.count();
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = util::env_flag("LEAPS_FAST");
+  const auto sessions = static_cast<std::size_t>(
+      util::env_int("LEAPS_SERVE_SESSIONS", 8));
+  const auto events_per_session = static_cast<std::size_t>(
+      util::env_int("LEAPS_SERVE_EVENTS", fast ? 1500 : 6000));
+  const auto train_events =
+      static_cast<std::size_t>(util::env_int("LEAPS_EVENTS", 3000));
+
+  std::printf("LEAPS reproduction — serving throughput (bench_serve)\n");
+  std::printf(
+      "config: sessions=%zu events/session=%zu train_events=%zu "
+      "hardware_concurrency=%u\n\n",
+      sessions, events_per_session, train_events,
+      std::thread::hardware_concurrency());
+
+  const Workload w = build_workload(train_events);
+  std::printf("%-8s %14s %10s\n", "workers", "events/sec", "speedup");
+  double base = 0.0;
+  double at4 = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    // Warm-up pass, then the measured pass.
+    run_once(w, workers, sessions, events_per_session / 4 + 1);
+    const double rate = run_once(w, workers, sessions, events_per_session);
+    if (workers == 1) base = rate;
+    if (workers == 4) at4 = rate;
+    std::printf("%-8zu %14.0f %9.2fx\n", workers, rate,
+                base > 0.0 ? rate / base : 1.0);
+  }
+  std::printf(
+      "\n1 → 4 workers: %.2fx aggregate scaling over %zu sessions%s\n",
+      base > 0.0 ? at4 / base : 0.0, sessions,
+      std::thread::hardware_concurrency() < 4
+          ? " (machine has fewer than 4 hardware threads; expect ~1x here)"
+          : "");
+  return 0;
+}

@@ -76,6 +76,13 @@ class LeapsPipeline {
 
 /// A deployed classifier: preprocessing + scaling + (W)SVM, applied to any
 /// partitioned log (the Testing Phase).
+///
+/// Thread safety: every const member (scan, predict, stream, accessors) is
+/// genuinely read-only — no hidden caches — so a `const Detector` may be
+/// shared freely across threads (the serving layer in src/serve/ relies on
+/// this). The only mutators are calibrate() and set_decision_threshold();
+/// finish calibrating before publishing the detector to other threads.
+/// Stream objects are NOT thread-safe: one stream = one event source.
 class Detector {
  public:
   Detector(Preprocessor preprocessor, ml::MinMaxScaler scaler,
@@ -122,6 +129,9 @@ class Detector {
     std::optional<int> push(const trace::PartitionedEvent& event);
 
     std::size_t events_seen() const { return events_seen_; }
+    /// Events buffered toward the next (incomplete) window. Mirrors batch
+    /// scan() semantics: a trailing partial window is never classified.
+    std::size_t pending_events() const { return pending_.size() / 3; }
     const ScanResult& tally() const { return tally_; }
 
    private:

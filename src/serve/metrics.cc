@@ -1,0 +1,151 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace leaps::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// fetch_max for pre-C++26 atomics.
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t value) {
+  std::uint64_t seen = a.load(kRelaxed);
+  while (seen < value && !a.compare_exchange_weak(seen, value, kRelaxed)) {
+  }
+}
+
+std::size_t bucket_index(std::uint64_t us) {
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(us));
+  return w < LatencyHistogram::kBuckets ? w : LatencyHistogram::kBuckets - 1;
+}
+
+void histogram_text(std::ostringstream& os, const char* name,
+                    const LatencyHistogram::Snapshot& h) {
+  os << "  " << name << " us: count=" << h.count;
+  if (h.count > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", h.mean_us());
+    os << " mean=" << buf << " p50<=" << h.quantile_us(0.50)
+       << " p95<=" << h.quantile_us(0.95) << " p99<=" << h.quantile_us(0.99)
+       << " max=" << h.max_us;
+  }
+  os << "\n";
+}
+
+void histogram_json(std::ostringstream& os, const char* name,
+                    const LatencyHistogram::Snapshot& h) {
+  os << "\"" << name << "\":{\"count\":" << h.count
+     << ",\"total_us\":" << h.total_us << ",\"max_us\":" << h.max_us
+     << ",\"p50_us\":" << h.quantile_us(0.50)
+     << ",\"p95_us\":" << h.quantile_us(0.95)
+     << ",\"p99_us\":" << h.quantile_us(0.99) << "}";
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::chrono::nanoseconds elapsed) {
+  record_us(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+}
+
+void LatencyHistogram::record_us(std::uint64_t us) {
+  buckets_[bucket_index(us)].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  total_us_.fetch_add(us, kRelaxed);
+  atomic_max(max_us_, us);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(kRelaxed);
+  s.total_us = total_us_.load(kRelaxed);
+  s.max_us = max_us_.load(kRelaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(kRelaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::mean_us() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(total_us) / static_cast<double>(count);
+}
+
+std::uint64_t LatencyHistogram::Snapshot::quantile_us(double q) const {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      // Upper bound of bucket i: 2^i - 1 µs (bucket 0 holds sub-µs samples).
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return max_us;
+}
+
+void ServerMetrics::note_queue_depth(std::size_t depth) {
+  atomic_max(queue_high_water_, depth);
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.events_ingested = events_ingested.load(kRelaxed);
+  s.events_processed = events_processed.load(kRelaxed);
+  s.events_dropped = events_dropped.load(kRelaxed);
+  s.events_rejected = events_rejected.load(kRelaxed);
+  s.windows_scored = windows_scored.load(kRelaxed);
+  s.verdicts_benign = verdicts_benign.load(kRelaxed);
+  s.verdicts_malicious = verdicts_malicious.load(kRelaxed);
+  s.batches_drained = batches_drained.load(kRelaxed);
+  s.sessions_opened = sessions_opened.load(kRelaxed);
+  s.sessions_closed = sessions_closed.load(kRelaxed);
+  s.queue_high_water = queue_high_water_.load(kRelaxed);
+  s.queue_wait = queue_wait.snapshot();
+  s.classify = classify.snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  os << "serve metrics:\n"
+     << "  events: ingested=" << events_ingested
+     << " processed=" << events_processed << " dropped=" << events_dropped
+     << " rejected=" << events_rejected << "\n"
+     << "  windows: scored=" << windows_scored
+     << " benign=" << verdicts_benign << " malicious=" << verdicts_malicious
+     << "\n"
+     << "  sessions: opened=" << sessions_opened
+     << " closed=" << sessions_closed << "\n"
+     << "  queues: high-water=" << queue_high_water
+     << " batches=" << batches_drained << "\n";
+  histogram_text(os, "queue-wait", queue_wait);
+  histogram_text(os, "classify ", classify);
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"events\":{\"ingested\":" << events_ingested
+     << ",\"processed\":" << events_processed
+     << ",\"dropped\":" << events_dropped
+     << ",\"rejected\":" << events_rejected << "}"
+     << ",\"windows\":{\"scored\":" << windows_scored
+     << ",\"benign\":" << verdicts_benign
+     << ",\"malicious\":" << verdicts_malicious << "}"
+     << ",\"sessions\":{\"opened\":" << sessions_opened
+     << ",\"closed\":" << sessions_closed << "}"
+     << ",\"queues\":{\"high_water\":" << queue_high_water
+     << ",\"batches\":" << batches_drained << "},";
+  histogram_json(os, "queue_wait", queue_wait);
+  os << ",";
+  histogram_json(os, "classify", classify);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace leaps::serve

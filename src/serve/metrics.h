@@ -1,0 +1,96 @@
+// Serving-layer metrics: lock-free atomic counters and log₂-bucketed
+// latency histograms, snapshotted periodically into a plain struct with
+// text and JSON renderings.
+//
+// Everything here is written from worker and producer threads on the hot
+// path, so all mutation is relaxed-atomic; a snapshot is a best-effort
+// consistent read (counters may be mid-update relative to each other,
+// which is fine for operational metrics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace leaps::serve {
+
+/// Histogram over microsecond latencies with power-of-two buckets:
+/// bucket i counts samples in [2^(i-1), 2^i) µs (bucket 0 counts < 1 µs).
+/// Quantiles are therefore upper bounds with ≤ 2× resolution — plenty for
+/// spotting queueing collapse, useless for microbenchmarking (use
+/// bench_micro for that).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 28;  // up to ~2 minutes
+
+  void record(std::chrono::nanoseconds elapsed);
+  void record_us(std::uint64_t us);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean_us() const;
+    /// Upper bound of the bucket holding the q-quantile sample, in µs.
+    std::uint64_t quantile_us(double q) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// One coherent reading of every server counter (plain values).
+struct MetricsSnapshot {
+  std::uint64_t events_ingested = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_dropped = 0;   // evicted under kDropOldest
+  std::uint64_t events_rejected = 0;  // unknown session / server stopped
+  std::uint64_t windows_scored = 0;
+  std::uint64_t verdicts_benign = 0;
+  std::uint64_t verdicts_malicious = 0;
+  std::uint64_t batches_drained = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t queue_high_water = 0;  // deepest any shard queue got
+  LatencyHistogram::Snapshot queue_wait;  // enqueue → worker dequeue
+  LatencyHistogram::Snapshot classify;    // per drained run of one session
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// The live counters. Shared by the server, its workers, and any
+/// metrics-dumping thread; every member is individually atomic.
+class ServerMetrics {
+ public:
+  std::atomic<std::uint64_t> events_ingested{0};
+  std::atomic<std::uint64_t> events_processed{0};
+  std::atomic<std::uint64_t> events_dropped{0};
+  std::atomic<std::uint64_t> events_rejected{0};
+  std::atomic<std::uint64_t> windows_scored{0};
+  std::atomic<std::uint64_t> verdicts_benign{0};
+  std::atomic<std::uint64_t> verdicts_malicious{0};
+  std::atomic<std::uint64_t> batches_drained{0};
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  LatencyHistogram queue_wait;
+  LatencyHistogram classify;
+
+  /// Raises the queue-depth high-water mark if `depth` exceeds it.
+  void note_queue_depth(std::size_t depth);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> queue_high_water_{0};
+};
+
+}  // namespace leaps::serve

@@ -1,0 +1,48 @@
+// DetectorRegistry: named, shared, hot-swappable detectors.
+//
+// Multi-tenant serving keys detectors by *profile* — one trained detector
+// per monitored application (the paper trains per application; Section V-A).
+// The registry is read-mostly: every session open takes a snapshot pointer,
+// every operator reload swaps one in. Reads take a shared lock and copy a
+// shared_ptr; a replaced detector stays alive until the last session
+// holding its snapshot closes, so reloads never invalidate live sessions
+// (RCU-flavored lifetime without the RCU machinery).
+//
+// A `const core::Detector` is immutable (see core/pipeline.h), which is
+// what makes handing one pointer to many worker threads sound.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace leaps::serve {
+
+class DetectorRegistry {
+ public:
+  /// Registers or replaces the detector for `profile`.
+  void add(const std::string& profile,
+           std::shared_ptr<const core::Detector> detector);
+
+  /// Loads a persisted detector file (core::load_detector_file) under
+  /// `profile`. Throws core::PersistError on malformed input.
+  void load_file(const std::string& profile, const std::string& path);
+
+  /// Snapshot of the current detector for `profile`; nullptr if absent.
+  std::shared_ptr<const core::Detector> find(const std::string& profile) const;
+
+  bool contains(const std::string& profile) const;
+  bool erase(const std::string& profile);
+  std::vector<std::string> profiles() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::Detector>> detectors_;
+};
+
+}  // namespace leaps::serve

@@ -1,0 +1,162 @@
+#include "serve/server.h"
+
+#include "util/check.h"
+
+namespace leaps::serve {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+DetectionServer::DetectionServer(ServerOptions options) : options_(options) {
+  LEAPS_CHECK_MSG(options_.workers >= 1, "server needs at least one worker");
+  LEAPS_CHECK_MSG(options_.batch_size >= 1, "batch size must be >= 1");
+  shards_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    shards_.push_back(std::make_unique<BoundedQueue<Item>>(
+        options_.queue_capacity, options_.overflow));
+  }
+}
+
+DetectionServer::~DetectionServer() { stop(); }
+
+void DetectionServer::set_verdict_sink(VerdictSink sink) {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  LEAPS_CHECK_MSG(!started_, "set the verdict sink before start()");
+  sink_ = std::move(sink);
+}
+
+void DetectionServer::start() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  LEAPS_CHECK_MSG(!stopped_, "a stopped server cannot be restarted");
+  started_ = true;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void DetectionServer::stop() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stopped_ = true;
+  for (const auto& shard : shards_) shard->close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void DetectionServer::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return retired_.load(std::memory_order_acquire) >=
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+std::shared_ptr<Session> DetectionServer::open_session(
+    const SessionKey& key, const std::string& profile) {
+  std::shared_ptr<Session> session = sessions_.open(key, profile);
+  if (session != nullptr) metrics_.sessions_opened.fetch_add(1, kRelaxed);
+  return session;
+}
+
+std::optional<SessionReport> DetectionServer::close_session(
+    const SessionKey& key) {
+  std::optional<SessionReport> report = sessions_.close(key);
+  if (report.has_value()) metrics_.sessions_closed.fetch_add(1, kRelaxed);
+  return report;
+}
+
+bool DetectionServer::submit(const std::shared_ptr<Session>& session,
+                             trace::PartitionedEvent event) {
+  if (session == nullptr) {
+    metrics_.events_rejected.fetch_add(1, kRelaxed);
+    return false;
+  }
+  BoundedQueue<Item>& shard =
+      *shards_[session->shard_hash() % shards_.size()];
+  accepted_.fetch_add(1, std::memory_order_release);
+  std::size_t evicted = 0;
+  const bool ok = shard.push(
+      Item{session, std::move(event), std::chrono::steady_clock::now()},
+      &evicted);
+  metrics_.note_queue_depth(shard.high_water());
+  if (evicted > 0) {
+    metrics_.events_dropped.fetch_add(evicted, kRelaxed);
+    note_completed(evicted);  // evicted events retire unprocessed
+  }
+  if (!ok) {
+    // Queue closed (server stopped): the event was never enqueued.
+    metrics_.events_rejected.fetch_add(1, kRelaxed);
+    note_completed(1);
+    return false;
+  }
+  metrics_.events_ingested.fetch_add(1, kRelaxed);
+  return true;
+}
+
+bool DetectionServer::submit(const SessionKey& key,
+                             trace::PartitionedEvent event) {
+  return submit(sessions_.find(key), std::move(event));
+}
+
+void DetectionServer::note_completed(std::uint64_t n) {
+  retired_.fetch_add(n, std::memory_order_release);
+  // Serialize with drain()'s predicate check, then wake it.
+  {
+    const std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void DetectionServer::worker_loop(std::size_t shard_index) {
+  BoundedQueue<Item>& queue = *shards_[shard_index];
+  std::vector<Item> batch;
+  std::vector<const trace::PartitionedEvent*> run;
+  std::vector<Verdict> verdicts;
+  batch.reserve(options_.batch_size);
+  run.reserve(options_.batch_size);
+  while (true) {
+    batch.clear();
+    const std::size_t n = queue.pop_batch(batch, options_.batch_size);
+    if (n == 0) break;  // closed and drained
+    metrics_.batches_drained.fetch_add(1, kRelaxed);
+    const auto dequeued = std::chrono::steady_clock::now();
+    for (const Item& item : batch) {
+      metrics_.queue_wait.record(dequeued - item.enqueued);
+    }
+    // Feed maximal consecutive runs of the same session under one session
+    // lock — this is where window classification batches up.
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      std::size_t j = i;
+      run.clear();
+      while (j < batch.size() && batch[j].session == batch[i].session) {
+        run.push_back(&batch[j].event);
+        ++j;
+      }
+      verdicts.clear();
+      const auto t0 = std::chrono::steady_clock::now();
+      batch[i].session->feed_run(run.data(), run.size(), verdicts);
+      metrics_.classify.record(std::chrono::steady_clock::now() - t0);
+      metrics_.events_processed.fetch_add(run.size(), kRelaxed);
+      for (const Verdict& v : verdicts) {
+        metrics_.windows_scored.fetch_add(1, kRelaxed);
+        (v.label == 1 ? metrics_.verdicts_benign
+                      : metrics_.verdicts_malicious)
+            .fetch_add(1, kRelaxed);
+        if (sink_) {
+          sink_(VerdictRecord{batch[i].session->key(), v.window_index,
+                              v.label});
+        }
+      }
+      i = j;
+    }
+    note_completed(batch.size());
+  }
+}
+
+}  // namespace leaps::serve

@@ -1,0 +1,141 @@
+// DetectionServer: the concurrent multi-tenant serving front end.
+//
+//                    ┌────────────────────────────────────────────┐
+//   producers ──────▶│ shard queues (bounded, backpressure) ──▶   │
+//   submit(key, ev)  │   worker 0 … worker N−1 (fixed pool)       │──▶ verdict
+//                    │   each drains its own queue in batches,    │    sink
+//                    │   groups runs by session, feeds Streams    │
+//                    └────────────────────────────────────────────┘
+//        DetectorRegistry (profiles) · SessionManager ((host,pid) streams)
+//        ServerMetrics (atomic counters + latency histograms)
+//
+// Sharding: every session is pinned to one shard queue by a hash of its
+// key, so one session's events are consumed by one worker in FIFO order —
+// per-session event order (which window semantics depend on) is preserved
+// without any cross-worker coordination; parallelism comes from having
+// many sessions. Queues are MPMC-capable; any number of producer threads
+// may submit concurrently.
+//
+// Backpressure per ServerOptions::overflow: kBlock stalls producers when
+// a shard queue fills (lossless replay), kDropOldest evicts the oldest
+// queued event (bounded-latency live ingest); drops are counted in
+// metrics. drain() blocks until every accepted event has been classified,
+// which makes "replay N logs, then read the tallies" deterministic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+
+namespace leaps::serve {
+
+struct ServerOptions {
+  /// Fixed worker-pool size (= shard count).
+  std::size_t workers = 4;
+  /// Per-shard queue capacity (events).
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Max events a worker drains per wakeup.
+  std::size_t batch_size = 128;
+};
+
+/// Called from worker threads for every completed window; must be
+/// thread-safe. Keep it cheap — it runs on the classification path.
+struct VerdictRecord {
+  SessionKey key;
+  std::size_t window_index;
+  int label;  // +1 benign / -1 malicious
+};
+using VerdictSink = std::function<void(const VerdictRecord&)>;
+
+class DetectionServer {
+ public:
+  explicit DetectionServer(ServerOptions options = {});
+  ~DetectionServer();
+
+  DetectionServer(const DetectionServer&) = delete;
+  DetectionServer& operator=(const DetectionServer&) = delete;
+
+  DetectorRegistry& registry() { return registry_; }
+  const DetectorRegistry& registry() const { return registry_; }
+  SessionManager& sessions() { return sessions_; }
+  const SessionManager& sessions() const { return sessions_; }
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Install before start(); called from workers for every verdict.
+  void set_verdict_sink(VerdictSink sink);
+
+  /// Spawns the worker pool. Events submitted before start() sit in the
+  /// shard queues and are drained once workers come up.
+  void start();
+
+  /// Closes the queues, drains what remains, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Blocks until every accepted event has been processed. Only
+  /// meaningful while the server is started (otherwise nothing drains).
+  void drain();
+
+  /// Opens (or returns the already-open) session for `key` served by
+  /// `profile`'s detector; nullptr if the profile is not registered.
+  std::shared_ptr<Session> open_session(const SessionKey& key,
+                                        const std::string& profile);
+
+  /// Final report for the session; nullopt if it was never opened. Call
+  /// after drain() for complete tallies — events still queued for a
+  /// closed session are processed (the session lives on), but the
+  /// report is taken at close time.
+  std::optional<SessionReport> close_session(const SessionKey& key);
+
+  /// Enqueues one event for the session. Returns false — and counts the
+  /// event as rejected — when the session handle is null or the server
+  /// has been stopped. Under kDropOldest an *older* queued event may be
+  /// evicted (counted as dropped) to admit this one.
+  bool submit(const std::shared_ptr<Session>& session,
+              trace::PartitionedEvent event);
+
+  /// Convenience: looks the session up by key, then submits.
+  bool submit(const SessionKey& key, trace::PartitionedEvent event);
+
+ private:
+  struct Item {
+    std::shared_ptr<Session> session;
+    trace::PartitionedEvent event;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop(std::size_t shard);
+  void note_completed(std::uint64_t n);
+
+  const ServerOptions options_;
+  DetectorRegistry registry_;
+  SessionManager sessions_{&registry_};
+  ServerMetrics metrics_;
+  VerdictSink sink_;
+  std::vector<std::unique_ptr<BoundedQueue<Item>>> shards_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;  // guarded by lifecycle_mu_
+  bool stopped_ = false;  // guarded by lifecycle_mu_; stop is terminal
+  std::mutex lifecycle_mu_;
+
+  // drain() bookkeeping: accepted == retired once nothing is in flight.
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> retired_{0};  // processed + evicted
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace leaps::serve

@@ -1,0 +1,128 @@
+#include "serve/session.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace leaps::serve {
+
+namespace {
+
+std::size_t hash_key(const SessionKey& key) {
+  // Boost-style combine; only needs to spread sessions across shards.
+  const std::size_t h1 = std::hash<std::string>{}(key.host);
+  const std::size_t h2 = std::hash<std::uint32_t>{}(key.pid);
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+}
+
+std::shared_ptr<const core::Detector> checked(
+    std::shared_ptr<const core::Detector> detector) {
+  LEAPS_CHECK_MSG(detector != nullptr, "session needs a detector");
+  return detector;
+}
+
+}  // namespace
+
+Session::Session(SessionKey key, std::string profile,
+                 std::shared_ptr<const core::Detector> detector)
+    : key_(std::move(key)),
+      profile_(std::move(profile)),
+      shard_hash_(hash_key(key_)),
+      detector_(checked(std::move(detector))),
+      stream_(detector_->stream()) {}
+
+std::optional<Verdict> Session::feed(const trace::PartitionedEvent& event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::optional<int> label = stream_.push(event);
+  if (!label.has_value()) return std::nullopt;
+  return Verdict{stream_.tally().window_labels.size() - 1, *label};
+}
+
+std::size_t Session::feed_run(const trace::PartitionedEvent* const* events,
+                              std::size_t count, std::vector<Verdict>& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t verdicts = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::optional<int> label = stream_.push(*events[i]);
+    if (!label.has_value()) continue;
+    out.push_back(Verdict{stream_.tally().window_labels.size() - 1, *label});
+    ++verdicts;
+  }
+  return verdicts;
+}
+
+SessionReport Session::report() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SessionReport r;
+  r.key = key_;
+  r.profile = profile_;
+  r.events_seen = stream_.events_seen();
+  r.pending_events = stream_.pending_events();
+  const core::Detector::ScanResult& tally = stream_.tally();
+  r.windows = tally.window_labels.size();
+  r.benign_windows = tally.benign_windows;
+  r.malicious_windows = tally.malicious_windows;
+  r.malicious_fraction = tally.malicious_fraction();
+  return r;
+}
+
+SessionManager::SessionManager(const DetectorRegistry* registry)
+    : registry_(registry) {
+  LEAPS_CHECK_MSG(registry_ != nullptr, "SessionManager needs a registry");
+}
+
+std::shared_ptr<Session> SessionManager::open(const SessionKey& key,
+                                              const std::string& profile) {
+  {
+    const std::shared_lock lock(mu_);
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) return it->second;
+  }
+  // Snapshot the detector outside the sessions lock.
+  std::shared_ptr<const core::Detector> detector = registry_->find(profile);
+  if (detector == nullptr) return nullptr;
+  auto session =
+      std::make_shared<Session>(key, profile, std::move(detector));
+  const std::unique_lock lock(mu_);
+  // Another opener may have raced us; first one in wins.
+  const auto [it, inserted] = sessions_.emplace(key, std::move(session));
+  return it->second;
+}
+
+std::shared_ptr<Session> SessionManager::find(const SessionKey& key) const {
+  const std::shared_lock lock(mu_);
+  const auto it = sessions_.find(key);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::optional<SessionReport> SessionManager::close(const SessionKey& key) {
+  std::shared_ptr<Session> session;
+  {
+    const std::unique_lock lock(mu_);
+    const auto it = sessions_.find(key);
+    if (it == sessions_.end()) return std::nullopt;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  return session->report();
+}
+
+std::size_t SessionManager::active() const {
+  const std::shared_lock lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<SessionReport> SessionManager::reports() const {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    const std::shared_lock lock(mu_);
+    live.reserve(sessions_.size());
+    for (const auto& [_, s] : sessions_) live.push_back(s);
+  }
+  std::vector<SessionReport> out;
+  out.reserve(live.size());
+  for (const auto& s : live) out.push_back(s->report());
+  return out;
+}
+
+}  // namespace leaps::serve

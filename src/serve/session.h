@@ -1,0 +1,113 @@
+// Streaming detection sessions, keyed by (host, pid).
+//
+// One Session wraps one core::Detector::Stream: the online Testing Phase
+// for one monitored process on one host. The session pins a snapshot of
+// its profile's detector at open time (hot-swapping the registry affects
+// only sessions opened afterwards — a session must not change classifiers
+// mid-stream, or its window verdicts become incomparable).
+//
+// Sessions are fed by exactly one worker at a time in the server (events
+// are sharded by session key), but feed_run() still takes the session
+// mutex so that reports() and direct submit paths are race-free under
+// ThreadSanitizer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/registry.h"
+#include "trace/partition.h"
+
+namespace leaps::serve {
+
+struct SessionKey {
+  std::string host;
+  std::uint32_t pid = 0;
+
+  auto operator<=>(const SessionKey&) const = default;
+  std::string to_string() const { return host + ":" + std::to_string(pid); }
+};
+
+/// One completed-window classification.
+struct Verdict {
+  std::size_t window_index = 0;
+  int label = 0;  // +1 benign / -1 malicious
+};
+
+struct SessionReport {
+  SessionKey key;
+  std::string profile;
+  std::size_t events_seen = 0;
+  std::size_t pending_events = 0;  // tail not yet forming a full window
+  std::size_t windows = 0;
+  std::size_t benign_windows = 0;
+  std::size_t malicious_windows = 0;
+  double malicious_fraction = 0.0;
+};
+
+class Session {
+ public:
+  Session(SessionKey key, std::string profile,
+          std::shared_ptr<const core::Detector> detector);
+
+  /// Feeds one event; returns a verdict when it completes a window.
+  std::optional<Verdict> feed(const trace::PartitionedEvent& event);
+
+  /// Feeds a run of events under one lock (the worker batch path),
+  /// appending any completed-window verdicts to `out`. Returns the number
+  /// of verdicts appended.
+  std::size_t feed_run(const trace::PartitionedEvent* const* events,
+                       std::size_t count, std::vector<Verdict>& out);
+
+  SessionReport report() const;
+  const SessionKey& key() const { return key_; }
+  const std::string& profile() const { return profile_; }
+  /// Stable hash of the key — the server's shard selector.
+  std::size_t shard_hash() const { return shard_hash_; }
+
+ private:
+  const SessionKey key_;
+  const std::string profile_;
+  const std::size_t shard_hash_;
+  const std::shared_ptr<const core::Detector> detector_;
+  mutable std::mutex mu_;
+  core::Detector::Stream stream_;
+};
+
+/// Owns the live sessions; thread-safe open/find/close.
+class SessionManager {
+ public:
+  /// The registry must outlive the manager.
+  explicit SessionManager(const DetectorRegistry* registry);
+
+  /// Opens a session for `key` classified by `profile`'s detector.
+  /// Returns the existing session if one is already open for `key` (its
+  /// profile wins); nullptr if the registry has no such profile.
+  std::shared_ptr<Session> open(const SessionKey& key,
+                                const std::string& profile);
+
+  std::shared_ptr<Session> find(const SessionKey& key) const;
+
+  /// Removes the session and returns its final report; nullopt if absent.
+  /// The Session object itself lives until the last queued event referring
+  /// to it has been processed (shared_ptr ownership).
+  std::optional<SessionReport> close(const SessionKey& key);
+
+  std::size_t active() const;
+  /// Reports for every live session, in key order.
+  std::vector<SessionReport> reports() const;
+
+ private:
+  const DetectorRegistry* registry_;
+  mutable std::shared_mutex mu_;
+  std::map<SessionKey, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace leaps::serve

@@ -1,0 +1,59 @@
+// Shared test fixture: a small but genuinely trained detector plus the
+// partitioned logs it was trained on. Skips hyper-parameter search (the
+// default SvmParams are fine for asserting *consistency*, which is what
+// the stream/serving tests check — accuracy has its own suites).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "ml/svm.h"
+#include "sim/scenario.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+
+namespace leaps::testing {
+
+struct TrainedDetector {
+  trace::PartitionedLog benign;
+  trace::PartitionedLog mixed;
+  trace::PartitionedLog malicious;
+  std::shared_ptr<const core::Detector> detector;
+};
+
+inline trace::PartitionedLog partition_raw(const trace::RawLog& raw) {
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+inline TrainedDetector train_small_detector(
+    const std::string& scenario = "vim_reverse_tcp_online",
+    std::size_t events = 1500, std::uint64_t seed = 7) {
+  sim::SimConfig cfg;
+  cfg.benign_events = events;
+  cfg.mixed_events = events * 3 / 4;
+  cfg.malicious_events = events / 2;
+  cfg.seed = seed;
+  const sim::ScenarioLogs logs =
+      sim::generate_scenario(sim::find_scenario(scenario), cfg);
+
+  TrainedDetector out;
+  out.benign = partition_raw(logs.benign);
+  out.mixed = partition_raw(logs.mixed);
+  out.malicious = partition_raw(logs.malicious);
+
+  const core::TrainingData td =
+      core::LeapsPipeline().prepare(out.benign, out.mixed);
+  ml::Dataset train = td.benign;
+  train.append(td.mixed);
+  ml::MinMaxScaler scaler;
+  scaler.fit(train.X);
+  scaler.transform_in_place(train);
+  const ml::SvmModel model = ml::SvmTrainer({}).train(train);
+  out.detector = std::make_shared<const core::Detector>(td.preprocessor,
+                                                        scaler, model);
+  return out;
+}
+
+}  // namespace leaps::testing

@@ -1,0 +1,95 @@
+// Detector::Stream edge cases: the online path must agree exactly with
+// batch scan() — same verdicts, same handling of the trailing partial
+// window, sane behavior on empty input.
+#include <gtest/gtest.h>
+
+#include "detector_fixture.h"
+
+namespace leaps::core {
+namespace {
+
+using leaps::testing::TrainedDetector;
+using leaps::testing::train_small_detector;
+
+const TrainedDetector& fixture() {
+  static const TrainedDetector* f =
+      new TrainedDetector(train_small_detector());
+  return *f;
+}
+
+Detector::ScanResult stream_all(const Detector& detector,
+                                const trace::PartitionedLog& log) {
+  Detector::Stream stream = detector.stream();
+  for (const trace::PartitionedEvent& e : log.events) stream.push(e);
+  return stream.tally();
+}
+
+TEST(DetectorStream, MatchesBatchScanVerdictForVerdict) {
+  const TrainedDetector& f = fixture();
+  for (const trace::PartitionedLog* log :
+       {&f.benign, &f.mixed, &f.malicious}) {
+    const Detector::ScanResult batch = f.detector->scan(*log);
+    const Detector::ScanResult streamed = stream_all(*f.detector, *log);
+    ASSERT_EQ(batch.window_labels.size(), streamed.window_labels.size());
+    EXPECT_EQ(batch.window_labels, streamed.window_labels);
+    EXPECT_EQ(batch.benign_windows, streamed.benign_windows);
+    EXPECT_EQ(batch.malicious_windows, streamed.malicious_windows);
+  }
+}
+
+TEST(DetectorStream, PartialFinalWindowIsNeverClassified) {
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  ASSERT_GE(f.benign.events.size(), 3 * window);
+
+  // 2.5 windows of events: exactly two verdicts, half a window pending.
+  trace::PartitionedLog truncated;
+  truncated.process_name = f.benign.process_name;
+  truncated.events.assign(f.benign.events.begin(),
+                          f.benign.events.begin() + 2 * window + window / 2);
+
+  Detector::Stream stream = f.detector->stream();
+  std::size_t verdicts = 0;
+  for (const trace::PartitionedEvent& e : truncated.events) {
+    if (stream.push(e).has_value()) ++verdicts;
+  }
+  EXPECT_EQ(verdicts, 2u);
+  EXPECT_EQ(stream.events_seen(), truncated.events.size());
+  EXPECT_EQ(stream.pending_events(), window / 2);
+  // Batch scan drops the same trailing partial window.
+  const Detector::ScanResult batch = f.detector->scan(truncated);
+  EXPECT_EQ(batch.window_labels, stream.tally().window_labels);
+}
+
+TEST(DetectorStream, ZeroEventLogYieldsEmptyTally) {
+  const TrainedDetector& f = fixture();
+  trace::PartitionedLog empty;
+  empty.process_name = f.benign.process_name;
+
+  const Detector::ScanResult batch = f.detector->scan(empty);
+  EXPECT_TRUE(batch.window_labels.empty());
+  EXPECT_EQ(batch.malicious_fraction(), 0.0);
+
+  const Detector::Stream stream = f.detector->stream();
+  EXPECT_EQ(stream.events_seen(), 0u);
+  EXPECT_EQ(stream.pending_events(), 0u);
+  EXPECT_TRUE(stream.tally().window_labels.empty());
+  EXPECT_EQ(stream.tally().malicious_fraction(), 0.0);
+}
+
+TEST(DetectorStream, TallyCountsAreConsistentWithLabels) {
+  const TrainedDetector& f = fixture();
+  const Detector::ScanResult t = stream_all(*f.detector, f.mixed);
+  std::size_t benign = 0;
+  std::size_t malicious = 0;
+  for (const int label : t.window_labels) {
+    (label == 1 ? benign : malicious) += 1;
+  }
+  EXPECT_EQ(t.benign_windows, benign);
+  EXPECT_EQ(t.malicious_windows, malicious);
+  EXPECT_EQ(t.benign_windows + t.malicious_windows,
+            t.window_labels.size());
+}
+
+}  // namespace
+}  // namespace leaps::core

@@ -1,0 +1,258 @@
+// Concurrency tests for the serving layer (src/serve/): queue backpressure
+// semantics, registry snapshot isolation, and — the load-bearing property —
+// that a DetectionServer classifying many interleaved sessions on many
+// workers produces exactly the verdicts a sequential Detector::Stream
+// produces per session. Run under -DLEAPS_SANITIZE=thread in CI
+// (ctest -L concurrency).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "detector_fixture.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+
+namespace leaps::serve {
+namespace {
+
+using leaps::testing::TrainedDetector;
+using leaps::testing::train_small_detector;
+
+const TrainedDetector& fixture() {
+  static const TrainedDetector* f =
+      new TrainedDetector(train_small_detector());
+  return *f;
+}
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueue, BlockPolicyDeliversEverythingInOrder) {
+  BoundedQueue<int> q(2, OverflowPolicy::kBlock);
+  constexpr int kItems = 500;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  std::vector<int> got;
+  while (auto item = q.pop()) got.push_back(*item);
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_LE(q.high_water(), 2u);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueue, DropOldestEvictsFromTheFront) {
+  BoundedQueue<int> q(4, OverflowPolicy::kDropOldest);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.push(i));  // never blocks, never fails while open
+  }
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.dropped(), 6u);
+  q.close();
+  // Survivors are the newest four, still in order.
+  for (int expected : {6, 7, 8, 9}) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, expected);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseUnblocksProducersAndDrainsConsumers) {
+  BoundedQueue<int> q(1, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> blocked_push_returned{false};
+  std::thread producer([&] {
+    const bool ok = q.push(2);  // blocks: queue is full
+    EXPECT_FALSE(ok);           // woken by close, item discarded
+    blocked_push_returned.store(true);
+  });
+  // Give the producer time to park on the condition variable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_push_returned.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(blocked_push_returned.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(1));  // still drains
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PopBatchTakesUpToMax) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.pop_batch(out, 100), 6u);
+  q.close();
+  out.clear();
+  EXPECT_EQ(q.pop_batch(out, 4), 0u);
+}
+
+// --- DetectorRegistry -----------------------------------------------------
+
+TEST(DetectorRegistry, ConcurrentReadersAndHotSwaps) {
+  const TrainedDetector& f = fixture();
+  DetectorRegistry registry;
+  registry.add("app", f.detector);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const auto d = registry.find("app");
+        ASSERT_NE(d, nullptr);
+        reads.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    registry.add("app", f.detector);  // hot swap
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(DetectorRegistry, SessionsPinTheirSnapshotAcrossSwaps) {
+  const TrainedDetector& f = fixture();
+  DetectionServer server({.workers = 1});
+  server.registry().add("app", f.detector);
+  const auto session =
+      server.open_session({"host", 1}, "app");
+  ASSERT_NE(session, nullptr);
+  // Swap in a different detector object; the open session is unaffected,
+  // new sessions get the replacement.
+  auto replacement = std::make_shared<const core::Detector>(*f.detector);
+  server.registry().add("app", replacement);
+  EXPECT_EQ(server.registry().find("app"), replacement);
+  EXPECT_EQ(server.sessions().find({"host", 1}), session);
+}
+
+// --- DetectionServer ------------------------------------------------------
+
+TEST(DetectionServer, RejectsUnknownProfileAndNullSession) {
+  DetectionServer server({.workers = 1});
+  EXPECT_EQ(server.open_session({"h", 1}, "no_such_profile"), nullptr);
+  EXPECT_FALSE(server.submit({"h", 1}, trace::PartitionedEvent{}));
+  EXPECT_EQ(server.metrics().snapshot().events_rejected, 1u);
+}
+
+TEST(DetectionServer, ParallelSessionsMatchSequentialStreams) {
+  const TrainedDetector& f = fixture();
+  constexpr std::size_t kSessions = 6;
+
+  ServerOptions options;
+  options.workers = 3;
+  options.queue_capacity = 256;
+  options.batch_size = 32;
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+
+  // Collect every verdict the workers emit, per session.
+  std::mutex verdict_mu;
+  std::map<std::string, std::vector<std::pair<std::size_t, int>>> verdicts;
+  server.set_verdict_sink([&](const VerdictRecord& v) {
+    const std::lock_guard<std::mutex> lock(verdict_mu);
+    verdicts[v.key.to_string()].emplace_back(v.window_index, v.label);
+  });
+  server.start();
+
+  // Session s replays one of the three logs; producers run concurrently.
+  const std::vector<const trace::PartitionedLog*> logs = {
+      &f.benign, &f.mixed, &f.malicious};
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    sessions.push_back(server.open_session(
+        {"host" + std::to_string(s), static_cast<std::uint32_t>(s)}, "app"));
+    ASSERT_NE(sessions.back(), nullptr);
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    producers.emplace_back([&, s] {
+      for (const trace::PartitionedEvent& e : logs[s % logs.size()]->events) {
+        ASSERT_TRUE(server.submit(sessions[s], e));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  server.drain();
+
+  const MetricsSnapshot m = server.metrics().snapshot();
+  EXPECT_EQ(m.events_dropped, 0u);
+  EXPECT_EQ(m.events_rejected, 0u);
+  EXPECT_EQ(m.events_processed, m.events_ingested);
+
+  // Every session's serving verdicts must equal a sequential stream's.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const trace::PartitionedLog& log = *logs[s % logs.size()];
+    core::Detector::Stream reference = f.detector->stream();
+    std::vector<std::pair<std::size_t, int>> expected;
+    for (const trace::PartitionedEvent& e : log.events) {
+      if (const auto label = reference.push(e)) {
+        expected.emplace_back(expected.size(), *label);
+      }
+    }
+    const SessionKey key{"host" + std::to_string(s),
+                         static_cast<std::uint32_t>(s)};
+    const auto report = server.close_session(key);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->events_seen, log.events.size());
+    EXPECT_EQ(report->windows, expected.size());
+    EXPECT_EQ(report->benign_windows, reference.tally().benign_windows);
+    EXPECT_EQ(report->malicious_windows,
+              reference.tally().malicious_windows);
+    const std::lock_guard<std::mutex> lock(verdict_mu);
+    EXPECT_EQ(verdicts[key.to_string()], expected)
+        << "session " << s << " diverged from the sequential stream";
+  }
+  server.stop();
+}
+
+TEST(DetectionServer, DropOldestSheddingIsCountedAndBounded) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.overflow = OverflowPolicy::kDropOldest;
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+  const auto session = server.open_session({"h", 1}, "app");
+  ASSERT_NE(session, nullptr);
+
+  // Workers are not started yet: the queue must shed.
+  constexpr std::size_t kEvents = 100;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    EXPECT_TRUE(server.submit(session, f.benign.events[i]));
+  }
+  server.start();
+  server.drain();  // must terminate despite the shed events
+  const MetricsSnapshot m = server.metrics().snapshot();
+  EXPECT_EQ(m.events_ingested, kEvents);
+  EXPECT_EQ(m.events_dropped, kEvents - options.queue_capacity);
+  EXPECT_EQ(m.events_processed, options.queue_capacity);
+  EXPECT_LE(m.queue_high_water, options.queue_capacity);
+  server.stop();
+}
+
+TEST(DetectionServer, SubmitAfterStopIsRejected) {
+  const TrainedDetector& f = fixture();
+  DetectionServer server({.workers = 1});
+  server.registry().add("app", f.detector);
+  const auto session = server.open_session({"h", 1}, "app");
+  server.start();
+  server.stop();
+  EXPECT_FALSE(server.submit(session, f.benign.events[0]));
+  EXPECT_EQ(server.metrics().snapshot().events_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace leaps::serve

@@ -1,12 +1,14 @@
 # CTest script: end-to-end CLI workflow integration test.
 #
-# Drives the three tools exactly as a user would:
+# Drives the tools exactly as a user would:
 #   leaps-sim   → raw logs (text and binary)
 #   leaps-train → detector file (with calibration)
 #   leaps-scan  → exit 3 on the malicious log, exit 0 on the benign log
+#   leaps-serve → concurrent replay of both logs, same verdict contract
 # Any deviation fails the test.
 #
-# Variables (passed with -D): LEAPS_SIM, LEAPS_TRAIN, LEAPS_SCAN, WORK_DIR.
+# Variables (passed with -D): LEAPS_SIM, LEAPS_TRAIN, LEAPS_SCAN,
+# LEAPS_STAT, LEAPS_SERVE, WORK_DIR.
 
 function(run_checked expect_rc)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -40,9 +42,29 @@ run_checked(3 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt
 run_checked(0 ${LEAPS_STAT} ${WORK_DIR}/benign.log ${WORK_DIR}/bin/mixed.log)
 run_checked(1 ${LEAPS_STAT} /nonexistent.log)
 
+# --- concurrent serving round ----------------------------------------------
+# Mixed fleet: malicious sessions must flip the exit code to 3; a clean
+# fleet exits 0. Both text- and binary-format logs replay through the server.
+run_checked(3 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/malicious.log ${WORK_DIR}/benign.log
+            ${WORK_DIR}/bin/malicious.log --workers 2 --sessions 4)
+run_checked(0 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
+            --workers 2 --policy drop-oldest --json)
+
+# --- help flags --------------------------------------------------------------
+foreach(tool ${LEAPS_SIM} ${LEAPS_TRAIN} ${LEAPS_SCAN} ${LEAPS_STAT}
+        ${LEAPS_SERVE})
+  run_checked(0 ${tool} --help)
+endforeach()
+
 # --- error handling ---------------------------------------------------------
 run_checked(2 ${LEAPS_SIM} no_such_scenario ${WORK_DIR})
 run_checked(2 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt)
 run_checked(1 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt /nonexistent.log)
+run_checked(2 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
+            --no-such-option)
+run_checked(2 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt)
+run_checked(2 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
+            --policy bogus)
 
 message(STATUS "tools workflow OK")

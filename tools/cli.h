@@ -1,0 +1,159 @@
+// Shared command-line plumbing for the leaps tools.
+//
+// Every tool gets the same behavior for free:
+//   --help / -h        prints the usage text, exits 0
+//   --name <value>     typed value options with diagnostics on bad numbers
+//   unknown options    "<tool>: unknown option '--x' (try --help)", exit 2
+//   wrong positionals  usage to stderr, exit 2
+//
+// Deliberately tiny and exit()-happy: these are leaf programs, and the
+// pre-existing exit-code contract (0 ok / 2 usage error) is load-bearing
+// for the tools_workflow integration test and shell pipelines.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace leaps::cli {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv, std::string usage)
+      : usage_(std::move(usage)) {
+    const char* slash = std::strrchr(argv[0], '/');
+    tool_ = slash != nullptr ? slash + 1 : argv[0];
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  const std::string& tool() const { return tool_; }
+
+  /// Boolean option: present → *out = true.
+  void flag(const char* name, bool* out) {
+    flags_.push_back({name, out});
+  }
+  /// Value options; the value is the next argument.
+  void option(const char* name, double* out) {
+    doubles_.push_back({name, out});
+  }
+  void option(const char* name, std::size_t* out) {
+    sizes_.push_back({name, out});
+  }
+  void option(const char* name, std::string* out) {
+    strings_.push_back({name, out});
+  }
+  /// Repeatable string option (e.g. --detector name=path --detector ...).
+  void option_list(const char* name, std::vector<std::string>* out) {
+    string_lists_.push_back({name, out});
+  }
+
+  [[noreturn]] void usage_error(const char* fmt, const char* arg) const {
+    std::fprintf(stderr, "%s: ", tool_.c_str());
+    std::fprintf(stderr, fmt, arg);
+    std::fprintf(stderr, " (try --help)\n");
+    std::exit(2);
+  }
+
+  /// Parses everything. On --help prints the usage text and exits 0; on an
+  /// unknown option, a bad value, or a positional count outside
+  /// [min_positional, max_positional] prints a diagnostic and exits 2.
+  /// Returns the positional arguments.
+  std::vector<std::string> parse(
+      std::size_t min_positional,
+      std::size_t max_positional = std::numeric_limits<std::size_t>::max()) {
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a == "--help" || a == "-h") {
+        std::printf("%s", usage_.c_str());
+        std::exit(0);
+      }
+      if (a.size() < 2 || a[0] != '-' || a[1] != '-') {
+        positional.push_back(a);
+        continue;
+      }
+      if (!match_option(a, i)) {
+        usage_error("unknown option '%s'", a.c_str());
+      }
+    }
+    if (positional.size() < min_positional ||
+        positional.size() > max_positional) {
+      std::fprintf(stderr, "%s", usage_.c_str());
+      std::exit(2);
+    }
+    return positional;
+  }
+
+ private:
+  template <typename T>
+  struct Spec {
+    const char* name;
+    T* out;
+  };
+
+  const std::string& value_of(const std::string& name, std::size_t& i) {
+    if (i + 1 >= args_.size()) {
+      usage_error("option '%s' needs a value", name.c_str());
+    }
+    return args_[++i];
+  }
+
+  bool match_option(const std::string& a, std::size_t& i) {
+    for (const auto& s : flags_) {
+      if (a == s.name) {
+        *s.out = true;
+        return true;
+      }
+    }
+    for (const auto& s : doubles_) {
+      if (a == s.name) {
+        const std::string& v = value_of(a, i);
+        char* end = nullptr;
+        *s.out = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0') {
+          usage_error("bad number for '%s'", a.c_str());
+        }
+        return true;
+      }
+    }
+    for (const auto& s : sizes_) {
+      if (a == s.name) {
+        const std::string& v = value_of(a, i);
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0') {
+          usage_error("bad number for '%s'", a.c_str());
+        }
+        *s.out = static_cast<std::size_t>(n);
+        return true;
+      }
+    }
+    for (const auto& s : strings_) {
+      if (a == s.name) {
+        *s.out = value_of(a, i);
+        return true;
+      }
+    }
+    for (const auto& s : string_lists_) {
+      if (a == s.name) {
+        s.out->push_back(value_of(a, i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string tool_;
+  std::string usage_;
+  std::vector<std::string> args_;
+  std::vector<Spec<bool>> flags_;
+  std::vector<Spec<double>> doubles_;
+  std::vector<Spec<std::size_t>> sizes_;
+  std::vector<Spec<std::string>> strings_;
+  std::vector<Spec<std::vector<std::string>>> string_lists_;
+};
+
+}  // namespace leaps::cli

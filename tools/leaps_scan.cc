@@ -7,9 +7,9 @@
 // stays at or below the threshold (default 0.25) and 3 when it exceeds it,
 // so the tool composes into scripts/alert pipelines.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
+#include "cli.h"
 #include "core/persist.h"
 #include "trace/binary_log.h"
 #include "trace/parser.h"
@@ -17,30 +17,28 @@
 
 int main(int argc, char** argv) {
   using namespace leaps;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: leaps_scan <detector> <trace.log> "
-                 "[--threshold F] [--verbose]\n");
-    return 2;
-  }
+  cli::ArgParser args(argc, argv,
+                      "usage: leaps-scan <detector> <trace.log> "
+                      "[--threshold F] [--verbose]\n"
+                      "  applies a saved detector to a raw log (text or "
+                      "binary).\n"
+                      "  --threshold F  flagged-fraction above which the "
+                      "verdict is suspicious (default 0.25)\n"
+                      "  --verbose      print every malicious window\n"
+                      "exit: 0 clean, 3 suspicious, 1 I/O error, 2 usage\n");
   double threshold = 0.25;
   bool verbose = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      verbose = true;
-    } else {
-      std::fprintf(stderr, "leaps_scan: unknown option %s\n", argv[i]);
-      return 2;
-    }
-  }
+  args.option("--threshold", &threshold);
+  args.flag("--verbose", &verbose);
+  const std::vector<std::string> pos = args.parse(2, 2);
+  const std::string detector_path = pos[0];
+  const std::string log_path = pos[1];
 
   try {
-    const core::Detector detector = core::load_detector_file(argv[1]);
-    std::ifstream is(argv[2], std::ios::binary);
+    const core::Detector detector = core::load_detector_file(detector_path);
+    std::ifstream is(log_path, std::ios::binary);
     if (!is) {
-      std::fprintf(stderr, "leaps_scan: cannot open %s\n", argv[2]);
+      std::fprintf(stderr, "leaps-scan: cannot open %s\n", log_path.c_str());
       return 1;
     }
     // Accepts both the textual and the binary log format.
@@ -61,7 +59,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s: %zu windows scanned, %zu benign, %zu malicious "
                 "(%.1f%% flagged, threshold %.1f%%)\n",
-                argv[2], result.window_labels.size(), result.benign_windows,
+                log_path.c_str(), result.window_labels.size(),
+                result.benign_windows,
                 result.malicious_windows,
                 100.0 * result.malicious_fraction(), 100.0 * threshold);
     if (result.malicious_fraction() > threshold) {
@@ -71,7 +70,7 @@ int main(int argc, char** argv) {
     std::printf("VERDICT: clean\n");
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "leaps_scan: %s\n", e.what());
+    std::fprintf(stderr, "leaps-scan: %s\n", e.what());
     return 1;
   }
 }

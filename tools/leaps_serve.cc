@@ -1,0 +1,235 @@
+// leaps_serve — replay raw logs as concurrent streaming sessions through
+// the multi-tenant detection server (src/serve/).
+//
+// Each input log becomes an independent (host, pid) session; a producer
+// thread per session feeds its events — optionally rate-limited, as a live
+// tracer would deliver them — into the server's sharded bounded queues,
+// where the fixed worker pool classifies windows online. Prints one
+// verdict line per session plus a final metrics report.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.h"
+#include "core/persist.h"
+#include "serve/server.h"
+#include "trace/binary_log.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+
+namespace {
+
+using namespace leaps;
+
+constexpr const char* kUsage =
+    "usage: leaps-serve <detector> <trace.log> [more.log ...]\n"
+    "  replays logs as concurrent streaming sessions against the detection\n"
+    "  server (the paper's Testing Phase at serving scale).\n"
+    "  --detector NAME=PATH  register an extra profile (repeatable); a\n"
+    "                        session whose process name matches a profile\n"
+    "                        uses it, everything else uses <detector>\n"
+    "  --sessions N          concurrent sessions (default: one per log;\n"
+    "                        logs are reused round-robin when N > logs)\n"
+    "  --workers N           worker threads (default 4)\n"
+    "  --rate R              events/sec per session (0 = unthrottled)\n"
+    "  --queue-capacity N    per-shard queue capacity (default 4096)\n"
+    "  --policy P            backpressure: block | drop-oldest\n"
+    "  --batch N             worker drain batch size (default 128)\n"
+    "  --threshold F         flagged fraction per session that makes the\n"
+    "                        overall verdict suspicious (default 0.25)\n"
+    "  --metrics-every S     dump metrics to stderr every S seconds\n"
+    "  --json                final metrics report as JSON\n"
+    "  --verbose             print each malicious window as it is scored\n"
+    "exit: 0 all sessions clean, 3 any suspicious, 1 error, 2 usage\n";
+
+trace::PartitionedLog load_log(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "leaps-serve: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  const trace::RawLog raw = trace::read_raw_log_any(is);
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+/// Feeds one session's events, pacing to `rate` events/sec when positive.
+void replay(serve::DetectionServer& server,
+            const std::shared_ptr<serve::Session>& session,
+            const trace::PartitionedLog& log, double rate) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  for (const trace::PartitionedEvent& event : log.events) {
+    if (rate > 0.0 && sent % 64 == 0) {
+      const auto due =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(sent) / rate));
+      std::this_thread::sleep_until(due);
+    }
+    server.submit(session, event);
+    ++sent;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args(argc, argv, kUsage);
+  std::vector<std::string> extra_detectors;
+  std::size_t sessions = 0;
+  serve::ServerOptions options;
+  double rate = 0.0;
+  std::string policy = "block";
+  double threshold = 0.25;
+  std::size_t metrics_every = 0;
+  bool json = false;
+  bool verbose = false;
+  args.option_list("--detector", &extra_detectors);
+  args.option("--sessions", &sessions);
+  args.option("--workers", &options.workers);
+  args.option("--rate", &rate);
+  args.option("--queue-capacity", &options.queue_capacity);
+  args.option("--policy", &policy);
+  args.option("--batch", &options.batch_size);
+  args.option("--threshold", &threshold);
+  args.option("--metrics-every", &metrics_every);
+  args.flag("--json", &json);
+  args.flag("--verbose", &verbose);
+  const std::vector<std::string> pos = args.parse(2);
+
+  const auto parsed_policy = serve::parse_overflow_policy(policy);
+  if (!parsed_policy.has_value()) {
+    args.usage_error("bad --policy '%s'", policy.c_str());
+  }
+  options.overflow = *parsed_policy;
+  if (options.workers == 0) args.usage_error("%s must be >= 1", "--workers");
+
+  try {
+    serve::DetectionServer server(options);
+    server.registry().load_file("default", pos[0]);
+    for (const std::string& spec : extra_detectors) {
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        args.usage_error("bad --detector '%s' (want NAME=PATH)",
+                         spec.c_str());
+      }
+      server.registry().load_file(spec.substr(0, eq), spec.substr(eq + 1));
+    }
+
+    // Parse each distinct log once; sessions share the parsed copies.
+    std::map<std::string, std::shared_ptr<const trace::PartitionedLog>> logs;
+    for (std::size_t i = 1; i < pos.size(); ++i) {
+      if (logs.count(pos[i]) == 0) {
+        logs[pos[i]] = std::make_shared<const trace::PartitionedLog>(
+            load_log(pos[i]));
+      }
+    }
+    const std::size_t log_count = pos.size() - 1;
+    if (sessions == 0) sessions = log_count;
+
+    if (verbose) {
+      server.set_verdict_sink([](const serve::VerdictRecord& v) {
+        if (v.label == -1) {
+          std::printf("MALICIOUS window %zu in session %s\n", v.window_index,
+                      v.key.to_string().c_str());
+        }
+      });
+    }
+    server.start();
+
+    std::atomic<bool> done{false};
+    std::thread metrics_thread;
+    if (metrics_every > 0) {
+      metrics_thread = std::thread([&server, &done, metrics_every] {
+        while (!done.load()) {
+          std::this_thread::sleep_for(std::chrono::seconds(metrics_every));
+          if (done.load()) break;
+          std::fprintf(stderr, "%s",
+                       server.metrics().snapshot().to_text().c_str());
+        }
+      });
+    }
+
+    // One producer per session; logs reused round-robin beyond log_count.
+    struct Replay {
+      serve::SessionKey key;
+      std::string path;
+      std::shared_ptr<const trace::PartitionedLog> log;
+      std::shared_ptr<serve::Session> session;
+    };
+    std::vector<Replay> replays;
+    replays.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      Replay r;
+      r.path = pos[1 + s % log_count];
+      r.log = logs.at(r.path);
+      r.key = serve::SessionKey{"replay-" + std::to_string(s),
+                                static_cast<std::uint32_t>(1000 + s)};
+      const std::string profile =
+          server.registry().contains(r.log->process_name)
+              ? r.log->process_name
+              : "default";
+      r.session = server.open_session(r.key, profile);
+      replays.push_back(std::move(r));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(replays.size());
+    for (const Replay& r : replays) {
+      producers.emplace_back([&server, &r, rate] {
+        replay(server, r.session, *r.log, rate);
+      });
+    }
+    for (std::thread& p : producers) p.join();
+    server.drain();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    done.store(true);
+    if (metrics_thread.joinable()) metrics_thread.join();
+
+    int rc = 0;
+    for (const Replay& r : replays) {
+      const auto report = server.close_session(r.key);
+      if (!report.has_value()) continue;
+      const bool suspicious = report->malicious_fraction > threshold;
+      if (suspicious) rc = 3;
+      std::printf(
+          "session %-12s %-28s profile=%s events=%zu windows=%zu "
+          "malicious=%zu (%.1f%%) %s\n",
+          report->key.to_string().c_str(), r.path.c_str(),
+          report->profile.c_str(), report->events_seen, report->windows,
+          report->malicious_windows, 100.0 * report->malicious_fraction,
+          suspicious ? "SUSPICIOUS" : "clean");
+    }
+
+    const serve::MetricsSnapshot m = server.metrics().snapshot();
+    server.stop();
+    if (json) {
+      std::printf("%s\n", m.to_json().c_str());
+    } else {
+      std::printf("%s", m.to_text().c_str());
+    }
+    std::printf("replayed %llu events over %zu sessions in %.2fs "
+                "(%.0f events/sec, %zu workers)\n",
+                static_cast<unsigned long long>(m.events_processed),
+                replays.size(), elapsed.count(),
+                elapsed.count() > 0
+                    ? static_cast<double>(m.events_processed) /
+                          elapsed.count()
+                    : 0.0,
+                options.workers);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "leaps-serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -9,10 +9,10 @@
 // plus truth.txt with the mixed log's per-event ground truth (for
 // experimentation only; a real tracer cannot produce it).
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "cli.h"
 #include "sim/scenario.h"
 #include "trace/binary_log.h"
 #include "trace/raw_log.h"
@@ -20,25 +20,28 @@
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: leaps_sim <scenario> <output-dir> [--events N] [--seed S] "
+std::string usage_text() {
+  std::string text =
+      "usage: leaps-sim <scenario> <output-dir> [--events N] [--seed S] "
       "[--binary]\n"
       "       scenario: a Table-I dataset name (e.g. winscp_reverse_tcp),\n"
       "       or <app>_<payload>_srctrojan for a source-level trojan.\n"
-      "known scenarios:\n");
+      "  --events N  benign-log events, N >= 100 (mixed = 3N/4, "
+      "malicious = N/2)\n"
+      "  --seed S    simulation seed\n"
+      "  --binary    write the compact binary log format\n"
+      "known scenarios:\n";
   for (const auto& s : leaps::sim::table1_scenarios()) {
-    std::fprintf(stderr, "  %s\n", s.name.c_str());
+    text += "  " + s.name + "\n";
   }
-  return 2;
+  return text;
 }
 
 void write_log(const leaps::trace::RawLog& log, const std::string& path,
                bool binary) {
   std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
   if (!os) {
-    std::fprintf(stderr, "leaps_sim: cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "leaps-sim: cannot write %s\n", path.c_str());
     std::exit(1);
   }
   if (binary) {
@@ -54,26 +57,24 @@ void write_log(const leaps::trace::RawLog& log, const std::string& path,
 
 int main(int argc, char** argv) {
   using namespace leaps;
-  if (argc < 3) return usage();
-  const std::string scenario = argv[1];
-  const std::string dir = argv[2];
-
+  cli::ArgParser args(argc, argv, usage_text());
   sim::SimConfig config;
+  std::size_t events = 0;
+  std::size_t seed = static_cast<std::size_t>(config.seed);
   bool binary = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
-      const long n = std::atol(argv[++i]);
-      if (n < 100) return usage();
-      config.benign_events = static_cast<std::size_t>(n);
-      config.mixed_events = static_cast<std::size_t>(n) * 3 / 4;
-      config.malicious_events = static_cast<std::size_t>(n) / 2;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      config.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--binary") == 0) {
-      binary = true;
-    } else {
-      return usage();
-    }
+  args.option("--events", &events);
+  args.option("--seed", &seed);
+  args.flag("--binary", &binary);
+  const std::vector<std::string> pos = args.parse(2, 2);
+  const std::string scenario = pos[0];
+  const std::string dir = pos[1];
+
+  config.seed = static_cast<std::uint64_t>(seed);
+  if (events != 0) {
+    if (events < 100) args.usage_error("%s must be >= 100", "--events");
+    config.benign_events = events;
+    config.mixed_events = events * 3 / 4;
+    config.malicious_events = events / 2;
   }
 
   sim::ScenarioLogs logs;
@@ -84,19 +85,21 @@ int main(int argc, char** argv) {
     const std::string head =
         scenario.substr(0, scenario.size() - suffix.size());
     const auto sep = head.rfind('_');
-    if (sep == std::string::npos) return usage();
+    if (sep == std::string::npos) {
+      args.usage_error("bad srctrojan scenario '%s'", scenario.c_str());
+    }
     try {
       logs = sim::generate_source_trojan_scenario(
           head.substr(0, sep), head.substr(sep + 1), config);
     } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "leaps_sim: %s\n", e.what());
+      std::fprintf(stderr, "leaps-sim: %s\n", e.what());
       return 2;
     }
   } else {
     try {
       logs = sim::generate_scenario(sim::find_scenario(scenario), config);
     } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "leaps_sim: %s\n", e.what());
+      std::fprintf(stderr, "leaps-sim: %s\n", e.what());
       return 2;
     }
   }

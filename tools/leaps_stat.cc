@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "cli.h"
 #include "trace/binary_log.h"
 #include "trace/log_stats.h"
 #include "trace/parser.h"
@@ -11,15 +12,15 @@
 
 int main(int argc, char** argv) {
   using namespace leaps;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: leaps_stat <trace.log> [more.log ...]\n");
-    return 2;
-  }
+  cli::ArgParser args(argc, argv,
+                      "usage: leaps-stat <trace.log> [more.log ...]\n"
+                      "  summarizes raw trace logs (text or binary).\n");
+  const std::vector<std::string> logs = args.parse(1);
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream is(argv[i], std::ios::binary);
+  for (const std::string& path : logs) {
+    std::ifstream is(path, std::ios::binary);
     if (!is) {
-      std::fprintf(stderr, "leaps_stat: cannot open %s\n", argv[i]);
+      std::fprintf(stderr, "leaps-stat: cannot open %s\n", path.c_str());
       rc = 1;
       continue;
     }
@@ -28,10 +29,10 @@ int main(int argc, char** argv) {
       const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
       const trace::PartitionedLog log =
           trace::StackPartitioner(t.log.process_name).partition(t.log);
-      std::printf("== %s ==\n%s\n", argv[i],
+      std::printf("== %s ==\n%s\n", path.c_str(),
                   trace::compute_stats(log).to_string().c_str());
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "leaps_stat: %s: %s\n", argv[i], e.what());
+      std::fprintf(stderr, "leaps-stat: %s: %s\n", path.c_str(), e.what());
       rc = 1;
     }
   }

@@ -9,10 +9,10 @@
 // source-level trojans) → weighted 10-fold CV over (λ, σ²) → WSVM.
 // The resulting detector file is consumed by leaps_scan.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "cli.h"
 #include "core/persist.h"
 #include "ml/cross_validation.h"
 #include "trace/binary_log.h"
@@ -25,7 +25,7 @@ namespace {
 leaps::trace::PartitionedLog read_log(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
-    std::fprintf(stderr, "leaps_train: cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "leaps-train: cannot open %s\n", path.c_str());
     std::exit(1);
   }
   // Accepts both the textual and the binary log format.
@@ -42,36 +42,35 @@ leaps::trace::PartitionedLog read_log(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace leaps;
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage: leaps_train <benign.log> <mixed.log> "
-                 "<detector-out> [--align] [--plain-svm] [--folds N] "
-                 "[--max-false-alarms F]\n");
-    return 2;
-  }
+  cli::ArgParser args(argc, argv,
+                      "usage: leaps-train <benign.log> <mixed.log> "
+                      "<detector-out>\n"
+                      "                   [--align] [--plain-svm] [--folds N]"
+                      " [--max-false-alarms F]\n"
+                      "  trains a detector (Training Phase) and saves it for "
+                      "leaps-scan / leaps-serve.\n"
+                      "  --align              CFG-align mixed vs benign "
+                      "(source-level trojans)\n"
+                      "  --plain-svm          drop the CFG-derived sample "
+                      "weights\n"
+                      "  --folds N            cross-validation folds "
+                      "(default 10)\n"
+                      "  --max-false-alarms F calibrate the verdict "
+                      "threshold on the benign log\n");
   core::PipelineOptions pipeline_options;
-  bool weighted = true;
+  bool plain_svm = false;
   std::size_t folds = 10;
   double max_false_alarms = -1.0;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--align") == 0) {
-      pipeline_options.align_cfgs = true;
-    } else if (std::strcmp(argv[i], "--plain-svm") == 0) {
-      weighted = false;
-    } else if (std::strcmp(argv[i], "--folds") == 0 && i + 1 < argc) {
-      folds = static_cast<std::size_t>(std::atol(argv[++i]));
-    } else if (std::strcmp(argv[i], "--max-false-alarms") == 0 &&
-               i + 1 < argc) {
-      max_false_alarms = std::atof(argv[++i]);
-    } else {
-      std::fprintf(stderr, "leaps_train: unknown option %s\n", argv[i]);
-      return 2;
-    }
-  }
+  args.flag("--align", &pipeline_options.align_cfgs);
+  args.flag("--plain-svm", &plain_svm);
+  args.option("--folds", &folds);
+  args.option("--max-false-alarms", &max_false_alarms);
+  const std::vector<std::string> pos = args.parse(3, 3);
+  const bool weighted = !plain_svm;
 
   try {
-    const trace::PartitionedLog benign = read_log(argv[1]);
-    const trace::PartitionedLog mixed = read_log(argv[2]);
+    const trace::PartitionedLog benign = read_log(pos[0]);
+    const trace::PartitionedLog mixed = read_log(pos[1]);
 
     const core::LeapsPipeline pipeline(pipeline_options);
     const core::TrainingData td = pipeline.prepare(benign, mixed);
@@ -115,10 +114,10 @@ int main(int argc, char** argv) {
                   detector.decision_threshold(), 100.0 * achieved,
                   100.0 * max_false_alarms);
     }
-    core::save_detector_file(detector, argv[3]);
-    std::printf("saved detector to %s\n", argv[3]);
+    core::save_detector_file(detector, pos[2]);
+    std::printf("saved detector to %s\n", pos[2].c_str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "leaps_train: %s\n", e.what());
+    std::fprintf(stderr, "leaps-train: %s\n", e.what());
     return 1;
   }
   return 0;
