@@ -98,12 +98,19 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.events_processed = events_processed.load(kRelaxed);
   s.events_dropped = events_dropped.load(kRelaxed);
   s.events_rejected = events_rejected.load(kRelaxed);
+  s.events_quarantined = events_quarantined.load(kRelaxed);
+  s.events_failed = events_failed.load(kRelaxed);
+  s.events_shed = events_shed.load(kRelaxed);
   s.windows_scored = windows_scored.load(kRelaxed);
   s.verdicts_benign = verdicts_benign.load(kRelaxed);
   s.verdicts_malicious = verdicts_malicious.load(kRelaxed);
   s.batches_drained = batches_drained.load(kRelaxed);
   s.sessions_opened = sessions_opened.load(kRelaxed);
   s.sessions_closed = sessions_closed.load(kRelaxed);
+  s.sessions_quarantined = sessions_quarantined.load(kRelaxed);
+  s.sessions_evicted = sessions_evicted.load(kRelaxed);
+  s.registry_retries = registry_retries.load(kRelaxed);
+  s.shed_activations = shed_activations.load(kRelaxed);
   s.queue_high_water = queue_high_water_.load(kRelaxed);
   s.queue_wait = queue_wait.snapshot();
   s.classify = classify.snapshot();
@@ -115,14 +122,20 @@ std::string MetricsSnapshot::to_text() const {
   os << "serve metrics:\n"
      << "  events: ingested=" << events_ingested
      << " processed=" << events_processed << " dropped=" << events_dropped
-     << " rejected=" << events_rejected << "\n"
+     << " rejected=" << events_rejected
+     << " quarantined=" << events_quarantined
+     << " failed=" << events_failed << " shed=" << events_shed << "\n"
      << "  windows: scored=" << windows_scored
      << " benign=" << verdicts_benign << " malicious=" << verdicts_malicious
      << "\n"
      << "  sessions: opened=" << sessions_opened
-     << " closed=" << sessions_closed << "\n"
+     << " closed=" << sessions_closed
+     << " quarantined=" << sessions_quarantined
+     << " evicted=" << sessions_evicted << "\n"
      << "  queues: high-water=" << queue_high_water
-     << " batches=" << batches_drained << "\n";
+     << " batches=" << batches_drained
+     << " shed-activations=" << shed_activations
+     << " registry-retries=" << registry_retries << "\n";
   histogram_text(os, "queue-wait", queue_wait);
   histogram_text(os, "classify ", classify);
   return os.str();
@@ -133,14 +146,21 @@ std::string MetricsSnapshot::to_json() const {
   os << "{\"events\":{\"ingested\":" << events_ingested
      << ",\"processed\":" << events_processed
      << ",\"dropped\":" << events_dropped
-     << ",\"rejected\":" << events_rejected << "}"
+     << ",\"rejected\":" << events_rejected
+     << ",\"quarantined\":" << events_quarantined
+     << ",\"failed\":" << events_failed
+     << ",\"shed\":" << events_shed << "}"
      << ",\"windows\":{\"scored\":" << windows_scored
      << ",\"benign\":" << verdicts_benign
      << ",\"malicious\":" << verdicts_malicious << "}"
      << ",\"sessions\":{\"opened\":" << sessions_opened
-     << ",\"closed\":" << sessions_closed << "}"
+     << ",\"closed\":" << sessions_closed
+     << ",\"quarantined\":" << sessions_quarantined
+     << ",\"evicted\":" << sessions_evicted << "}"
      << ",\"queues\":{\"high_water\":" << queue_high_water
-     << ",\"batches\":" << batches_drained << "},";
+     << ",\"batches\":" << batches_drained
+     << ",\"shed_activations\":" << shed_activations
+     << ",\"registry_retries\":" << registry_retries << "},";
   histogram_json(os, "queue_wait", queue_wait);
   os << ",";
   histogram_json(os, "classify", classify);

@@ -48,17 +48,31 @@ class LatencyHistogram {
 };
 
 /// One coherent reading of every server counter (plain values).
+///
+/// Accounting identity (holds exactly after drain()):
+///   events_ingested == events_processed + events_dropped
+///                      + events_quarantined
+/// events_failed and events_shed are *subset* counters (failed ⊆
+/// quarantined, shed ⊆ dropped); rejected events were never accepted and
+/// sit outside the identity.
 struct MetricsSnapshot {
   std::uint64_t events_ingested = 0;
   std::uint64_t events_processed = 0;
-  std::uint64_t events_dropped = 0;   // evicted under kDropOldest
+  std::uint64_t events_dropped = 0;   // evicted from a queue before feed
   std::uint64_t events_rejected = 0;  // unknown session / server stopped
+  std::uint64_t events_quarantined = 0;  // failed or skipped in feed_run
+  std::uint64_t events_failed = 0;       // threw during classification
+  std::uint64_t events_shed = 0;         // dropped while shedding engaged
   std::uint64_t windows_scored = 0;
   std::uint64_t verdicts_benign = 0;
   std::uint64_t verdicts_malicious = 0;
   std::uint64_t batches_drained = 0;
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_quarantined = 0;  // circuit-breaker trips
+  std::uint64_t sessions_evicted = 0;      // removed by the idle sweep
+  std::uint64_t registry_retries = 0;      // open_session re-lookups
+  std::uint64_t shed_activations = 0;      // shard entered shedding
   std::uint64_t queue_high_water = 0;  // deepest any shard queue got
   LatencyHistogram::Snapshot queue_wait;  // enqueue → worker dequeue
   LatencyHistogram::Snapshot classify;    // per drained run of one session
@@ -75,12 +89,19 @@ class ServerMetrics {
   std::atomic<std::uint64_t> events_processed{0};
   std::atomic<std::uint64_t> events_dropped{0};
   std::atomic<std::uint64_t> events_rejected{0};
+  std::atomic<std::uint64_t> events_quarantined{0};
+  std::atomic<std::uint64_t> events_failed{0};
+  std::atomic<std::uint64_t> events_shed{0};
   std::atomic<std::uint64_t> windows_scored{0};
   std::atomic<std::uint64_t> verdicts_benign{0};
   std::atomic<std::uint64_t> verdicts_malicious{0};
   std::atomic<std::uint64_t> batches_drained{0};
   std::atomic<std::uint64_t> sessions_opened{0};
   std::atomic<std::uint64_t> sessions_closed{0};
+  std::atomic<std::uint64_t> sessions_quarantined{0};
+  std::atomic<std::uint64_t> sessions_evicted{0};
+  std::atomic<std::uint64_t> registry_retries{0};
+  std::atomic<std::uint64_t> shed_activations{0};
   LatencyHistogram queue_wait;
   LatencyHistogram classify;
 

@@ -45,29 +45,46 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueues one item. Under kBlock, waits for space; under kDropOldest,
-  /// never waits and instead evicts the oldest queued item when full.
-  /// Returns false (item discarded) only when the queue is closed.
-  /// `evicted`, when non-null, receives the number of items dropped to
-  /// make room (0 or 1).
+  /// Enqueues one item. Under kBlock, waits for space; under kDropOldest
+  /// — or kBlock with shedding engaged — never waits and instead evicts
+  /// the oldest queued item when full. Returns false (item discarded)
+  /// only when the queue is closed. `evicted`, when non-null, receives
+  /// the number of items dropped to make room (0 or 1).
   bool push(T item, std::size_t* evicted = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
     if (evicted != nullptr) *evicted = 0;
     if (policy_ == OverflowPolicy::kBlock) {
-      space_.wait(lock,
-                  [this] { return closed_ || items_.size() < capacity_; });
-      if (closed_) return false;
-    } else if (!closed_ && items_.size() >= capacity_) {
+      space_.wait(lock, [this] {
+        return closed_ || shedding_ || items_.size() < capacity_;
+      });
+    }
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {
       items_.pop_front();
       ++dropped_;
       if (evicted != nullptr) *evicted = 1;
     }
-    if (closed_) return false;
     items_.push_back(std::move(item));
     if (items_.size() > high_water_) high_water_ = items_.size();
     lock.unlock();
     ready_.notify_one();
     return true;
+  }
+
+  /// Overload shedding: while engaged, kBlock producers stop waiting and
+  /// full pushes evict the oldest item instead (drop-with-accounting, as
+  /// if the policy were kDropOldest). Engaging wakes blocked producers.
+  void set_shedding(bool on) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (shedding_ == on) return;
+      shedding_ = on;
+    }
+    if (on) space_.notify_all();
+  }
+  bool shedding() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return shedding_;
   }
 
   /// Blocks until an item is available; nullopt once closed and drained.
@@ -139,6 +156,7 @@ class BoundedQueue {
   std::size_t high_water_ = 0;
   std::size_t dropped_ = 0;
   bool closed_ = false;
+  bool shedding_ = false;
 };
 
 }  // namespace leaps::serve

@@ -1,11 +1,27 @@
 #include "serve/server.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace leaps::serve {
 
 namespace {
+
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// p99 (upper-rank) of a small scratch vector; mutates `waits_us`.
+std::uint64_t batch_p99_us(std::vector<std::uint64_t>& waits_us) {
+  if (waits_us.empty()) return 0;
+  const std::size_t rank =
+      static_cast<std::size_t>(0.99 * static_cast<double>(waits_us.size()));
+  const std::size_t idx = std::min(rank, waits_us.size() - 1);
+  std::nth_element(waits_us.begin(),
+                   waits_us.begin() + static_cast<std::ptrdiff_t>(idx),
+                   waits_us.end());
+  return waits_us[idx];
+}
+
 }  // namespace
 
 DetectionServer::DetectionServer(ServerOptions options) : options_(options) {
@@ -35,11 +51,21 @@ void DetectionServer::start() {
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (options_.idle_ttl.count() > 0) {
+    sweeper_ = std::thread([this] { sweeper_loop(); });
+  }
 }
 
 void DetectionServer::stop() {
   const std::lock_guard<std::mutex> lock(lifecycle_mu_);
   stopped_ = true;
+  // Sweeper first: it must not race session eviction against shutdown.
+  {
+    const std::lock_guard<std::mutex> sweep_lock(sweep_mu_);
+    sweep_stop_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
   for (const auto& shard : shards_) shard->close();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -59,6 +85,15 @@ void DetectionServer::drain() {
 std::shared_ptr<Session> DetectionServer::open_session(
     const SessionKey& key, const std::string& profile) {
   std::shared_ptr<Session> session = sessions_.open(key, profile);
+  for (std::size_t attempt = 0;
+       session == nullptr && attempt < options_.registry_retries; ++attempt) {
+    metrics_.registry_retries.fetch_add(1, kRelaxed);
+    const auto backoff =
+        options_.registry_backoff * (std::int64_t{1}
+                                     << std::min<std::size_t>(attempt, 6));
+    std::this_thread::sleep_for(backoff);
+    session = sessions_.open(key, profile);
+  }
   if (session != nullptr) metrics_.sessions_opened.fetch_add(1, kRelaxed);
   return session;
 }
@@ -70,9 +105,19 @@ std::optional<SessionReport> DetectionServer::close_session(
   return report;
 }
 
+std::size_t DetectionServer::sweep_idle_now() {
+  if (options_.idle_ttl.count() == 0) return 0;
+  const auto cutoff = std::chrono::steady_clock::now() - options_.idle_ttl;
+  const std::vector<SessionReport> evicted = sessions_.evict_idle(cutoff);
+  if (!evicted.empty()) {
+    metrics_.sessions_evicted.fetch_add(evicted.size(), kRelaxed);
+  }
+  return evicted.size();
+}
+
 bool DetectionServer::submit(const std::shared_ptr<Session>& session,
                              trace::PartitionedEvent event) {
-  if (session == nullptr) {
+  if (session == nullptr || session->quarantined()) {
     metrics_.events_rejected.fetch_add(1, kRelaxed);
     return false;
   }
@@ -86,6 +131,7 @@ bool DetectionServer::submit(const std::shared_ptr<Session>& session,
   metrics_.note_queue_depth(shard.high_water());
   if (evicted > 0) {
     metrics_.events_dropped.fetch_add(evicted, kRelaxed);
+    if (shard.shedding()) metrics_.events_shed.fetch_add(evicted, kRelaxed);
     note_completed(evicted);  // evicted events retire unprocessed
   }
   if (!ok) {
@@ -112,21 +158,52 @@ void DetectionServer::note_completed(std::uint64_t n) {
   drain_cv_.notify_all();
 }
 
+void DetectionServer::sweeper_loop() {
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (!sweep_stop_) {
+    sweep_cv_.wait_for(lock, options_.sweep_interval,
+                       [this] { return sweep_stop_; });
+    if (sweep_stop_) break;
+    lock.unlock();
+    sweep_idle_now();
+    lock.lock();
+  }
+}
+
 void DetectionServer::worker_loop(std::size_t shard_index) {
   BoundedQueue<Item>& queue = *shards_[shard_index];
   std::vector<Item> batch;
   std::vector<const trace::PartitionedEvent*> run;
   std::vector<Verdict> verdicts;
+  std::vector<std::uint64_t> waits_us;
   batch.reserve(options_.batch_size);
   run.reserve(options_.batch_size);
+  waits_us.reserve(options_.batch_size);
   while (true) {
     batch.clear();
     const std::size_t n = queue.pop_batch(batch, options_.batch_size);
     if (n == 0) break;  // closed and drained
     metrics_.batches_drained.fetch_add(1, kRelaxed);
     const auto dequeued = std::chrono::steady_clock::now();
+    waits_us.clear();
     for (const Item& item : batch) {
-      metrics_.queue_wait.record(dequeued - item.enqueued);
+      const auto wait = dequeued - item.enqueued;
+      metrics_.queue_wait.record(wait);
+      waits_us.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(wait)
+              .count()));
+    }
+    if (options_.shed_queue_wait_us > 0) {
+      // Overload shedding with hysteresis: engage when this batch waited
+      // p99 > threshold; disengage once waits recover below half of it.
+      const std::uint64_t p99 = batch_p99_us(waits_us);
+      if (!queue.shedding() && p99 > options_.shed_queue_wait_us) {
+        queue.set_shedding(true);
+        metrics_.shed_activations.fetch_add(1, kRelaxed);
+      } else if (queue.shedding() &&
+                 p99 * 2 < options_.shed_queue_wait_us) {
+        queue.set_shedding(false);
+      }
     }
     // Feed maximal consecutive runs of the same session under one session
     // lock — this is where window classification batches up.
@@ -140,9 +217,40 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
       }
       verdicts.clear();
       const auto t0 = std::chrono::steady_clock::now();
-      batch[i].session->feed_run(run.data(), run.size(), verdicts);
+      RunOutcome outcome;
+      bool run_ok = true;
+      try {
+        outcome = batch[i].session->feed_run(run.data(), run.size(),
+                                             verdicts,
+                                             options_.circuit_breaker);
+      } catch (...) {
+        // feed_run guards each event, so reaching here means something
+        // escaped even that (e.g. a throwing verdict copy). Quarantine
+        // the session and account the whole run — the worker survives.
+        run_ok = false;
+      }
       metrics_.classify.record(std::chrono::steady_clock::now() - t0);
-      metrics_.events_processed.fetch_add(run.size(), kRelaxed);
+      if (!run_ok) {
+        const bool already = batch[i].session->quarantined();
+        batch[i].session->quarantine();
+        if (!already) metrics_.sessions_quarantined.fetch_add(1, kRelaxed);
+        metrics_.events_failed.fetch_add(run.size(), kRelaxed);
+        metrics_.events_quarantined.fetch_add(run.size(), kRelaxed);
+        note_completed(run.size());
+        i = j;
+        continue;
+      }
+      metrics_.events_processed.fetch_add(outcome.processed, kRelaxed);
+      if (outcome.failed > 0) {
+        metrics_.events_failed.fetch_add(outcome.failed, kRelaxed);
+      }
+      if (outcome.failed + outcome.skipped > 0) {
+        metrics_.events_quarantined.fetch_add(
+            outcome.failed + outcome.skipped, kRelaxed);
+      }
+      if (outcome.newly_quarantined) {
+        metrics_.sessions_quarantined.fetch_add(1, kRelaxed);
+      }
       for (const Verdict& v : verdicts) {
         metrics_.windows_scored.fetch_add(1, kRelaxed);
         (v.label == 1 ? metrics_.verdicts_benign
@@ -153,9 +261,9 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
                               v.label});
         }
       }
+      note_completed(run.size());
       i = j;
     }
-    note_completed(batch.size());
   }
 }
 

@@ -21,6 +21,28 @@
 // queued event (bounded-latency live ingest); drops are counted in
 // metrics. drain() blocks until every accepted event has been classified,
 // which makes "replay N logs, then read the tallies" deterministic.
+//
+// Failure model — the server self-heals around hostile sessions instead
+// of crashing with them:
+//
+//   * crash isolation: every event is fed under a per-event guard inside
+//     Session::feed_run; an event that throws is counted (events_failed,
+//     events_quarantined) and classification continues,
+//   * circuit breaker: `circuit_breaker` consecutive failures flip the
+//     session to SessionState::kQuarantined; its remaining events are
+//     discarded-with-accounting and new submits are rejected,
+//   * idle eviction: a background sweep (every `sweep_interval`, when
+//     `idle_ttl` > 0) closes sessions with no recent activity,
+//   * registry retry: open_session retries transient registry misses
+//     (operator mid-reload) with exponential backoff,
+//   * overload shedding: when a batch's queue-wait p99 exceeds
+//     `shed_queue_wait_us`, the shard flips to drop-with-accounting
+//     (kBlock producers stop stalling) until the wait recovers to
+//     below half the threshold (hysteresis).
+//
+// Accounting identity, exact after drain():
+//   events_ingested == events_processed + events_dropped
+//                      + events_quarantined
 #pragma once
 
 #include <atomic>
@@ -47,10 +69,28 @@ struct ServerOptions {
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Max events a worker drains per wakeup.
   std::size_t batch_size = 128;
+  /// Consecutive per-session classification failures that quarantine the
+  /// session. 0 disables the breaker (failures are counted, never fatal).
+  std::size_t circuit_breaker = 3;
+  /// Sessions idle longer than this are evicted by the background sweep;
+  /// zero disables eviction (and the sweeper thread).
+  std::chrono::milliseconds idle_ttl{0};
+  /// How often the idle sweep runs (only when idle_ttl > 0).
+  std::chrono::milliseconds sweep_interval{250};
+  /// Extra registry lookups open_session makes when the profile is
+  /// missing (transient reload window). 0 = fail immediately.
+  std::size_t registry_retries = 0;
+  /// Base backoff between registry retries; doubles per attempt
+  /// (capped at 64×).
+  std::chrono::milliseconds registry_backoff{1};
+  /// Queue-wait p99 (µs, per drained batch) above which the shard sheds
+  /// load. 0 disables shedding.
+  std::uint64_t shed_queue_wait_us = 0;
 };
 
 /// Called from worker threads for every completed window; must be
-/// thread-safe. Keep it cheap — it runs on the classification path.
+/// thread-safe and must not throw. Keep it cheap — it runs on the
+/// classification path.
 struct VerdictRecord {
   SessionKey key;
   std::size_t window_index;
@@ -77,8 +117,9 @@ class DetectionServer {
   /// Install before start(); called from workers for every verdict.
   void set_verdict_sink(VerdictSink sink);
 
-  /// Spawns the worker pool. Events submitted before start() sit in the
-  /// shard queues and are drained once workers come up.
+  /// Spawns the worker pool (and the idle sweeper when idle_ttl > 0).
+  /// Events submitted before start() sit in the shard queues and are
+  /// drained once workers come up.
   void start();
 
   /// Closes the queues, drains what remains, joins the workers.
@@ -90,7 +131,8 @@ class DetectionServer {
   void drain();
 
   /// Opens (or returns the already-open) session for `key` served by
-  /// `profile`'s detector; nullptr if the profile is not registered.
+  /// `profile`'s detector; nullptr if the profile is not registered
+  /// even after `registry_retries` backed-off re-lookups.
   std::shared_ptr<Session> open_session(const SessionKey& key,
                                         const std::string& profile);
 
@@ -100,10 +142,16 @@ class DetectionServer {
   /// report is taken at close time.
   std::optional<SessionReport> close_session(const SessionKey& key);
 
+  /// Runs one idle-eviction sweep immediately (what the background
+  /// sweeper does every sweep_interval); returns the number evicted.
+  /// No-op (returns 0) when idle_ttl is zero.
+  std::size_t sweep_idle_now();
+
   /// Enqueues one event for the session. Returns false — and counts the
-  /// event as rejected — when the session handle is null or the server
-  /// has been stopped. Under kDropOldest an *older* queued event may be
-  /// evicted (counted as dropped) to admit this one.
+  /// event as rejected — when the session handle is null or quarantined,
+  /// or the server has been stopped. Under kDropOldest (or a shedding
+  /// shard) an *older* queued event may be evicted (counted as dropped,
+  /// and as shed while shedding) to admit this one.
   bool submit(const std::shared_ptr<Session>& session,
               trace::PartitionedEvent event);
 
@@ -118,6 +166,7 @@ class DetectionServer {
   };
 
   void worker_loop(std::size_t shard);
+  void sweeper_loop();
   void note_completed(std::uint64_t n);
 
   const ServerOptions options_;
@@ -127,9 +176,15 @@ class DetectionServer {
   VerdictSink sink_;
   std::vector<std::unique_ptr<BoundedQueue<Item>>> shards_;
   std::vector<std::thread> workers_;
+  std::thread sweeper_;
   bool started_ = false;  // guarded by lifecycle_mu_
   bool stopped_ = false;  // guarded by lifecycle_mu_; stop is terminal
   std::mutex lifecycle_mu_;
+
+  // Sweeper wakeup/shutdown handshake.
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  bool sweep_stop_ = false;  // guarded by sweep_mu_
 
   // drain() bookkeeping: accepted == retired once nothing is in flight.
   std::atomic<std::uint64_t> accepted_{0};

@@ -1,8 +1,10 @@
 #include "serve/session.h"
 
+#include <exception>
 #include <functional>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace leaps::serve {
 
@@ -27,28 +29,57 @@ Session::Session(SessionKey key, std::string profile,
                  std::shared_ptr<const core::Detector> detector)
     : key_(std::move(key)),
       profile_(std::move(profile)),
+      key_string_(key_.to_string()),
       shard_hash_(hash_key(key_)),
       detector_(checked(std::move(detector))),
+      last_active_(
+          std::chrono::steady_clock::now().time_since_epoch().count()),
       stream_(detector_->stream()) {}
 
 std::optional<Verdict> Session::feed(const trace::PartitionedEvent& event) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (quarantined()) return std::nullopt;
+  touch();
   const std::optional<int> label = stream_.push(event);
   if (!label.has_value()) return std::nullopt;
   return Verdict{stream_.tally().window_labels.size() - 1, *label};
 }
 
-std::size_t Session::feed_run(const trace::PartitionedEvent* const* events,
-                              std::size_t count, std::vector<Verdict>& out) {
+RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
+                             std::size_t count, std::vector<Verdict>& out,
+                             std::size_t breaker_threshold) {
   const std::lock_guard<std::mutex> lock(mu_);
-  std::size_t verdicts = 0;
+  touch();
+  RunOutcome outcome;
   for (std::size_t i = 0; i < count; ++i) {
-    const std::optional<int> label = stream_.push(*events[i]);
-    if (!label.has_value()) continue;
-    out.push_back(Verdict{stream_.tally().window_labels.size() - 1, *label});
-    ++verdicts;
+    if (quarantined()) {
+      ++outcome.skipped;
+      continue;
+    }
+    try {
+      LEAPS_FAULT_POINT_DETAIL("serve.worker.classify", key_string_);
+      const std::optional<int> label = stream_.push(*events[i]);
+      consecutive_failures_ = 0;
+      ++outcome.processed;
+      if (label.has_value()) {
+        out.push_back(
+            Verdict{stream_.tally().window_labels.size() - 1, *label});
+      }
+    } catch (...) {
+      // Poison event (or injected fault): the event is lost, the stream
+      // object stays valid (Stream::push has no partial-commit state the
+      // next event can observe corrupted), and the breaker decides
+      // whether the whole session is beyond saving.
+      ++outcome.failed;
+      ++failed_events_;
+      if (breaker_threshold > 0 &&
+          ++consecutive_failures_ >= breaker_threshold) {
+        quarantine();
+        outcome.newly_quarantined = true;
+      }
+    }
   }
-  return verdicts;
+  return outcome;
 }
 
 SessionReport Session::report() const {
@@ -63,6 +94,8 @@ SessionReport Session::report() const {
   r.benign_windows = tally.benign_windows;
   r.malicious_windows = tally.malicious_windows;
   r.malicious_fraction = tally.malicious_fraction();
+  r.failed_events = failed_events_;
+  r.quarantined = quarantined();
   return r;
 }
 
@@ -105,6 +138,27 @@ std::optional<SessionReport> SessionManager::close(const SessionKey& key) {
     sessions_.erase(it);
   }
   return session->report();
+}
+
+std::vector<SessionReport> SessionManager::evict_idle(
+    std::chrono::steady_clock::time_point cutoff) {
+  std::vector<std::shared_ptr<Session>> evicted;
+  {
+    const std::unique_lock lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->last_active() < cutoff) {
+        evicted.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Reports outside the manager lock: report() takes each session's mutex.
+  std::vector<SessionReport> reports;
+  reports.reserve(evicted.size());
+  for (const auto& s : evicted) reports.push_back(s->report());
+  return reports;
 }
 
 std::size_t SessionManager::active() const {

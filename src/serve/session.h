@@ -6,12 +6,22 @@
 // only sessions opened afterwards — a session must not change classifiers
 // mid-stream, or its window verdicts become incomparable).
 //
+// Failure model: classification runs against adversarial event streams,
+// so feed_run guards every event. An event that throws (poison input, an
+// injected fault) counts as *failed* and bumps the session's
+// consecutive-failure counter; when that reaches the circuit-breaker
+// threshold the session flips to SessionState::kQuarantined and all its
+// further events are discarded-with-accounting. One hostile session can
+// never take down a worker — or another session — with it.
+//
 // Sessions are fed by exactly one worker at a time in the server (events
 // are sharded by session key), but feed_run() still takes the session
 // mutex so that reports() and direct submit paths are race-free under
 // ThreadSanitizer.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -35,10 +45,24 @@ struct SessionKey {
   std::string to_string() const { return host + ":" + std::to_string(pid); }
 };
 
+enum class SessionState {
+  kActive,
+  kQuarantined,  // circuit breaker tripped; events discarded, accounted
+};
+
 /// One completed-window classification.
 struct Verdict {
   std::size_t window_index = 0;
   int label = 0;  // +1 benign / -1 malicious
+};
+
+/// Per-event accounting for one guarded feed_run call.
+/// processed + failed + skipped always equals the run length.
+struct RunOutcome {
+  std::size_t processed = 0;  // classified cleanly
+  std::size_t failed = 0;     // threw; counted toward the circuit breaker
+  std::size_t skipped = 0;    // discarded: session (already) quarantined
+  bool newly_quarantined = false;  // this run tripped the breaker
 };
 
 struct SessionReport {
@@ -50,6 +74,8 @@ struct SessionReport {
   std::size_t benign_windows = 0;
   std::size_t malicious_windows = 0;
   double malicious_fraction = 0.0;
+  std::size_t failed_events = 0;
+  bool quarantined = false;
 };
 
 class Session {
@@ -58,13 +84,18 @@ class Session {
           std::shared_ptr<const core::Detector> detector);
 
   /// Feeds one event; returns a verdict when it completes a window.
+  /// Unguarded (exceptions propagate) — the direct single-event path.
+  /// Quarantined sessions ignore the event and return nullopt.
   std::optional<Verdict> feed(const trace::PartitionedEvent& event);
 
   /// Feeds a run of events under one lock (the worker batch path),
-  /// appending any completed-window verdicts to `out`. Returns the number
-  /// of verdicts appended.
-  std::size_t feed_run(const trace::PartitionedEvent* const* events,
-                       std::size_t count, std::vector<Verdict>& out);
+  /// appending any completed-window verdicts to `out`. Every event is
+  /// individually guarded: one that throws is counted as failed, and
+  /// `breaker_threshold` consecutive failures quarantine the session
+  /// (0 disables the breaker — failures never quarantine).
+  RunOutcome feed_run(const trace::PartitionedEvent* const* events,
+                      std::size_t count, std::vector<Verdict>& out,
+                      std::size_t breaker_threshold);
 
   SessionReport report() const;
   const SessionKey& key() const { return key_; }
@@ -72,13 +103,41 @@ class Session {
   /// Stable hash of the key — the server's shard selector.
   std::size_t shard_hash() const { return shard_hash_; }
 
+  SessionState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  bool quarantined() const { return state() == SessionState::kQuarantined; }
+  /// Manually trips the breaker (defensive path / operator action).
+  void quarantine() {
+    state_.store(SessionState::kQuarantined, std::memory_order_release);
+  }
+
+  /// Last time an event reached this session (feed/feed_run), for idle
+  /// eviction. Opening counts as activity.
+  std::chrono::steady_clock::time_point last_active() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            last_active_.load(std::memory_order_acquire)));
+  }
+
  private:
+  void touch() {
+    last_active_.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_release);
+  }
+
   const SessionKey key_;
   const std::string profile_;
+  const std::string key_string_;  // cached fault-point detail
   const std::size_t shard_hash_;
   const std::shared_ptr<const core::Detector> detector_;
+  std::atomic<SessionState> state_{SessionState::kActive};
+  std::atomic<std::chrono::steady_clock::duration::rep> last_active_;
   mutable std::mutex mu_;
-  core::Detector::Stream stream_;
+  core::Detector::Stream stream_;      // guarded by mu_
+  std::size_t consecutive_failures_ = 0;  // guarded by mu_
+  std::size_t failed_events_ = 0;         // guarded by mu_
 };
 
 /// Owns the live sessions; thread-safe open/find/close.
@@ -99,6 +158,13 @@ class SessionManager {
   /// The Session object itself lives until the last queued event referring
   /// to it has been processed (shared_ptr ownership).
   std::optional<SessionReport> close(const SessionKey& key);
+
+  /// Removes every session idle since before `cutoff` and returns their
+  /// final reports (the TTL sweep). Queued events for an evicted session
+  /// are still processed — the shared_ptr keeps it alive — but, as with
+  /// close(), the report is taken at eviction time.
+  std::vector<SessionReport> evict_idle(
+      std::chrono::steady_clock::time_point cutoff);
 
   std::size_t active() const;
   /// Reports for every live session, in key order.

@@ -1,15 +1,42 @@
 #include "trace/binary_log.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 #include "trace/parser.h"
+#include "util/fault.h"
 
 namespace leaps::trace {
 
 namespace {
 
 constexpr std::size_t kSaneCount = 100'000'000;  // corruption guard
+
+// Attacker-supplied string lengths are honored at most one chunk at a
+// time, so a truncated stream claiming a huge string fails after a 64 KiB
+// allocation instead of committing ~100 MB up front.
+constexpr std::size_t kStringChunk = 64 * 1024;
+
+// Same principle for container counts: reserve at most this many elements
+// up front and let push_back grow past it, so a corrupt count of 100M
+// events costs a truncation error, not a multi-GB commit.
+constexpr std::size_t kSaneReserve = 4096;
+
+template <typename Vec>
+void capped_reserve(Vec& v, std::uint64_t count) {
+  v.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kSaneReserve)));
+}
+
+/// Internal decode error; converted to Status at the API boundary.
+class BinaryLogError : public std::runtime_error {
+ public:
+  BinaryLogError(std::size_t offset, const std::string& what)
+      : std::runtime_error("binary log error at byte " +
+                           std::to_string(offset) + ": " + what) {}
+};
 
 std::uint64_t zigzag_encode(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^
@@ -65,7 +92,12 @@ class Reader {
     int shift = 0;
     while (true) {
       const unsigned char b = byte();
-      if (shift >= 63 && (b & 0x7F) > 1) fail("varint overflow");
+      // 64 bits fit in 10 LEB128 bytes; the 10th may carry only one bit.
+      // Rejecting shift > 63 also bounds the loop against an endless run
+      // of 0x80 continuation bytes.
+      if (shift > 63 || (shift == 63 && (b & 0x7F) > 1)) {
+        fail("varint overflow");
+      }
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
       if ((b & 0x80) == 0) return v;
       shift += 7;
@@ -79,12 +111,18 @@ class Reader {
   }
   std::string string() {
     const std::uint64_t n = count("string");
-    std::string s(n, '\0');
-    if (n > 0) {
-      if (!is_.read(s.data(), static_cast<std::streamsize>(n))) {
+    std::string s;
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, kStringChunk));
+      const std::size_t old = s.size();
+      s.resize(old + take);
+      if (!is_.read(s.data() + old, static_cast<std::streamsize>(take))) {
         fail("truncated string");
       }
-      offset_ += n;
+      offset_ += take;
+      remaining -= take;
     }
     return s;
   }
@@ -96,6 +134,54 @@ class Reader {
   std::istream& is_;
   std::size_t offset_ = 0;
 };
+
+RawLog read_binary_impl(std::istream& is) {
+  Reader r(is);
+  char magic[sizeof(kBinaryLogMagic)];
+  for (char& c : magic) c = static_cast<char>(r.byte());
+  if (!std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kBinaryLogMagic))) {
+    r.fail("bad magic");
+  }
+  RawLog log;
+  log.process_name = r.string();
+  const std::uint64_t modules = r.count("modules");
+  capped_reserve(log.modules, modules);
+  for (std::uint64_t i = 0; i < modules; ++i) {
+    RawModule m;
+    m.base = r.varint();
+    m.size = r.varint();
+    m.name = r.string();
+    log.modules.push_back(std::move(m));
+  }
+  const std::uint64_t symbols = r.count("symbols");
+  capped_reserve(log.symbols, symbols);
+  for (std::uint64_t i = 0; i < symbols; ++i) {
+    RawSymbol s;
+    s.address = r.varint();
+    s.function = r.string();
+    log.symbols.push_back(std::move(s));
+  }
+  const std::uint64_t events = r.count("events");
+  capped_reserve(log.events, events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    RawEvent e;
+    e.seq = r.varint();
+    e.tid = static_cast<std::uint32_t>(r.varint());
+    const unsigned char type = r.byte();
+    if (type >= kEventTypeCount) r.fail("unknown event type");
+    e.type = static_cast<EventType>(type);
+    const std::uint64_t frames = r.count("frames");
+    capped_reserve(e.stack, frames);
+    std::uint64_t prev = 0;
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      prev += static_cast<std::uint64_t>(r.svarint());
+      e.stack.push_back(prev);
+    }
+    log.events.push_back(std::move(e));
+  }
+  return log;
+}
 
 }  // namespace
 
@@ -129,57 +215,29 @@ void write_raw_log_binary(const RawLog& log, std::ostream& os) {
   }
 }
 
-RawLog read_raw_log_binary(std::istream& is) {
-  Reader r(is);
-  char magic[sizeof(kBinaryLogMagic)];
-  for (char& c : magic) c = static_cast<char>(r.byte());
-  if (!std::equal(std::begin(magic), std::end(magic),
-                  std::begin(kBinaryLogMagic))) {
-    r.fail("bad magic");
+util::StatusOr<RawLog> read_raw_log_binary(std::istream& is) {
+  LEAPS_FAULT_POINT_STATUS("trace.ingest.read");
+  try {
+    return read_binary_impl(is);
+  } catch (const BinaryLogError& e) {
+    return util::corrupt_input(e.what());
+  } catch (const std::bad_alloc&) {
+    return util::resource_exhausted("binary log: allocation failed");
+  } catch (const std::length_error&) {
+    return util::resource_exhausted("binary log: implausible allocation");
   }
-  RawLog log;
-  log.process_name = r.string();
-  const std::uint64_t modules = r.count("modules");
-  log.modules.reserve(modules);
-  for (std::uint64_t i = 0; i < modules; ++i) {
-    RawModule m;
-    m.base = r.varint();
-    m.size = r.varint();
-    m.name = r.string();
-    log.modules.push_back(std::move(m));
-  }
-  const std::uint64_t symbols = r.count("symbols");
-  log.symbols.reserve(symbols);
-  for (std::uint64_t i = 0; i < symbols; ++i) {
-    RawSymbol s;
-    s.address = r.varint();
-    s.function = r.string();
-    log.symbols.push_back(std::move(s));
-  }
-  const std::uint64_t events = r.count("events");
-  log.events.reserve(events);
-  for (std::uint64_t i = 0; i < events; ++i) {
-    RawEvent e;
-    e.seq = r.varint();
-    e.tid = static_cast<std::uint32_t>(r.varint());
-    const unsigned char type = r.byte();
-    if (type >= kEventTypeCount) r.fail("unknown event type");
-    e.type = static_cast<EventType>(type);
-    const std::uint64_t frames = r.count("frames");
-    e.stack.reserve(frames);
-    std::uint64_t prev = 0;
-    for (std::uint64_t f = 0; f < frames; ++f) {
-      prev += static_cast<std::uint64_t>(r.svarint());
-      e.stack.push_back(prev);
-    }
-    log.events.push_back(std::move(e));
-  }
-  return log;
 }
 
 bool is_binary_log(std::istream& is) {
-  char magic[sizeof(kBinaryLogMagic)];
   const std::streampos pos = is.tellg();
+  if (pos == std::streampos(-1)) {
+    // Non-seekable stream (pipe): a single-byte peek discriminates the
+    // formats without consuming anything.
+    is.clear();
+    return is.peek() ==
+           std::char_traits<char>::to_int_type(kBinaryLogMagic[0]);
+  }
+  char magic[sizeof(kBinaryLogMagic)];
   is.read(magic, sizeof(magic));
   const bool ok = is.gcount() == sizeof(magic) &&
                   std::equal(std::begin(magic), std::end(magic),
@@ -189,19 +247,21 @@ bool is_binary_log(std::istream& is) {
   return ok;
 }
 
-RawLog read_raw_log_any(std::istream& is) {
+util::StatusOr<RawLog> read_raw_log_any(std::istream& is) {
   if (is_binary_log(is)) return read_raw_log_binary(is);
   // Text: run the grammar parser, then project back to raw records.
-  const ParsedTrace parsed = RawLogParser().parse(is);
+  LEAPS_FAULT_POINT_STATUS("trace.ingest.read");
+  util::StatusOr<ParsedTrace> parsed = RawLogParser().parse(is);
+  if (!parsed.ok()) return parsed.status();
   RawLog out;
-  out.process_name = parsed.log.process_name;
-  for (const ModuleInfo& m : parsed.modules.modules()) {
+  out.process_name = parsed->log.process_name;
+  for (const ModuleInfo& m : parsed->modules.modules()) {
     out.modules.push_back({m.base, m.size, m.name});
   }
-  for (const auto& [addr, function] : parsed.modules.symbols()) {
+  for (const auto& [addr, function] : parsed->modules.symbols()) {
     out.symbols.push_back({addr, function});
   }
-  for (const Event& e : parsed.log.events) {
+  for (const Event& e : parsed->log.events) {
     RawEvent re;
     re.seq = e.seq;
     re.tid = e.tid;

@@ -13,43 +13,40 @@
 //            deltas are short)
 //
 // All integers are LEB128 varints; frame addresses are delta-coded with
-// zigzag signing. read_raw_log_binary throws BinaryLogError with a byte
-// offset on malformed input.
+// zigzag signing.
+//
+// The readers are an untrusted boundary — the bytes may come from an
+// attacker trying to blind the collector — so they return StatusOr
+// instead of throwing: kCorruptInput for malformed bytes (message carries
+// the byte offset), kResourceExhausted for inputs demanding implausible
+// allocations. They never crash, hang, or silently partial-parse.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "trace/raw_log.h"
+#include "util/status.h"
 
 namespace leaps::trace {
 
 inline constexpr char kBinaryLogMagic[8] = {'L', 'E', 'A', 'P',
                                             'S', 'B', '0', '1'};
 
-class BinaryLogError : public std::runtime_error {
- public:
-  BinaryLogError(std::size_t offset, const std::string& what)
-      : std::runtime_error("binary log error at byte " +
-                           std::to_string(offset) + ": " + what),
-        offset_(offset) {}
-  std::size_t offset() const { return offset_; }
-
- private:
-  std::size_t offset_;
-};
-
 void write_raw_log_binary(const RawLog& log, std::ostream& os);
-RawLog read_raw_log_binary(std::istream& is);
+util::StatusOr<RawLog> read_raw_log_binary(std::istream& is);
 
-/// True when the stream starts with the binary magic (peeked, stream
-/// position restored) — lets tools accept either format transparently.
+/// True when the stream starts with the binary magic, without consuming
+/// it. Seekable streams get the full 8-byte check (position restored);
+/// non-seekable streams (pipes) peek a single byte — sufficient, because
+/// no textual record ('#', PROCESS, MODULE, SYMBOL, EVENT, STACK, blank)
+/// begins with 'L'.
 bool is_binary_log(std::istream& is);
 
 /// Reads a raw log in either format (binary detected by magic, otherwise
-/// parsed as text via RawLogParser). Throws BinaryLogError / ParseError.
-RawLog read_raw_log_any(std::istream& is);
+/// parsed as text via RawLogParser). Works on non-seekable streams such
+/// as piped stdin.
+util::StatusOr<RawLog> read_raw_log_any(std::istream& is);
 
 }  // namespace leaps::trace

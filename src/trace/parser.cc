@@ -3,6 +3,7 @@
 #include <istream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "util/strings.h"
@@ -112,18 +113,25 @@ class ParserState {
 
 }  // namespace
 
-ParsedTrace RawLogParser::parse(std::istream& is) const {
-  ParserState state;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(is, line)) {
-    ++lineno;
-    state.consume(line, lineno);
+util::StatusOr<ParsedTrace> RawLogParser::parse(std::istream& is) const {
+  try {
+    ParserState state;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      state.consume(line, lineno);
+    }
+    return std::move(state).finish();
+  } catch (const ParseError& e) {
+    return util::corrupt_input(e.what());
+  } catch (const std::bad_alloc&) {
+    return util::resource_exhausted("raw log parse: allocation failed");
   }
-  return std::move(state).finish();
 }
 
-ParsedTrace RawLogParser::parse_string(std::string_view text) const {
+util::StatusOr<ParsedTrace> RawLogParser::parse_string(
+    std::string_view text) const {
   std::istringstream is{std::string(text)};
   return parse(is);
 }

@@ -12,11 +12,14 @@
 #include "trace/event.h"
 #include "trace/module_map.h"
 #include "trace/raw_log.h"
+#include "util/status.h"
 
 namespace leaps::trace {
 
 /// Parse failure: malformed line, unknown record kind, etc. Carries the
-/// 1-based line number of the offending record.
+/// 1-based line number of the offending record. RawLogParser converts
+/// these to kCorruptInput statuses at its API boundary; the system-log
+/// capture parser (system_log.h) still throws it directly.
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& what)
@@ -38,12 +41,16 @@ struct ParsedTrace {
 
 class RawLogParser {
  public:
-  /// Parses the textual raw-log format. Throws ParseError on malformed input.
-  ParsedTrace parse(std::istream& is) const;
-  ParsedTrace parse_string(std::string_view text) const;
+  /// Parses the textual raw-log format — an untrusted boundary. Malformed
+  /// input yields kCorruptInput (the message carries the 1-based line
+  /// number of the offending record), never an exception.
+  util::StatusOr<ParsedTrace> parse(std::istream& is) const;
+  util::StatusOr<ParsedTrace> parse_string(std::string_view text) const;
 
   /// Parses an in-memory RawLog (skipping serialization) — used by the
-  /// pipeline when simulator output stays in memory.
+  /// pipeline when simulator output stays in memory. A trusted path: the
+  /// RawLog came from the simulator or an already-validated read, so
+  /// invariant violations here throw (LEAPS_CHECK semantics).
   ParsedTrace parse_raw(const RawLog& raw) const;
 };
 

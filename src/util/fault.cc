@@ -1,0 +1,145 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace leaps::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+namespace {
+
+std::uint64_t derive_seed(std::uint64_t global, const std::string& point,
+                          std::uint64_t spec_seed) {
+  if (spec_seed != 0) return spec_seed;
+  return splitmix64(global ^ hash_string(point));
+}
+
+}  // namespace
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  global_seed_ = seed;
+  for (auto& [name, armed] : points_) {
+    armed.rng = Rng(derive_seed(global_seed_, name, armed.spec.seed));
+  }
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Armed armed;
+  armed.rng = Rng(derive_seed(global_seed_, point, spec.seed));
+  armed.spec = std::move(spec);
+  const auto [it, inserted] = points_.insert_or_assign(point,
+                                                       std::move(armed));
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FaultInjector::arm_from_spec(std::string_view text) {
+  // point:action:probability[:delay_us]
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ':') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() < 3 || parts.size() > 4 || parts[0].empty()) return false;
+  FaultSpec spec;
+  if (parts[1] == "throw") {
+    spec.action = FaultAction::kThrow;
+  } else if (parts[1] == "error") {
+    spec.action = FaultAction::kError;
+  } else if (parts[1] == "delay") {
+    spec.action = FaultAction::kDelay;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string prob(parts[2]);
+  spec.probability = std::strtod(prob.c_str(), &end);
+  if (end == prob.c_str() || *end != '\0' || spec.probability < 0.0 ||
+      spec.probability > 1.0) {
+    return false;
+  }
+  if (parts.size() == 4) {
+    const std::string us(parts[3]);
+    const unsigned long long n = std::strtoull(us.c_str(), &end, 10);
+    if (end == us.c_str() || *end != '\0') return false;
+    spec.delay = std::chrono::microseconds(n);
+  } else if (spec.action == FaultAction::kDelay) {
+    return false;  // delay points need a duration
+  }
+  arm(std::string(parts[0]), std::move(spec));
+  return true;
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status FaultInjector::hit(std::string_view point, std::string_view detail) {
+  FaultAction action;
+  std::chrono::microseconds delay{0};
+  StatusCode error_code;
+  std::string name;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return ok_status();
+    Armed& armed = it->second;
+    ++armed.evaluated;
+    // Filter before drawing: steady traffic must not perturb the victim's
+    // injection pattern.
+    if (!armed.spec.filter.empty() &&
+        detail.find(armed.spec.filter) == std::string_view::npos) {
+      return ok_status();
+    }
+    if (!armed.rng.next_bool(armed.spec.probability)) return ok_status();
+    ++armed.injected;
+    action = armed.spec.action;
+    delay = armed.spec.delay;
+    error_code = armed.spec.error_code;
+    name = it->first;
+  }
+  switch (action) {
+    case FaultAction::kThrow:
+      throw FaultInjectedError(name);
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(delay);
+      return ok_status();
+    case FaultAction::kError:
+      return Status(error_code, "injected fault at " + name);
+  }
+  return ok_status();
+}
+
+std::uint64_t FaultInjector::evaluated(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.evaluated;
+}
+
+std::uint64_t FaultInjector::injected(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+}  // namespace leaps::util

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace leaps::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCorruptInput:
+      return "CORRUPT_INPUT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string s = status_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace leaps::util

@@ -395,7 +395,9 @@ TEST_P(BinaryLogProperty, RandomLogsRoundTrip) {
   }
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
   trace::write_raw_log_binary(log, buffer);
-  EXPECT_EQ(trace::read_raw_log_binary(buffer), log);
+  const util::StatusOr<trace::RawLog> got = trace::read_raw_log_binary(buffer);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, log);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BinaryLogProperty,

@@ -2,11 +2,13 @@
 // semantics, registry snapshot isolation, and — the load-bearing property —
 // that a DetectionServer classifying many interleaved sessions on many
 // workers produces exactly the verdicts a sequential Detector::Stream
-// produces per session. Run under -DLEAPS_SANITIZE=thread in CI
-// (ctest -L concurrency).
+// produces per session, even while faults are injected into other
+// sessions (crash isolation, circuit breaker, idle eviction, shedding).
+// Run under -DLEAPS_SANITIZE=thread in CI (ctest -L concurrency).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "detector_fixture.h"
 #include "serve/queue.h"
 #include "serve/server.h"
+#include "util/fault.h"
 
 namespace leaps::serve {
 namespace {
@@ -252,6 +255,257 @@ TEST(DetectionServer, SubmitAfterStopIsRejected) {
   server.stop();
   EXPECT_FALSE(server.submit(session, f.benign.events[0]));
   EXPECT_EQ(server.metrics().snapshot().events_rejected, 1u);
+}
+
+// --- Crash isolation / self-healing ---------------------------------------
+
+void expect_accounting_identity(const MetricsSnapshot& m) {
+  EXPECT_EQ(m.events_ingested,
+            m.events_processed + m.events_dropped + m.events_quarantined);
+}
+
+TEST(SessionBreaker, ConsecutiveFailuresQuarantineMidRun) {
+  const TrainedDetector& f = fixture();
+  Session session({"h", 1}, "app", f.detector);
+  const util::ScopedFault fault("serve.worker.classify",
+                                {.action = util::FaultAction::kThrow});
+
+  std::vector<const trace::PartitionedEvent*> run;
+  for (std::size_t i = 0; i < 5; ++i) run.push_back(&f.benign.events[i]);
+  std::vector<Verdict> verdicts;
+  const RunOutcome o = session.feed_run(run.data(), run.size(), verdicts,
+                                        /*breaker_threshold=*/3);
+  // Events 1-3 fail (tripping the breaker at the third), 4-5 are skipped.
+  EXPECT_EQ(o.processed, 0u);
+  EXPECT_EQ(o.failed, 3u);
+  EXPECT_EQ(o.skipped, 2u);
+  EXPECT_TRUE(o.newly_quarantined);
+  EXPECT_TRUE(session.quarantined());
+  EXPECT_TRUE(verdicts.empty());
+
+  const SessionReport report = session.report();
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_EQ(report.failed_events, 3u);
+}
+
+TEST(SessionBreaker, SuccessResetsTheFailureStreak) {
+  const TrainedDetector& f = fixture();
+  Session session({"h", 1}, "app", f.detector);
+  std::vector<Verdict> verdicts;
+
+  // Two failures, then clean events, then two more failures: the streak
+  // resets in between, so a threshold of 3 never trips.
+  const trace::PartitionedEvent* one[] = {&f.benign.events[0]};
+  {
+    const util::ScopedFault fault("serve.worker.classify",
+                                  {.action = util::FaultAction::kThrow});
+    for (int i = 0; i < 2; ++i) {
+      session.feed_run(one, 1, verdicts, 3);
+    }
+  }
+  session.feed_run(one, 1, verdicts, 3);  // clean: resets the streak
+  {
+    const util::ScopedFault fault("serve.worker.classify",
+                                  {.action = util::FaultAction::kThrow});
+    for (int i = 0; i < 2; ++i) {
+      session.feed_run(one, 1, verdicts, 3);
+    }
+  }
+  EXPECT_FALSE(session.quarantined());
+  EXPECT_EQ(session.report().failed_events, 4u);
+
+  // Threshold 0 disables the breaker entirely.
+  const util::ScopedFault fault("serve.worker.classify",
+                                {.action = util::FaultAction::kThrow});
+  for (int i = 0; i < 10; ++i) session.feed_run(one, 1, verdicts, 0);
+  EXPECT_FALSE(session.quarantined());
+}
+
+TEST(DetectionServer, FaultQuarantinesOnlyTheAffectedSession) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 2;
+  options.batch_size = 16;
+  options.circuit_breaker = 1;
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+
+  std::mutex verdict_mu;
+  std::map<std::string, std::vector<int>> verdicts;
+  server.set_verdict_sink([&](const VerdictRecord& v) {
+    const std::lock_guard<std::mutex> lock(verdict_mu);
+    verdicts[v.key.to_string()].push_back(v.label);
+  });
+
+  const SessionKey victim_key{"victim", 1};
+  const SessionKey steady_key{"steady", 2};
+  const auto victim = server.open_session(victim_key, "app");
+  const auto steady = server.open_session(steady_key, "app");
+  ASSERT_NE(victim, nullptr);
+  ASSERT_NE(steady, nullptr);
+
+  // Every event of the victim session throws; the steady session is
+  // untouched (the filter matches the victim's "host:pid" key string).
+  const util::ScopedFault fault(
+      "serve.worker.classify",
+      {.action = util::FaultAction::kThrow, .filter = "victim"});
+  server.start();
+  std::thread victim_producer([&] {
+    for (const trace::PartitionedEvent& e : f.mixed.events) {
+      server.submit(victim, e);
+    }
+  });
+  std::thread steady_producer([&] {
+    for (const trace::PartitionedEvent& e : f.mixed.events) {
+      ASSERT_TRUE(server.submit(steady, e));
+    }
+  });
+  victim_producer.join();
+  steady_producer.join();
+  server.drain();
+
+  EXPECT_TRUE(victim->quarantined());
+  EXPECT_FALSE(steady->quarantined());
+
+  const MetricsSnapshot m = server.metrics().snapshot();
+  expect_accounting_identity(m);
+  EXPECT_EQ(m.sessions_quarantined, 1u);
+  EXPECT_GE(m.events_failed, 1u);
+  EXPECT_GE(m.events_quarantined, m.events_failed);
+
+  // The steady session's verdicts match a fault-free sequential stream.
+  core::Detector::Stream reference = f.detector->stream();
+  std::vector<int> expected;
+  for (const trace::PartitionedEvent& e : f.mixed.events) {
+    if (const auto label = reference.push(e)) expected.push_back(*label);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(verdict_mu);
+    EXPECT_EQ(verdicts[steady_key.to_string()], expected);
+  }
+  server.stop();
+}
+
+TEST(DetectionServer, QuarantinedSessionRejectsNewSubmits) {
+  const TrainedDetector& f = fixture();
+  DetectionServer server({.workers = 1});
+  server.registry().add("app", f.detector);
+  const auto session = server.open_session({"h", 1}, "app");
+  ASSERT_NE(session, nullptr);
+  session->quarantine();
+  EXPECT_FALSE(server.submit(session, f.benign.events[0]));
+  EXPECT_EQ(server.metrics().snapshot().events_rejected, 1u);
+  EXPECT_EQ(server.metrics().snapshot().events_ingested, 0u);
+}
+
+TEST(DetectionServer, IdleSessionsAreEvictedByTheSweep) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 1;
+  options.idle_ttl = std::chrono::milliseconds(40);
+  options.sweep_interval = std::chrono::milliseconds(1000);  // manual sweeps
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+
+  const auto idle = server.open_session({"idle", 1}, "app");
+  const auto busy = server.open_session({"busy", 2}, "app");
+  ASSERT_NE(idle, nullptr);
+  ASSERT_NE(busy, nullptr);
+  EXPECT_EQ(server.sweep_idle_now(), 0u);  // both fresh
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  busy->feed(f.benign.events[0]);  // refreshes last_active
+  EXPECT_EQ(server.sweep_idle_now(), 1u);  // only "idle" crossed the TTL
+  EXPECT_EQ(server.sessions().active(), 1u);
+  EXPECT_NE(server.sessions().find({"busy", 2}), nullptr);
+  EXPECT_EQ(server.sessions().find({"idle", 1}), nullptr);
+  EXPECT_EQ(server.metrics().snapshot().sessions_evicted, 1u);
+}
+
+TEST(DetectionServer, SweeperThreadEvictsWithoutManualCalls) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 1;
+  options.idle_ttl = std::chrono::milliseconds(20);
+  options.sweep_interval = std::chrono::milliseconds(5);
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+  server.start();
+  ASSERT_NE(server.open_session({"h", 1}, "app"), nullptr);
+  // Generous deadline: the sweeper runs every 5ms, the TTL is 20ms.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.sessions().active() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.sessions().active(), 0u);
+  EXPECT_EQ(server.metrics().snapshot().sessions_evicted, 1u);
+  server.stop();
+}
+
+TEST(DetectionServer, OpenSessionRetriesTransientRegistryMisses) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 1;
+  options.registry_retries = 2;
+  options.registry_backoff = std::chrono::milliseconds(1);
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+
+  // A hard outage exhausts the retry budget deterministically.
+  {
+    const util::ScopedFault fault(
+        "serve.registry.find",
+        {.action = util::FaultAction::kError,
+         .error_code = util::StatusCode::kUnavailable});
+    EXPECT_EQ(server.open_session({"h", 1}, "app"), nullptr);
+    EXPECT_EQ(server.metrics().snapshot().registry_retries, 2u);
+  }
+
+  // A reload that lands mid-retry is absorbed: the profile appears after
+  // the first miss and open_session recovers without the caller noticing.
+  ServerOptions patient = options;
+  patient.registry_retries = 100;
+  DetectionServer late(patient);
+  std::thread reloader([&late, &f] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    late.registry().add("late", f.detector);
+  });
+  EXPECT_NE(late.open_session({"h", 2}, "late"), nullptr);
+  reloader.join();
+  EXPECT_GE(late.metrics().snapshot().registry_retries, 1u);
+}
+
+TEST(DetectionServer, SheddingEngagesUnderInjectedLatency) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 1;
+  options.batch_size = 8;
+  options.queue_capacity = 8;
+  options.shed_queue_wait_us = 100;
+  DetectionServer server(options);
+  server.registry().add("app", f.detector);
+  const auto session = server.open_session({"slow", 1}, "app");
+  ASSERT_NE(session, nullptr);
+
+  // Every classification sleeps 1ms: with an 8-deep queue, queued events
+  // wait >> 100us, so the shard must flip to shedding — and the blocked
+  // kBlock producer must keep making progress by dropping oldest.
+  const util::ScopedFault fault("serve.worker.classify",
+                                {.action = util::FaultAction::kDelay,
+                                 .delay = std::chrono::milliseconds(1)});
+  server.start();
+  for (std::size_t i = 0; i < 400; ++i) {
+    server.submit(session, f.benign.events[i % f.benign.events.size()]);
+  }
+  server.drain();
+  const MetricsSnapshot m = server.metrics().snapshot();
+  expect_accounting_identity(m);
+  EXPECT_GE(m.shed_activations, 1u);
+  EXPECT_GE(m.events_shed, 1u);
+  EXPECT_LE(m.events_shed, m.events_dropped);
+  server.stop();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "trace/parser.h"
 #include "trace/partition.h"
 #include "trace/raw_log.h"
+#include "util/status.h"
 
 namespace leaps::trace {
 namespace {
@@ -98,7 +99,8 @@ RawLog make_raw_log() {
 TEST(RawLogParser, TextRoundTripMatchesInMemoryParse) {
   const RawLog raw = make_raw_log();
   const RawLogParser parser;
-  const ParsedTrace from_text = parser.parse_string(raw_log_to_string(raw));
+  const ParsedTrace from_text =
+      parser.parse_string(raw_log_to_string(raw)).value();
   const ParsedTrace from_raw = parser.parse_raw(raw);
   EXPECT_EQ(from_text.log.process_name, from_raw.log.process_name);
   ASSERT_EQ(from_text.log.events.size(), from_raw.log.events.size());
@@ -133,7 +135,7 @@ TEST(RawLogParser, PreservesEventMetadata) {
 TEST(RawLogParser, IgnoresCommentsAndBlankLines) {
   const std::string text =
       "# comment\n\nPROCESS a.exe\n# another\nEVENT 0 1 FileRead\n";
-  const ParsedTrace t = RawLogParser().parse_string(text);
+  const ParsedTrace t = RawLogParser().parse_string(text).value();
   EXPECT_EQ(t.log.process_name, "a.exe");
   ASSERT_EQ(t.log.events.size(), 1u);
   EXPECT_TRUE(t.log.events[0].stack.empty());
@@ -143,12 +145,13 @@ TEST(RawLogParser, ReportsErrorsWithLineNumbers) {
   const RawLogParser p;
   const auto expect_error_at = [&p](const std::string& text,
                                     std::size_t line) {
-    try {
-      p.parse_string(text);
-      FAIL() << "expected ParseError for: " << text;
-    } catch (const ParseError& e) {
-      EXPECT_EQ(e.line(), line);
-    }
+    const util::StatusOr<ParsedTrace> got = p.parse_string(text);
+    ASSERT_FALSE(got.ok()) << "expected kCorruptInput for: " << text;
+    EXPECT_EQ(got.status().code(), util::StatusCode::kCorruptInput) << text;
+    EXPECT_NE(got.status().message().find(
+                  "line " + std::to_string(line) + ":"),
+              std::string::npos)
+        << got.status().message();
   };
   expect_error_at("STACK 0x10\n", 1);                       // stack w/o event
   expect_error_at("PROCESS a\nEVENT 0 1 NoSuchType\n", 2);  // bad type
@@ -160,9 +163,10 @@ TEST(RawLogParser, ReportsErrorsWithLineNumbers) {
 }
 
 TEST(RawLogParser, RejectsOverlappingModules) {
-  EXPECT_THROW(RawLogParser().parse_string(
-                   "MODULE 0x1000 0x1000 a\nMODULE 0x1800 0x1000 b\n"),
-               ParseError);
+  const util::StatusOr<ParsedTrace> got = RawLogParser().parse_string(
+      "MODULE 0x1000 0x1000 a\nMODULE 0x1800 0x1000 b\n");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kCorruptInput);
 }
 
 // ----------------------------------------------------- StackPartition ----

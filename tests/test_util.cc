@@ -1,14 +1,19 @@
-// Unit tests for the util module: RNG, statistics, env parsing, strings.
+// Unit tests for the util module: RNG, statistics, env parsing, strings,
+// the Status error taxonomy, and the fault-injection framework.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <string>
 
 #include "util/check.h"
 #include "util/env.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace leaps::util {
@@ -272,6 +277,148 @@ TEST(Check, ThrowsLogicErrorWithContext) {
     EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
   }
   EXPECT_NO_THROW(LEAPS_CHECK(true));
+}
+
+// -------------------------------------------------------------- status ----
+
+TEST(Status, DefaultIsOkAndCarriesCodeAndMessage) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().to_string(), "OK");
+  const Status s = corrupt_input("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruptInput);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.to_string(), "CORRUPT_INPUT: bad magic");
+  EXPECT_EQ(s, corrupt_input("bad magic"));
+  EXPECT_NE(s, resource_exhausted("bad magic"));
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kCorruptInput),
+               "CORRUPT_INPUT");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kTimeout), "TIMEOUT");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  const StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+  EXPECT_TRUE(good.status().ok());
+
+  const StatusOr<int> bad = not_found("no such profile");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  // Accessing the value of an error is a programming error, not UB.
+  EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(StatusOr, RefusesConstructionFromOkStatus) {
+  EXPECT_THROW(StatusOr<int>{ok_status()}, std::logic_error);
+}
+
+// --------------------------------------------------------------- fault ----
+
+TEST(Fault, DisarmedPointsAreInvisible) {
+  auto& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.any_armed());
+  EXPECT_TRUE(injector.hit("test.nowhere").ok());
+  EXPECT_NO_THROW(LEAPS_FAULT_POINT("test.nowhere"));
+}
+
+TEST(Fault, ThrowActionThrowsAndCounts) {
+  auto& injector = FaultInjector::instance();
+  const ScopedFault fault("test.point", {.action = FaultAction::kThrow});
+  EXPECT_TRUE(injector.any_armed());
+  EXPECT_THROW(LEAPS_FAULT_POINT("test.point"), FaultInjectedError);
+  EXPECT_THROW(LEAPS_FAULT_POINT("test.point"), FaultInjectedError);
+  EXPECT_EQ(injector.evaluated("test.point"), 2u);
+  EXPECT_EQ(injector.injected("test.point"), 2u);
+  // Other points stay silent.
+  EXPECT_NO_THROW(LEAPS_FAULT_POINT("test.other"));
+}
+
+TEST(Fault, ErrorActionReturnsTheArmedStatus) {
+  auto& injector = FaultInjector::instance();
+  const ScopedFault fault("test.err",
+                          {.action = FaultAction::kError,
+                           .error_code = StatusCode::kUnavailable});
+  const Status s = injector.hit("test.err");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST(Fault, ProbabilityIsDeterministicInTheSeed) {
+  auto& injector = FaultInjector::instance();
+  const auto run = [&injector](std::uint64_t seed) {
+    injector.set_seed(seed);
+    const ScopedFault fault("test.prob",
+                            {.action = FaultAction::kError,
+                             .probability = 0.3});
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += injector.hit("test.prob").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = run(99);
+  EXPECT_EQ(a, run(99));           // same seed → same injections
+  EXPECT_NE(a, run(100));          // different seed → different draws
+  EXPECT_NE(a.find('X'), std::string::npos);  // some injected
+  EXPECT_NE(a.find('.'), std::string::npos);  // some passed
+  injector.set_seed(0);
+}
+
+TEST(Fault, FilterTargetsMatchingDetailsOnly) {
+  auto& injector = FaultInjector::instance();
+  const ScopedFault fault("test.filter",
+                          {.action = FaultAction::kError,
+                           .filter = "victim"});
+  EXPECT_FALSE(injector.hit("test.filter", "victim-3:1003").ok());
+  EXPECT_TRUE(injector.hit("test.filter", "steady-2:1002").ok());
+  EXPECT_TRUE(injector.hit("test.filter").ok());  // no detail, no match
+  // Non-matching hits are evaluated but never injected.
+  EXPECT_EQ(injector.injected("test.filter"), 1u);
+  EXPECT_EQ(injector.evaluated("test.filter"), 3u);
+}
+
+TEST(Fault, DelayActionSleepsThenSucceeds) {
+  auto& injector = FaultInjector::instance();
+  const ScopedFault fault(
+      "test.delay",
+      {.action = FaultAction::kDelay,
+       .delay = std::chrono::microseconds(2000)});
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(injector.hit("test.delay").ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(2000));
+}
+
+TEST(Fault, ArmFromSpecParsesTheCliGrammar) {
+  auto& injector = FaultInjector::instance();
+  EXPECT_TRUE(injector.arm_from_spec("p.a:throw:0.5"));
+  EXPECT_TRUE(injector.arm_from_spec("p.b:error:1"));
+  EXPECT_TRUE(injector.arm_from_spec("p.c:delay:0.25:1500"));
+  EXPECT_TRUE(injector.any_armed());
+  injector.disarm_all();
+  EXPECT_FALSE(injector.any_armed());
+
+  EXPECT_FALSE(injector.arm_from_spec(""));
+  EXPECT_FALSE(injector.arm_from_spec("nocolon"));
+  EXPECT_FALSE(injector.arm_from_spec("p:badaction:0.5"));
+  EXPECT_FALSE(injector.arm_from_spec("p:throw:notanumber"));
+  EXPECT_FALSE(injector.arm_from_spec("p:delay:0.5"));  // delay needs us
+  EXPECT_FALSE(injector.any_armed());
 }
 
 }  // namespace

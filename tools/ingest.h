@@ -1,0 +1,39 @@
+// Shared untrusted-log ingest for the leaps tools.
+//
+// Opens `path` — "-" means stdin — autodetects text vs binary (the
+// detector peeks a single byte, so pipes work), and surfaces corruption
+// as a Status the tool turns into a diagnostic + exit code instead of an
+// uncaught exception.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "trace/binary_log.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+#include "util/status.h"
+
+namespace leaps::cli {
+
+/// Reads a raw log (text or binary) from `path`; "-" reads stdin.
+inline util::StatusOr<trace::RawLog> read_raw_log_path(
+    const std::string& path) {
+  if (path == "-") return trace::read_raw_log_any(std::cin);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::not_found("cannot open " + path);
+  return trace::read_raw_log_any(is);
+}
+
+/// read_raw_log_path + symbol resolution + stack partitioning.
+inline util::StatusOr<trace::PartitionedLog> load_partitioned_log(
+    const std::string& path) {
+  util::StatusOr<trace::RawLog> raw = read_raw_log_path(path);
+  if (!raw.ok()) return raw.status();
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(*raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+}  // namespace leaps::cli

@@ -1,0 +1,446 @@
+// leaps_chaos — chaos harness for the detection service.
+//
+// Replays simulator logs through the serving stack while arming fault
+// points (util/fault.h) and feeding the binary-log reader corrupted
+// bytes, then asserts the service's robustness contract:
+//
+//   * no crash, no abort, no deadlock (a per-phase watchdog converts a
+//     hang into a diagnostic and exit 1),
+//   * exact accounting — after drain(),
+//       events_ingested == events_processed + events_dropped
+//                          + events_quarantined,
+//   * blast-radius isolation — injected classification faults quarantine
+//     only the targeted "victim-*" sessions; every "steady-*" session's
+//     verdicts match a fault-free sequential replay bit-for-bit.
+//
+// Fully deterministic in --seed (fault draws, corpus mutations, and the
+// simulated logs all derive from it). Exit 0 = contract held, 1 = any
+// violation, 2 = usage.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.h"
+#include "core/pipeline.h"
+#include "ml/svm.h"
+#include "serve/server.h"
+#include "sim/scenario.h"
+#include "trace/binary_log.h"
+#include "trace/parser.h"
+#include "trace/partition.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace leaps;
+
+constexpr const char* kUsage =
+    "usage: leaps-chaos [--seed N] [--events N] [--sessions N] [--rate F]\n"
+    "                   [--corpus N] [--smoke]\n"
+    "  chaos-tests the detection service: replays logs with fault points\n"
+    "  armed and bit-flipped binary logs, asserting no crash/deadlock,\n"
+    "  exact event accounting, and per-session fault isolation.\n"
+    "  --seed N      deterministic seed for faults + corpus (default 2015)\n"
+    "  --events N    total events in the replay phases (default 10000)\n"
+    "  --sessions N  concurrent sessions, half victims (default 8)\n"
+    "  --rate F      per-event fault probability on victims (default 0.05)\n"
+    "  --corpus N    corrupted binary-log variants per kind (default 200)\n"
+    "  --smoke       small fast run for CI\n"
+    "exit: 0 contract held, 1 violation, 2 usage\n";
+
+int g_failures = 0;
+
+bool check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "leaps-chaos: FAIL: %s\n", what);
+    ++g_failures;
+  }
+  return ok;
+}
+
+/// Converts a hung phase into a diagnostic + exit 1 instead of a CI
+/// timeout with no context.
+class Watchdog {
+ public:
+  Watchdog(const char* phase, std::chrono::seconds limit) {
+    thread_ = std::thread([this, phase, limit] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, limit, [this] { return done_; })) {
+        std::fprintf(stderr,
+                     "leaps-chaos: FAIL: deadlock suspected — phase '%s' "
+                     "exceeded %llds\n",
+                     phase, static_cast<long long>(limit.count()));
+        std::_Exit(1);
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+trace::PartitionedLog partition_raw(const trace::RawLog& raw) {
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
+  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+}
+
+struct Trained {
+  trace::RawLog raw_benign;  // serialization fodder for the ingest phase
+  trace::PartitionedLog mixed;
+  std::shared_ptr<const core::Detector> detector;
+};
+
+/// Small genuinely-trained detector (mirrors the test fixture; tools
+/// cannot include tests/).
+Trained train_detector(std::size_t sim_events, std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.benign_events = sim_events;
+  cfg.mixed_events = sim_events * 3 / 4;
+  cfg.malicious_events = sim_events / 2;
+  cfg.seed = seed;
+  const sim::ScenarioLogs logs = sim::generate_scenario(
+      sim::find_scenario("vim_reverse_tcp_online"), cfg);
+
+  Trained out;
+  out.raw_benign = logs.benign;
+  out.mixed = partition_raw(logs.mixed);
+  const trace::PartitionedLog benign = partition_raw(logs.benign);
+
+  const core::TrainingData td =
+      core::LeapsPipeline().prepare(benign, out.mixed);
+  ml::Dataset train = td.benign;
+  train.append(td.mixed);
+  ml::MinMaxScaler scaler;
+  scaler.fit(train.X);
+  scaler.transform_in_place(train);
+  const ml::SvmModel model = ml::SvmTrainer({}).train(train);
+  out.detector = std::make_shared<const core::Detector>(td.preprocessor,
+                                                        scaler, model);
+  return out;
+}
+
+void check_identity(const serve::MetricsSnapshot& m, const char* phase) {
+  const std::uint64_t accounted =
+      m.events_processed + m.events_dropped + m.events_quarantined;
+  if (m.events_ingested != accounted) {
+    std::fprintf(stderr,
+                 "leaps-chaos: FAIL: %s accounting: ingested=%llu != "
+                 "processed=%llu + dropped=%llu + quarantined=%llu\n",
+                 phase, static_cast<unsigned long long>(m.events_ingested),
+                 static_cast<unsigned long long>(m.events_processed),
+                 static_cast<unsigned long long>(m.events_dropped),
+                 static_cast<unsigned long long>(m.events_quarantined));
+    ++g_failures;
+  }
+}
+
+/// Phase: every truncation of a valid binary log must be rejected as
+/// corrupt, and every bit-flipped variant must come back as a Status —
+/// ok or error — never an escaped exception, crash, or hang.
+void ingest_chaos(const trace::RawLog& log, std::size_t corpus,
+                  util::Rng& rng) {
+  const Watchdog watchdog("ingest", std::chrono::seconds(120));
+  std::ostringstream encoded;
+  trace::write_raw_log_binary(log, encoded);
+  const std::string bytes = encoded.str();
+  {
+    std::istringstream is(bytes);
+    check(trace::read_raw_log_binary(is).ok(),
+          "ingest: pristine binary log must read back");
+  }
+
+  for (std::size_t i = 0; i < corpus; ++i) {
+    const std::size_t cut = rng.next_below(bytes.size());
+    std::istringstream is(bytes.substr(0, cut));
+    const util::StatusOr<trace::RawLog> got = trace::read_raw_log_binary(is);
+    check(!got.ok(), "ingest: a truncated log must not parse");
+  }
+
+  std::size_t flips_ok = 0;
+  std::size_t flips_rejected = 0;
+  for (std::size_t i = 0; i < corpus; ++i) {
+    std::string mutated = bytes;
+    // 1-3 independent bit flips per variant.
+    const std::size_t flips = 1 + rng.next_below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.next_below(mutated.size());
+      mutated[at] = static_cast<char>(
+          static_cast<unsigned char>(mutated[at]) ^
+          (1u << rng.next_below(8)));
+    }
+    std::istringstream is(mutated);
+    try {
+      // read_raw_log_any also exercises format sniffing on hostile bytes.
+      const util::StatusOr<trace::RawLog> got = trace::read_raw_log_any(is);
+      got.ok() ? ++flips_ok : ++flips_rejected;
+    } catch (...) {
+      check(false, "ingest: reader let an exception escape on corrupt bytes");
+    }
+  }
+  std::printf("ingest chaos: %zu truncations rejected, bit-flips "
+              "%zu ok / %zu rejected, 0 crashes\n",
+              corpus, flips_ok, flips_rejected);
+}
+
+/// Phase: fault-free sequential replay — the per-session ground truth.
+std::vector<int> baseline_verdicts(const core::Detector& detector,
+                                   const trace::PartitionedLog& log,
+                                   std::size_t per_session) {
+  core::Detector::Stream stream = detector.stream();
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < per_session; ++i) {
+    const std::optional<int> label =
+        stream.push(log.events[i % log.events.size()]);
+    if (label.has_value()) labels.push_back(*label);
+  }
+  return labels;
+}
+
+/// Phase: concurrent replay with classification faults injected into the
+/// victim sessions only.
+void fault_replay(const Trained& trained, std::size_t sessions,
+                  std::size_t per_session, double rate,
+                  const std::vector<int>& baseline) {
+  const Watchdog watchdog("fault-replay", std::chrono::seconds(300));
+  auto& injector = util::FaultInjector::instance();
+
+  serve::ServerOptions options;
+  options.workers = 4;
+  options.batch_size = 64;
+  options.circuit_breaker = 1;  // one injected throw quarantines
+  serve::DetectionServer server(options);
+  server.registry().add("default", trained.detector);
+
+  std::mutex verdicts_mu;
+  std::map<std::string, std::vector<int>> verdicts;
+  server.set_verdict_sink([&](const serve::VerdictRecord& v) {
+    const std::lock_guard<std::mutex> lock(verdicts_mu);
+    verdicts[v.key.to_string()].push_back(v.label);
+  });
+
+  std::vector<serve::SessionKey> keys;
+  std::vector<std::shared_ptr<serve::Session>> opened;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const bool victim = s % 2 == 0;
+    keys.push_back(serve::SessionKey{
+        (victim ? "victim-" : "steady-") + std::to_string(s),
+        static_cast<std::uint32_t>(1000 + s)});
+    opened.push_back(server.open_session(keys.back(), "default"));
+    check(opened.back() != nullptr, "fault-replay: open_session failed");
+  }
+
+  {
+    util::FaultSpec spec;
+    spec.action = util::FaultAction::kThrow;
+    spec.probability = rate;
+    spec.filter = "victim";  // matches victim-* session keys only
+    injector.arm("serve.worker.classify", spec);
+  }
+  server.start();
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto& session = opened[s];
+      const auto& events = trained.mixed.events;
+      for (std::size_t i = 0; i < per_session; ++i) {
+        server.submit(session, events[i % events.size()]);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  server.drain();
+
+  check_identity(server.metrics().snapshot(), "fault-replay");
+
+  std::size_t victims_quarantined = 0;
+  {
+    const std::lock_guard<std::mutex> lock(verdicts_mu);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const bool victim = s % 2 == 0;
+      const bool quarantined = opened[s]->quarantined();
+      if (victim) {
+        victims_quarantined += quarantined ? 1 : 0;
+      } else {
+        check(!quarantined,
+              "fault-replay: a steady session was quarantined");
+        check(verdicts[keys[s].to_string()] == baseline,
+              "fault-replay: steady session diverged from the "
+              "fault-free run");
+      }
+    }
+  }
+  check(victims_quarantined >= 1,
+        "fault-replay: no victim session was quarantined");
+
+  const serve::MetricsSnapshot m = server.metrics().snapshot();
+  server.stop();
+  injector.disarm_all();
+  std::printf(
+      "fault replay: %zu sessions x %zu events, %zu/%zu victims "
+      "quarantined, %llu failed, %llu quarantined events; steady "
+      "sessions matched baseline\n",
+      static_cast<std::size_t>(opened.size()), per_session,
+      victims_quarantined, (opened.size() + 1) / 2,
+      static_cast<unsigned long long>(m.events_failed),
+      static_cast<unsigned long long>(m.events_quarantined));
+}
+
+/// Phase: deterministic registry-retry check — a transient registry
+/// outage exhausts the configured retries, then recovery succeeds.
+void registry_chaos(const Trained& trained) {
+  const Watchdog watchdog("registry", std::chrono::seconds(60));
+  auto& injector = util::FaultInjector::instance();
+
+  serve::ServerOptions options;
+  options.registry_retries = 3;
+  options.registry_backoff = std::chrono::milliseconds(1);
+  serve::DetectionServer server(options);
+  server.registry().add("default", trained.detector);
+
+  {
+    util::FaultSpec spec;
+    spec.action = util::FaultAction::kError;
+    spec.error_code = util::StatusCode::kUnavailable;
+    injector.arm("serve.registry.find", spec);
+  }
+  const serve::SessionKey key{"retry-host", 1};
+  check(server.open_session(key, "default") == nullptr,
+        "registry: lookup must fail while the outage lasts");
+  check(server.metrics().snapshot().registry_retries == 3,
+        "registry: expected exactly 3 backed-off retries");
+  injector.disarm_all();
+  check(server.open_session(key, "default") != nullptr,
+        "registry: lookup must succeed after the outage clears");
+  std::printf("registry chaos: outage exhausted 3 retries, recovery ok\n");
+}
+
+/// Phase: latency injection against tiny queues with shedding enabled —
+/// the server must keep draining and keep its books balanced even while
+/// dropping load.
+void latency_chaos(const Trained& trained, std::size_t sessions,
+                   std::size_t per_session) {
+  const Watchdog watchdog("latency", std::chrono::seconds(300));
+  auto& injector = util::FaultInjector::instance();
+
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.batch_size = 32;
+  options.queue_capacity = 64;
+  options.shed_queue_wait_us = 200;
+  serve::DetectionServer server(options);
+  server.registry().add("default", trained.detector);
+
+  {
+    util::FaultSpec spec;
+    spec.action = util::FaultAction::kDelay;
+    spec.probability = 0.25;
+    spec.delay = std::chrono::microseconds(300);
+    injector.arm("serve.worker.classify", spec);
+  }
+  server.start();
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto session = server.open_session(
+          serve::SessionKey{"slow-" + std::to_string(s),
+                            static_cast<std::uint32_t>(2000 + s)},
+          "default");
+      const auto& events = trained.mixed.events;
+      for (std::size_t i = 0; i < per_session; ++i) {
+        server.submit(session, events[i % events.size()]);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  server.drain();
+
+  const serve::MetricsSnapshot m = server.metrics().snapshot();
+  check_identity(m, "latency");
+  server.stop();
+  injector.disarm_all();
+  std::printf("latency chaos: drained %llu events under injected delay "
+              "(%llu shed, %llu shed activations)\n",
+              static_cast<unsigned long long>(m.events_ingested),
+              static_cast<unsigned long long>(m.events_shed),
+              static_cast<unsigned long long>(m.shed_activations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args(argc, argv, kUsage);
+  std::size_t seed = 2015;
+  std::size_t events = 10000;
+  std::size_t sessions = 8;
+  double rate = 0.05;
+  std::size_t corpus = 200;
+  bool smoke = false;
+  args.option("--seed", &seed);
+  args.option("--events", &events);
+  args.option("--sessions", &sessions);
+  args.option("--rate", &rate);
+  args.option("--corpus", &corpus);
+  args.flag("--smoke", &smoke);
+  args.parse(0, 0);
+
+  if (smoke) {
+    events = std::min<std::size_t>(events, 2000);
+    sessions = std::min<std::size_t>(sessions, 4);
+    corpus = std::min<std::size_t>(corpus, 48);
+  }
+  if (sessions < 2) args.usage_error("%s must be >= 2", "--sessions");
+  const std::size_t per_session = std::max<std::size_t>(1, events / sessions);
+
+  try {
+    util::FaultInjector::instance().set_seed(seed);
+    util::Rng rng(util::splitmix64(seed));
+
+    std::printf("training detector (seed %zu)...\n", seed);
+    const Trained trained = train_detector(smoke ? 900 : 1500, 7);
+
+    ingest_chaos(trained.raw_benign, corpus, rng);
+
+    const std::vector<int> baseline =
+        baseline_verdicts(*trained.detector, trained.mixed, per_session);
+    fault_replay(trained, sessions, per_session, rate, baseline);
+    registry_chaos(trained);
+    latency_chaos(trained, sessions, std::max<std::size_t>(per_session / 4,
+                                                           std::size_t{64}));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "leaps-chaos: FAIL: uncaught exception: %s\n",
+                 e.what());
+    ++g_failures;
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "leaps-chaos: %d violation(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("leaps-chaos: contract held (no crashes, no deadlocks, "
+              "accounting exact)\n");
+  return 0;
+}

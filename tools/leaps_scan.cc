@@ -7,12 +7,10 @@
 // stays at or below the threshold (default 0.25) and 3 when it exceeds it,
 // so the tool composes into scripts/alert pipelines.
 #include <cstdio>
-#include <fstream>
 
 #include "cli.h"
 #include "core/persist.h"
-#include "trace/binary_log.h"
-#include "trace/parser.h"
+#include "ingest.h"
 #include "trace/partition.h"
 
 int main(int argc, char** argv) {
@@ -21,7 +19,7 @@ int main(int argc, char** argv) {
                       "usage: leaps-scan <detector> <trace.log> "
                       "[--threshold F] [--verbose]\n"
                       "  applies a saved detector to a raw log (text or "
-                      "binary).\n"
+                      "binary; '-' reads stdin).\n"
                       "  --threshold F  flagged-fraction above which the "
                       "verdict is suspicious (default 0.25)\n"
                       "  --verbose      print every malicious window\n"
@@ -36,16 +34,15 @@ int main(int argc, char** argv) {
 
   try {
     const core::Detector detector = core::load_detector_file(detector_path);
-    std::ifstream is(log_path, std::ios::binary);
-    if (!is) {
-      std::fprintf(stderr, "leaps-scan: cannot open %s\n", log_path.c_str());
+    // Accepts both the textual and the binary log format.
+    const util::StatusOr<trace::PartitionedLog> loaded =
+        cli::load_partitioned_log(log_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "leaps-scan: %s: %s\n", log_path.c_str(),
+                   loaded.status().to_string().c_str());
       return 1;
     }
-    // Accepts both the textual and the binary log format.
-    const trace::RawLog raw = trace::read_raw_log_any(is);
-    const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
-    const trace::PartitionedLog log =
-        trace::StackPartitioner(t.log.process_name).partition(t.log);
+    const trace::PartitionedLog& log = *loaded;
 
     const core::Detector::ScanResult result = detector.scan(log);
     if (verbose) {

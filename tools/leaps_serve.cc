@@ -17,10 +17,10 @@
 
 #include "cli.h"
 #include "core/persist.h"
+#include "ingest.h"
 #include "serve/server.h"
-#include "trace/binary_log.h"
-#include "trace/parser.h"
 #include "trace/partition.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -43,19 +43,27 @@ constexpr const char* kUsage =
     "  --threshold F         flagged fraction per session that makes the\n"
     "                        overall verdict suspicious (default 0.25)\n"
     "  --metrics-every S     dump metrics to stderr every S seconds\n"
+    "  --breaker N           consecutive failures that quarantine a\n"
+    "                        session (default 3, 0 disables)\n"
+    "  --idle-ttl-ms N       evict sessions idle longer than N ms (0 off)\n"
+    "  --shed-wait-us N      shed load when queue-wait p99 exceeds N us\n"
+    "                        (0 off)\n"
+    "  --fault SPEC          arm a fault point (repeatable):\n"
+    "                        point:action:probability[:delay_us],\n"
+    "                        action = throw | error | delay\n"
+    "  --fault-seed N        deterministic seed for fault injection\n"
     "  --json                final metrics report as JSON\n"
     "  --verbose             print each malicious window as it is scored\n"
     "exit: 0 all sessions clean, 3 any suspicious, 1 error, 2 usage\n";
 
 trace::PartitionedLog load_log(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    std::fprintf(stderr, "leaps-serve: cannot open %s\n", path.c_str());
+  util::StatusOr<trace::PartitionedLog> log = cli::load_partitioned_log(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "leaps-serve: %s: %s\n", path.c_str(),
+                 log.status().to_string().c_str());
     std::exit(1);
   }
-  const trace::RawLog raw = trace::read_raw_log_any(is);
-  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
-  return trace::StackPartitioner(t.log.process_name).partition(t.log);
+  return *std::move(log);
 }
 
 /// Feeds one session's events, pacing to `rate` events/sec when positive.
@@ -89,6 +97,10 @@ int main(int argc, char** argv) {
   std::string policy = "block";
   double threshold = 0.25;
   std::size_t metrics_every = 0;
+  std::size_t idle_ttl_ms = 0;
+  std::size_t shed_wait_us = 0;
+  std::vector<std::string> fault_specs;
+  std::size_t fault_seed = 0;
   bool json = false;
   bool verbose = false;
   args.option_list("--detector", &extra_detectors);
@@ -100,6 +112,11 @@ int main(int argc, char** argv) {
   args.option("--batch", &options.batch_size);
   args.option("--threshold", &threshold);
   args.option("--metrics-every", &metrics_every);
+  args.option("--breaker", &options.circuit_breaker);
+  args.option("--idle-ttl-ms", &idle_ttl_ms);
+  args.option("--shed-wait-us", &shed_wait_us);
+  args.option_list("--fault", &fault_specs);
+  args.option("--fault-seed", &fault_seed);
   args.flag("--json", &json);
   args.flag("--verbose", &verbose);
   const std::vector<std::string> pos = args.parse(2);
@@ -110,6 +127,16 @@ int main(int argc, char** argv) {
   }
   options.overflow = *parsed_policy;
   if (options.workers == 0) args.usage_error("%s must be >= 1", "--workers");
+  options.idle_ttl = std::chrono::milliseconds(idle_ttl_ms);
+  options.shed_queue_wait_us = shed_wait_us;
+
+  auto& injector = util::FaultInjector::instance();
+  injector.set_seed(static_cast<std::uint64_t>(fault_seed));
+  for (const std::string& spec : fault_specs) {
+    if (!injector.arm_from_spec(spec)) {
+      args.usage_error("bad --fault '%s'", spec.c_str());
+    }
+  }
 
   try {
     serve::DetectionServer server(options);
@@ -208,7 +235,8 @@ int main(int argc, char** argv) {
           report->key.to_string().c_str(), r.path.c_str(),
           report->profile.c_str(), report->events_seen, report->windows,
           report->malicious_windows, 100.0 * report->malicious_fraction,
-          suspicious ? "SUSPICIOUS" : "clean");
+          report->quarantined ? "QUARANTINED"
+                              : (suspicious ? "SUSPICIOUS" : "clean"));
     }
 
     const serve::MetricsSnapshot m = server.metrics().snapshot();

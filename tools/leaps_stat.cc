@@ -2,39 +2,31 @@
 //
 // Usage: leaps_stat <trace.log> [more.log ...]
 #include <cstdio>
-#include <fstream>
 
 #include "cli.h"
-#include "trace/binary_log.h"
+#include "ingest.h"
 #include "trace/log_stats.h"
-#include "trace/parser.h"
 #include "trace/partition.h"
 
 int main(int argc, char** argv) {
   using namespace leaps;
   cli::ArgParser args(argc, argv,
                       "usage: leaps-stat <trace.log> [more.log ...]\n"
-                      "  summarizes raw trace logs (text or binary).\n");
+                      "  summarizes raw trace logs (text or binary; '-' "
+                      "reads stdin).\n");
   const std::vector<std::string> logs = args.parse(1);
   int rc = 0;
   for (const std::string& path : logs) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-      std::fprintf(stderr, "leaps-stat: cannot open %s\n", path.c_str());
+    const util::StatusOr<trace::PartitionedLog> log =
+        cli::load_partitioned_log(path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "leaps-stat: %s: %s\n", path.c_str(),
+                   log.status().to_string().c_str());
       rc = 1;
       continue;
     }
-    try {
-      const trace::RawLog raw = trace::read_raw_log_any(is);
-      const trace::ParsedTrace t = trace::RawLogParser().parse_raw(raw);
-      const trace::PartitionedLog log =
-          trace::StackPartitioner(t.log.process_name).partition(t.log);
-      std::printf("== %s ==\n%s\n", path.c_str(),
-                  trace::compute_stats(log).to_string().c_str());
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "leaps-stat: %s: %s\n", path.c_str(), e.what());
-      rc = 1;
-    }
+    std::printf("== %s ==\n%s\n", path.c_str(),
+                trace::compute_stats(*log).to_string().c_str());
   }
   return rc;
 }

@@ -9,33 +9,29 @@
 // source-level trojans) → weighted 10-fold CV over (λ, σ²) → WSVM.
 // The resulting detector file is consumed by leaps_scan.
 #include <cstdio>
-#include <fstream>
 #include <string>
 
 #include "cli.h"
 #include "core/persist.h"
+#include "ingest.h"
 #include "ml/cross_validation.h"
-#include "trace/binary_log.h"
-#include "trace/parser.h"
 #include "trace/partition.h"
 #include "util/rng.h"
 
 namespace {
 
 leaps::trace::PartitionedLog read_log(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    std::fprintf(stderr, "leaps-train: cannot open %s\n", path.c_str());
+  // Accepts both the textual and the binary log format; "-" reads stdin.
+  leaps::util::StatusOr<leaps::trace::PartitionedLog> log =
+      leaps::cli::load_partitioned_log(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "leaps-train: %s: %s\n", path.c_str(),
+                 log.status().to_string().c_str());
     std::exit(1);
   }
-  // Accepts both the textual and the binary log format.
-  const leaps::trace::RawLog raw = leaps::trace::read_raw_log_any(is);
-  const leaps::trace::ParsedTrace t =
-      leaps::trace::RawLogParser().parse_raw(raw);
   std::printf("parsed %-26s %zu events, process %s\n", path.c_str(),
-              t.log.events.size(), t.log.process_name.c_str());
-  return leaps::trace::StackPartitioner(t.log.process_name)
-      .partition(t.log);
+              log->events.size(), log->process_name.c_str());
+  return *std::move(log);
 }
 
 }  // namespace
