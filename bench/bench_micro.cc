@@ -16,6 +16,7 @@
 #include "ml/hmm.h"
 #include "ml/logreg.h"
 #include "ml/svm.h"
+#include "obs/trace.h"
 #include "sim/scenario.h"
 #include "trace/binary_log.h"
 #include "trace/parser.h"
@@ -314,6 +315,44 @@ void BM_ForestTrain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestTrain);
+
+// The observability acceptance case: a disabled span site must cost one
+// relaxed atomic load plus a predicted branch (low single-digit ns —
+// compare against BM_SpanEnabled to see what turning tracing on buys).
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::instance().clear();
+  for (auto _ : state) {
+    LEAPS_SPAN("bench.disabled");
+    benchmark::DoNotOptimize(&state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::set_enabled(true);
+  obs::Tracer::instance().clear();
+  // Drain the ring before it saturates so every iteration measures a real
+  // record, not the drop path (single-threaded here, so clear() is safe).
+  std::size_t since_clear = 0;
+  for (auto _ : state) {
+    {
+      LEAPS_SPAN("bench.enabled");
+      benchmark::DoNotOptimize(&state);
+    }
+    if (++since_clear == obs::Tracer::kCapacity - 1) {
+      state.PauseTiming();
+      obs::Tracer::instance().clear();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::instance().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_DetectorPersistRoundTrip(benchmark::State& state) {
   const auto& logs = cached_logs(2000);

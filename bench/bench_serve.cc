@@ -9,8 +9,11 @@
 //
 // Knobs: LEAPS_SERVE_SESSIONS (default 8), LEAPS_SERVE_EVENTS per session
 // (default 6000), LEAPS_EVENTS (training-log size), LEAPS_FAST=1.
+// LEAPS_BENCH_JSON=<path> additionally writes the measurements as a JSON
+// snapshot (the format of the checked-in BENCH_serve.json baseline).
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -120,12 +123,14 @@ int main() {
   std::printf("%-8s %14s %10s\n", "workers", "events/sec", "speedup");
   double base = 0.0;
   double at4 = 0.0;
+  std::vector<std::pair<std::size_t, double>> rows;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     // Warm-up pass, then the measured pass.
     run_once(w, workers, sessions, events_per_session / 4 + 1);
     const double rate = run_once(w, workers, sessions, events_per_session);
     if (workers == 1) base = rate;
     if (workers == 4) at4 = rate;
+    rows.emplace_back(workers, rate);
     std::printf("%-8zu %14.0f %9.2fx\n", workers, rate,
                 base > 0.0 ? rate / base : 1.0);
   }
@@ -135,5 +140,32 @@ int main() {
       std::thread::hardware_concurrency() < 4
           ? " (machine has fewer than 4 hardware threads; expect ~1x here)"
           : "");
+
+  const std::string json_path = util::env_string("LEAPS_BENCH_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    os << "{\n  \"benchmark\": \"bench_serve\",\n"
+       << "  \"config\": {\"sessions\": " << sessions
+       << ", \"events_per_session\": " << events_per_session
+       << ", \"train_events\": " << train_events
+       << ", \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "},\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      char line[128];
+      std::snprintf(line, sizeof line,
+                    "    {\"workers\": %zu, \"events_per_sec\": %.0f, "
+                    "\"speedup\": %.2f}%s\n",
+                    rows[i].first, rows[i].second,
+                    base > 0.0 ? rows[i].second / base : 1.0,
+                    i + 1 < rows.size() ? "," : "");
+      os << line;
+    }
+    os << "  ]\n}\n";
+    std::printf("(JSON -> %s)\n", json_path.c_str());
+  }
   return 0;
 }

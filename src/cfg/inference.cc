@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace leaps::cfg {
 
 std::size_t CfgInference::branch_point(
@@ -14,6 +16,7 @@ std::size_t CfgInference::branch_point(
 }
 
 InferredCfg CfgInference::infer(const trace::PartitionedLog& log) const {
+  LEAPS_SPAN("cfg.infer");
   InferredCfg out;
   // prev_stacklist, keyed by thread when per-thread adjacency is on.
   std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> prev_by_tid;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace leaps::cfg {
@@ -53,6 +54,7 @@ double WeightAssessor::path_benignity(std::uint64_t start,
 
 std::map<std::uint64_t, double> WeightAssessor::assess(
     const InferredCfg& mixed_cfg) const {
+  LEAPS_SPAN("cfg.assess_weights");
   // SET_WEIGHT keeps {running mean, count} per event; REBALANCE folds each
   // new path weight into the mean.
   struct Acc {

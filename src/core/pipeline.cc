@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace leaps::core {
@@ -9,24 +10,32 @@ namespace leaps::core {
 TrainingData LeapsPipeline::prepare(
     const trace::PartitionedLog& benign_log,
     const trace::PartitionedLog& mixed_log) const {
+  LEAPS_SPAN("pipeline.prepare");
   TrainingData out;
 
   // --- Data Preprocessing Module ----------------------------------------
-  out.preprocessor = Preprocessor(options_.preprocess);
-  out.preprocessor.fit({&benign_log, &mixed_log});
-  out.benign_windows = out.preprocessor.make_windows(benign_log);
-  out.mixed_windows = out.preprocessor.make_windows(mixed_log);
+  {
+    LEAPS_SPAN("pipeline.preprocess");
+    out.preprocessor = Preprocessor(options_.preprocess);
+    out.preprocessor.fit({&benign_log, &mixed_log});
+    out.benign_windows = out.preprocessor.make_windows(benign_log);
+    out.mixed_windows = out.preprocessor.make_windows(mixed_log);
+  }
 
   // --- Control Flow Graph Inference Module ------------------------------
   const cfg::CfgInference inference(options_.inference);
-  out.benign_cfg = inference.infer(benign_log);
-  out.mixed_cfg = inference.infer(mixed_log);
+  {
+    LEAPS_SPAN("pipeline.cfg_infer");
+    out.benign_cfg = inference.infer(benign_log);
+    out.mixed_cfg = inference.infer(mixed_log);
+  }
 
   // --- CFG Alignment (Section VI-A extension, optional) -----------------
   const cfg::CfgAligner aligner(options_.alignment);
   const cfg::InferredCfg* assessed_mixed = &out.mixed_cfg;
   cfg::InferredCfg translated;
   if (options_.align_cfgs) {
+    LEAPS_SPAN("pipeline.align");
     const cfg::NodeFingerprints benign_fp = cfg::node_fingerprints(benign_log);
     const cfg::NodeFingerprints mixed_fp = cfg::node_fingerprints(mixed_log);
     out.alignment = aligner.align(out.benign_cfg.graph, out.mixed_cfg.graph,
@@ -37,31 +46,36 @@ TrainingData LeapsPipeline::prepare(
 
   // --- Weight Assessment -------------------------------------------------
   const cfg::WeightAssessor assessor(out.benign_cfg.graph);
-  out.event_benignity = assessor.assess(*assessed_mixed);
-  // Events no inferred path maps to (one-frame walks produce no edges) are
-  // scored by their frame addresses against the same density array; only
-  // events with *no* application frames at all fall back to the default.
-  for (const trace::PartitionedEvent& e : mixed_log.events) {
-    if (out.event_benignity.count(e.seq) > 0) continue;
-    if (e.app_stack.empty()) {
-      out.event_benignity[e.seq] = options_.default_benignity;
-      continue;
-    }
-    double sum = 0.0;
-    for (std::uint64_t addr : e.app_stack) {
-      if (options_.align_cfgs) {
-        const auto t = aligner.translate(out.alignment, addr);
-        // Untranslatable = inserted or unknown code: benignity 0.
-        if (!t.has_value()) continue;
-        addr = *t;
+  {
+    LEAPS_SPAN("pipeline.weight_assess");
+    out.event_benignity = assessor.assess(*assessed_mixed);
+    // Events no inferred path maps to (one-frame walks produce no edges)
+    // are scored by their frame addresses against the same density array;
+    // only events with *no* application frames at all fall back to the
+    // default.
+    for (const trace::PartitionedEvent& e : mixed_log.events) {
+      if (out.event_benignity.count(e.seq) > 0) continue;
+      if (e.app_stack.empty()) {
+        out.event_benignity[e.seq] = options_.default_benignity;
+        continue;
       }
-      sum += assessor.node_benignity(addr);
+      double sum = 0.0;
+      for (std::uint64_t addr : e.app_stack) {
+        if (options_.align_cfgs) {
+          const auto t = aligner.translate(out.alignment, addr);
+          // Untranslatable = inserted or unknown code: benignity 0.
+          if (!t.has_value()) continue;
+          addr = *t;
+        }
+        sum += assessor.node_benignity(addr);
+      }
+      out.event_benignity[e.seq] =
+          sum / static_cast<double>(e.app_stack.size());
     }
-    out.event_benignity[e.seq] =
-        sum / static_cast<double>(e.app_stack.size());
   }
 
   // --- assemble datasets ---------------------------------------------------
+  LEAPS_SPAN("pipeline.assemble");
   for (const ml::FeatureVector& x : out.benign_windows.X) {
     out.benign.add(x, /*label=*/1, /*weight=*/1.0);
   }

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace leaps::core {
 
 void SetClusterer::fit(const std::vector<ml::StringSet>& sets) {
+  LEAPS_SPAN("preprocess.cluster");
   LEAPS_CHECK_MSG(!sets.empty(), "SetClusterer::fit with no sets");
   // Deduplicate while keeping a stable order.
   std::map<ml::StringSet, int> seen;
@@ -126,6 +128,7 @@ ml::StringSet Preprocessor::func_set(const trace::PartitionedEvent& event) {
 
 void Preprocessor::fit(
     const std::vector<const trace::PartitionedLog*>& logs) {
+  LEAPS_SPAN("preprocess.fit");
   LEAPS_CHECK_MSG(!logs.empty(), "Preprocessor::fit with no logs");
   std::vector<ml::StringSet> lib_sets;
   std::vector<ml::StringSet> func_sets;
@@ -163,6 +166,7 @@ EventTuple Preprocessor::tuple(const trace::PartitionedEvent& event) const {
 
 WindowedData Preprocessor::make_windows(
     const trace::PartitionedLog& log) const {
+  LEAPS_SPAN("preprocess.windows");
   LEAPS_CHECK_MSG(fitted(), "Preprocessor used before fit()");
   LEAPS_CHECK_MSG(options_.window >= 1, "window must be >= 1");
   WindowedData out;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace leaps::ml {
@@ -37,6 +39,7 @@ int SvmModel::predict(const FeatureVector& x) const {
 }
 
 SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
+  LEAPS_SPAN("svm.train");
   data.validate();
   const std::size_t n = data.size();
   LEAPS_CHECK_MSG(n >= 2, "SVM needs at least two samples");
@@ -58,6 +61,11 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
 
   const std::vector<std::vector<double>> K =
       gram_matrix(data.X, params_.kernel);
+  // The gram matrix evaluates the upper triangle once per pair.
+  static obs::Counter& kernel_evals = obs::MetricRegistry::global().counter(
+      "leaps_ml_kernel_evals_total",
+      "kernel evaluations spent building SVM gram matrices");
+  kernel_evals.inc(n * (n + 1) / 2);
   const std::vector<int>& y = data.y;
 
   std::vector<double> alpha(n, 0.0);
@@ -202,6 +210,9 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
     stats->converged = converged;
     stats->objective = objective;
   }
+  static obs::Gauge& last_iters = obs::MetricRegistry::global().gauge(
+      "leaps_ml_svm_iterations", "SMO iterations of the last SVM training");
+  last_iters.set(static_cast<std::int64_t>(iter));
   return SvmModel(std::move(svs), std::move(coef), b, params_.kernel);
 }
 

@@ -1,0 +1,64 @@
+#include "obs/histogram.h"
+
+#include <bit>
+
+namespace leaps::obs {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// fetch_max for pre-C++26 atomics.
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t value) {
+  std::uint64_t seen = a.load(kRelaxed);
+  while (seen < value && !a.compare_exchange_weak(seen, value, kRelaxed)) {
+  }
+}
+
+std::size_t bucket_index(std::uint64_t us) {
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(us));
+  return w < LatencyHistogram::kBuckets ? w : LatencyHistogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::chrono::nanoseconds elapsed) {
+  record_us(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+}
+
+void LatencyHistogram::record_us(std::uint64_t us) {
+  buckets_[bucket_index(us)].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  total_us_.fetch_add(us, kRelaxed);
+  atomic_max(max_us_, us);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(kRelaxed);
+  s.total_us = total_us_.load(kRelaxed);
+  s.max_us = max_us_.load(kRelaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(kRelaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::mean_us() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(total_us) / static_cast<double>(count);
+}
+
+std::uint64_t LatencyHistogram::Snapshot::quantile_us(double q) const {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return bucket_upper_us(i);
+  }
+  return max_us;
+}
+
+}  // namespace leaps::obs

@@ -1,0 +1,225 @@
+#include "obs/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace leaps::obs {
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void histogram_prometheus(std::ostringstream& os, const std::string& name,
+                          const LatencyHistogram::Snapshot& h) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += h.buckets[i];
+    if (i + 1 == LatencyHistogram::kBuckets) {
+      // The last bucket saturates (everything ≥ ~2 min), so its true
+      // upper bound is infinity, and cumulative == count here.
+      os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    } else {
+      os << name << "_bucket{le=\""
+         << LatencyHistogram::bucket_upper_us(i) << "\"} " << cumulative
+         << "\n";
+    }
+  }
+  os << name << "_sum " << h.total_us << "\n";
+  os << name << "_count " << h.count << "\n";
+}
+
+void histogram_json(std::ostringstream& os,
+                    const LatencyHistogram::Snapshot& h) {
+  os << "\"count\":" << h.count << ",\"total_us\":" << h.total_us
+     << ",\"max_us\":" << h.max_us << ",\"p50_us\":" << h.quantile_us(0.50)
+     << ",\"p95_us\":" << h.quantile_us(0.95)
+     << ",\"p99_us\":" << h.quantile_us(0.99) << ",\"le_us\":[";
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i > 0) os << ",";
+    // The saturated last bucket has no finite bound; emit -1 as the JSON
+    // stand-in for +Inf (the Prometheus rendering uses le="+Inf").
+    if (i + 1 == LatencyHistogram::kBuckets) {
+      os << -1;
+    } else {
+      os << LatencyHistogram::bucket_upper_us(i);
+    }
+  }
+  os << "],\"buckets\":[";
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i > 0) os << ",";
+    os << h.buckets[i];
+  }
+  os << "]";
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Owned& MetricRegistry::find_or_create(const std::string& name,
+                                                      const std::string& help,
+                                                      MetricType type) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = owned_.find(name);
+  if (it == owned_.end()) {
+    Owned owned;
+    owned.type = type;
+    owned.help = help;
+    switch (type) {
+      case MetricType::kCounter:
+        owned.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        owned.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        owned.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = owned_.emplace(name, std::move(owned)).first;
+  } else if (it->second.type != type) {
+    throw std::logic_error("metric '" + name + "' already registered as " +
+                           type_name(it->second.type) + ", requested as " +
+                           type_name(type));
+  }
+  return it->second;
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 const std::string& help) {
+  return *find_or_create(name, help, MetricType::kCounter).counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name,
+                             const std::string& help) {
+  return *find_or_create(name, help, MetricType::kGauge).gauge;
+}
+
+LatencyHistogram& MetricRegistry::histogram(const std::string& name,
+                                            const std::string& help) {
+  return *find_or_create(name, help, MetricType::kHistogram).histogram;
+}
+
+MetricRegistry::Registration MetricRegistry::register_collector(
+    Collector collector) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Registration handle;
+  handle.registry_ = this;
+  handle.id_ = next_collector_id_++;
+  collectors_.emplace(handle.id_, std::move(collector));
+  return handle;
+}
+
+void MetricRegistry::unregister_collector(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+void MetricRegistry::Registration::reset() {
+  if (registry_ != nullptr) registry_->unregister_collector(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+std::vector<MetricSample> MetricRegistry::collect() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(owned_.size());
+  for (const auto& [name, owned] : owned_) {
+    MetricSample s;
+    s.name = name;
+    s.help = owned.help;
+    s.type = owned.type;
+    switch (owned.type) {
+      case MetricType::kCounter:
+        s.counter_value = owned.counter->value();
+        break;
+      case MetricType::kGauge:
+        s.gauge_value = owned.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        s.histogram = owned.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  for (const auto& [id, collector] : collectors_) collector(out);
+  return out;
+}
+
+std::string samples_to_prometheus(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  for (const MetricSample& s : samples) {
+    if (!s.help.empty()) os << "# HELP " << s.name << " " << s.help << "\n";
+    os << "# TYPE " << s.name << " " << type_name(s.type) << "\n";
+    switch (s.type) {
+      case MetricType::kCounter:
+        os << s.name << " " << s.counter_value << "\n";
+        break;
+      case MetricType::kGauge:
+        os << s.name << " " << s.gauge_value << "\n";
+        break;
+      case MetricType::kHistogram:
+        histogram_prometheus(os, s.name, s.histogram);
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string samples_to_json(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"";
+    append_json_escaped(os, s.name);
+    os << "\":{\"type\":\"" << type_name(s.type) << "\",";
+    switch (s.type) {
+      case MetricType::kCounter:
+        os << "\"value\":" << s.counter_value;
+        break;
+      case MetricType::kGauge:
+        os << "\"value\":" << s.gauge_value;
+        break;
+      case MetricType::kHistogram:
+        histogram_json(os, s.histogram);
+        break;
+    }
+    os << "}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string MetricRegistry::to_prometheus() const {
+  return samples_to_prometheus(collect());
+}
+
+std::string MetricRegistry::to_json() const {
+  return samples_to_json(collect());
+}
+
+}  // namespace leaps::obs

@@ -1,0 +1,145 @@
+// Span tracing for the LEAPS pipeline and serving stack.
+//
+// Production code marks the stages worth timing:
+//
+//   void LeapsPipeline::prepare(...) {
+//     LEAPS_SPAN("pipeline.prepare");
+//     { LEAPS_SPAN("pipeline.preprocess"); ... }
+//     ...
+//   }
+//
+// Disabled (the default), a span site costs one relaxed atomic load and a
+// predicted branch — the same budget as util/fault.h's fault points, cheap
+// enough to compile into every hot path unconditionally. Enabled, each
+// completed span claims one slot in a fixed-capacity lock-free ring of
+// records (name, start, duration, thread, nesting depth); when the ring is
+// full further spans are counted as dropped, never blocked on.
+//
+// Two export formats:
+//   * chrome_trace_json() — a Chrome trace-event array ("X" complete
+//     events) that loads directly in chrome://tracing and Perfetto,
+//   * profile_text()      — an aggregated per-stage summary (count /
+//     total / mean / max), tree-indented by nesting depth.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// only the pointer is stored. Spans may be opened from any thread;
+// snapshot()/export run concurrently with recording and see every span
+// committed before the call. clear() is NOT safe concurrent with
+// recording — quiesce first (tests and benchmarks only).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace leaps::obs {
+
+namespace internal {
+/// The macro fast path reads this directly: constant-initialized, so there
+/// is no function-local-static guard in the disabled path.
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+/// One completed span. Times are nanoseconds since the tracer's epoch
+/// (the first Tracer::instance() call).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;    // dense per-process thread number, from 1
+  std::uint32_t depth = 0;  // nesting depth on its thread, from 0
+};
+
+class Tracer {
+ public:
+  /// Ring capacity in records. ~32 B/record → ~2 MiB resident, enough for
+  /// a full training run plus a replay (the profile aggregates, so a
+  /// saturated ring still yields correct per-stage *ratios* for the
+  /// recorded prefix; `dropped()` says when that happened).
+  static constexpr std::size_t kCapacity = std::size_t{1} << 16;
+
+  static Tracer& instance();
+
+  /// The span-site gate: one relaxed atomic load.
+  static bool enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    instance();  // pin the epoch before the first span starts
+    internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Commits one completed span (called by Span's destructor).
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t depth);
+
+  /// Nanoseconds since the tracer epoch.
+  static std::uint64_t now_ns();
+
+  /// Committed records in ring-claim order. Safe concurrent with
+  /// recording: sees every span committed before the call.
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t span_count() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every record and resets the drop counter. Not safe concurrent
+  /// with recording.
+  void clear();
+
+  /// Chrome trace-event JSON: an array of "X" (complete) events with ts /
+  /// dur in microseconds — loads in chrome://tracing and Perfetto.
+  std::string chrome_trace_json() const;
+
+  /// Aggregated per-stage profile: one line per (name, depth), indented by
+  /// depth, ordered by first start time — for deterministic pipelines this
+  /// reads as the call tree. Columns: count, total ms, mean ms, max ms.
+  std::string profile_text() const;
+
+ private:
+  struct Slot {
+    std::atomic<bool> ready{false};
+    SpanRecord rec;
+  };
+
+  Tracer();
+
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span scope. When tracing is disabled at construction the whole
+/// object is inert (the destructor reads one plain bool member).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace leaps::obs
+
+#define LEAPS_SPAN_CONCAT_IMPL(a, b) a##b
+#define LEAPS_SPAN_CONCAT(a, b) LEAPS_SPAN_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope as one span. `name` must be a string literal.
+#define LEAPS_SPAN(name) \
+  ::leaps::obs::Span LEAPS_SPAN_CONCAT(leaps_span_, __LINE__)(name)

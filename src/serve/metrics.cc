@@ -1,6 +1,5 @@
 #include "serve/metrics.h"
 
-#include <bit>
 #include <cstdio>
 #include <sstream>
 
@@ -15,11 +14,6 @@ void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t value) {
   std::uint64_t seen = a.load(kRelaxed);
   while (seen < value && !a.compare_exchange_weak(seen, value, kRelaxed)) {
   }
-}
-
-std::size_t bucket_index(std::uint64_t us) {
-  const std::size_t w = static_cast<std::size_t>(std::bit_width(us));
-  return w < LatencyHistogram::kBuckets ? w : LatencyHistogram::kBuckets - 1;
 }
 
 void histogram_text(std::ostringstream& os, const char* name,
@@ -41,52 +35,28 @@ void histogram_json(std::ostringstream& os, const char* name,
      << ",\"total_us\":" << h.total_us << ",\"max_us\":" << h.max_us
      << ",\"p50_us\":" << h.quantile_us(0.50)
      << ",\"p95_us\":" << h.quantile_us(0.95)
-     << ",\"p99_us\":" << h.quantile_us(0.99) << "}";
+     << ",\"p99_us\":" << h.quantile_us(0.99) << ",\"le_us\":[";
+  // Full bucket shape, not just three pre-chewed quantiles: downstream
+  // consumers can compute any quantile, and the Prometheus _bucket lines
+  // derive from the same arrays. le_us[i] is bucket i's inclusive upper
+  // bound (-1 = the saturated last bucket, le="+Inf" in Prometheus).
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i > 0) os << ",";
+    if (i + 1 == LatencyHistogram::kBuckets) {
+      os << -1;
+    } else {
+      os << LatencyHistogram::bucket_upper_us(i);
+    }
+  }
+  os << "],\"buckets\":[";
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i > 0) os << ",";
+    os << h.buckets[i];
+  }
+  os << "]}";
 }
 
 }  // namespace
-
-void LatencyHistogram::record(std::chrono::nanoseconds elapsed) {
-  record_us(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
-}
-
-void LatencyHistogram::record_us(std::uint64_t us) {
-  buckets_[bucket_index(us)].fetch_add(1, kRelaxed);
-  count_.fetch_add(1, kRelaxed);
-  total_us_.fetch_add(us, kRelaxed);
-  atomic_max(max_us_, us);
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  Snapshot s;
-  s.count = count_.load(kRelaxed);
-  s.total_us = total_us_.load(kRelaxed);
-  s.max_us = max_us_.load(kRelaxed);
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    s.buckets[i] = buckets_[i].load(kRelaxed);
-  }
-  return s;
-}
-
-double LatencyHistogram::Snapshot::mean_us() const {
-  return count == 0 ? 0.0
-                    : static_cast<double>(total_us) / static_cast<double>(count);
-}
-
-std::uint64_t LatencyHistogram::Snapshot::quantile_us(double q) const {
-  if (count == 0) return 0;
-  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets[i];
-    if (seen > rank) {
-      // Upper bound of bucket i: 2^i - 1 µs (bucket 0 holds sub-µs samples).
-      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
-    }
-  }
-  return max_us;
-}
 
 void ServerMetrics::note_queue_depth(std::size_t depth) {
   atomic_max(queue_high_water_, depth);
@@ -166,6 +136,79 @@ std::string MetricsSnapshot::to_json() const {
   histogram_json(os, "classify", classify);
   os << "}";
   return os.str();
+}
+
+obs::MetricRegistry::Registration ServerMetrics::register_with(
+    obs::MetricRegistry& registry) const {
+  return registry.register_collector([this](
+                                         std::vector<obs::MetricSample>& out) {
+    const auto counter = [&out](const char* name, const char* help,
+                                std::uint64_t value) {
+      obs::MetricSample s;
+      s.name = name;
+      s.help = help;
+      s.type = obs::MetricType::kCounter;
+      s.counter_value = value;
+      out.push_back(std::move(s));
+    };
+    const MetricsSnapshot snap = snapshot();
+    counter("leaps_serve_events_ingested_total", "events accepted by submit",
+            snap.events_ingested);
+    counter("leaps_serve_events_processed_total", "events classified",
+            snap.events_processed);
+    counter("leaps_serve_events_dropped_total",
+            "events evicted from a queue before feed", snap.events_dropped);
+    counter("leaps_serve_events_rejected_total",
+            "submits refused (unknown session / stopped server)",
+            snap.events_rejected);
+    counter("leaps_serve_events_quarantined_total",
+            "events failed or skipped in feed_run", snap.events_quarantined);
+    counter("leaps_serve_events_failed_total",
+            "events that threw during classification", snap.events_failed);
+    counter("leaps_serve_events_shed_total",
+            "events dropped while shedding engaged", snap.events_shed);
+    counter("leaps_serve_windows_scored_total", "windows classified",
+            snap.windows_scored);
+    counter("leaps_serve_verdicts_benign_total", "benign window verdicts",
+            snap.verdicts_benign);
+    counter("leaps_serve_verdicts_malicious_total",
+            "malicious window verdicts", snap.verdicts_malicious);
+    counter("leaps_serve_batches_drained_total", "worker batch drains",
+            snap.batches_drained);
+    counter("leaps_serve_sessions_opened_total", "sessions opened",
+            snap.sessions_opened);
+    counter("leaps_serve_sessions_closed_total", "sessions closed",
+            snap.sessions_closed);
+    counter("leaps_serve_sessions_quarantined_total",
+            "circuit-breaker trips", snap.sessions_quarantined);
+    counter("leaps_serve_sessions_evicted_total",
+            "sessions removed by the idle sweep", snap.sessions_evicted);
+    counter("leaps_serve_registry_retries_total",
+            "open_session registry re-lookups", snap.registry_retries);
+    counter("leaps_serve_shed_activations_total",
+            "times a shard entered shedding", snap.shed_activations);
+
+    obs::MetricSample hw;
+    hw.name = "leaps_serve_queue_high_water";
+    hw.help = "deepest any shard queue got";
+    hw.type = obs::MetricType::kGauge;
+    hw.gauge_value = static_cast<std::int64_t>(snap.queue_high_water);
+    out.push_back(std::move(hw));
+
+    obs::MetricSample qw;
+    qw.name = "leaps_serve_queue_wait_us";
+    qw.help = "enqueue to worker dequeue latency";
+    qw.type = obs::MetricType::kHistogram;
+    qw.histogram = snap.queue_wait;
+    out.push_back(std::move(qw));
+
+    obs::MetricSample cl;
+    cl.name = "leaps_serve_classify_us";
+    cl.help = "per drained run of one session";
+    cl.type = obs::MetricType::kHistogram;
+    cl.histogram = snap.classify;
+    out.push_back(std::move(cl));
+  });
 }
 
 }  // namespace leaps::serve

@@ -8,44 +8,19 @@
 // which is fine for operational metrics).
 #pragma once
 
-#include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
+#include "obs/registry.h"
+
 namespace leaps::serve {
 
-/// Histogram over microsecond latencies with power-of-two buckets:
-/// bucket i counts samples in [2^(i-1), 2^i) µs (bucket 0 counts < 1 µs).
-/// Quantiles are therefore upper bounds with ≤ 2× resolution — plenty for
-/// spotting queueing collapse, useless for microbenchmarking (use
-/// bench_micro for that).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 28;  // up to ~2 minutes
-
-  void record(std::chrono::nanoseconds elapsed);
-  void record_us(std::uint64_t us);
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    std::uint64_t total_us = 0;
-    std::uint64_t max_us = 0;
-    std::array<std::uint64_t, kBuckets> buckets{};
-
-    double mean_us() const;
-    /// Upper bound of the bucket holding the q-quantile sample, in µs.
-    std::uint64_t quantile_us(double q) const;
-  };
-  Snapshot snapshot() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_us_{0};
-  std::atomic<std::uint64_t> max_us_{0};
-};
+/// The log₂-bucketed histogram now lives in obs/ (the metric registry
+/// needs it below the serving layer); this alias keeps every existing
+/// serve::LatencyHistogram user compiling unchanged.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// One coherent reading of every server counter (plain values).
 ///
@@ -109,6 +84,14 @@ class ServerMetrics {
   void note_queue_depth(std::size_t depth);
 
   MetricsSnapshot snapshot() const;
+
+  /// Contributes every counter and both histograms to `registry` under
+  /// `leaps_serve_*` names, so serving metrics share one scrape surface
+  /// with the pipeline/ingest metrics. Readings are taken at collect()
+  /// time from the live atomics. The returned handle unregisters on
+  /// destruction and must not outlive this object.
+  [[nodiscard]] obs::MetricRegistry::Registration register_with(
+      obs::MetricRegistry& registry) const;
 
  private:
   std::atomic<std::uint64_t> queue_high_water_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace leaps::serve {
@@ -216,6 +217,7 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
         ++j;
       }
       verdicts.clear();
+      LEAPS_SPAN("serve.feed_run");
       const auto t0 = std::chrono::steady_clock::now();
       RunOutcome outcome;
       bool run_ok = true;

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/registry.h"
 #include "trace/parser.h"
 #include "util/fault.h"
 
@@ -135,6 +136,27 @@ class Reader {
   std::size_t offset_ = 0;
 };
 
+// Ingest counters shared with the text parser (the registry dedups by
+// name). Incremented in bulk per decoded log, never per event, so the
+// decode loop stays free of shared-cache-line traffic.
+obs::Counter& ingest_events_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "leaps_ingest_events_total", "raw events decoded from ingested logs");
+  return c;
+}
+
+obs::Counter& ingest_bytes_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "leaps_ingest_bytes_total", "bytes consumed decoding ingested logs");
+  return c;
+}
+
+obs::Counter& ingest_corrupt_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "leaps_ingest_corrupt_total", "ingest attempts rejected as corrupt");
+  return c;
+}
+
 RawLog read_binary_impl(std::istream& is) {
   Reader r(is);
   char magic[sizeof(kBinaryLogMagic)];
@@ -180,6 +202,8 @@ RawLog read_binary_impl(std::istream& is) {
     }
     log.events.push_back(std::move(e));
   }
+  ingest_events_counter().inc(log.events.size());
+  ingest_bytes_counter().inc(r.offset());
   return log;
 }
 
@@ -220,6 +244,7 @@ util::StatusOr<RawLog> read_raw_log_binary(std::istream& is) {
   try {
     return read_binary_impl(is);
   } catch (const BinaryLogError& e) {
+    ingest_corrupt_counter().inc(1);
     return util::corrupt_input(e.what());
   } catch (const std::bad_alloc&) {
     return util::resource_exhausted("binary log: allocation failed");

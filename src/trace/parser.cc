@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/registry.h"
 #include "util/strings.h"
 
 namespace leaps::trace {
@@ -114,16 +115,31 @@ class ParserState {
 }  // namespace
 
 util::StatusOr<ParsedTrace> RawLogParser::parse(std::istream& is) const {
+  // Same names as the binary decoder's counters (the registry dedups), so
+  // both ingest formats land on one scrape surface. Incremented in bulk
+  // per parsed log, never per line.
+  static obs::Counter& ingest_events = obs::MetricRegistry::global().counter(
+      "leaps_ingest_events_total", "raw events decoded from ingested logs");
+  static obs::Counter& ingest_bytes = obs::MetricRegistry::global().counter(
+      "leaps_ingest_bytes_total", "bytes consumed decoding ingested logs");
+  static obs::Counter& ingest_corrupt = obs::MetricRegistry::global().counter(
+      "leaps_ingest_corrupt_total", "ingest attempts rejected as corrupt");
+  std::size_t bytes = 0;
   try {
     ParserState state;
     std::string line;
     std::size_t lineno = 0;
     while (std::getline(is, line)) {
       ++lineno;
+      bytes += line.size() + 1;  // + the newline getline consumed
       state.consume(line, lineno);
     }
-    return std::move(state).finish();
+    ParsedTrace parsed = std::move(state).finish();
+    ingest_events.inc(parsed.log.events.size());
+    ingest_bytes.inc(bytes);
+    return parsed;
   } catch (const ParseError& e) {
+    ingest_corrupt.inc(1);
     return util::corrupt_input(e.what());
   } catch (const std::bad_alloc&) {
     return util::resource_exhausted("raw log parse: allocation failed");

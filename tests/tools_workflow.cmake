@@ -51,10 +51,61 @@ run_checked(3 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt
 run_checked(0 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
             --workers 2 --policy drop-oldest --json)
 
-# --- help flags --------------------------------------------------------------
+# --- observability flags -----------------------------------------------------
+# Every tool honours --trace-out / --profile / --metrics-out without
+# changing its verdict, and the outputs are machine-readable: the trace is
+# a chrome://tracing event array, the metrics file is Prometheus text
+# exposition (or JSON when the path ends in .json).
+run_checked(0 ${LEAPS_SCAN} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
+            --profile --trace-out ${WORK_DIR}/scan_trace.json
+            --metrics-out ${WORK_DIR}/scan_metrics.json)
+run_checked(3 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/malicious.log ${WORK_DIR}/benign.log --workers 2
+            --metrics-out ${WORK_DIR}/serve_metrics.prom)
+
+# A `.json` metrics path switches to the JSON exposition.
+file(READ ${WORK_DIR}/scan_metrics.json metrics_json)
+if(NOT metrics_json MATCHES "^{" OR
+   NOT metrics_json MATCHES "\"leaps_ingest_events_total\"")
+  message(FATAL_ERROR "--metrics-out *.json did not produce JSON metrics:\n"
+                      "${metrics_json}")
+endif()
+
+# Trace export: a JSON array of "X" complete events.
+file(READ ${WORK_DIR}/scan_trace.json trace_json)
+if(NOT trace_json MATCHES "^\\[" OR NOT trace_json MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "--trace-out did not produce a trace-event array:\n"
+                      "${trace_json}")
+endif()
+
+# Prometheus exposition: # TYPE headers, `name value` sample lines, and —
+# because the server registers onto the shared registry — both serving and
+# ingest counters in the one scrape document.
+file(READ ${WORK_DIR}/serve_metrics.prom prom)
+foreach(needle
+        "# TYPE leaps_serve_events_ingested_total counter"
+        "# TYPE leaps_ingest_events_total counter"
+        "leaps_serve_queue_wait_us_bucket{le=\"+Inf\"}"
+        "leaps_serve_queue_wait_us_count")
+  string(FIND "${prom}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "metrics file missing '${needle}':\n${prom}")
+  endif()
+endforeach()
+string(REGEX REPLACE "\n$" "" prom_body "${prom}")
+string(REPLACE "\n" ";" prom_lines "${prom_body}")
+foreach(line ${prom_lines})
+  if(NOT line MATCHES "^# (HELP|TYPE) " AND
+     NOT line MATCHES "^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9]+$")
+    message(FATAL_ERROR "bad Prometheus exposition line: '${line}'")
+  endif()
+endforeach()
+
+# --- help and version flags --------------------------------------------------
 foreach(tool ${LEAPS_SIM} ${LEAPS_TRAIN} ${LEAPS_SCAN} ${LEAPS_STAT}
         ${LEAPS_SERVE})
   run_checked(0 ${tool} --help)
+  run_checked(0 ${tool} --version)
 endforeach()
 
 # --- error handling ---------------------------------------------------------

@@ -2,9 +2,13 @@
 //
 // Every tool gets the same behavior for free:
 //   --help / -h        prints the usage text, exits 0
+//   --version          prints version / git SHA / build config, exits 0
 //   --name <value>     typed value options with diagnostics on bad numbers
 //   unknown options    "<tool>: unknown option '--x' (try --help)", exit 2
 //   wrong positionals  usage to stderr, exit 2
+//
+// ObsFlags adds the shared observability surface (--trace-out, --profile,
+// --metrics-out) — see DESIGN.md §8.
 //
 // Deliberately tiny and exit()-happy: these are leaf programs, and the
 // pre-existing exit-code contract (0 ok / 2 usage error) is load-bearing
@@ -14,9 +18,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/build_info.h"
 
 namespace leaps::cli {
 
@@ -69,6 +78,12 @@ class ArgParser {
       const std::string& a = args_[i];
       if (a == "--help" || a == "-h") {
         std::printf("%s", usage_.c_str());
+        std::exit(0);
+      }
+      if (a == "--version") {
+        std::printf("%s (leaps) %s\ngit: %s  build: %s  sanitizer: %s\n",
+                    tool_.c_str(), util::kVersion, util::kGitSha,
+                    util::kBuildType, util::kSanitizer);
         std::exit(0);
       }
       if (a.size() < 2 || a[0] != '-' || a[1] != '-') {
@@ -154,6 +169,78 @@ class ArgParser {
   std::vector<Spec<std::size_t>> sizes_;
   std::vector<Spec<std::string>> strings_;
   std::vector<Spec<std::vector<std::string>>> string_lists_;
+};
+
+/// The observability flags every tool shares:
+///   --trace-out <file>    write a chrome://tracing / Perfetto trace JSON
+///   --profile             print the aggregated per-stage profile to stderr
+///   --metrics-out <file>  write the global metric registry on exit
+///                         (.json → JSON, anything else → Prometheus text)
+///
+/// Usage: add_to(parser) before parse(), activate() right after (turns the
+/// tracer on only when span output was requested — otherwise every
+/// LEAPS_SPAN site stays a single relaxed load), finish() once on the way
+/// out. leaps-serve additionally calls write_metrics() periodically.
+///
+/// Failures to open an output file are reported to stderr but never change
+/// the tool's exit code: observability must not fail the run it observes.
+class ObsFlags {
+ public:
+  void add_to(ArgParser& args) {
+    args.option("--trace-out", &trace_out_);
+    args.flag("--profile", &profile_);
+    args.option("--metrics-out", &metrics_out_);
+  }
+
+  /// Enables the tracer iff spans will actually be consumed.
+  void activate() const {
+    if (!trace_out_.empty() || profile_) obs::Tracer::set_enabled(true);
+  }
+
+  bool metrics_requested() const { return !metrics_out_.empty(); }
+
+  /// Writes the global registry to --metrics-out (truncating), so repeated
+  /// calls keep the file fresh for a scraper. No-op without the flag.
+  void write_metrics() const {
+    if (metrics_out_.empty()) return;
+    std::ofstream os(metrics_out_, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write metrics to '%s'\n",
+                   metrics_out_.c_str());
+      return;
+    }
+    const auto& registry = obs::MetricRegistry::global();
+    os << (wants_json(metrics_out_) ? registry.to_json()
+                                    : registry.to_prometheus());
+  }
+
+  /// Emits everything that was requested. Call once, after the work.
+  void finish() const {
+    if (!trace_out_.empty()) {
+      std::ofstream os(trace_out_, std::ios::trunc);
+      if (!os) {
+        std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                     trace_out_.c_str());
+      } else {
+        os << obs::Tracer::instance().chrome_trace_json();
+      }
+    }
+    if (profile_) {
+      std::fputs(obs::Tracer::instance().profile_text().c_str(), stderr);
+    }
+    write_metrics();
+  }
+
+ private:
+  static bool wants_json(const std::string& path) {
+    constexpr const char kExt[] = ".json";
+    constexpr std::size_t n = sizeof(kExt) - 1;
+    return path.size() >= n && path.compare(path.size() - n, n, kExt) == 0;
+  }
+
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool profile_ = false;
 };
 
 }  // namespace leaps::cli

@@ -57,6 +57,7 @@ constexpr const char* kUsage =
     "  --rate F      per-event fault probability on victims (default 0.05)\n"
     "  --corpus N    corrupted binary-log variants per kind (default 200)\n"
     "  --smoke       small fast run for CI\n"
+    "  --trace-out FILE, --profile, --metrics-out FILE  observability\n"
     "exit: 0 contract held, 1 violation, 2 usage\n";
 
 int g_failures = 0;
@@ -399,13 +400,16 @@ int main(int argc, char** argv) {
   double rate = 0.05;
   std::size_t corpus = 200;
   bool smoke = false;
+  cli::ObsFlags obs_flags;
   args.option("--seed", &seed);
   args.option("--events", &events);
   args.option("--sessions", &sessions);
   args.option("--rate", &rate);
   args.option("--corpus", &corpus);
   args.flag("--smoke", &smoke);
+  obs_flags.add_to(args);
   args.parse(0, 0);
+  obs_flags.activate();
 
   if (smoke) {
     events = std::min<std::size_t>(events, 2000);
@@ -436,6 +440,7 @@ int main(int argc, char** argv) {
     ++g_failures;
   }
 
+  obs_flags.finish();
   if (g_failures > 0) {
     std::fprintf(stderr, "leaps-chaos: %d violation(s)\n", g_failures);
     return 1;

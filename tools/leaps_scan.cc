@@ -23,15 +23,21 @@ int main(int argc, char** argv) {
                       "  --threshold F  flagged-fraction above which the "
                       "verdict is suspicious (default 0.25)\n"
                       "  --verbose      print every malicious window\n"
+                      "  --trace-out FILE, --profile, --metrics-out FILE  "
+                      "observability outputs\n"
                       "exit: 0 clean, 3 suspicious, 1 I/O error, 2 usage\n");
   double threshold = 0.25;
   bool verbose = false;
+  cli::ObsFlags obs_flags;
   args.option("--threshold", &threshold);
   args.flag("--verbose", &verbose);
+  obs_flags.add_to(args);
   const std::vector<std::string> pos = args.parse(2, 2);
+  obs_flags.activate();
   const std::string detector_path = pos[0];
   const std::string log_path = pos[1];
 
+  int rc = 0;
   try {
     const core::Detector detector = core::load_detector_file(detector_path);
     // Accepts both the textual and the binary log format.
@@ -40,6 +46,7 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) {
       std::fprintf(stderr, "leaps-scan: %s: %s\n", log_path.c_str(),
                    loaded.status().to_string().c_str());
+      obs_flags.finish();
       return 1;
     }
     const trace::PartitionedLog& log = *loaded;
@@ -62,12 +69,14 @@ int main(int argc, char** argv) {
                 100.0 * result.malicious_fraction(), 100.0 * threshold);
     if (result.malicious_fraction() > threshold) {
       std::printf("VERDICT: suspicious — camouflaged activity likely\n");
-      return 3;
+      rc = 3;
+    } else {
+      std::printf("VERDICT: clean\n");
     }
-    std::printf("VERDICT: clean\n");
-    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leaps-scan: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  obs_flags.finish();
+  return rc;
 }

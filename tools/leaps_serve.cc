@@ -54,6 +54,11 @@ constexpr const char* kUsage =
     "  --fault-seed N        deterministic seed for fault injection\n"
     "  --json                final metrics report as JSON\n"
     "  --verbose             print each malicious window as it is scored\n"
+    "  --trace-out FILE      write a chrome://tracing span JSON\n"
+    "  --profile             print per-stage timings to stderr\n"
+    "  --metrics-out FILE    write the shared metric registry (serving +\n"
+    "                        ingest counters); refreshed with\n"
+    "                        --metrics-every, final on exit\n"
     "exit: 0 all sessions clean, 3 any suspicious, 1 error, 2 usage\n";
 
 trace::PartitionedLog load_log(const std::string& path) {
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
   std::size_t fault_seed = 0;
   bool json = false;
   bool verbose = false;
+  cli::ObsFlags obs_flags;
   args.option_list("--detector", &extra_detectors);
   args.option("--sessions", &sessions);
   args.option("--workers", &options.workers);
@@ -119,7 +125,9 @@ int main(int argc, char** argv) {
   args.option("--fault-seed", &fault_seed);
   args.flag("--json", &json);
   args.flag("--verbose", &verbose);
+  obs_flags.add_to(args);
   const std::vector<std::string> pos = args.parse(2);
+  obs_flags.activate();
 
   const auto parsed_policy = serve::parse_overflow_policy(policy);
   if (!parsed_policy.has_value()) {
@@ -140,6 +148,11 @@ int main(int argc, char** argv) {
 
   try {
     serve::DetectionServer server(options);
+    // One scrape surface: the server's counters join the ingest/pipeline
+    // metrics already living in the global registry, so --metrics-out
+    // carries both. Held for the server's lifetime.
+    const obs::MetricRegistry::Registration metrics_registration =
+        server.metrics().register_with(obs::MetricRegistry::global());
     server.registry().load_file("default", pos[0]);
     for (const std::string& spec : extra_detectors) {
       const auto eq = spec.find('=');
@@ -174,14 +187,17 @@ int main(int argc, char** argv) {
     std::atomic<bool> done{false};
     std::thread metrics_thread;
     if (metrics_every > 0) {
-      metrics_thread = std::thread([&server, &done, metrics_every] {
-        while (!done.load()) {
-          std::this_thread::sleep_for(std::chrono::seconds(metrics_every));
-          if (done.load()) break;
-          std::fprintf(stderr, "%s",
-                       server.metrics().snapshot().to_text().c_str());
-        }
-      });
+      metrics_thread =
+          std::thread([&server, &done, metrics_every, &obs_flags] {
+            while (!done.load()) {
+              std::this_thread::sleep_for(
+                  std::chrono::seconds(metrics_every));
+              if (done.load()) break;
+              std::fprintf(stderr, "%s",
+                           server.metrics().snapshot().to_text().c_str());
+              obs_flags.write_metrics();  // keep --metrics-out fresh
+            }
+          });
     }
 
     // One producer per session; logs reused round-robin beyond log_count.
@@ -240,6 +256,7 @@ int main(int argc, char** argv) {
     }
 
     const serve::MetricsSnapshot m = server.metrics().snapshot();
+    obs_flags.finish();  // before stop(): the collector reads live metrics
     server.stop();
     if (json) {
       std::printf("%s\n", m.to_json().c_str());
@@ -258,6 +275,7 @@ int main(int argc, char** argv) {
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leaps-serve: %s\n", e.what());
+    obs_flags.finish();
     return 1;
   }
 }

@@ -13,8 +13,13 @@ int main(int argc, char** argv) {
   cli::ArgParser args(argc, argv,
                       "usage: leaps-stat <trace.log> [more.log ...]\n"
                       "  summarizes raw trace logs (text or binary; '-' "
-                      "reads stdin).\n");
+                      "reads stdin).\n"
+                      "  --trace-out FILE, --profile, --metrics-out FILE  "
+                      "observability outputs\n");
+  cli::ObsFlags obs_flags;
+  obs_flags.add_to(args);
   const std::vector<std::string> logs = args.parse(1);
+  obs_flags.activate();
   int rc = 0;
   for (const std::string& path : logs) {
     const util::StatusOr<trace::PartitionedLog> log =
@@ -28,5 +33,6 @@ int main(int argc, char** argv) {
     std::printf("== %s ==\n%s\n", path.c_str(),
                 trace::compute_stats(*log).to_string().c_str());
   }
+  obs_flags.finish();
   return rc;
 }

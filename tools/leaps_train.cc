@@ -52,16 +52,25 @@ int main(int argc, char** argv) {
                       "  --folds N            cross-validation folds "
                       "(default 10)\n"
                       "  --max-false-alarms F calibrate the verdict "
-                      "threshold on the benign log\n");
+                      "threshold on the benign log\n"
+                      "  --trace-out FILE     write a chrome://tracing span "
+                      "JSON\n"
+                      "  --profile            print per-stage timings to "
+                      "stderr\n"
+                      "  --metrics-out FILE   write metrics on exit "
+                      "(.json or Prometheus)\n");
   core::PipelineOptions pipeline_options;
   bool plain_svm = false;
   std::size_t folds = 10;
   double max_false_alarms = -1.0;
+  cli::ObsFlags obs_flags;
   args.flag("--align", &pipeline_options.align_cfgs);
   args.flag("--plain-svm", &plain_svm);
   args.option("--folds", &folds);
   args.option("--max-false-alarms", &max_false_alarms);
+  obs_flags.add_to(args);
   const std::vector<std::string> pos = args.parse(3, 3);
+  obs_flags.activate();
   const bool weighted = !plain_svm;
 
   try {
@@ -114,7 +123,9 @@ int main(int argc, char** argv) {
     std::printf("saved detector to %s\n", pos[2].c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leaps-train: %s\n", e.what());
+    obs_flags.finish();
     return 1;
   }
+  obs_flags.finish();
   return 0;
 }
