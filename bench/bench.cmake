@@ -13,6 +13,7 @@ set(LEAPS_BENCH_TARGETS
   bench_universal
   bench_micro
   bench_serve
+  bench_train
 )
 foreach(b ${LEAPS_BENCH_TARGETS})
   add_executable(${b} bench/${b}.cc)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/check.h"
@@ -18,9 +19,12 @@ void SetClusterer::fit(const std::vector<ml::StringSet>& sets) {
     LEAPS_DCHECK(std::is_sorted(s.begin(), s.end()));
     if (seen.emplace(s, 0).second) unique_sets_.push_back(s);
   }
-  const auto dm = ml::jaccard_distance_matrix(unique_sets_);
+  // Condensed flat matrix end-to-end: the Jaccard builder fills it in
+  // parallel and the clusterer consumes the same allocation as its working
+  // buffer (moved, not copied).
+  ml::CondensedMatrix dm = ml::jaccard_condensed(unique_sets_);
   const ml::HierarchicalClusterer clusterer(options_);
-  result_ = clusterer.cluster(dm);
+  result_ = clusterer.cluster(std::move(dm));
   exact_.clear();
   for (std::size_t i = 0; i < unique_sets_.size(); ++i) {
     exact_[unique_sets_[i]] = result_.assignment[i];

@@ -5,6 +5,7 @@
 
 #include "ml/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace leaps::ml {
 
@@ -34,6 +35,61 @@ bool has_both_classes(const Dataset& d) {
   return pos && neg;
 }
 
+struct FoldOutcome {
+  double accuracy = 0.0;
+  bool used = false;  // false: empty test set, degenerate train, no weight
+};
+
+/// One held-out fold: train on the complement, score the fold. Pure —
+/// deterministic in its inputs, no shared state — so folds and grid points
+/// evaluate concurrently without changing any reported number. (SVM
+/// training itself has no randomness; the only RNG in CV is the fold
+/// shuffle, which happens up front on the caller's seed.)
+FoldOutcome run_fold(const Dataset& data, const SvmParams& params,
+                     const std::vector<std::size_t>& test_idx,
+                     bool weighted_validation) {
+  FoldOutcome out;
+  if (test_idx.empty()) return out;
+  const std::size_t n = data.size();
+  std::vector<char> in_test(n, 0);
+  for (const std::size_t i : test_idx) in_test[i] = 1;
+  std::vector<std::size_t> train_idx;
+  train_idx.reserve(n - test_idx.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_test[i]) train_idx.push_back(i);
+  }
+  const Dataset train = data.subset(train_idx);
+  if (!has_both_classes(train)) return out;
+
+  const SvmTrainer trainer(params);
+  const SvmModel model = trainer.train(train);
+  double correct = 0.0;
+  double total = 0.0;
+  for (const std::size_t i : test_idx) {
+    const double w = weighted_validation ? data.weight[i] : 1.0;
+    total += w;
+    if (model.predict(data.X[i]) == data.y[i]) correct += w;
+  }
+  if (total <= 0.0) return out;
+  out.accuracy = correct / total;
+  out.used = true;
+  return out;
+}
+
+/// Serial reduction in fold order — the same arithmetic sequence the old
+/// sequential loop performed, so the mean is byte-identical regardless of
+/// how many threads evaluated the folds.
+double reduce_folds(const FoldOutcome* outcomes, std::size_t folds) {
+  double acc_sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    if (!outcomes[f].used) continue;
+    acc_sum += outcomes[f].accuracy;
+    ++used;
+  }
+  return used == 0 ? 0.0 : acc_sum / static_cast<double>(used);
+}
+
 }  // namespace
 
 double cross_validate(const Dataset& data, const SvmParams& params,
@@ -43,35 +99,14 @@ double cross_validate(const Dataset& data, const SvmParams& params,
   LEAPS_CHECK_MSG(n >= folds, "fewer samples than folds");
   const auto fold_sets = make_folds(n, folds, rng);
 
-  double acc_sum = 0.0;
-  std::size_t used_folds = 0;
-  std::vector<char> in_test(n, 0);
-  for (const auto& test_idx : fold_sets) {
-    if (test_idx.empty()) continue;
-    std::fill(in_test.begin(), in_test.end(), 0);
-    for (const std::size_t i : test_idx) in_test[i] = 1;
-    std::vector<std::size_t> train_idx;
-    train_idx.reserve(n - test_idx.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_test[i]) train_idx.push_back(i);
+  std::vector<FoldOutcome> outcomes(fold_sets.size());
+  util::parallel_for(0, fold_sets.size(), 1, [&](std::size_t b,
+                                                 std::size_t e) {
+    for (std::size_t f = b; f < e; ++f) {
+      outcomes[f] = run_fold(data, params, fold_sets[f], weighted_validation);
     }
-    const Dataset train = data.subset(train_idx);
-    if (!has_both_classes(train)) continue;
-
-    const SvmTrainer trainer(params);
-    const SvmModel model = trainer.train(train);
-    double correct = 0.0;
-    double total = 0.0;
-    for (const std::size_t i : test_idx) {
-      const double w = weighted_validation ? data.weight[i] : 1.0;
-      total += w;
-      if (model.predict(data.X[i]) == data.y[i]) correct += w;
-    }
-    if (total <= 0.0) continue;
-    acc_sum += correct / total;
-    ++used_folds;
-  }
-  return used_folds == 0 ? 0.0 : acc_sum / static_cast<double>(used_folds);
+  });
+  return reduce_folds(outcomes.data(), outcomes.size());
 }
 
 GridSearchResult tune_svm(const Dataset& data, const SvmParams& base,
@@ -79,23 +114,48 @@ GridSearchResult tune_svm(const Dataset& data, const SvmParams& base,
                           util::Rng& rng) {
   LEAPS_CHECK_MSG(!options.lambdas.empty() && !options.sigma2s.empty(),
                   "empty hyper-parameter grid");
+  LEAPS_CHECK_MSG(data.size() >= options.folds, "fewer samples than folds");
+
+  // Identical fold split for every grid point: comparisons stay fair. The
+  // fork is const on rng, so this matches the historic per-point fork.
+  util::Rng fold_rng = rng.fork(0xF01D5);
+  const auto fold_sets = make_folds(data.size(), options.folds, fold_rng);
+
+  std::vector<std::pair<double, double>> grid;  // (λ, σ²) in trial order
+  grid.reserve(options.lambdas.size() * options.sigma2s.size());
+  for (const double lambda : options.lambdas) {
+    for (const double sigma2 : options.sigma2s) {
+      grid.emplace_back(lambda, sigma2);
+    }
+  }
+
+  // One task per (grid point × fold): the whole tuning run drains through
+  // the pool as a flat list, so wall-clock drops near-linearly in threads
+  // even when a single grid point's folds are imbalanced.
+  const std::size_t folds = fold_sets.size();
+  std::vector<FoldOutcome> outcomes(grid.size() * folds);
+  util::parallel_for(
+      0, outcomes.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t task = b; task < e; ++task) {
+          SvmParams p = base;
+          p.lambda = grid[task / folds].first;
+          p.kernel.sigma2 = grid[task / folds].second;
+          outcomes[task] = run_fold(data, p, fold_sets[task % folds],
+                                    options.weighted_validation);
+        }
+      });
+
   GridSearchResult result;
   result.best = base;
   result.best_accuracy = -1.0;
-  for (const double lambda : options.lambdas) {
-    for (const double sigma2 : options.sigma2s) {
-      SvmParams p = base;
-      p.lambda = lambda;
-      p.kernel.sigma2 = sigma2;
-      // Identical fold split for every grid point: comparisons stay fair.
-      util::Rng fold_rng = rng.fork(0xF01D5);
-      const double acc = cross_validate(data, p, options.folds, fold_rng,
-                                        options.weighted_validation);
-      result.trials.push_back({lambda, sigma2, acc});
-      if (acc > result.best_accuracy) {
-        result.best_accuracy = acc;
-        result.best = p;
-      }
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const double acc = reduce_folds(&outcomes[g * folds], folds);
+    result.trials.push_back({grid[g].first, grid[g].second, acc});
+    if (acc > result.best_accuracy) {
+      result.best_accuracy = acc;
+      result.best = base;
+      result.best.lambda = grid[g].first;
+      result.best.kernel.sigma2 = grid[g].second;
     }
   }
   return result;

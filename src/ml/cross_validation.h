@@ -1,6 +1,13 @@
 // k-fold cross-validation grid search for the SVM hyper-parameters
 // (Section IV: "we use 10-fold cross validation to tune the model parameter
 // λ and σ² on the training set").
+//
+// Fold × grid-point evaluations run in parallel on the shared pool
+// (util/parallel.h): the fold split is drawn up front from the caller's
+// seed, each task is a pure function of (data, params, fold), and the
+// per-point reduction happens serially in fold order — so every accuracy,
+// trial row, and the winning (λ, σ²) are byte-identical for --threads 1
+// and --threads N.
 #pragma once
 
 #include <vector>

@@ -1,8 +1,12 @@
 #include "ml/distance.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string_view>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace leaps::ml {
 
@@ -29,18 +33,75 @@ double set_dissimilarity(const StringSet& a, const StringSet& b) {
   return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+CondensedMatrix jaccard_condensed(const std::vector<StringSet>& sets) {
+  const std::size_t n = sets.size();
+  CondensedMatrix dm(n);
+  if (n < 2) return dm;
+
+  // Intern every token to a dense uint32 id. The id sets stay sorted by
+  // *string* order (ids are assigned over a global sorted token list), so
+  // the integer merge-walk visits pairs in exactly the same order as the
+  // string walk and |∩| / |∪| come out identical.
+  std::map<std::string_view, std::uint32_t> ids;
+  for (const StringSet& s : sets) {
+    LEAPS_DCHECK(std::is_sorted(s.begin(), s.end()));
+    for (const std::string& tok : s) ids.emplace(tok, 0);
+  }
+  std::uint32_t next_id = 0;
+  for (auto& [tok, id] : ids) id = next_id++;
+  std::vector<std::vector<std::uint32_t>> iset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    iset[i].reserve(sets[i].size());
+    for (const std::string& tok : sets[i]) {
+      iset[i].push_back(ids.find(tok)->second);
+    }
+  }
+
+  // Row blocks in parallel: row i's condensed entries (j > i) are
+  // contiguous and written by exactly one chunk, so the output is
+  // bit-identical for any thread count.
+  util::parallel_for(0, n - 1, 8, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const std::vector<std::uint32_t>& a = iset[i];
+      double* out = dm.row(i);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::vector<std::uint32_t>& b = iset[j];
+        std::size_t x = 0;
+        std::size_t y = 0;
+        std::size_t inter = 0;
+        while (x < a.size() && y < b.size()) {
+          if (a[x] == b[y]) {
+            ++inter;
+            ++x;
+            ++y;
+          } else if (a[x] < b[y]) {
+            ++x;
+          } else {
+            ++y;
+          }
+        }
+        const std::size_t uni = a.size() + b.size() - inter;
+        out[j - i - 1] =
+            uni == 0 ? 0.0
+                     : 1.0 - static_cast<double>(inter) /
+                                 static_cast<double>(uni);
+      }
+    }
+  });
+  return dm;
+}
+
 std::vector<std::vector<double>> jaccard_distance_matrix(
     const std::vector<StringSet>& sets) {
   const std::size_t n = sets.size();
-  std::vector<std::vector<double>> dm(n, std::vector<double>(n, 0.0));
+  const CondensedMatrix dm = jaccard_condensed(sets);
+  std::vector<std::vector<double>> out(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = set_dissimilarity(sets[i], sets[j]);
-      dm[i][j] = d;
-      dm[j][i] = d;
+      out[i][j] = out[j][i] = dm.at(i, j);
     }
   }
-  return dm;
+  return out;
 }
 
 }  // namespace leaps::ml

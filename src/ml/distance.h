@@ -2,7 +2,9 @@
 // hierarchical-clustering stage.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace leaps::ml {
@@ -15,7 +17,51 @@ using StringSet = std::vector<std::string>;
 /// Two empty sets are identical (distance 0).
 double set_dissimilarity(const StringSet& a, const StringSet& b);
 
+/// Condensed pairwise distance matrix: the upper triangle (i < j) of an
+/// n×n symmetric zero-diagonal matrix in one flat allocation, row-major
+/// (scipy's `pdist` layout). This is the single representation shared
+/// end-to-end by the distance builders and the clusterer — no nested
+/// vectors, no O(n²) repacking at the hand-off.
+class CondensedMatrix {
+ public:
+  CondensedMatrix() = default;
+  explicit CondensedMatrix(std::size_t n)
+      : n_(n), d_(n < 2 ? 0 : n * (n - 1) / 2, 0.0) {}
+
+  std::size_t n() const { return n_; }
+
+  /// Flat index of the unordered pair {i, j}, i != j.
+  std::size_t index(std::size_t i, std::size_t j) const {
+    if (i > j) std::swap(i, j);
+    return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  double at(std::size_t i, std::size_t j) const {
+    return i == j ? 0.0 : d_[index(i, j)];
+  }
+  double& ref(std::size_t i, std::size_t j) { return d_[index(i, j)]; }
+
+  /// Start of row i's condensed entries, i.e. the distances to
+  /// j = i+1 … n-1, which are contiguous in this layout.
+  double* row(std::size_t i) { return d_.data() + index(i, i + 1); }
+
+  const std::vector<double>& data() const { return d_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> d_;
+};
+
+/// Condensed pairwise Jaccard matrix over the given sets — the fast path.
+/// Tokens are interned to dense uint32 ids first, so the merge-walks
+/// compare integers instead of strings, and rows are filled in parallel
+/// (each row's condensed entries are contiguous, one writer per entry).
+/// Values are bit-identical to calling set_dissimilarity per pair.
+CondensedMatrix jaccard_condensed(const std::vector<StringSet>& sets);
+
 /// Full symmetric pairwise matrix DM[i][j] = set_dissimilarity(i, j).
+/// Compatibility shape for callers that want the nested representation;
+/// built from jaccard_condensed.
 std::vector<std::vector<double>> jaccard_distance_matrix(
     const std::vector<StringSet>& sets);
 

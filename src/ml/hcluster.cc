@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 #include "util/check.h"
 
@@ -9,100 +11,34 @@ namespace leaps::ml {
 
 namespace {
 
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
 struct MergeRecord {
   std::size_t left;   // node id
   std::size_t right;  // node id
   double distance;
 };
 
-}  // namespace
-
-ClusterResult HierarchicalClusterer::cluster(
-    const std::vector<std::vector<double>>& distance) const {
-  const std::size_t n = distance.size();
-  LEAPS_CHECK_MSG(n > 0, "clustering an empty set");
-  for (const auto& row : distance) {
-    LEAPS_CHECK_MSG(row.size() == n, "distance matrix not square");
-  }
-
+/// Everything downstream of the merge sequence: cut selection, union-find
+/// over the applied prefix, dendrogram leaf order, cluster numbering, and
+/// dissimilarity-scaled positions. Shared by the NN-chain path and the
+/// reference implementation so their outputs can only differ in the merges
+/// themselves.
+ClusterResult finalize(std::size_t n, const std::vector<MergeRecord>& merges,
+                       const ClusterOptions& options) {
   ClusterResult result;
-  if (n == 1) {
-    result.assignment = {0};
-    result.cluster_count = 1;
-    result.leaf_order = {0};
-    result.positions = {0.0};
-    return result;
-  }
-
-  // --- full UPGMA merge to a single root --------------------------------
-  // Active clusters are tracked in slot arrays; nodes are numbered leaves
-  // first (0..n-1), then internal nodes in merge order (n..2n-2).
-  std::vector<std::size_t> slot_node(n);
-  std::vector<std::size_t> node_size(2 * n - 1, 1);
-  std::vector<MergeRecord> merges;
-  merges.reserve(n - 1);
-  for (std::size_t i = 0; i < n; ++i) slot_node[i] = i;
-
-  // Working copy of the distance matrix, indexed by slot.
-  std::vector<std::vector<double>> d = distance;
-  std::size_t active = n;
-
-  while (active > 1) {
-    // Closest active pair.
-    std::size_t bi = 0;
-    std::size_t bj = 1;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < active; ++i) {
-      for (std::size_t j = i + 1; j < active; ++j) {
-        if (d[i][j] < best) {
-          best = d[i][j];
-          bi = i;
-          bj = j;
-        }
-      }
-    }
-
-    const std::size_t node_i = slot_node[bi];
-    const std::size_t node_j = slot_node[bj];
-    const std::size_t new_node = n + merges.size();
-    merges.push_back({node_i, node_j, best});
-    const auto si = static_cast<double>(node_size[node_i]);
-    const auto sj = static_cast<double>(node_size[node_j]);
-    node_size[new_node] = node_size[node_i] + node_size[node_j];
-
-    // Lance–Williams update for average linkage:
-    // d(new, k) = (|i| d(i,k) + |j| d(j,k)) / (|i| + |j|)
-    for (std::size_t k = 0; k < active; ++k) {
-      if (k == bi || k == bj) continue;
-      const double dk = (si * d[bi][k] + sj * d[bj][k]) / (si + sj);
-      d[bi][k] = dk;
-      d[k][bi] = dk;
-    }
-    slot_node[bi] = new_node;
-    // Remove slot bj by swapping in the last slot.
-    const std::size_t last = active - 1;
-    if (bj != last) {
-      slot_node[bj] = slot_node[last];
-      for (std::size_t k = 0; k < active; ++k) {
-        d[bj][k] = d[last][k];
-        d[k][bj] = d[k][last];
-      }
-      d[bj][bj] = 0.0;
-    }
-    --active;
-  }
 
   // --- choose how many leading merges the cut applies -------------------
   // UPGMA merge distances are monotone non-decreasing, so both criteria
   // select a prefix of the merge sequence.
   std::size_t by_cut = 0;
   while (by_cut < merges.size() &&
-         merges[by_cut].distance <= options_.cut_distance) {
+         merges[by_cut].distance <= options.cut_distance) {
     ++by_cut;
   }
   std::size_t applied = by_cut;
-  if (options_.max_clusters > 0 && n > options_.max_clusters) {
-    applied = std::max(applied, n - options_.max_clusters);
+  if (options.max_clusters > 0 && n > options.max_clusters) {
+    applied = std::max(applied, n - options.max_clusters);
   }
 
   // --- union-find over the applied prefix -------------------------------
@@ -176,12 +112,232 @@ ClusterResult HierarchicalClusterer::cluster(
   for (std::size_t i = 1; i < n; ++i) {
     const int id = result.assignment[result.leaf_order[i]];
     if (id != prev_id) {
-      coord += 1.0 + options_.gap_scale * boundary_gaps[i - 1];
+      coord += 1.0 + options.gap_scale * boundary_gaps[i - 1];
       result.positions[static_cast<std::size_t>(id)] = coord;
       prev_id = id;
     }
   }
   return result;
+}
+
+ClusterResult singleton_result() {
+  ClusterResult result;
+  result.assignment = {0};
+  result.cluster_count = 1;
+  result.leaf_order = {0};
+  result.positions = {0.0};
+  return result;
+}
+
+}  // namespace
+
+ClusterResult HierarchicalClusterer::cluster(CondensedMatrix dm) const {
+  const std::size_t n = dm.n();
+  LEAPS_CHECK_MSG(n > 0, "clustering an empty set");
+  if (n == 1) return singleton_result();
+
+  // Greedy UPGMA with cached per-row nearest neighbors over the condensed
+  // matrix. Each step picks the same pair the reference's row-major i<j
+  // scan would — a row's cache holds its first strict minimum (smallest j
+  // among ties), and the global pick takes the smallest cached value at
+  // the smallest i — so the merge sequence, heights, and tie behavior are
+  // identical bit for bit, on every input. The scan itself drops from
+  // O(n²) to O(n) per merge; caches are repaired incrementally and a row
+  // is only rescanned when its cached neighbor was touched by the merge.
+  // Expected cost O(n²) total (the reference is Θ(n³) always); the
+  // adversarial worst case — every row's neighbor invalidated every merge
+  // — degenerates to the reference's cost but cannot produce different
+  // output.
+  std::vector<std::size_t> slot_node(n);
+  std::iota(slot_node.begin(), slot_node.end(), 0);
+  std::vector<double> node_size(2 * n - 1, 1.0);
+  std::vector<MergeRecord> merges;
+  merges.reserve(n - 1);
+  std::size_t active = n;
+
+  // cand[i]: first strict minimum of row i over columns (i, active).
+  struct Cand {
+    double val;
+    std::size_t j;
+  };
+  std::vector<Cand> cand(n, {std::numeric_limits<double>::infinity(), kNone});
+  const auto recompute = [&](std::size_t i) {
+    Cand c{std::numeric_limits<double>::infinity(), kNone};
+    const double* row = dm.row(i);
+    for (std::size_t j = i + 1; j < active; ++j) {
+      const double d = row[j - i - 1];
+      if (d < c.val) {
+        c.val = d;
+        c.j = j;
+      }
+    }
+    cand[i] = c;
+  };
+  for (std::size_t i = 0; i + 1 < n; ++i) recompute(i);
+
+  while (active > 1) {
+    // Global minimum = smallest row cache, smallest i on ties; the cached
+    // j is already the smallest column attaining that row's minimum.
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i + 1 < active; ++i) {
+      if (cand[i].val < cand[bi].val) bi = i;
+    }
+    const std::size_t bj = cand[bi].j;
+    const double best = cand[bi].val;
+
+    const std::size_t node_i = slot_node[bi];
+    const std::size_t node_j = slot_node[bj];
+    const std::size_t new_node = n + merges.size();
+    merges.push_back({node_i, node_j, best});
+    const double si = node_size[node_i];
+    const double sj = node_size[node_j];
+    node_size[new_node] = si + sj;
+
+    // Lance–Williams update for average linkage, reference expression
+    // verbatim:  d(new, k) = (|i| d(i,k) + |j| d(j,k)) / (|i| + |j|).
+    for (std::size_t k = 0; k < active; ++k) {
+      if (k == bi || k == bj) continue;
+      dm.ref(bi, k) = (si * dm.at(bi, k) + sj * dm.at(bj, k)) / (si + sj);
+    }
+    slot_node[bi] = new_node;
+    // Remove slot bj by swapping in the last slot (after the LW update, so
+    // the moved row/column carries the updated d(bi, last) value).
+    const std::size_t last = active - 1;
+    if (bj != last) {
+      for (std::size_t k = 0; k + 1 < active; ++k) {
+        if (k == bj) continue;
+        dm.ref(bj, k) = dm.at(last, k);
+      }
+      slot_node[bj] = slot_node[last];
+    }
+    --active;
+
+    // --- cache repair ---------------------------------------------------
+    // Row bi changed wholesale; row bj now holds the former last row.
+    if (bi + 1 < active) recompute(bi);
+    if (bj < active && bj + 1 < active) recompute(bj);
+    for (std::size_t i = 0; i + 1 < active; ++i) {
+      if (i == bi || i == bj) continue;
+      Cand& c = cand[i];
+      if (c.j == bi || c.j == bj) {
+        // The cached neighbor's value changed (bi: LW-updated; bj: column
+        // overwritten by the swap) — the cache may be stale either way.
+        recompute(i);
+        continue;
+      }
+      if (c.j == last) {
+        // The cached value moved from column `last` to column bj. It was
+        // a strict minimum (the first-strict-min scan only ends on the
+        // last column when it beats every earlier one), so for i < bj the
+        // pointer just follows the move; for i > bj the pair now lives in
+        // row bj and this row must rescan what is left.
+        if (i < bj) {
+          c.j = bj;
+        } else {
+          recompute(i);
+          continue;
+        }
+      }
+      // The two rewritten columns can tie the row minimum at a smaller
+      // column index, which the reference's scan would now prefer. They
+      // can never beat it: an LW average is >= the smaller of its inputs,
+      // and the moved column held this very row's value already.
+      if (i < bi) {
+        const double v = dm.at(i, bi);
+        if (v < c.val || (v == c.val && bi < c.j)) c = {v, bi};
+      }
+      if (i < bj && bj < active) {
+        const double v = dm.at(i, bj);
+        if (v < c.val || (v == c.val && bj < c.j)) c = {v, bj};
+      }
+    }
+  }
+
+  return finalize(n, merges, options_);
+}
+
+ClusterResult HierarchicalClusterer::cluster(
+    const std::vector<std::vector<double>>& distance) const {
+  const std::size_t n = distance.size();
+  LEAPS_CHECK_MSG(n > 0, "clustering an empty set");
+  for (const auto& row : distance) {
+    LEAPS_CHECK_MSG(row.size() == n, "distance matrix not square");
+  }
+  CondensedMatrix dm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) dm.ref(i, j) = distance[i][j];
+  }
+  return cluster(std::move(dm));
+}
+
+ClusterResult HierarchicalClusterer::cluster_reference(
+    const std::vector<std::vector<double>>& distance) const {
+  const std::size_t n = distance.size();
+  LEAPS_CHECK_MSG(n > 0, "clustering an empty set");
+  for (const auto& row : distance) {
+    LEAPS_CHECK_MSG(row.size() == n, "distance matrix not square");
+  }
+  if (n == 1) return singleton_result();
+
+  // --- full UPGMA merge to a single root (historic O(n³) scan) ----------
+  // Active clusters are tracked in slot arrays; nodes are numbered leaves
+  // first (0..n-1), then internal nodes in merge order (n..2n-2).
+  std::vector<std::size_t> slot_node(n);
+  std::vector<std::size_t> node_size(2 * n - 1, 1);
+  std::vector<MergeRecord> merges;
+  merges.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) slot_node[i] = i;
+
+  // Working copy of the distance matrix, indexed by slot.
+  std::vector<std::vector<double>> d = distance;
+  std::size_t active = n;
+
+  while (active > 1) {
+    // Closest active pair.
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active; ++i) {
+      for (std::size_t j = i + 1; j < active; ++j) {
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    const std::size_t node_i = slot_node[bi];
+    const std::size_t node_j = slot_node[bj];
+    const std::size_t new_node = n + merges.size();
+    merges.push_back({node_i, node_j, best});
+    const auto si = static_cast<double>(node_size[node_i]);
+    const auto sj = static_cast<double>(node_size[node_j]);
+    node_size[new_node] = node_size[node_i] + node_size[node_j];
+
+    // Lance–Williams update for average linkage:
+    // d(new, k) = (|i| d(i,k) + |j| d(j,k)) / (|i| + |j|)
+    for (std::size_t k = 0; k < active; ++k) {
+      if (k == bi || k == bj) continue;
+      const double dk = (si * d[bi][k] + sj * d[bj][k]) / (si + sj);
+      d[bi][k] = dk;
+      d[k][bi] = dk;
+    }
+    slot_node[bi] = new_node;
+    // Remove slot bj by swapping in the last slot.
+    const std::size_t last = active - 1;
+    if (bj != last) {
+      slot_node[bj] = slot_node[last];
+      for (std::size_t k = 0; k < active; ++k) {
+        d[bj][k] = d[last][k];
+        d[k][bj] = d[k][last];
+      }
+      d[bj][bj] = 0.0;
+    }
+    --active;
+  }
+
+  return finalize(n, merges, options_);
 }
 
 }  // namespace leaps::ml

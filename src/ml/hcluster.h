@@ -6,6 +6,21 @@
 // between all their elements, maintained incrementally via the
 // Lance-Williams update for average linkage.
 //
+// The solver is a greedy merge with cached per-row nearest neighbors over
+// a condensed flat distance matrix (one allocation, expected O(n²) total):
+// each row caches its first strict minimum, the global pick is the
+// smallest cache at the smallest row, and caches are repaired
+// incrementally after each Lance-Williams update. That selection is
+// observationally identical to the previous O(n³) row-major global-min
+// scan — including its tie-breaking (lexicographically-smallest slot
+// pair) — so merge sequence, heights, node numbering, and left/right
+// children match bit for bit on every input. (A nearest-neighbor-*chain*
+// solver was evaluated first: it is O(n²) worst-case but provably cannot
+// reproduce the historic tie behavior, because greedy tie-breaks depend on
+// history-dependent slot indices; Jaccard matrices are tie-rich, so
+// exactness won.) The previous implementation is retained as
+// cluster_reference for property tests and bench_train comparisons.
+//
 // Cluster numbering follows dendrogram leaf order: merging is continued all
 // the way to a single root (recording the cut), and clusters are numbered by
 // an in-order traversal of that tree. Similar clusters therefore receive
@@ -15,6 +30,8 @@
 
 #include <cstddef>
 #include <vector>
+
+#include "ml/distance.h"
 
 namespace leaps::ml {
 
@@ -48,10 +65,23 @@ class HierarchicalClusterer {
   explicit HierarchicalClusterer(ClusterOptions options = {})
       : options_(options) {}
 
-  /// `distance` must be a square symmetric matrix with zero diagonal.
-  /// Complexity O(n^3) worst-case; n here is the number of *unique*
-  /// lib/func sets, typically a few hundred.
+  /// Cached-nearest-neighbor UPGMA over a condensed distance matrix — the
+  /// fast path (expected O(n²)). Takes the matrix by value: it doubles as
+  /// the working buffer, so std::move it in to cluster without any copy at
+  /// all.
+  ClusterResult cluster(CondensedMatrix distance) const;
+
+  /// Square-matrix convenience overload: validates shape, condenses the
+  /// upper triangle, delegates. `distance` must be symmetric with zero
+  /// diagonal.
   ClusterResult cluster(
+      const std::vector<std::vector<double>>& distance) const;
+
+  /// The previous O(n³) global-min-scan implementation, kept verbatim as
+  /// the behavioral reference: property tests assert the NN-chain path
+  /// produces identical results, and bench_train measures the speedup
+  /// against it. Not a production path.
+  ClusterResult cluster_reference(
       const std::vector<std::vector<double>>& distance) const;
 
  private:

@@ -1,8 +1,10 @@
 #include "ml/kernel.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace leaps::ml {
 
@@ -57,6 +59,89 @@ std::vector<std::vector<double>> gram_matrix(
     }
   }
   return K;
+}
+
+namespace {
+
+inline double dot(const double* a, const double* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < d; ++k) s += a[k] * b[k];
+  return s;
+}
+
+}  // namespace
+
+GramMatrix::GramMatrix(const std::vector<std::vector<double>>& X,
+                       const KernelParams& kernel)
+    : n_(X.size()) {
+  const std::size_t d = n_ == 0 ? 0 : X.front().size();
+  // One contiguous n×d block: the pair loop below reads rows without
+  // pointer chasing, and the same dot product serves every kernel type.
+  std::vector<double> xs(n_ * d);
+  std::vector<double> sq(n_);  // ‖xi‖², Gaussian norm trick
+  for (std::size_t i = 0; i < n_; ++i) {
+    LEAPS_DCHECK(X[i].size() == d);
+    std::copy(X[i].begin(), X[i].end(), xs.begin() + i * d);
+    sq[i] = dot(&xs[i * d], &xs[i * d], d);
+  }
+
+  k_ = std::make_unique_for_overwrite<double[]>(n_ * n_);
+  // Upper triangle first, row-major writes only: pair (i, j>i) is owned by
+  // row i's chunk, so every entry has exactly one writer and the result is
+  // independent of the thread count. Mirroring inline would store at
+  // stride n_ — for power-of-two n_ that lands every write in the same L1
+  // set (and shares lines across chunks); the separate tiled pass below
+  // keeps both passes cache-friendly.
+  util::parallel_for(0, n_, 8, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const double* xi = &xs[i * d];
+      double* Ki = &k_[i * n_];
+      switch (kernel.type) {
+        case KernelType::kGaussian: {
+          LEAPS_DCHECK(kernel.sigma2 > 0.0);
+          Ki[i] = 1.0;
+          for (std::size_t j = i + 1; j < n_; ++j) {
+            const double s =
+                std::max(0.0, sq[i] + sq[j] - 2.0 * dot(xi, &xs[j * d], d));
+            Ki[j] = std::exp(-s / kernel.sigma2);
+          }
+          break;
+        }
+        case KernelType::kLinear: {
+          Ki[i] = sq[i];
+          for (std::size_t j = i + 1; j < n_; ++j) {
+            Ki[j] = dot(xi, &xs[j * d], d);
+          }
+          break;
+        }
+        case KernelType::kPolynomial: {
+          Ki[i] = std::pow(sq[i] + kernel.coef0, kernel.degree);
+          for (std::size_t j = i + 1; j < n_; ++j) {
+            Ki[j] =
+                std::pow(dot(xi, &xs[j * d], d) + kernel.coef0, kernel.degree);
+          }
+          break;
+        }
+      }
+    }
+  });
+
+  // Mirror the lower triangle as a tiled transpose: each destination row j
+  // writes contiguously, and a 64×64 source tile stays resident while its
+  // column slice is consumed. Entries are copied (never recomputed), and
+  // each is written by exactly one chunk, so symmetry is exact and the
+  // bytes are thread-count-independent.
+  constexpr std::size_t kTile = 64;
+  util::parallel_for(0, n_, kTile, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t ib = 0; ib < je; ib += kTile) {
+      const std::size_t ie = std::min(ib + kTile, n_);
+      for (std::size_t j = std::max(jb, ib + 1); j < je; ++j) {
+        double* Kj = &k_[j * n_];
+        const std::size_t end = std::min(ie, j);
+        for (std::size_t i = ib; i < end; ++i) Kj[i] = k_[i * n_ + j];
+      }
+    }
+  });
 }
 
 }  // namespace leaps::ml

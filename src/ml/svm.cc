@@ -16,6 +16,16 @@ constexpr double kTau = 1e-12;  // curvature floor (LIBSVM's tau)
 constexpr double kAlphaEps = 1e-12;
 }  // namespace
 
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) s += a[k] * b[k];
+  return s;
+}
+
+}  // namespace
+
 SvmModel::SvmModel(std::vector<FeatureVector> support_vectors,
                    std::vector<double> coefficients, double bias,
                    KernelParams kernel)
@@ -24,10 +34,24 @@ SvmModel::SvmModel(std::vector<FeatureVector> support_vectors,
       bias_(bias),
       kernel_(kernel) {
   LEAPS_CHECK(svs_.size() == coef_.size());
+  if (kernel_.type == KernelType::kGaussian) {
+    sv_sq_norms_.reserve(svs_.size());
+    for (const FeatureVector& sv : svs_) sv_sq_norms_.push_back(dot(sv, sv));
+  }
 }
 
 double SvmModel::decision_value(const FeatureVector& x) const {
   double f = bias_;
+  if (kernel_.type == KernelType::kGaussian) {
+    // Norm trick with the cached SV norms: ‖sv−x‖² = ‖sv‖² + ‖x‖² − 2·sv·x.
+    const double xn = dot(x, x);
+    for (std::size_t i = 0; i < svs_.size(); ++i) {
+      const double sq =
+          std::max(0.0, sv_sq_norms_[i] + xn - 2.0 * dot(svs_[i], x));
+      f += coef_[i] * std::exp(-sq / kernel_.sigma2);
+    }
+    return f;
+  }
   for (std::size_t i = 0; i < svs_.size(); ++i) {
     f += coef_[i] * kernel_(svs_[i], x);
   }
@@ -59,13 +83,18 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
         "SvmTrainer: need positively-weighted samples of both classes");
   }
 
-  const std::vector<std::vector<double>> K =
-      gram_matrix(data.X, params_.kernel);
-  // The gram matrix evaluates the upper triangle once per pair.
+  const GramMatrix K(data.X, params_.kernel);
+  // The gram matrix evaluates each unique pair once (the mirror write is
+  // free), so the metric still counts the upper triangle.
   static obs::Counter& kernel_evals = obs::MetricRegistry::global().counter(
       "leaps_ml_kernel_evals_total",
       "kernel evaluations spent building SVM gram matrices");
   kernel_evals.inc(n * (n + 1) / 2);
+  // Diagonal entries feed the curvature terms of every working-set scan;
+  // lift them out of the flat matrix once so the scan reads a contiguous
+  // array instead of striding n doubles per element.
+  std::vector<double> Kdiag(n);
+  for (std::size_t t = 0; t < n; ++t) Kdiag[t] = K(t, t);
   const std::vector<int>& y = data.y;
 
   std::vector<double> alpha(n, 0.0);
@@ -106,13 +135,15 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
     double M = std::numeric_limits<double>::infinity();
     std::size_t j = n;
     double best_gain = 0.0;
+    const double* Ki = i < n ? K.row(i) : nullptr;
+    const double Kii = i < n ? Kdiag[i] : 0.0;
     for (std::size_t t = 0; t < n; ++t) {
       if (!in_low(t)) continue;
       const double vt = viol(t);
       M = std::min(M, vt);
       if (i < n && vt < m) {
         const double b_it = m - vt;  // > 0
-        const double a_it = std::max(K[i][i] + K[t][t] - 2.0 * K[i][t], kTau);
+        const double a_it = std::max(Kii + Kdiag[t] - 2.0 * Ki[t], kTau);
         const double gain = -(b_it * b_it) / a_it;
         if (gain < best_gain) {
           best_gain = gain;
@@ -128,8 +159,7 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
     }
 
     // ---- analytic two-variable update (Platt, per-sample bounds) -------
-    const double eta =
-        std::max(K[i][i] + K[j][j] - 2.0 * K[i][j], kTau);
+    const double eta = std::max(Kdiag[i] + Kdiag[j] - 2.0 * Ki[j], kTau);
     // E_i - E_j = (G_i - y_i) - (G_j - y_j) = -(viol(i) - viol(j)).
     const double delta = viol(i) - viol(j);  // = m - viol(j) > 0
     double L;
@@ -171,9 +201,13 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
     }
     alpha[i] = ai_new;
     alpha[j] = aj_new;
+    // Contiguous K[i][·] / K[j][·] sweeps — the flat rows make this the
+    // streaming inner loop it should be.
+    const double wi = static_cast<double>(y[i]) * dai;
+    const double wj = static_cast<double>(y[j]) * daj;
+    const double* Kj = K.row(j);
     for (std::size_t t = 0; t < n; ++t) {
-      G[t] += static_cast<double>(y[i]) * dai * K[i][t] +
-              static_cast<double>(y[j]) * daj * K[j][t];
+      G[t] += wi * Ki[t] + wj * Kj[t];
     }
   }
 

@@ -1,0 +1,222 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/env.h"
+
+namespace leaps::util {
+
+namespace {
+
+// Depth of parallel_for bodies executing on this thread (caller or pool
+// worker). Nonzero → nested call → run inline.
+thread_local int g_for_depth = 0;
+
+std::size_t resolve_auto_threads() {
+  const std::int64_t env = env_int("LEAPS_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+}  // namespace
+
+/// Fixed-size worker pool. Tasks are plain closures; the pool makes no
+/// ordering promises (parallel_for layers determinism on top).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void worker_main() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;    // worker threads: threads - 1
+std::size_t g_threads = 0;             // 0 = not yet resolved
+
+std::shared_ptr<ThreadPool> pool_snapshot() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool == nullptr) {
+    if (g_threads == 0) g_threads = resolve_auto_threads();
+    g_pool = std::make_shared<ThreadPool>(g_threads - 1);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+std::size_t Parallel::threads() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_threads == 0) g_threads = resolve_auto_threads();
+  return g_threads;
+}
+
+void Parallel::set_threads(std::size_t n) {
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    const std::size_t resolved = n == 0 ? resolve_auto_threads() : n;
+    if (resolved == g_threads && g_pool != nullptr) return;
+    g_threads = resolved;
+    old = std::move(g_pool);  // joined below, outside the lock
+  }
+}
+
+ThreadPool& Parallel::pool() { return *pool_snapshot(); }
+
+namespace {
+
+/// Shared state of one parallel_for region. Chunks are claimed off an
+/// atomic counter by the caller and any assisting workers; completion is
+/// a second counter plus a condition variable the caller waits on. The
+/// struct outlives the call via shared_ptr: a worker that dequeues its
+/// assist task after every chunk is claimed just returns.
+struct ForRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  const RangeFn* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::exception_ptr> errors;  // slot per chunk
+
+  void work() {
+    ++g_for_depth;
+    for (;;) {
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= chunks) break;
+      const std::size_t cb = begin + k * grain;
+      const std::size_t ce = std::min(end, cb + grain);
+      try {
+        (*fn)(cb, ce);
+      } catch (...) {
+        errors[k] = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lk(mu);
+        cv.notify_all();
+      }
+    }
+    --g_for_depth;
+  }
+};
+
+void rethrow_first(const std::vector<std::exception_ptr>& errors) {
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeFn& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+
+  // Inline paths: trivial range, single-threaded config, or nested call.
+  // Chunk boundaries still apply so an exception aborts at the same chunk
+  // granularity as the pooled path.
+  if (chunks == 1 || g_for_depth > 0 || Parallel::threads() <= 1) {
+    ++g_for_depth;
+    try {
+      for (std::size_t k = 0; k < chunks; ++k) {
+        const std::size_t cb = begin + k * grain;
+        fn(cb, std::min(end, cb + grain));
+      }
+    } catch (...) {
+      --g_for_depth;
+      throw;
+    }
+    --g_for_depth;
+    return;
+  }
+
+  auto region = std::make_shared<ForRegion>();
+  region->begin = begin;
+  region->end = end;
+  region->grain = grain;
+  region->chunks = chunks;
+  region->fn = &fn;
+  region->errors.resize(chunks);
+
+  const std::shared_ptr<ThreadPool> pool = pool_snapshot();
+  const std::size_t helpers =
+      std::min(pool->worker_count(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([region] { region->work(); });
+  }
+  region->work();  // the caller is a full participant
+  {
+    std::unique_lock<std::mutex> lk(region->mu);
+    region->cv.wait(lk, [&] {
+      return region->done.load(std::memory_order_acquire) == chunks;
+    });
+  }
+  // Take ownership of the error slots: a worker that dequeued its assist
+  // task late may drop the last region reference after we return, and the
+  // stored exceptions must not be destroyed on that thread while the caller
+  // still examines the rethrown one (the exception_ptr refcount lives in
+  // uninstrumented libstdc++, so TSan would also flag that free).
+  std::vector<std::exception_ptr> errors = std::move(region->errors);
+  rethrow_first(errors);
+}
+
+}  // namespace leaps::util

@@ -1,0 +1,62 @@
+// Shared parallel-compute substrate for the training hot paths.
+//
+// A single lazily-started global thread pool (`Parallel`) and a blocked
+// `parallel_for` on top of it. Design contract:
+//
+//   * Deterministic results independent of thread count. The range is cut
+//     into fixed-size chunks derived only from `grain` (never from the
+//     worker count); which thread executes a chunk varies, but every body
+//     writes to disjoint output slots, so the bytes produced are identical
+//     for --threads 1 and --threads N. Reductions must happen on the
+//     caller's side, in chunk order.
+//   * The caller participates: with T configured threads, T-1 pool workers
+//     assist the calling thread, and --threads 1 never touches the pool at
+//     all (pure inline execution, no synchronization).
+//   * Nested calls are safe and run inline. A body that itself calls
+//     parallel_for (e.g. SVM training inside a parallel cross-validation
+//     task) executes serially instead of deadlocking or oversubscribing;
+//     the outermost loop owns the parallelism.
+//   * Exceptions propagate. If bodies throw, the exception of the
+//     lowest-indexed failing chunk is rethrown on the caller once all
+//     chunks finished (again independent of thread count).
+//
+// Sizing: `Parallel::set_threads(n)` (the shared --threads flag), else
+// LEAPS_THREADS, else std::thread::hardware_concurrency. See DESIGN.md §10.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace leaps::util {
+
+/// Body of a blocked loop: processes indices [begin, end).
+using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+class ThreadPool;
+
+class Parallel {
+ public:
+  /// Worker threads plus the caller; >= 1. Resolves (and starts the pool
+  /// lazily) on first use.
+  static std::size_t threads();
+
+  /// Reconfigures the pool size: n == 0 resolves the automatic default
+  /// (LEAPS_THREADS, else hardware_concurrency). Joins the old pool first,
+  /// so call between parallel regions (tools call it once at startup;
+  /// tests use it to compare thread counts in-process).
+  static void set_threads(std::size_t n);
+
+  /// The global pool (started on first call). Exposed for direct task
+  /// submission; parallel_for is the intended interface.
+  static ThreadPool& pool();
+};
+
+/// Runs fn over [begin, end) cut into chunks of `grain` indices (the last
+/// chunk may be short). Blocks until every chunk completed; rethrows the
+/// first failing chunk's exception. Runs inline when the range fits one
+/// chunk, the pool is configured single-threaded, or the call is nested
+/// inside another parallel_for body.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeFn& fn);
+
+}  // namespace leaps::util

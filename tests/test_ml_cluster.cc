@@ -157,7 +157,8 @@ TEST(HierarchicalClusterer, UpgmaUsesAverageLinkage) {
 
 TEST(HierarchicalClusterer, RejectsMalformedMatrix) {
   HierarchicalClusterer c;
-  EXPECT_THROW(c.cluster({}), std::logic_error);
+  EXPECT_THROW(c.cluster(std::vector<std::vector<double>>{}),
+               std::logic_error);
   EXPECT_THROW(c.cluster({{0.0, 1.0}}), std::logic_error);  // not square
 }
 

@@ -26,6 +26,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/build_info.h"
+#include "util/parallel.h"
 
 namespace leaps::cli {
 
@@ -241,6 +242,31 @@ class ObsFlags {
   std::string trace_out_;
   std::string metrics_out_;
   bool profile_ = false;
+};
+
+/// The shared threading flag (see DESIGN.md §10):
+///   --threads N   size of the training compute pool; 0 = auto (all
+///                 hardware threads, or LEAPS_THREADS when set)
+///
+/// Usage mirrors ObsFlags: add_to(parser) before parse(), apply() right
+/// after. Thread count never changes any computed number — the parallel
+/// substrate guarantees bit-identical results for every N — only
+/// wall-clock.
+class ThreadsFlag {
+ public:
+  void add_to(ArgParser& args) { args.option("--threads", &threads_); }
+
+  /// Configures the global pool. With the flag absent (0) this resolves
+  /// the automatic default, which is also what lazy startup would do.
+  void apply() const { util::Parallel::set_threads(threads_); }
+
+  /// The usage-text line every tool shares.
+  static constexpr const char* kUsage =
+      "  --threads N          compute threads (default 0 = all hardware "
+      "threads)\n";
+
+ private:
+  std::size_t threads_ = 0;
 };
 
 }  // namespace leaps::cli

@@ -24,16 +24,20 @@ int main(int argc, char** argv) {
                       "verdict is suspicious (default 0.25)\n"
                       "  --verbose      print every malicious window\n"
                       "  --trace-out FILE, --profile, --metrics-out FILE  "
-                      "observability outputs\n"
+                      "observability outputs\n" +
+                      std::string(cli::ThreadsFlag::kUsage) +
                       "exit: 0 clean, 3 suspicious, 1 I/O error, 2 usage\n");
   double threshold = 0.25;
   bool verbose = false;
   cli::ObsFlags obs_flags;
+  cli::ThreadsFlag threads_flag;
   args.option("--threshold", &threshold);
   args.flag("--verbose", &verbose);
   obs_flags.add_to(args);
+  threads_flag.add_to(args);
   const std::vector<std::string> pos = args.parse(2, 2);
   obs_flags.activate();
+  threads_flag.apply();
   const std::string detector_path = pos[0];
   const std::string log_path = pos[1];
 

@@ -15,11 +15,15 @@ int main(int argc, char** argv) {
                       "  summarizes raw trace logs (text or binary; '-' "
                       "reads stdin).\n"
                       "  --trace-out FILE, --profile, --metrics-out FILE  "
-                      "observability outputs\n");
+                      "observability outputs\n" +
+                      std::string(cli::ThreadsFlag::kUsage));
   cli::ObsFlags obs_flags;
+  cli::ThreadsFlag threads_flag;
   obs_flags.add_to(args);
+  threads_flag.add_to(args);
   const std::vector<std::string> logs = args.parse(1);
   obs_flags.activate();
+  threads_flag.apply();
   int rc = 0;
   for (const std::string& path : logs) {
     const util::StatusOr<trace::PartitionedLog> log =

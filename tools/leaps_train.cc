@@ -58,19 +58,23 @@ int main(int argc, char** argv) {
                       "  --profile            print per-stage timings to "
                       "stderr\n"
                       "  --metrics-out FILE   write metrics on exit "
-                      "(.json or Prometheus)\n");
+                      "(.json or Prometheus)\n" +
+                      std::string(cli::ThreadsFlag::kUsage));
   core::PipelineOptions pipeline_options;
   bool plain_svm = false;
   std::size_t folds = 10;
   double max_false_alarms = -1.0;
   cli::ObsFlags obs_flags;
+  cli::ThreadsFlag threads_flag;
   args.flag("--align", &pipeline_options.align_cfgs);
   args.flag("--plain-svm", &plain_svm);
   args.option("--folds", &folds);
   args.option("--max-false-alarms", &max_false_alarms);
   obs_flags.add_to(args);
+  threads_flag.add_to(args);
   const std::vector<std::string> pos = args.parse(3, 3);
   obs_flags.activate();
+  threads_flag.apply();
   const bool weighted = !plain_svm;
 
   try {
