@@ -10,7 +10,11 @@
 // Knobs: LEAPS_SERVE_SESSIONS (default 8), LEAPS_SERVE_EVENTS per session
 // (default 6000), LEAPS_EVENTS (training-log size), LEAPS_FAST=1.
 // LEAPS_BENCH_JSON=<path> additionally writes the measurements as a JSON
-// snapshot (the format of the checked-in BENCH_serve.json baseline).
+// snapshot (the format of the checked-in BENCH_serve.json baseline). LEAPS_BENCH_BASELINE=<path> compares this
+// box's core count against the checked-in snapshot before writing:
+// mismatches are annotated in the JSON, or refused outright with
+// LEAPS_BENCH_STRICT=1 (speedup columns are incomparable across core
+// counts).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "ml/svm.h"
 #include "serve/server.h"
@@ -143,6 +148,7 @@ int main() {
 
   const std::string json_path = util::env_string("LEAPS_BENCH_JSON", "");
   if (!json_path.empty()) {
+    const bench::BaselineGuard guard = bench::check_bench_baseline();
     std::ofstream os(json_path, std::ios::trunc);
     if (!os) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -153,7 +159,8 @@ int main() {
        << ", \"events_per_session\": " << events_per_session
        << ", \"train_events\": " << train_events
        << ", \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << "},\n  \"results\": [\n";
+       << std::thread::hardware_concurrency() << guard.annotation
+       << "},\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       char line[128];
       std::snprintf(line, sizeof line,

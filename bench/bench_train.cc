@@ -13,7 +13,11 @@
 // LEAPS_RUNS (best-of repetitions per timing, default 5, fast 3),
 // LEAPS_FAST=1 (small preset). LEAPS_BENCH_JSON=<path> additionally writes
 // the measurements as a JSON snapshot (the format of the checked-in
-// BENCH_train.json baseline).
+// BENCH_train.json baseline). LEAPS_BENCH_BASELINE=<path> compares this
+// box's core count against the checked-in snapshot before writing:
+// mismatches are annotated in the JSON, or refused outright with
+// LEAPS_BENCH_STRICT=1 (speedup columns are incomparable across core
+// counts).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "ml/cross_validation.h"
 #include "ml/distance.h"
@@ -270,6 +275,7 @@ int main() {
   // ---- JSON snapshot ----------------------------------------------------
   const std::string json_path = util::env_string("LEAPS_BENCH_JSON", "");
   if (!json_path.empty()) {
+    const bench::BaselineGuard guard = bench::check_bench_baseline();
     std::ofstream os(json_path, std::ios::trunc);
     if (!os) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -279,7 +285,7 @@ int main() {
        << "  \"config\": {\"train_events\": " << train_events
        << ", \"gram_n\": " << gram_n << ", \"cluster_n\": " << cluster_n
        << ", \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << "},\n"
+       << std::thread::hardware_concurrency() << guard.annotation << "},\n"
        << "  \"single_thread\": [\n";
     for (std::size_t i = 0; i < st_rows.size(); ++i) {
       char line[256];

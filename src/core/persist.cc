@@ -13,7 +13,8 @@ namespace leaps::core {
 namespace {
 
 constexpr const char* kMagic = "LEAPS-DETECTOR";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionV1 = "v1";
+constexpr const char* kVersionV2 = "v2";
 
 void require(bool condition, const std::string& what) {
   if (!condition) throw PersistError(what);
@@ -138,7 +139,7 @@ void save_detector(const Detector& detector, std::ostream& os) {
   require(pre.fitted(), "detector preprocessor not fitted");
   const PreprocessOptions& popt = pre.options();
 
-  os << kMagic << ' ' << kVersion << '\n';
+  os << kMagic << ' ' << kVersionV2 << '\n';
   os << "OPTIONS " << popt.window << ' '
      << popt.lib_clustering.cut_distance << ' '
      << popt.lib_clustering.gap_scale << ' '
@@ -169,6 +170,24 @@ void save_detector(const Detector& detector, std::ostream& os) {
     os << '\n';
   }
   os << "THRESHOLD " << detector.decision_threshold() << '\n';
+  if (const ContinualState* cs = detector.continual(); cs != nullptr) {
+    require(cs->alpha.size() == cs->train.size(),
+            "continual state: alpha size disagrees with training set");
+    os << "CONTINUAL\n";
+    os << "CFG " << cs->benign_cfg.edge_count() << '\n';
+    for (const auto& [from, succs] : cs->benign_cfg.adjacency()) {
+      for (const cfg::AddressGraph::Address to : succs) {
+        os << "E " << from << ' ' << to << '\n';
+      }
+    }
+    os << "TRAINSET " << cs->train.size() << ' ' << cs->train.dims() << '\n';
+    for (std::size_t i = 0; i < cs->train.size(); ++i) {
+      os << "ROW " << cs->train.y[i] << ' ' << cs->train.weight[i] << ' '
+         << cs->alpha[i];
+      for (const double v : cs->train.X[i]) os << ' ' << v;
+      os << '\n';
+    }
+  }
   os << "END\n";
   require(static_cast<bool>(os), "write failure");
 }
@@ -176,7 +195,9 @@ void save_detector(const Detector& detector, std::ostream& os) {
 Detector load_detector(std::istream& is) {
   Reader r(is);
   r.expect(kMagic);
-  r.expect(kVersion);
+  const std::string version = r.word();
+  require(version == kVersionV1 || version == kVersionV2,
+          "unsupported version '" + version + "'");
 
   r.expect("OPTIONS");
   PreprocessOptions popt;
@@ -237,11 +258,53 @@ Detector load_detector(std::istream& is) {
   }
   r.expect("THRESHOLD");
   const double threshold = r.real();
-  r.expect("END");
+
+  // v2: optional continual-learning block between THRESHOLD and END. A v1
+  // file goes straight to END and yields a detector without the state —
+  // the cold-start fallback for pre-online-learning model files.
+  std::optional<ContinualState> continual;
+  std::string tail = r.word();
+  if (tail == "CONTINUAL") {
+    require(version == kVersionV2, "CONTINUAL block in a v1 file");
+    ContinualState cs;
+    r.expect("CFG");
+    const auto edges = static_cast<std::size_t>(r.integer());
+    for (std::size_t e = 0; e < edges; ++e) {
+      r.expect("E");
+      const auto from = static_cast<std::uint64_t>(r.integer());
+      const auto to = static_cast<std::uint64_t>(r.integer());
+      cs.benign_cfg.add_edge(from, to);
+    }
+    require(cs.benign_cfg.edge_count() == edges,
+            "CONTINUAL CFG edge count disagrees (duplicate edges?)");
+    r.expect("TRAINSET");
+    const auto rows = static_cast<std::size_t>(r.integer());
+    const auto row_dims = static_cast<std::size_t>(r.integer());
+    require(rows == 0 || row_dims == dims,
+            "TRAINSET dims disagree with scaler");
+    cs.alpha.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      r.expect("ROW");
+      const auto label = static_cast<int>(r.integer());
+      require(label == 1 || label == -1, "ROW label must be +/-1");
+      const double w = r.real();
+      require(w >= 0.0 && w <= 1.0, "ROW weight outside [0,1]");
+      const double a = r.real();
+      require(a >= 0.0, "ROW alpha must be >= 0");
+      ml::FeatureVector x(row_dims);
+      for (double& v : x) v = r.real();
+      cs.train.add(std::move(x), label, w);
+      cs.alpha.push_back(a);
+    }
+    continual = std::move(cs);
+    tail = r.word();
+  }
+  require(tail == "END", "expected 'END', got '" + tail + "'");
 
   ml::SvmModel model(std::move(svs), std::move(coefs), bias, kernel);
   Detector detector(std::move(pre), std::move(scaler), std::move(model));
   detector.set_decision_threshold(threshold);
+  if (continual.has_value()) detector.set_continual(*std::move(continual));
   return detector;
 }
 

@@ -5,7 +5,7 @@
 // story for the Testing Phase).
 //
 // Format sketch (all tokens whitespace-separated, doubles in %.17g):
-//   LEAPS-DETECTOR v1
+//   LEAPS-DETECTOR v2
 //   OPTIONS window=10 lib_cut=0.3 func_cut=0.35 lib_gap=10 func_gap=10
 //   CLUSTERER LIB <unique_sets> <clusters>
 //   SET <cluster_id> <position> <n> <member>...
@@ -15,7 +15,18 @@
 //   MIN <v>... / RANGE <v>...
 //   SVM <kernel> <sigma2> <degree> <coef0> <bias> <sv_count> <dims>
 //   SV <coef> <x>...
+//   THRESHOLD <t>
+//   CONTINUAL            (v2, optional — continual-learning warm-start state)
+//   CFG <edge_count>
+//   E <from> <to>...
+//   TRAINSET <n> <dims>
+//   ROW <y> <c> <alpha> <x>...
 //   END
+//
+// Version compatibility: v1 files (pre-online-learning) still load — they
+// simply carry no CONTINUAL block, so Detector::continual() is null and
+// retraining falls back to a cold start. save_detector always writes v2
+// (the CONTINUAL block only when the detector has the state).
 #pragma once
 
 #include <iosfwd>

@@ -74,6 +74,23 @@ class LeapsPipeline {
   PipelineOptions options_;
 };
 
+/// Everything a later *incremental* retraining run needs to continue from
+/// this detector instead of starting cold (the continual-learning state of
+/// src/online/):
+///   * the benign CFG the weights were assessed against — live benign
+///     traffic merges new edges into it (edges only accumulate),
+///   * the scaled training set the SVM was fit on — new benign windows are
+///     appended to it,
+///   * the full dual solution α aligned with that set — the warm start for
+///     the next SMO run.
+/// Persisted by core/persist (format v2); absent on detectors loaded from
+/// pre-v2 files, which therefore fall back to cold-start retraining.
+struct ContinualState {
+  cfg::AddressGraph benign_cfg;
+  ml::Dataset train;          // scaled rows, labels ±1, weights c_i
+  std::vector<double> alpha;  // size == train.size()
+};
+
 /// A deployed classifier: preprocessing + scaling + (W)SVM, applied to any
 /// partitioned log (the Testing Phase).
 ///
@@ -118,6 +135,16 @@ class Detector {
   const Preprocessor& preprocessor() const { return preprocessor_; }
   const ml::MinMaxScaler& scaler() const { return scaler_; }
 
+  /// Continual-learning state, when this detector carries one (see
+  /// ContinualState). Like calibrate(), set it before publishing the
+  /// detector to other threads; a published `const Detector` stays
+  /// genuinely immutable.
+  const ContinualState* continual() const {
+    return continual_.has_value() ? &*continual_ : nullptr;
+  }
+  void set_continual(ContinualState state) { continual_ = std::move(state); }
+  void clear_continual() { continual_.reset(); }
+
   /// Online scanning: feed events as the tracer produces them; a verdict
   /// (+1 benign / -1 malicious) pops out every `window` events. The stream
   /// borrows the detector, which must outlive it.
@@ -147,6 +174,7 @@ class Detector {
   ml::MinMaxScaler scaler_;
   ml::SvmModel model_;
   double decision_threshold_ = 0.0;
+  std::optional<ContinualState> continual_;
 };
 
 }  // namespace leaps::core

@@ -62,7 +62,8 @@ int SvmModel::predict(const FeatureVector& x) const {
   return decision_value(x) >= 0.0 ? 1 : -1;
 }
 
-SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
+SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats,
+                           const std::vector<double>* warm_alpha) const {
   LEAPS_SPAN("svm.train");
   data.validate();
   const std::size_t n = data.size();
@@ -100,6 +101,44 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
   std::vector<double> alpha(n, 0.0);
   // G_i = Σ_j α_j y_j K_ij (decision value minus bias); all-zero initially.
   std::vector<double> G(n, 0.0);
+
+  // ---- warm start: clamp, repair feasibility, seed the gradient ---------
+  std::size_t warm_nonzero = 0;
+  if (warm_alpha != nullptr && !warm_alpha->empty()) {
+    const std::size_t m = std::min(n, warm_alpha->size());
+    for (std::size_t t = 0; t < m; ++t) {
+      alpha[t] = std::clamp((*warm_alpha)[t], 0.0, C[t]);
+    }
+    // Repair Σ α_i y_i = 0: shave the surplus class down toward zero,
+    // largest entries untouched last so the seed stays close to the old
+    // optimum. (A seed exported from a prefix of this dataset is already
+    // feasible and this loop is a no-op.)
+    double s = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      s += alpha[t] * static_cast<double>(y[t]);
+    }
+    if (std::abs(s) > kAlphaEps) {
+      const int surplus_sign = s > 0.0 ? 1 : -1;
+      for (std::size_t t = 0; t < n && std::abs(s) > kAlphaEps; ++t) {
+        if (y[t] != surplus_sign || alpha[t] <= 0.0) continue;
+        const double take = std::min(alpha[t], std::abs(s));
+        alpha[t] -= take;
+        s -= static_cast<double>(surplus_sign) * take;
+      }
+      // If the box left nothing to shave (all surplus pinned at 0 already),
+      // fall back to a cold start rather than iterate from an infeasible
+      // point.
+      if (std::abs(s) > kAlphaEps) std::fill(alpha.begin(), alpha.end(), 0.0);
+    }
+    // Seed G with one contiguous row sweep per active seed entry.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] <= kAlphaEps) continue;
+      ++warm_nonzero;
+      const double wj = static_cast<double>(y[j]) * alpha[j];
+      const double* Kj = K.row(j);
+      for (std::size_t t = 0; t < n; ++t) G[t] += wj * Kj[t];
+    }
+  }
 
   const std::size_t max_iter =
       params_.max_iterations > 0
@@ -243,6 +282,8 @@ SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats) const {
     stats->support_vectors = svs.size();
     stats->converged = converged;
     stats->objective = objective;
+    stats->alpha = alpha;
+    stats->warm_nonzero = warm_nonzero;
   }
   static obs::Gauge& last_iters = obs::MetricRegistry::global().gauge(
       "leaps_ml_svm_iterations", "SMO iterations of the last SVM training");

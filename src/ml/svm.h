@@ -70,6 +70,14 @@ struct TrainStats {
   std::size_t support_vectors = 0;
   bool converged = false;
   double objective = 0.0;  // final dual objective value
+  /// Full dual solution, aligned with the training-set row order (not just
+  /// the support vectors). Exported so a later retraining run on a grown
+  /// dataset can warm-start SMO from this optimum — the continual-learning
+  /// path in src/online/ depends on it.
+  std::vector<double> alpha;
+  /// Number of strictly-positive entries in the warm-start vector after
+  /// box clamping (0 on a cold start) — diagnostic for warm-start quality.
+  std::size_t warm_nonzero = 0;
 };
 
 class SvmTrainer {
@@ -79,7 +87,17 @@ class SvmTrainer {
   /// Trains on `data` (labels ±1, weights in [0,1]). Requires at least one
   /// sample of each class with positive weight. `stats`, when non-null,
   /// receives solver diagnostics.
-  SvmModel train(const Dataset& data, TrainStats* stats = nullptr) const;
+  ///
+  /// `warm_alpha`, when non-null and non-empty, seeds the SMO solver: entry
+  /// i initializes αᵢ (missing trailing entries — a dataset that grew since
+  /// the alphas were exported — start at 0). The seed is made feasible
+  /// before the first iteration: each αᵢ is clamped into [0, λ·cᵢ] and the
+  /// equality constraint Σ αᵢ yᵢ = 0 is repaired by shaving the surplus
+  /// class, so any exported (or persisted and re-parsed) vector is a legal
+  /// starting point. A warm start never changes the optimum the solver
+  /// converges to — only how many iterations it takes to get there.
+  SvmModel train(const Dataset& data, TrainStats* stats = nullptr,
+                 const std::vector<double>* warm_alpha = nullptr) const;
 
   const SvmParams& params() const { return params_; }
 

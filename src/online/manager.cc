@@ -1,0 +1,253 @@
+#include "online/manager.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace leaps::online {
+
+namespace {
+
+std::shared_ptr<const core::Detector> required_detector(
+    serve::DetectionServer* server, const std::string& profile) {
+  LEAPS_CHECK_MSG(server != nullptr, "online manager needs a server");
+  std::shared_ptr<const core::Detector> d =
+      server->registry().find(profile);
+  LEAPS_CHECK_MSG(d != nullptr,
+                  "online manager: profile not registered: " + profile);
+  return d;
+}
+
+cfg::AddressGraph seed_cfg(const core::Detector& detector) {
+  const core::ContinualState* state = detector.continual();
+  return state != nullptr ? state->benign_cfg : cfg::AddressGraph{};
+}
+
+}  // namespace
+
+OnlineManager::Metrics::Metrics()
+    : windows_observed(obs::MetricRegistry::global().counter(
+          "leaps_online_windows_observed_total",
+          "classified-benign windows fed to the online accumulator")),
+      windows_rejected(obs::MetricRegistry::global().counter(
+          "leaps_online_windows_rejected_total",
+          "windows rejected by the CFG admission floor (poisoning guard)")),
+      retrain_cycles(obs::MetricRegistry::global().counter(
+          "leaps_online_retrain_cycles_total",
+          "completed incremental retrain cycles")),
+      retrain_failures(obs::MetricRegistry::global().counter(
+          "leaps_online_retrain_failures_total",
+          "retrain cycles that produced no candidate")),
+      warm_iterations_saved(obs::MetricRegistry::global().counter(
+          "leaps_online_warm_iterations_saved_total",
+          "SMO iterations saved by warm starts vs measured cold baselines")),
+      shadow_windows(obs::MetricRegistry::global().counter(
+          "leaps_online_shadow_windows_total",
+          "window verdict pairs compared during shadow evaluation")),
+      shadow_disagreements(obs::MetricRegistry::global().counter(
+          "leaps_online_shadow_disagreements_total",
+          "shadow verdict pairs where candidate and incumbent disagreed")),
+      promotions(obs::MetricRegistry::global().counter(
+          "leaps_online_promotions_total",
+          "candidates promoted to active via the registry snapshot swap")),
+      rollbacks(obs::MetricRegistry::global().counter(
+          "leaps_online_rollbacks_total",
+          "candidates rolled back into quarantine")),
+      cfg_edges(obs::MetricRegistry::global().gauge(
+          "leaps_online_cfg_edges_added",
+          "edges the accumulator has merged into the benign CFG")) {}
+
+OnlineManager::OnlineManager(serve::DetectionServer* server,
+                             OnlineOptions options)
+    : server_(server),
+      options_(std::move(options)),
+      metrics_(),
+      accumulator_(seed_cfg(*required_detector(server, options_.profile)),
+                   options_.accumulator),
+      scheduler_(required_detector(server, options_.profile), &accumulator_,
+                 options_.retrain) {}
+
+OnlineManager::~OnlineManager() { stop(); }
+
+void OnlineManager::install() {
+  server_->set_window_tap(
+      [this](const serve::SessionKey& /*key*/, int label,
+             const trace::PartitionedEvent* events, std::size_t count) {
+        if (!learnable(label)) return;
+        metrics_.windows_observed.inc();
+        accumulator_.observe_window(events, count);
+      });
+}
+
+void OnlineManager::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void OnlineManager::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_.store(false);
+  // Conclude a shadow still in flight by its evidence so far: promotion
+  // still requires an affirmative gate pass, anything else rolls back.
+  std::shared_ptr<ShadowEvaluator> evaluator;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    evaluator = evaluator_;
+  }
+  if (evaluator != nullptr) {
+    conclude_shadow(evaluator->decision() == RolloverDecision::kPromote);
+  }
+}
+
+void OnlineManager::run() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_) {
+    wake_cv_.wait_for(lock, options_.poll_interval,
+                      [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    poll_once();
+    lock.lock();
+  }
+}
+
+void OnlineManager::poll_once() {
+  // Export accumulator progress (counters advance by delta; see header).
+  const AccumulatorStats acc = accumulator_.stats();
+  if (acc.windows_rejected > synced_rejected_) {
+    metrics_.windows_rejected.inc(acc.windows_rejected - synced_rejected_);
+    synced_rejected_ = acc.windows_rejected;
+  }
+  metrics_.cfg_edges.set(static_cast<std::int64_t>(acc.edges_added));
+
+  std::shared_ptr<ShadowEvaluator> evaluator;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    evaluator = evaluator_;
+  }
+  if (evaluator != nullptr) {
+    const DiffStats s = evaluator->stats();
+    if (s.compared > synced_shadow_windows_) {
+      metrics_.shadow_windows.inc(s.compared - synced_shadow_windows_);
+      synced_shadow_windows_ = s.compared;
+    }
+    if (s.disagreements > synced_shadow_disagreements_) {
+      metrics_.shadow_disagreements.inc(s.disagreements -
+                                        synced_shadow_disagreements_);
+      synced_shadow_disagreements_ = s.disagreements;
+    }
+    const RolloverDecision decision = evaluator->decision();
+    if (decision != RolloverDecision::kUndecided) {
+      conclude_shadow(decision == RolloverDecision::kPromote);
+    }
+    return;
+  }
+  maybe_retrain();
+}
+
+void OnlineManager::maybe_retrain() {
+  if (!scheduler_.due()) return;
+  LEAPS_SPAN("online.cycle");
+  const RetrainResult result = scheduler_.retrain();
+  if (result.candidate == nullptr) {
+    metrics_.retrain_failures.inc();
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++retrain_failures_;
+    last_error_ = result.error;
+    return;
+  }
+  metrics_.retrain_cycles.inc();
+  metrics_.warm_iterations_saved.inc(result.iterations_saved);
+  auto evaluator = std::make_shared<ShadowEvaluator>(options_.gates);
+  serve::ShadowSink sink =
+      [evaluator](const serve::SessionKey& key, int active_label,
+                  int shadow_label, std::uint64_t active_ns,
+                  std::uint64_t shadow_ns) {
+        evaluator->record(key, active_label, shadow_label, active_ns,
+                          shadow_ns);
+      };
+  if (!server_->begin_shadow(options_.profile, result.candidate,
+                             std::move(sink))) {
+    metrics_.retrain_failures.inc();
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++retrain_failures_;
+    last_error_ = "begin_shadow refused (profile gone or already shadowing)";
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  warm_saved_ += result.iterations_saved;
+  last_warm_ = result.warm_iterations;
+  last_cold_ = result.cold_iterations;
+  evaluator_ = std::move(evaluator);
+  candidate_ = result.candidate;
+  synced_shadow_windows_ = 0;
+  synced_shadow_disagreements_ = 0;
+}
+
+void OnlineManager::conclude_shadow(bool promote) {
+  std::shared_ptr<ShadowEvaluator> evaluator;
+  std::shared_ptr<const core::Detector> candidate;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    evaluator = evaluator_;
+    candidate = candidate_;
+  }
+  if (evaluator == nullptr) return;
+  const DiffStats final_stats = evaluator->stats();
+  if (final_stats.compared > synced_shadow_windows_) {
+    metrics_.shadow_windows.inc(final_stats.compared -
+                                synced_shadow_windows_);
+    synced_shadow_windows_ = final_stats.compared;
+  }
+  if (final_stats.disagreements > synced_shadow_disagreements_) {
+    metrics_.shadow_disagreements.inc(final_stats.disagreements -
+                                      synced_shadow_disagreements_);
+    synced_shadow_disagreements_ = final_stats.disagreements;
+  }
+  // end_shadow retakes every session mutex to detach — this is why the
+  // decision is acted on here (manager thread) and never in the sink.
+  server_->end_shadow(options_.profile, promote);
+  if (promote && candidate != nullptr) scheduler_.adopt(candidate);
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_shadow_ = final_stats;
+  if (promote) {
+    ++promotions_;
+    metrics_.promotions.inc();
+  } else {
+    ++rollbacks_;
+    metrics_.rollbacks.inc();
+  }
+  evaluator_.reset();
+  candidate_.reset();
+}
+
+OnlineReport OnlineManager::report() const {
+  OnlineReport r;
+  r.accumulator = accumulator_.stats();
+  r.retrain_cycles = scheduler_.cycles();
+  const std::lock_guard<std::mutex> lock(mu_);
+  r.phase = evaluator_ != nullptr ? "shadowing" : "accumulating";
+  r.retrain_failures = retrain_failures_;
+  r.warm_iterations_saved = warm_saved_;
+  r.last_warm_iterations = last_warm_;
+  r.last_cold_iterations = last_cold_;
+  r.promotions = promotions_;
+  r.rollbacks = rollbacks_;
+  r.shadow = evaluator_ != nullptr ? evaluator_->stats() : last_shadow_;
+  r.last_error = last_error_;
+  return r;
+}
+
+}  // namespace leaps::online

@@ -1,0 +1,147 @@
+// OnlineManager — the continuous-learning control loop.
+//
+// Ties the pieces into one state machine per served profile:
+//
+//   accumulating ──(retrain due)──▶ training ──▶ shadowing
+//        ▲                                            │
+//        └──── promote (RCU swap + adopt) ◀── gates ──┤
+//        └──── rollback (quarantine)       ◀──────────┘
+//
+// install() hooks the server's WindowTap (classified-benign windows feed
+// the OnlineCfgAccumulator); start() spawns the manager thread, which
+// polls the retrain trigger and — crucially — the shadow decision. The
+// decision is never taken inside the ShadowSink: sinks run under session
+// mutexes on worker threads, and ending a shadow retakes every session's
+// mutex to detach, so acting in the sink would deadlock. The manager
+// thread is the only place promote/rollback happens.
+//
+// Every counter is created eagerly in the constructor so a metrics dump
+// taken before any retrain still shows the online subsystem at zero —
+// absence of a metric and a zero metric must not look the same.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+#include "online/accumulator.h"
+#include "online/retrain.h"
+#include "online/shadow.h"
+#include "serve/server.h"
+
+namespace leaps::online {
+
+struct OnlineOptions {
+  /// The registry profile this manager learns for.
+  std::string profile = "default";
+  AccumulatorOptions accumulator;
+  RetrainConfig retrain;
+  RolloverGates gates;
+  /// Manager-thread poll cadence (retrain trigger + shadow decision).
+  std::chrono::milliseconds poll_interval{100};
+};
+
+struct OnlineReport {
+  std::string phase;  // "accumulating" | "shadowing"
+  AccumulatorStats accumulator;
+  std::uint64_t retrain_cycles = 0;
+  std::uint64_t retrain_failures = 0;
+  std::uint64_t warm_iterations_saved = 0;  // summed over cycles
+  std::uint64_t last_warm_iterations = 0;
+  std::uint64_t last_cold_iterations = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  DiffStats shadow;  // current (or final) shadow comparison
+  std::string last_error;
+};
+
+class OnlineManager {
+ public:
+  /// `server` must outlive the manager. The profile's detector must be
+  /// registered before install(); its ContinualState (if any) seeds the
+  /// accumulator's CFG.
+  OnlineManager(serve::DetectionServer* server, OnlineOptions options);
+  ~OnlineManager();
+
+  OnlineManager(const OnlineManager&) = delete;
+  OnlineManager& operator=(const OnlineManager&) = delete;
+
+  /// Hooks the server's window tap. Must run before server->start().
+  void install();
+
+  /// Spawns the manager thread. Call after server->start().
+  void start();
+
+  /// Concludes an in-flight shadow (by its current evidence: promote only
+  /// on a kPromote decision), joins the manager thread. Idempotent.
+  void stop();
+
+  /// One control-loop step, callable directly for deterministic drives
+  /// (tests, tools): triggers a due retrain, starts/concludes shadows.
+  void poll_once();
+
+  OnlineReport report() const;
+  bool shadowing() const { return server_->shadowing(options_.profile); }
+  const OnlineOptions& options() const { return options_; }
+
+ private:
+  struct Metrics {
+    obs::Counter& windows_observed;
+    obs::Counter& windows_rejected;
+    obs::Counter& retrain_cycles;
+    obs::Counter& retrain_failures;
+    obs::Counter& warm_iterations_saved;
+    obs::Counter& shadow_windows;
+    obs::Counter& shadow_disagreements;
+    obs::Counter& promotions;
+    obs::Counter& rollbacks;
+    obs::Gauge& cfg_edges;
+    Metrics();
+  };
+
+  void run();
+  void maybe_retrain();                  // accumulating → shadowing
+  void conclude_shadow(bool promote);    // shadowing → accumulating
+
+  serve::DetectionServer* const server_;
+  const OnlineOptions options_;
+  Metrics metrics_;
+  OnlineCfgAccumulator accumulator_;
+  RetrainScheduler scheduler_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<ShadowEvaluator> evaluator_;           // guarded by mu_
+  std::shared_ptr<const core::Detector> candidate_;      // guarded by mu_
+  std::uint64_t retrain_failures_ = 0;                   // guarded by mu_
+  std::uint64_t warm_saved_ = 0;                         // guarded by mu_
+  std::uint64_t last_warm_ = 0;                          // guarded by mu_
+  std::uint64_t last_cold_ = 0;                          // guarded by mu_
+  std::uint64_t promotions_ = 0;                         // guarded by mu_
+  std::uint64_t rollbacks_ = 0;                          // guarded by mu_
+  DiffStats last_shadow_;                                // guarded by mu_
+  std::string last_error_;                               // guarded by mu_
+  // Counter sync marks (counters only increment; these remember how much
+  // of each underlying stat has already been exported). Manager thread /
+  // poll_once callers only.
+  std::uint64_t synced_rejected_ = 0;
+  std::uint64_t synced_shadow_windows_ = 0;
+  std::uint64_t synced_shadow_disagreements_ = 0;
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  // guarded by wake_mu_
+  std::atomic<bool> started_{false};
+};
+
+/// Helper for the tap closure: true for windows the accumulator should
+/// learn from (classified benign by the active detector).
+inline bool learnable(int label) { return label == 1; }
+
+}  // namespace leaps::online

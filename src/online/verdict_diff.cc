@@ -1,0 +1,22 @@
+#include "online/verdict_diff.h"
+
+#include <algorithm>
+
+namespace leaps::online {
+
+SequenceDiff diff_sequences(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  SequenceDiff d;
+  d.compared = std::min(a.size(), b.size());
+  d.length_delta = a.size() > b.size() ? a.size() - b.size()
+                                       : b.size() - a.size();
+  for (std::size_t i = 0; i < d.compared; ++i) {
+    if (a[i] != b[i]) {
+      ++d.disagreements;
+      d.mismatch_indices.push_back(i);
+    }
+  }
+  return d;
+}
+
+}  // namespace leaps::online

@@ -1,0 +1,104 @@
+// Verdict diffing: the comparison primitive of shadow evaluation.
+//
+// Two classifiers looking at the same traffic either agree window-for-
+// window or they do not, and "how much they disagree" is the entire
+// promotion question of a shadow rollover. VerdictDiff accumulates
+// (active, shadow) verdict pairs concurrently from many sessions —
+// lock-free, one atomic bump per pair — and exposes the running
+// disagreement rate plus the per-model classification cost, which the
+// rollover gates (online/shadow.h) read.
+//
+// diff_sequences() is the offline form of the same idea: align two verdict
+// sequences positionally and report where they diverge. It generalizes the
+// steady-vs-baseline comparison the chaos harness (tools/leaps-chaos) does
+// by hand, and is what the `leaps-rollover diff` subcommand prints.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace leaps::online {
+
+/// Snapshot of an accumulating diff (see VerdictDiff::stats).
+struct DiffStats {
+  std::uint64_t compared = 0;       // verdict pairs seen
+  std::uint64_t disagreements = 0;  // pairs with active != shadow
+  // Aggregate per-window classification cost of each model.
+  std::uint64_t active_ns = 0;
+  std::uint64_t shadow_ns = 0;
+
+  double disagreement_rate() const {
+    return compared == 0
+               ? 0.0
+               : static_cast<double>(disagreements) /
+                     static_cast<double>(compared);
+  }
+  /// shadow cost / active cost; 1.0 when either side has no samples yet.
+  double latency_ratio() const {
+    if (active_ns == 0 || shadow_ns == 0) return 1.0;
+    return static_cast<double>(shadow_ns) / static_cast<double>(active_ns);
+  }
+};
+
+/// Thread-safe accumulator of (active, shadow) verdict pairs. record() is
+/// wait-free (relaxed atomics) — safe to call from the serving path under
+/// session mutexes.
+class VerdictDiff {
+ public:
+  void record(int active_label, int shadow_label, std::uint64_t active_ns,
+              std::uint64_t shadow_ns) {
+    compared_.fetch_add(1, std::memory_order_relaxed);
+    if (active_label != shadow_label) {
+      disagreements_.fetch_add(1, std::memory_order_relaxed);
+    }
+    active_ns_.fetch_add(active_ns, std::memory_order_relaxed);
+    shadow_ns_.fetch_add(shadow_ns, std::memory_order_relaxed);
+  }
+
+  DiffStats stats() const {
+    DiffStats s;
+    s.compared = compared_.load(std::memory_order_relaxed);
+    s.disagreements = disagreements_.load(std::memory_order_relaxed);
+    s.active_ns = active_ns_.load(std::memory_order_relaxed);
+    s.shadow_ns = shadow_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    compared_.store(0, std::memory_order_relaxed);
+    disagreements_.store(0, std::memory_order_relaxed);
+    active_ns_.store(0, std::memory_order_relaxed);
+    shadow_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> compared_{0};
+  std::atomic<std::uint64_t> disagreements_{0};
+  std::atomic<std::uint64_t> active_ns_{0};
+  std::atomic<std::uint64_t> shadow_ns_{0};
+};
+
+/// Positional diff of two whole verdict sequences (+1/-1 labels).
+struct SequenceDiff {
+  std::size_t compared = 0;       // min(a.size(), b.size())
+  std::size_t disagreements = 0;  // positions where a[i] != b[i]
+  std::size_t length_delta = 0;   // |a.size() - b.size()|
+  std::vector<std::size_t> mismatch_indices;
+
+  bool identical() const { return disagreements == 0 && length_delta == 0; }
+  double disagreement_rate() const {
+    return compared == 0
+               ? 0.0
+               : static_cast<double>(disagreements) /
+                     static_cast<double>(compared);
+  }
+};
+
+/// Compares the overlapping prefix position-by-position; extra trailing
+/// verdicts on either side count toward length_delta, not disagreements.
+SequenceDiff diff_sequences(const std::vector<int>& a,
+                            const std::vector<int>& b);
+
+}  // namespace leaps::online

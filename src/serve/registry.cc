@@ -62,4 +62,56 @@ std::size_t DetectorRegistry::size() const {
   return detectors_.size();
 }
 
+bool DetectorRegistry::begin_shadow(
+    const std::string& profile,
+    std::shared_ptr<const core::Detector> candidate) {
+  LEAPS_CHECK_MSG(candidate != nullptr, "shadow candidate must not be null");
+  const std::unique_lock lock(mu_);
+  if (detectors_.count(profile) == 0) return false;
+  const auto [it, inserted] = shadows_.emplace(profile, std::move(candidate));
+  return inserted;
+}
+
+std::shared_ptr<const core::Detector> DetectorRegistry::shadow_candidate(
+    const std::string& profile) const {
+  const std::shared_lock lock(mu_);
+  const auto it = shadows_.find(profile);
+  return it == shadows_.end() ? nullptr : it->second;
+}
+
+bool DetectorRegistry::promote_shadow(const std::string& profile) {
+  const std::unique_lock lock(mu_);
+  const auto it = shadows_.find(profile);
+  if (it == shadows_.end()) return false;
+  // The same snapshot swap as add(): sessions opened before this keep the
+  // detector they pinned; the promoted model serves everyone after.
+  detectors_[profile] = std::move(it->second);
+  shadows_.erase(it);
+  return true;
+}
+
+bool DetectorRegistry::rollback_shadow(const std::string& profile) {
+  const std::unique_lock lock(mu_);
+  const auto it = shadows_.find(profile);
+  if (it == shadows_.end()) return false;
+  quarantined_[profile].push_back(std::move(it->second));
+  shadows_.erase(it);
+  return true;
+}
+
+std::size_t DetectorRegistry::quarantined_count(
+    const std::string& profile) const {
+  const std::shared_lock lock(mu_);
+  const auto it = quarantined_.find(profile);
+  return it == quarantined_.end() ? 0 : it->second.size();
+}
+
+std::shared_ptr<const core::Detector> DetectorRegistry::last_quarantined(
+    const std::string& profile) const {
+  const std::shared_lock lock(mu_);
+  const auto it = quarantined_.find(profile);
+  if (it == quarantined_.end() || it->second.empty()) return nullptr;
+  return it->second.back();
+}
+
 }  // namespace leaps::serve

@@ -40,9 +40,37 @@ class DetectorRegistry {
   std::vector<std::string> profiles() const;
   std::size_t size() const;
 
+  // --- shadow rollover (src/online/) ------------------------------------
+  // A candidate detector rides alongside the active one for `profile`
+  // until the evaluation decides: promote_shadow() publishes it with the
+  // same RCU snapshot swap as add() (live sessions keep their pinned
+  // detector; new sessions get the promoted one), rollback_shadow() moves
+  // it to the profile's quarantine list so operators can inspect what was
+  // rejected and why it never served.
+
+  /// Stages `candidate` as the shadow for `profile`. False (no-op) when
+  /// the profile is absent or already has a shadow in flight.
+  bool begin_shadow(const std::string& profile,
+                    std::shared_ptr<const core::Detector> candidate);
+  /// The in-flight shadow candidate; nullptr when none.
+  std::shared_ptr<const core::Detector> shadow_candidate(
+      const std::string& profile) const;
+  /// Publishes the shadow as the active detector. False when none staged.
+  bool promote_shadow(const std::string& profile);
+  /// Rejects the shadow, appending it to the quarantine list. False when
+  /// none staged.
+  bool rollback_shadow(const std::string& profile);
+  std::size_t quarantined_count(const std::string& profile) const;
+  /// Most recently quarantined candidate; nullptr when none.
+  std::shared_ptr<const core::Detector> last_quarantined(
+      const std::string& profile) const;
+
  private:
   mutable std::shared_mutex mu_;
   std::map<std::string, std::shared_ptr<const core::Detector>> detectors_;
+  std::map<std::string, std::shared_ptr<const core::Detector>> shadows_;
+  std::map<std::string, std::vector<std::shared_ptr<const core::Detector>>>
+      quarantined_;
 };
 
 }  // namespace leaps::serve

@@ -43,6 +43,46 @@ void DetectionServer::set_verdict_sink(VerdictSink sink) {
   sink_ = std::move(sink);
 }
 
+void DetectionServer::set_window_tap(WindowTap tap) {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  LEAPS_CHECK_MSG(!started_, "set the window tap before start()");
+  tap_ = std::move(tap);
+}
+
+bool DetectionServer::begin_shadow(
+    const std::string& profile,
+    std::shared_ptr<const core::Detector> candidate, ShadowSink sink) {
+  LEAPS_CHECK_MSG(sink, "begin_shadow needs a sink");
+  auto shared_sink = std::make_shared<const ShadowSink>(std::move(sink));
+  {
+    // Stage candidate and sink atomically w.r.t. the open_session
+    // auto-attach: an opener that sees the candidate must find the sink.
+    const std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (!registry_.begin_shadow(profile, candidate)) return false;
+    shadow_sinks_[profile] = shared_sink;
+  }
+  for (const auto& session : sessions_.sessions_for(profile)) {
+    session->attach_shadow(candidate, shared_sink);
+  }
+  return true;
+}
+
+bool DetectionServer::end_shadow(const std::string& profile, bool promote) {
+  {
+    const std::lock_guard<std::mutex> lock(shadow_mu_);
+    const bool ok = promote ? registry_.promote_shadow(profile)
+                            : registry_.rollback_shadow(profile);
+    if (!ok) return false;
+    shadow_sinks_.erase(profile);
+  }
+  // With the candidate gone from the registry no new session can attach,
+  // so this sweep leaves nothing shadowed behind it.
+  for (const auto& session : sessions_.sessions_for(profile)) {
+    session->detach_shadow();
+  }
+  return true;
+}
+
 void DetectionServer::start() {
   const std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return;
@@ -95,7 +135,28 @@ std::shared_ptr<Session> DetectionServer::open_session(
     std::this_thread::sleep_for(backoff);
     session = sessions_.open(key, profile);
   }
-  if (session != nullptr) metrics_.sessions_opened.fetch_add(1, kRelaxed);
+  if (session != nullptr) {
+    metrics_.sessions_opened.fetch_add(1, kRelaxed);
+    // Auto-attach while a shadow rollover is in flight for the profile.
+    std::shared_ptr<const core::Detector> candidate =
+        registry_.shadow_candidate(profile);
+    if (candidate != nullptr) {
+      std::shared_ptr<const ShadowSink> sink;
+      {
+        const std::lock_guard<std::mutex> lock(shadow_mu_);
+        const auto it = shadow_sinks_.find(profile);
+        if (it != shadow_sinks_.end()) sink = it->second;
+      }
+      if (sink != nullptr) {
+        session->attach_shadow(candidate, sink);
+        // end_shadow may have swept between our lookup and the attach;
+        // never leave a stale shadow on a session it could not see.
+        if (registry_.shadow_candidate(profile) != candidate) {
+          session->detach_shadow();
+        }
+      }
+    }
+  }
   return session;
 }
 
@@ -224,7 +285,8 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
       try {
         outcome = batch[i].session->feed_run(run.data(), run.size(),
                                              verdicts,
-                                             options_.circuit_breaker);
+                                             options_.circuit_breaker,
+                                             tap_ ? &tap_ : nullptr);
       } catch (...) {
         // feed_run guards each event, so reaching here means something
         // escaped even that (e.g. a throwing verdict copy). Quarantine

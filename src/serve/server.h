@@ -49,8 +49,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,32 @@ class DetectionServer {
   /// Install before start(); called from workers for every verdict.
   void set_verdict_sink(VerdictSink sink);
 
+  /// Install before start(); observes every completed window on the worker
+  /// path with its raw events (the online-learning feed, see WindowTap).
+  void set_window_tap(WindowTap tap);
+
+  /// Stages `candidate` as the shadow for `profile` (see
+  /// DetectorRegistry::begin_shadow) and attaches a shadow stream to every
+  /// live session of the profile; sessions opened while the shadow is in
+  /// flight attach automatically. `sink` receives one (active, shadow)
+  /// verdict pair per aligned window. Returns false when the profile is
+  /// absent or already has a shadow in flight.
+  bool begin_shadow(const std::string& profile,
+                    std::shared_ptr<const core::Detector> candidate,
+                    ShadowSink sink);
+
+  /// Concludes the rollover: detaches every shadow stream, then either
+  /// promotes the candidate into the registry (the RCU snapshot swap —
+  /// zero downtime, live sessions keep serving on their pinned detector)
+  /// or rolls it back into the profile's quarantine list. Returns false
+  /// when no shadow is in flight.
+  bool end_shadow(const std::string& profile, bool promote);
+
+  /// Whether a shadow rollover is in flight for `profile`.
+  bool shadowing(const std::string& profile) const {
+    return registry_.shadow_candidate(profile) != nullptr;
+  }
+
   /// Spawns the worker pool (and the idle sweeper when idle_ttl > 0).
   /// Events submitted before start() sit in the shard queues and are
   /// drained once workers come up.
@@ -174,6 +202,10 @@ class DetectionServer {
   SessionManager sessions_{&registry_};
   ServerMetrics metrics_;
   VerdictSink sink_;
+  WindowTap tap_;  // set before start(), then read-only from workers
+  // Serializes begin/end shadow against the open_session auto-attach.
+  mutable std::mutex shadow_mu_;
+  std::map<std::string, std::shared_ptr<const ShadowSink>> shadow_sinks_;
   std::vector<std::unique_ptr<BoundedQueue<Item>>> shards_;
   std::vector<std::thread> workers_;
   std::thread sweeper_;

@@ -47,9 +47,13 @@ std::optional<Verdict> Session::feed(const trace::PartitionedEvent& event) {
 
 RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
                              std::size_t count, std::vector<Verdict>& out,
-                             std::size_t breaker_threshold) {
+                             std::size_t breaker_threshold,
+                             const WindowTap* tap) {
   const std::lock_guard<std::mutex> lock(mu_);
   touch();
+  // An untapped call invalidates any partially-buffered window: the buffer
+  // would no longer span contiguous events, so restart at a boundary.
+  if (tap == nullptr && !tap_buf_.empty()) tap_buf_.clear();
   RunOutcome outcome;
   for (std::size_t i = 0; i < count; ++i) {
     if (quarantined()) {
@@ -58,12 +62,58 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
     }
     try {
       LEAPS_FAULT_POINT_DETAIL("serve.worker.classify", key_string_);
-      const std::optional<int> label = stream_.push(*events[i]);
+      std::optional<int> label;
+      std::optional<int> shadow_label;
+      if (shadow_ != nullptr) {
+        if (!shadow_->aligned && stream_.pending_events() == 0) {
+          shadow_->aligned = true;
+        }
+        if (shadow_->aligned) {
+          const auto a0 = std::chrono::steady_clock::now();
+          label = stream_.push(*events[i]);
+          const auto a1 = std::chrono::steady_clock::now();
+          shadow_->active_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(a1 - a0)
+                  .count());
+          try {
+            const auto s0 = std::chrono::steady_clock::now();
+            shadow_label = shadow_->stream.push(*events[i]);
+            const auto s1 = std::chrono::steady_clock::now();
+            shadow_->shadow_ns += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+                    .count());
+          } catch (...) {
+            // A candidate that chokes on live traffic disqualifies itself:
+            // drop the shadow, leave the session and active stream alone.
+            shadow_.reset();
+            shadow_label.reset();
+          }
+        } else {
+          label = stream_.push(*events[i]);
+        }
+      } else {
+        label = stream_.push(*events[i]);
+      }
       consecutive_failures_ = 0;
       ++outcome.processed;
+      if (tap != nullptr) tap_buf_.push_back(*events[i]);
       if (label.has_value()) {
         out.push_back(
             Verdict{stream_.tally().window_labels.size() - 1, *label});
+        if (shadow_ != nullptr && shadow_label.has_value()) {
+          (*shadow_->sink)(key_, *label, *shadow_label, shadow_->active_ns,
+                           shadow_->shadow_ns);
+          shadow_->active_ns = 0;
+          shadow_->shadow_ns = 0;
+        }
+        if (tap != nullptr) {
+          // Report only full windows: a buffer started mid-window is short
+          // at its first verdict and merely resynchronizes here.
+          if (tap_buf_.size() == detector_->preprocessor().window()) {
+            (*tap)(key_, *label, tap_buf_.data(), tap_buf_.size());
+          }
+          tap_buf_.clear();
+        }
       }
     } catch (...) {
       // Poison event (or injected fault): the event is lost, the stream
@@ -80,6 +130,29 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
     }
   }
   return outcome;
+}
+
+bool Session::attach_shadow(std::shared_ptr<const core::Detector> candidate,
+                            std::shared_ptr<const ShadowSink> sink) {
+  LEAPS_CHECK_MSG(candidate != nullptr, "shadow needs a detector");
+  LEAPS_CHECK_MSG(sink != nullptr && *sink, "shadow needs a sink");
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (shadow_ != nullptr) return false;
+  shadow_ = std::make_unique<ShadowState>(std::move(candidate),
+                                          std::move(sink));
+  return true;
+}
+
+bool Session::detach_shadow() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (shadow_ == nullptr) return false;
+  shadow_.reset();
+  return true;
+}
+
+bool Session::has_shadow() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return shadow_ != nullptr;
 }
 
 SessionReport Session::report() const {
@@ -176,6 +249,16 @@ std::vector<SessionReport> SessionManager::reports() const {
   std::vector<SessionReport> out;
   out.reserve(live.size());
   for (const auto& s : live) out.push_back(s->report());
+  return out;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::sessions_for(
+    const std::string& profile) const {
+  std::vector<std::shared_ptr<Session>> out;
+  const std::shared_lock lock(mu_);
+  for (const auto& [_, s] : sessions_) {
+    if (s->profile() == profile) out.push_back(s);
+  }
   return out;
 }
 

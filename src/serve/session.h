@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,24 @@ struct Verdict {
   std::size_t window_index = 0;
   int label = 0;  // +1 benign / -1 malicious
 };
+
+/// Observes every *completed* window on the worker path, with the raw
+/// events that formed it — the feed of the online-learning accumulator
+/// (src/online/). Called under the session mutex from worker threads: must
+/// be thread-safe, cheap, and must not throw or call back into the session.
+/// `events` points at `count` buffered copies valid only for the call.
+using WindowTap =
+    std::function<void(const SessionKey& key, int label,
+                       const trace::PartitionedEvent* events,
+                       std::size_t count)>;
+
+/// Receives one (active, shadow) verdict pair per window while a candidate
+/// detector shadows a session, plus the accumulated per-window
+/// classification cost of each model in nanoseconds. Same calling
+/// constraints as WindowTap.
+using ShadowSink = std::function<void(
+    const SessionKey& key, int active_label, int shadow_label,
+    std::uint64_t active_ns, std::uint64_t shadow_ns)>;
 
 /// Per-event accounting for one guarded feed_run call.
 /// processed + failed + skipped always equals the run length.
@@ -93,9 +112,26 @@ class Session {
   /// individually guarded: one that throws is counted as failed, and
   /// `breaker_threshold` consecutive failures quarantine the session
   /// (0 disables the breaker — failures never quarantine).
+  /// `tap`, when non-null, observes every completed window (see WindowTap);
+  /// the session buffers the window's events only while a tap is passed.
   RunOutcome feed_run(const trace::PartitionedEvent* const* events,
                       std::size_t count, std::vector<Verdict>& out,
-                      std::size_t breaker_threshold);
+                      std::size_t breaker_threshold,
+                      const WindowTap* tap = nullptr);
+
+  /// Attaches a candidate detector that classifies this session's traffic
+  /// in parallel with the active one (shadow deploy). The shadow stream
+  /// starts at the next window boundary so its verdicts stay
+  /// window-for-window comparable with the active stream's; from then on
+  /// every completed window reports an (active, shadow) verdict pair to
+  /// `sink`. Returns false when a shadow is already attached. An event
+  /// that makes the *shadow* throw detaches it (the active stream and the
+  /// session are unaffected — a bad candidate must never hurt serving).
+  bool attach_shadow(std::shared_ptr<const core::Detector> candidate,
+                     std::shared_ptr<const ShadowSink> sink);
+  /// Drops the shadow stream, if any. Returns true if one was attached.
+  bool detach_shadow();
+  bool has_shadow() const;
 
   SessionReport report() const;
   const SessionKey& key() const { return key_; }
@@ -121,6 +157,24 @@ class Session {
   }
 
  private:
+  // Shadow-deploy state (guarded by mu_). The candidate's stream exists
+  // from attach but only starts consuming events once `aligned` flips true
+  // — at the first event that begins a fresh active window — so both
+  // streams complete windows in lockstep.
+  struct ShadowState {
+    std::shared_ptr<const core::Detector> detector;
+    core::Detector::Stream stream;
+    std::shared_ptr<const ShadowSink> sink;
+    bool aligned = false;
+    std::uint64_t active_ns = 0;  // per-window classification cost
+    std::uint64_t shadow_ns = 0;  // accumulators, reset on each pair
+
+    ShadowState(std::shared_ptr<const core::Detector> d,
+                std::shared_ptr<const ShadowSink> s)
+        : detector(std::move(d)), stream(detector->stream()),
+          sink(std::move(s)) {}
+  };
+
   void touch() {
     last_active_.store(
         std::chrono::steady_clock::now().time_since_epoch().count(),
@@ -138,6 +192,10 @@ class Session {
   core::Detector::Stream stream_;      // guarded by mu_
   std::size_t consecutive_failures_ = 0;  // guarded by mu_
   std::size_t failed_events_ = 0;         // guarded by mu_
+  std::unique_ptr<ShadowState> shadow_;   // guarded by mu_
+  // Window-event buffer for the tap; filled only on tapped feed_run calls,
+  // and only with events since the last window boundary (guarded by mu_).
+  std::vector<trace::PartitionedEvent> tap_buf_;
 };
 
 /// Owns the live sessions; thread-safe open/find/close.
@@ -169,6 +227,11 @@ class SessionManager {
   std::size_t active() const;
   /// Reports for every live session, in key order.
   std::vector<SessionReport> reports() const;
+
+  /// Snapshot of the live sessions serving `profile` (for shadow
+  /// attach/detach sweeps; the shared_ptrs keep them valid lock-free).
+  std::vector<std::shared_ptr<Session>> sessions_for(
+      const std::string& profile) const;
 
  private:
   const DetectorRegistry* registry_;

@@ -27,9 +27,12 @@ inline trace::PartitionedLog partition_raw(const trace::RawLog& raw) {
   return trace::StackPartitioner(t.log.process_name).partition(t.log);
 }
 
+/// `with_continual` attaches the ContinualState (benign CFG + scaled train
+/// set + dual solution) that the online-learning tests retrain from.
 inline TrainedDetector train_small_detector(
     const std::string& scenario = "vim_reverse_tcp_online",
-    std::size_t events = 1500, std::uint64_t seed = 7) {
+    std::size_t events = 1500, std::uint64_t seed = 7,
+    bool with_continual = false) {
   sim::SimConfig cfg;
   cfg.benign_events = events;
   cfg.mixed_events = events * 3 / 4;
@@ -50,9 +53,18 @@ inline TrainedDetector train_small_detector(
   ml::MinMaxScaler scaler;
   scaler.fit(train.X);
   scaler.transform_in_place(train);
-  const ml::SvmModel model = ml::SvmTrainer({}).train(train);
-  out.detector = std::make_shared<const core::Detector>(td.preprocessor,
-                                                        scaler, model);
+  ml::TrainStats stats;
+  const ml::SvmModel model = ml::SvmTrainer({}).train(train, &stats);
+  auto detector =
+      std::make_shared<core::Detector>(td.preprocessor, scaler, model);
+  if (with_continual) {
+    core::ContinualState continual;
+    continual.benign_cfg = td.benign_cfg.graph;
+    continual.train = std::move(train);
+    continual.alpha = std::move(stats.alpha);
+    detector->set_continual(std::move(continual));
+  }
+  out.detector = std::move(detector);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/persist.h"
+#include "detector_fixture.h"
 #include "ml/cross_validation.h"
 #include "sim/scenario.h"
 #include "trace/parser.h"
@@ -92,7 +93,7 @@ TEST(Persist, SerializedFormIsStableText) {
   save_detector(f.detector, a);
   save_detector(f.detector, b);
   EXPECT_EQ(a.str(), b.str());
-  EXPECT_EQ(a.str().rfind("LEAPS-DETECTOR v1", 0), 0u);  // header
+  EXPECT_EQ(a.str().rfind("LEAPS-DETECTOR v2", 0), 0u);  // header
 }
 
 TEST(Persist, FileRoundTrip) {
@@ -139,6 +140,99 @@ TEST(Persist, RejectsInconsistentDimensions) {
 TEST(Persist, MissingFileThrows) {
   EXPECT_THROW(load_detector_file("/nonexistent/detector.txt"),
                PersistError);
+}
+
+// --- v2 continual-learning block (src/online/) ----------------------------
+
+TEST(Persist, V1FileLoadsAsColdStartFallback) {
+  // A pre-online-learning (v1) model file is exactly a v2 file without the
+  // CONTINUAL block. It must still load — predictions intact — and yield a
+  // detector with no continual state, which the online path treats as
+  // "retrain offline" (RetrainScheduler::can_retrain() == false).
+  const Fixture f = Fixture::make();
+  ASSERT_EQ(f.detector.continual(), nullptr);
+  std::stringstream buffer;
+  save_detector(f.detector, buffer);
+  std::string text = buffer.str();
+  ASSERT_EQ(text.rfind("LEAPS-DETECTOR v2", 0), 0u);
+  text.replace(0, std::string("LEAPS-DETECTOR v2").size(),
+               "LEAPS-DETECTOR v1");
+
+  std::stringstream v1(text);
+  const Detector loaded = load_detector(v1);
+  EXPECT_EQ(loaded.continual(), nullptr);
+  EXPECT_EQ(loaded.scan(f.malicious).malicious_windows,
+            f.detector.scan(f.malicious).malicious_windows);
+}
+
+TEST(Persist, ContinualStateRoundTripsExactly) {
+  const leaps::testing::TrainedDetector t =
+      leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                                           /*with_continual=*/true);
+  const ContinualState* before = t.detector->continual();
+  ASSERT_NE(before, nullptr);
+  ASSERT_GT(before->benign_cfg.edge_count(), 0u);
+  ASSERT_EQ(before->alpha.size(), before->train.size());
+
+  std::stringstream buffer;
+  save_detector(*t.detector, buffer);
+  const Detector loaded = load_detector(buffer);
+  const ContinualState* after = loaded.continual();
+  ASSERT_NE(after, nullptr);
+
+  EXPECT_EQ(after->benign_cfg.edge_count(), before->benign_cfg.edge_count());
+  EXPECT_EQ(after->benign_cfg.adjacency(), before->benign_cfg.adjacency());
+  ASSERT_EQ(after->train.size(), before->train.size());
+  ASSERT_EQ(after->alpha.size(), before->alpha.size());
+  for (std::size_t i = 0; i < before->train.size(); ++i) {
+    EXPECT_EQ(after->train.y[i], before->train.y[i]);
+    EXPECT_DOUBLE_EQ(after->train.weight[i], before->train.weight[i]);
+    EXPECT_DOUBLE_EQ(after->alpha[i], before->alpha[i]);
+    ASSERT_EQ(after->train.X[i].size(), before->train.X[i].size());
+    for (std::size_t d = 0; d < before->train.X[i].size(); ++d) {
+      EXPECT_DOUBLE_EQ(after->train.X[i][d], before->train.X[i][d]);
+    }
+  }
+  // The reloaded state must be warm-start-able: a seeded re-fit accepts it.
+  ml::SvmParams params;
+  params.kernel = loaded.model().kernel();
+  ml::TrainStats stats;
+  ml::SvmTrainer(params).train(after->train, &stats, &after->alpha);
+  EXPECT_GT(stats.warm_nonzero, 0u);
+}
+
+TEST(Persist, ContinualBlockInV1FileIsRejected) {
+  const leaps::testing::TrainedDetector t =
+      leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                                           /*with_continual=*/true);
+  std::stringstream buffer;
+  save_detector(*t.detector, buffer);
+  std::string text = buffer.str();
+  ASSERT_NE(text.find("CONTINUAL"), std::string::npos);
+  text.replace(0, std::string("LEAPS-DETECTOR v2").size(),
+               "LEAPS-DETECTOR v1");
+  std::stringstream downgraded(text);
+  EXPECT_THROW(load_detector(downgraded), PersistError);
+}
+
+TEST(Persist, RejectsCorruptContinualRows) {
+  const leaps::testing::TrainedDetector t =
+      leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                                           /*with_continual=*/true);
+  std::stringstream buffer;
+  save_detector(*t.detector, buffer);
+  const std::string text = buffer.str();
+
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string bad = text;
+    const auto pos = bad.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    std::stringstream is(bad);
+    EXPECT_THROW(load_detector(is), PersistError) << from;
+  };
+  corrupt("ROW 1 ", "ROW 3 ");    // label must be +/-1
+  corrupt("ROW -1 ", "ROW -1 7.5 ");  // weight outside [0,1] (extra token)
 }
 
 }  // namespace

@@ -1,0 +1,586 @@
+// Tests for the online-learning subsystem (src/online/): verdict diffing,
+// the CFG accumulator's fold/admit/evict behavior, warm-started SMO
+// retraining, registry shadow staging (RCU promote / quarantine), the
+// server-level shadow streams, and the OnlineManager control loop driven
+// deterministically via poll_once(). Runs under -DLEAPS_SANITIZE=thread
+// in CI (ctest -L online / -L concurrency).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "detector_fixture.h"
+#include "online/accumulator.h"
+#include "online/manager.h"
+#include "online/retrain.h"
+#include "online/shadow.h"
+#include "online/verdict_diff.h"
+#include "serve/server.h"
+
+namespace leaps::online {
+namespace {
+
+using leaps::testing::TrainedDetector;
+using leaps::testing::train_small_detector;
+
+/// Fixture detector carrying ContinualState (the online path needs it).
+const TrainedDetector& fixture() {
+  static const TrainedDetector* f = new TrainedDetector(
+      train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                           /*with_continual=*/true));
+  return *f;
+}
+
+/// Slices a log into whole windows of the detector's window size.
+std::vector<std::vector<trace::PartitionedEvent>> windows_of(
+    const trace::PartitionedLog& log, std::size_t window) {
+  std::vector<std::vector<trace::PartitionedEvent>> out;
+  for (std::size_t i = 0; i + window <= log.events.size(); i += window) {
+    out.emplace_back(log.events.begin() + i, log.events.begin() + i + window);
+  }
+  return out;
+}
+
+// --- diff_sequences / VerdictDiff ----------------------------------------
+
+TEST(DiffSequences, CountsDisagreementsAndLengthDelta) {
+  const SequenceDiff same = diff_sequences({1, -1, 1}, {1, -1, 1});
+  EXPECT_TRUE(same.identical());
+  EXPECT_EQ(same.compared, 3u);
+  EXPECT_EQ(same.disagreements, 0u);
+
+  const SequenceDiff diff = diff_sequences({1, 1, 1, 1}, {1, -1, 1});
+  EXPECT_FALSE(diff.identical());
+  EXPECT_EQ(diff.compared, 3u);
+  EXPECT_EQ(diff.disagreements, 1u);
+  EXPECT_EQ(diff.length_delta, 1u);
+  ASSERT_EQ(diff.mismatch_indices.size(), 1u);
+  EXPECT_EQ(diff.mismatch_indices[0], 1u);
+  EXPECT_DOUBLE_EQ(diff.disagreement_rate(), 1.0 / 3.0);
+}
+
+TEST(VerdictDiffTest, ConcurrentRecordsAllLand) {
+  VerdictDiff diff;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&diff] {
+      for (int i = 0; i < kPerThread; ++i) {
+        diff.record(1, i % 10 == 0 ? -1 : 1, 100, 200);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const DiffStats s = diff.stats();
+  EXPECT_EQ(s.compared, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.disagreements,
+            static_cast<std::uint64_t>(kThreads * kPerThread / 10));
+  EXPECT_DOUBLE_EQ(s.latency_ratio(), 2.0);
+  diff.reset();
+  EXPECT_EQ(diff.stats().compared, 0u);
+}
+
+// --- ShadowEvaluator gates ------------------------------------------------
+
+TEST(ShadowEvaluatorTest, UndecidedUntilMinWindows) {
+  ShadowEvaluator eval({.max_disagreement = 0.5,
+                        .max_latency_ratio = 10.0,
+                        .min_windows = 4});
+  const serve::SessionKey key{"s", 1};
+  for (int i = 0; i < 3; ++i) eval.record(key, 1, 1, 10, 10);
+  EXPECT_EQ(eval.decision(), RolloverDecision::kUndecided);
+  eval.record(key, 1, 1, 10, 10);
+  EXPECT_EQ(eval.decision(), RolloverDecision::kPromote);
+}
+
+TEST(ShadowEvaluatorTest, DisagreementGateRollsBack) {
+  ShadowEvaluator eval({.max_disagreement = 0.25,
+                        .max_latency_ratio = 100.0,
+                        .min_windows = 4});
+  const serve::SessionKey key{"s", 1};
+  // 2 of 4 disagree: rate 0.5 > 0.25.
+  eval.record(key, 1, 1, 10, 10);
+  eval.record(key, 1, -1, 10, 10);
+  eval.record(key, 1, 1, 10, 10);
+  eval.record(key, -1, 1, 10, 10);
+  EXPECT_EQ(eval.decision(), RolloverDecision::kRollback);
+}
+
+TEST(ShadowEvaluatorTest, LatencyGateRollsBackDespiteAgreement) {
+  ShadowEvaluator eval({.max_disagreement = 1.0,
+                        .max_latency_ratio = 2.0,
+                        .min_windows = 2});
+  const serve::SessionKey key{"s", 1};
+  eval.record(key, 1, 1, 10, 100);  // shadow 10x slower
+  eval.record(key, 1, 1, 10, 100);
+  EXPECT_EQ(eval.decision(), RolloverDecision::kRollback);
+}
+
+// --- Warm-started SMO -----------------------------------------------------
+
+TEST(WarmStart, SeededSolveConvergesFasterOnSameData) {
+  const TrainedDetector& f = fixture();
+  const core::ContinualState* state = f.detector->continual();
+  ASSERT_NE(state, nullptr);
+  ASSERT_EQ(state->alpha.size(), state->train.size());
+
+  ml::SvmParams params;
+  params.kernel = f.detector->model().kernel();
+  ml::TrainStats cold, warm;
+  ml::SvmTrainer(params).train(state->train, &cold);
+  ml::SvmTrainer(params).train(state->train, &warm, &state->alpha);
+  EXPECT_GT(warm.warm_nonzero, 0u);
+  EXPECT_LT(warm.iterations, cold.iterations)
+      << "re-solving from the previous optimum should take fewer SMO "
+         "iterations than a cold start";
+}
+
+TEST(WarmStart, GarbageSeedIsRepairedNotTrusted) {
+  const TrainedDetector& f = fixture();
+  const core::ContinualState* state = f.detector->continual();
+  ASSERT_NE(state, nullptr);
+
+  ml::SvmParams params;
+  params.kernel = f.detector->model().kernel();
+  // Wildly infeasible seed: all entries far above the box, wrong balance.
+  const std::vector<double> garbage(state->train.size(), 1e9);
+  ml::TrainStats stats;
+  const ml::SvmModel seeded =
+      ml::SvmTrainer(params).train(state->train, &stats, &garbage);
+  const ml::SvmModel cold = ml::SvmTrainer(params).train(state->train);
+  // The repaired seed must not change the optimum: identical verdicts on
+  // every training row.
+  for (const ml::FeatureVector& x : state->train.X) {
+    EXPECT_EQ(seeded.predict(x), cold.predict(x));
+  }
+}
+
+TEST(WarmStart, ShortSeedPadsGrownRowsWithZero) {
+  const TrainedDetector& f = fixture();
+  const core::ContinualState* state = f.detector->continual();
+  ASSERT_NE(state, nullptr);
+  // Simulate a grown dataset: duplicate the first benign row; the seed is
+  // one entry short and the trainer must pad, not throw.
+  ml::Dataset grown = state->train;
+  grown.add(grown.X.front(), grown.y.front(), grown.weight.front());
+  ml::SvmParams params;
+  params.kernel = f.detector->model().kernel();
+  ml::TrainStats stats;
+  EXPECT_NO_THROW(
+      ml::SvmTrainer(params).train(grown, &stats, &state->alpha));
+  EXPECT_GT(stats.warm_nonzero, 0u);
+}
+
+// --- OnlineCfgAccumulator -------------------------------------------------
+
+TEST(Accumulator, FoldsGrowTheGraphAndDrainResetsProgress) {
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  AccumulatorOptions options;
+  options.fold_batch_events = 64;
+  options.admit_floor = 0.0;
+  OnlineCfgAccumulator acc(cfg::AddressGraph{}, options);
+
+  const auto wins = windows_of(f.benign, window);
+  ASSERT_GT(wins.size(), 4u);
+  for (const auto& w : wins) acc.observe_window(w.data(), w.size());
+  acc.fold_now();
+
+  const AccumulatorStats stats = acc.stats();
+  EXPECT_EQ(stats.windows_observed, wins.size());
+  EXPECT_EQ(stats.windows_admitted, wins.size());
+  EXPECT_EQ(stats.windows_rejected, 0u);
+  EXPECT_GT(stats.edges_added, 0u);
+  EXPECT_GT(stats.folds, 0u);
+  EXPECT_FALSE(acc.graph_snapshot().empty());
+  EXPECT_EQ(acc.events_since_drain(), wins.size() * window);
+
+  const std::vector<PendingWindow> drained = acc.drain_windows();
+  EXPECT_EQ(drained.size(), wins.size());
+  for (const PendingWindow& p : drained) {
+    EXPECT_EQ(p.events.size(), window);
+    EXPECT_GE(p.benignity, 0.0);
+    EXPECT_LE(p.benignity, 1.0);
+  }
+  EXPECT_EQ(acc.events_since_drain(), 0u);
+  EXPECT_TRUE(acc.drain_windows().empty());
+}
+
+TEST(Accumulator, AdmissionFloorRejectsEverythingAboveOne) {
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  ASSERT_NE(f.detector->continual(), nullptr);
+  AccumulatorOptions options;
+  options.admit_floor = 1.01;  // benignity is capped at 1.0
+  OnlineCfgAccumulator acc(f.detector->continual()->benign_cfg, options);
+
+  const auto wins = windows_of(f.benign, window);
+  for (const auto& w : wins) acc.observe_window(w.data(), w.size());
+  acc.fold_now();
+
+  const AccumulatorStats stats = acc.stats();
+  EXPECT_EQ(stats.windows_observed, wins.size());
+  EXPECT_EQ(stats.windows_admitted, 0u);
+  EXPECT_EQ(stats.windows_rejected, wins.size());
+  EXPECT_EQ(stats.edges_added, 0u);  // rejected windows teach nothing
+  EXPECT_TRUE(acc.drain_windows().empty());
+}
+
+TEST(Accumulator, MaliciousWindowsScoreBelowBenignOnes) {
+  // The poisoning guard's premise: against the benign CFG, windows from
+  // the malicious log score lower than windows from the benign log.
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  ASSERT_NE(f.detector->continual(), nullptr);
+  const cfg::AddressGraph& benign_cfg = f.detector->continual()->benign_cfg;
+
+  auto mean_benignity = [&](const trace::PartitionedLog& log) {
+    AccumulatorOptions options;
+    options.admit_floor = 0.0;
+    OnlineCfgAccumulator acc(benign_cfg, options);
+    for (const auto& w : windows_of(log, window)) {
+      acc.observe_window(w.data(), w.size());
+    }
+    double sum = 0.0;
+    const auto drained = acc.drain_windows();
+    for (const PendingWindow& p : drained) sum += p.benignity;
+    return drained.empty() ? 0.0 : sum / static_cast<double>(drained.size());
+  };
+  EXPECT_GT(mean_benignity(f.benign), mean_benignity(f.malicious));
+}
+
+TEST(Accumulator, RetentionBoundEvictsOldest) {
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  AccumulatorOptions options;
+  options.admit_floor = 0.0;
+  options.max_pending_windows = 2;
+  OnlineCfgAccumulator acc(cfg::AddressGraph{}, options);
+
+  const auto wins = windows_of(f.benign, window);
+  ASSERT_GT(wins.size(), 3u);
+  for (const auto& w : wins) acc.observe_window(w.data(), w.size());
+  const std::vector<PendingWindow> drained = acc.drain_windows();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(acc.stats().windows_evicted, wins.size() - 2);
+}
+
+// --- RetrainScheduler -----------------------------------------------------
+
+TEST(Retrain, PreV2DetectorCannotRetrainOnline) {
+  // A detector without ContinualState (anything loaded from a v1 file).
+  static const TrainedDetector* plain = new TrainedDetector(
+      train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                           /*with_continual=*/false));
+  OnlineCfgAccumulator acc(cfg::AddressGraph{}, {});
+  RetrainConfig config;
+  config.min_new_events = 1;
+  RetrainScheduler scheduler(plain->detector, &acc, config);
+  EXPECT_FALSE(scheduler.can_retrain());
+  EXPECT_FALSE(scheduler.due());
+  const RetrainResult result = scheduler.retrain();
+  EXPECT_EQ(result.candidate, nullptr);
+  EXPECT_NE(result.error.find("continual"), std::string::npos);
+}
+
+TEST(Retrain, WarmCycleGrowsDatasetAndSavesIterations) {
+  const TrainedDetector& f = fixture();
+  const core::ContinualState* state = f.detector->continual();
+  ASSERT_NE(state, nullptr);
+  const std::size_t window = f.detector->preprocessor().window();
+
+  AccumulatorOptions acc_options;
+  acc_options.admit_floor = 0.0;
+  OnlineCfgAccumulator acc(state->benign_cfg, acc_options);
+  RetrainConfig config;
+  config.min_new_events = 1;
+  config.max_new_samples = 32;
+  RetrainScheduler scheduler(f.detector, &acc, config);
+  ASSERT_TRUE(scheduler.can_retrain());
+  EXPECT_FALSE(scheduler.due()) << "nothing accumulated yet";
+
+  for (const auto& w : windows_of(f.benign, window)) {
+    acc.observe_window(w.data(), w.size());
+  }
+  EXPECT_TRUE(scheduler.due());
+
+  const RetrainResult result = scheduler.retrain();
+  ASSERT_NE(result.candidate, nullptr) << result.error;
+  EXPECT_GT(result.new_samples, 0u);
+  EXPECT_LE(result.new_samples, config.max_new_samples);
+  EXPECT_EQ(result.train_size, state->train.size() + result.new_samples);
+  ASSERT_NE(result.candidate->continual(), nullptr);
+  EXPECT_EQ(result.candidate->continual()->train.size(), result.train_size);
+  EXPECT_EQ(result.candidate->continual()->alpha.size(), result.train_size);
+  ASSERT_TRUE(result.measured_cold);
+  EXPECT_LT(result.warm_iterations, result.cold_iterations)
+      << "warm start must beat the cold baseline on the grown problem";
+  EXPECT_EQ(result.iterations_saved,
+            result.cold_iterations - result.warm_iterations);
+  EXPECT_EQ(scheduler.cycles(), 1u);
+  // The drain emptied the accumulator: a second cycle is not due.
+  EXPECT_FALSE(scheduler.due());
+  const RetrainResult empty = scheduler.retrain();
+  EXPECT_EQ(empty.candidate, nullptr);
+}
+
+// --- DetectorRegistry shadow staging --------------------------------------
+
+TEST(RegistryShadow, StagePromoteAndQuarantine) {
+  const TrainedDetector& f = fixture();
+  serve::DetectorRegistry registry;
+  auto candidate = std::make_shared<const core::Detector>(*f.detector);
+
+  EXPECT_FALSE(registry.begin_shadow("missing", candidate));
+  registry.add("app", f.detector);
+  EXPECT_TRUE(registry.begin_shadow("app", candidate));
+  EXPECT_FALSE(registry.begin_shadow("app", candidate))
+      << "one shadow in flight per profile";
+  EXPECT_EQ(registry.shadow_candidate("app"), candidate);
+  EXPECT_EQ(registry.find("app"), f.detector) << "not promoted yet";
+
+  EXPECT_TRUE(registry.promote_shadow("app"));
+  EXPECT_EQ(registry.find("app"), candidate);
+  EXPECT_EQ(registry.shadow_candidate("app"), nullptr);
+  EXPECT_FALSE(registry.promote_shadow("app")) << "nothing staged";
+
+  auto bad = std::make_shared<const core::Detector>(*f.detector);
+  EXPECT_TRUE(registry.begin_shadow("app", bad));
+  EXPECT_TRUE(registry.rollback_shadow("app"));
+  EXPECT_EQ(registry.find("app"), candidate) << "rollback keeps incumbent";
+  EXPECT_EQ(registry.quarantined_count("app"), 1u);
+  EXPECT_EQ(registry.last_quarantined("app"), bad);
+}
+
+// --- Server-level shadow streams ------------------------------------------
+
+TEST(ServerShadow, IdenticalCandidateNeverDisagrees) {
+  const TrainedDetector& f = fixture();
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::DetectionServer server(options);
+  server.registry().add("app", f.detector);
+  server.start();
+
+  auto session = server.open_session({"host", 1}, "app");
+  ASSERT_NE(session, nullptr);
+
+  auto evaluator = std::make_shared<ShadowEvaluator>(
+      RolloverGates{.max_disagreement = 0.0,
+                    .max_latency_ratio = 1e9,
+                    .min_windows = 1});
+  auto candidate = std::make_shared<const core::Detector>(*f.detector);
+  ASSERT_TRUE(server.begin_shadow(
+      "app", candidate,
+      [evaluator](const serve::SessionKey& key, int active, int shadow,
+                  std::uint64_t active_ns, std::uint64_t shadow_ns) {
+        evaluator->record(key, active, shadow, active_ns, shadow_ns);
+      }));
+  EXPECT_TRUE(server.shadowing("app"));
+  EXPECT_FALSE(server.begin_shadow("app", candidate, [](auto&&...) {}))
+      << "second shadow refused while one is in flight";
+
+  // Sessions opened mid-shadow auto-attach too.
+  auto late = server.open_session({"host", 2}, "app");
+  ASSERT_NE(late, nullptr);
+
+  for (const trace::PartitionedEvent& e : f.benign.events) {
+    ASSERT_TRUE(server.submit(session, e));
+    ASSERT_TRUE(server.submit(late, e));
+  }
+  server.drain();
+
+  const DiffStats stats = evaluator->stats();
+  EXPECT_GT(stats.compared, 0u);
+  EXPECT_EQ(stats.disagreements, 0u)
+      << "an identical candidate must agree window-for-window";
+  EXPECT_EQ(evaluator->decision(), RolloverDecision::kPromote);
+
+  ASSERT_TRUE(server.end_shadow("app", /*promote=*/true));
+  EXPECT_EQ(server.registry().find("app"), candidate);
+  EXPECT_FALSE(server.shadowing("app"));
+  EXPECT_EQ(server.metrics().snapshot().events_dropped, 0u);
+  server.stop();
+}
+
+TEST(ServerShadow, BrokenCandidateTripsTheGateAndQuarantines) {
+  const TrainedDetector& f = fixture();
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::DetectionServer server(options);
+  server.registry().add("app", f.detector);
+  server.start();
+  auto session = server.open_session({"host", 1}, "app");
+  ASSERT_NE(session, nullptr);
+
+  // All-malicious candidate: maximum disagreement on benign traffic.
+  auto broken = std::make_shared<core::Detector>(*f.detector);
+  broken->set_decision_threshold(1e18);
+  auto evaluator = std::make_shared<ShadowEvaluator>(
+      RolloverGates{.max_disagreement = 0.02,
+                    .max_latency_ratio = 1e9,
+                    .min_windows = 2});
+  ASSERT_TRUE(server.begin_shadow(
+      "app", broken,
+      [evaluator](const serve::SessionKey& key, int active, int shadow,
+                  std::uint64_t active_ns, std::uint64_t shadow_ns) {
+        evaluator->record(key, active, shadow, active_ns, shadow_ns);
+      }));
+
+  for (const trace::PartitionedEvent& e : f.benign.events) {
+    ASSERT_TRUE(server.submit(session, e));
+  }
+  server.drain();
+
+  EXPECT_GT(evaluator->stats().disagreements, 0u);
+  EXPECT_EQ(evaluator->decision(), RolloverDecision::kRollback);
+  ASSERT_TRUE(server.end_shadow("app", /*promote=*/false));
+  EXPECT_EQ(server.registry().find("app"), f.detector);
+  EXPECT_EQ(server.registry().quarantined_count("app"), 1u);
+  EXPECT_EQ(server.registry().last_quarantined("app"),
+            std::static_pointer_cast<const core::Detector>(broken));
+  server.stop();
+}
+
+TEST(ServerShadow, WindowTapDeliversWholeWindowsWithLabels) {
+  const TrainedDetector& f = fixture();
+  const std::size_t window = f.detector->preprocessor().window();
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::DetectionServer server(options);
+  server.registry().add("app", f.detector);
+
+  std::mutex mu;
+  std::vector<std::pair<int, std::size_t>> taps;  // (label, event count)
+  server.set_window_tap([&](const serve::SessionKey&, int label,
+                            const trace::PartitionedEvent* events,
+                            std::size_t count) {
+    ASSERT_NE(events, nullptr);
+    const std::lock_guard<std::mutex> lock(mu);
+    taps.emplace_back(label, count);
+  });
+  server.start();
+
+  auto session = server.open_session({"host", 1}, "app");
+  ASSERT_NE(session, nullptr);
+  for (const trace::PartitionedEvent& e : f.benign.events) {
+    ASSERT_TRUE(server.submit(session, e));
+  }
+  server.drain();
+
+  const std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GT(taps.size(), 0u);
+  for (const auto& [label, count] : taps) {
+    EXPECT_EQ(count, window) << "tap must only see whole windows";
+    EXPECT_TRUE(label == 1 || label == -1);
+  }
+  server.stop();
+}
+
+// --- OnlineManager (deterministic drive via poll_once) --------------------
+
+TEST(OnlineManagerTest, AccumulateRetrainShadowPromote) {
+  const TrainedDetector& f = fixture();
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  serve::DetectionServer server(server_options);
+  server.registry().add("default", f.detector);
+
+  OnlineOptions options;
+  options.accumulator.admit_floor = 0.0;
+  options.retrain.min_new_events = 1;
+  options.retrain.max_new_samples = 32;
+  options.gates = {.max_disagreement = 1.0,
+                   .max_latency_ratio = 1e9,
+                   .min_windows = 2};
+  OnlineManager manager(&server, options);
+  manager.install();
+  server.start();
+
+  auto session = server.open_session({"host", 1}, "default");
+  ASSERT_NE(session, nullptr);
+  auto replay = [&] {
+    for (const trace::PartitionedEvent& e : f.benign.events) {
+      ASSERT_TRUE(server.submit(session, e));
+    }
+    server.drain();
+  };
+
+  OnlineReport report = manager.report();
+  EXPECT_EQ(report.phase, "accumulating");
+
+  // Round 1: accumulate benign windows; the poll triggers a warm retrain
+  // and stages the candidate as a shadow.
+  replay();
+  manager.poll_once();
+  report = manager.report();
+  EXPECT_EQ(report.retrain_cycles, 1u) << report.last_error;
+  EXPECT_EQ(report.phase, "shadowing");
+  EXPECT_TRUE(manager.shadowing());
+  EXPECT_GT(report.last_cold_iterations, report.last_warm_iterations);
+  EXPECT_GT(report.warm_iterations_saved, 0u);
+
+  // Round 2: live traffic flows through both streams; the next poll sees
+  // enough agreeing windows and promotes via the RCU swap.
+  replay();
+  manager.poll_once();
+  report = manager.report();
+  EXPECT_EQ(report.promotions, 1u) << report.last_error;
+  EXPECT_EQ(report.rollbacks, 0u);
+  EXPECT_EQ(report.phase, "accumulating");
+  EXPECT_FALSE(manager.shadowing());
+  EXPECT_GT(report.shadow.compared, 0u);
+  const auto promoted = server.registry().find("default");
+  EXPECT_NE(promoted, f.detector) << "promotion must swap the detector";
+  ASSERT_NE(promoted->continual(), nullptr);
+  EXPECT_GT(promoted->continual()->train.size(),
+            f.detector->continual()->train.size());
+
+  EXPECT_EQ(server.metrics().snapshot().events_dropped, 0u)
+      << "rollover must not drop events";
+  server.stop();
+}
+
+TEST(OnlineManagerTest, StartStopWithLiveTrafficIsClean) {
+  const TrainedDetector& f = fixture();
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  serve::DetectionServer server(server_options);
+  server.registry().add("default", f.detector);
+
+  OnlineOptions options;
+  options.retrain.min_new_events = 1;
+  options.gates = {.max_disagreement = 1.0,
+                   .max_latency_ratio = 1e9,
+                   .min_windows = 1};
+  options.poll_interval = std::chrono::milliseconds(5);
+  OnlineManager manager(&server, options);
+  manager.install();
+  server.start();
+  manager.start();
+
+  auto session = server.open_session({"host", 1}, "default");
+  ASSERT_NE(session, nullptr);
+  for (int round = 0; round < 3; ++round) {
+    for (const trace::PartitionedEvent& e : f.benign.events) {
+      ASSERT_TRUE(server.submit(session, e));
+    }
+    server.drain();
+  }
+  manager.stop();  // concludes any in-flight shadow by its evidence
+  EXPECT_FALSE(manager.shadowing());
+  const OnlineReport report = manager.report();
+  // Every concluded shadow came from a retrain cycle (a shadow caught by
+  // stop() with no compared traffic legitimately rolls back).
+  EXPECT_LE(report.promotions + report.rollbacks, report.retrain_cycles);
+  EXPECT_EQ(server.metrics().snapshot().events_dropped, 0u);
+  server.stop();
+  manager.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace leaps::online

@@ -508,5 +508,52 @@ TEST(DetectionServer, SheddingEngagesUnderInjectedLatency) {
   server.stop();
 }
 
+TEST(DetectionServer, EvictionRacingStopIsClean) {
+  // Regression hammer for the sweeper-vs-stop() shutdown race: the idle
+  // sweeper evicts sessions (taking session mutexes and touching the
+  // session map) while stop() tears down the worker pool and the sweeper
+  // itself. Tiny TTLs + immediate stop maximize the overlap; TSan (this
+  // file runs under -DLEAPS_SANITIZE=thread in CI) turns any unsynchronized
+  // access into a failure. Producers keep submitting through the teardown
+  // on purpose — submits may fail once stopped, but must never race.
+  const TrainedDetector& f = fixture();
+  for (int round = 0; round < 20; ++round) {
+    ServerOptions options;
+    options.workers = 2;
+    options.idle_ttl = std::chrono::milliseconds(1);
+    options.sweep_interval = std::chrono::milliseconds(1);
+    DetectionServer server(options);
+    server.registry().add("app", f.detector);
+    server.start();
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      sessions.push_back(server.open_session({"race", s}, "app"));
+      ASSERT_NE(sessions.back(), nullptr);
+    }
+    std::atomic<bool> halt{false};
+    std::thread producer([&] {
+      std::size_t i = 0;
+      while (!halt.load(std::memory_order_relaxed)) {
+        // Mix pinned-handle and by-key submits so both lookup paths race
+        // the eviction; either may fail (evicted/stopped), never crash.
+        server.submit(sessions[i % sessions.size()],
+                      f.benign.events[i % f.benign.events.size()]);
+        server.submit({"race", static_cast<std::uint32_t>(i % 4)},
+                      f.benign.events[i % f.benign.events.size()]);
+        ++i;
+      }
+    });
+    // Let eviction and traffic overlap, then stop mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round % 3));
+    server.stop();
+    halt.store(true, std::memory_order_relaxed);
+    producer.join();
+
+    const MetricsSnapshot m = server.metrics().snapshot();
+    expect_accounting_identity(m);
+  }
+}
+
 }  // namespace
 }  // namespace leaps::serve

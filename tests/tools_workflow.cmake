@@ -8,7 +8,7 @@
 # Any deviation fails the test.
 #
 # Variables (passed with -D): LEAPS_SIM, LEAPS_TRAIN, LEAPS_SCAN,
-# LEAPS_STAT, LEAPS_SERVE, WORK_DIR.
+# LEAPS_STAT, LEAPS_SERVE, LEAPS_ROLLOVER, WORK_DIR.
 
 function(run_checked expect_rc)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -100,6 +100,55 @@ foreach(line ${prom_lines})
     message(FATAL_ERROR "bad Prometheus exposition line: '${line}'")
   endif()
 endforeach()
+
+# --- online learning / rollover round ---------------------------------------
+# leaps-serve --online over two replay rounds of benign traffic: round 1
+# accumulates classified-benign windows and the inter-round poll triggers a
+# warm-started retrain + shadow deploy; round 2 streams through both
+# detectors; the final poll clears the gates and promotes via the RCU swap.
+# The metrics JSON must show the whole story: >= 1 retrain cycle, > 0 SMO
+# iterations saved by the warm start, >= 1 promotion, no rollback, zero
+# dropped events.
+run_checked(0 ${LEAPS_SERVE} ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log
+            --workers 2 --online --online-replays 2 --retrain-events 1
+            --admit-floor 0 --shadow-min-windows 2 --shadow-max-disagree 1.0
+            --shadow-max-latency 1000000
+            --metrics-out ${WORK_DIR}/online_metrics.json)
+file(READ ${WORK_DIR}/online_metrics.json online_json)
+foreach(needle
+        "\"leaps_online_retrain_cycles_total\":{\"type\":\"counter\",\"value\":[1-9]"
+        "\"leaps_online_warm_iterations_saved_total\":{\"type\":\"counter\",\"value\":[1-9]"
+        "\"leaps_online_promotions_total\":{\"type\":\"counter\",\"value\":[1-9]"
+        "\"leaps_online_rollbacks_total\":{\"type\":\"counter\",\"value\":0"
+        "\"leaps_serve_events_dropped_total\":{\"type\":\"counter\",\"value\":0")
+  string(REGEX MATCH "${needle}" found "${online_json}")
+  if(found STREQUAL "")
+    message(FATAL_ERROR "online metrics missing/mismatching '${needle}':\n"
+                        "${online_json}")
+  endif()
+endforeach()
+
+# Offline rollover tooling against the same detector. retrain must report a
+# warm start that saves iterations and write a loadable candidate; the
+# candidate then shadows the incumbent over live-like traffic and promotes.
+run_checked(0 ${LEAPS_ROLLOVER} retrain ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/benign.log ${WORK_DIR}/candidate.txt)
+# max-disagree 0.1 absorbs churn on the incumbent's calibrated false
+# alarms (up to 5%) while still gating real verdict drift.
+run_checked(0 ${LEAPS_ROLLOVER} shadow ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/candidate.txt ${WORK_DIR}/benign.log
+            --shadow-min-windows 2 --shadow-max-disagree 0.1
+            --shadow-max-latency 1000000)
+run_checked(0 ${LEAPS_ROLLOVER} diff ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/detector.txt ${WORK_DIR}/benign.log)
+
+# Rollback drill: a deliberately broken candidate (all-malicious) must trip
+# the disagreement gate on benign traffic and exit 4.
+run_checked(0 ${LEAPS_ROLLOVER} drill ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/broken.txt)
+run_checked(4 ${LEAPS_ROLLOVER} shadow ${WORK_DIR}/detector.txt
+            ${WORK_DIR}/broken.txt ${WORK_DIR}/benign.log
+            --shadow-min-windows 2)
 
 # --- help and version flags --------------------------------------------------
 foreach(tool ${LEAPS_SIM} ${LEAPS_TRAIN} ${LEAPS_SCAN} ${LEAPS_STAT}

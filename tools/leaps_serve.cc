@@ -6,6 +6,7 @@
 // tracer would deliver them — into the server's sharded bounded queues,
 // where the fixed worker pool classifies windows online. Prints one
 // verdict line per session plus a final metrics report.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "cli.h"
 #include "core/persist.h"
 #include "ingest.h"
+#include "online/manager.h"
 #include "serve/server.h"
 #include "trace/partition.h"
 #include "util/fault.h"
@@ -52,6 +54,23 @@ constexpr const char* kUsage =
     "                        point:action:probability[:delay_us],\n"
     "                        action = throw | error | delay\n"
     "  --fault-seed N        deterministic seed for fault injection\n"
+    "  --online              continuous learning for the default profile:\n"
+    "                        fold benign windows into the CFG, retrain with\n"
+    "                        a warm-started solver, shadow + promote\n"
+    "  --online-replays R    replay the session set R times (default 1);\n"
+    "                        the online control loop steps between rounds,\n"
+    "                        so R >= 3 exercises a full retrain -> shadow\n"
+    "                        -> promote cycle deterministically\n"
+    "  --retrain-events N    benign events that trigger a retrain\n"
+    "                        (default 2048)\n"
+    "  --admit-floor F       CFG benignity below which a window is not\n"
+    "                        learned from (default 0.25)\n"
+    "  --shadow-min-windows N  verdict pairs before the rollover gates are\n"
+    "                        consulted (default 64)\n"
+    "  --shadow-max-disagree F max disagreement rate to promote\n"
+    "                        (default 0.02)\n"
+    "  --shadow-max-latency F  max shadow/active latency ratio to promote\n"
+    "                        (default 3.0)\n"
     "  --json                final metrics report as JSON\n"
     "  --verbose             print each malicious window as it is scored\n"
     "  --trace-out FILE      write a chrome://tracing span JSON\n"
@@ -108,6 +127,10 @@ int main(int argc, char** argv) {
   std::size_t fault_seed = 0;
   bool json = false;
   bool verbose = false;
+  bool online = false;
+  std::size_t online_replays = 1;
+  online::OnlineOptions online_options;
+  double admit_floor = online_options.accumulator.admit_floor;
   cli::ObsFlags obs_flags;
   args.option_list("--detector", &extra_detectors);
   args.option("--sessions", &sessions);
@@ -123,6 +146,15 @@ int main(int argc, char** argv) {
   args.option("--shed-wait-us", &shed_wait_us);
   args.option_list("--fault", &fault_specs);
   args.option("--fault-seed", &fault_seed);
+  args.flag("--online", &online);
+  args.option("--online-replays", &online_replays);
+  args.option("--retrain-events", &online_options.retrain.min_new_events);
+  args.option("--admit-floor", &admit_floor);
+  args.option("--shadow-min-windows", &online_options.gates.min_windows);
+  args.option("--shadow-max-disagree",
+              &online_options.gates.max_disagreement);
+  args.option("--shadow-max-latency",
+              &online_options.gates.max_latency_ratio);
   args.flag("--json", &json);
   args.flag("--verbose", &verbose);
   obs_flags.add_to(args);
@@ -182,6 +214,18 @@ int main(int argc, char** argv) {
         }
       });
     }
+    // The online manager hooks the window tap, so it must exist before
+    // start(). It is stepped deterministically between replay rounds
+    // (poll_once) instead of on its own thread — replay is a bounded
+    // drive, not an open-ended service.
+    std::unique_ptr<online::OnlineManager> manager;
+    if (online) {
+      online_options.profile = "default";
+      online_options.accumulator.admit_floor = admit_floor;
+      manager = std::make_unique<online::OnlineManager>(&server,
+                                                        online_options);
+      manager->install();
+    }
     server.start();
 
     std::atomic<bool> done{false};
@@ -224,15 +268,35 @@ int main(int argc, char** argv) {
     }
 
     const auto start = std::chrono::steady_clock::now();
-    std::vector<std::thread> producers;
-    producers.reserve(replays.size());
-    for (const Replay& r : replays) {
-      producers.emplace_back([&server, &r, rate] {
-        replay(server, r.session, *r.log, rate);
-      });
+    const std::size_t rounds = std::max<std::size_t>(1, online_replays);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      std::vector<std::thread> producers;
+      producers.reserve(replays.size());
+      for (const Replay& r : replays) {
+        producers.emplace_back([&server, &r, rate] {
+          replay(server, r.session, *r.log, rate);
+        });
+      }
+      for (std::thread& p : producers) p.join();
+      server.drain();
+      if (manager != nullptr) {
+        // One control-loop step per drained round: round N's benign
+        // windows trigger the retrain, round N+1's traffic feeds the
+        // shadow comparison, and the step after that promotes or rolls
+        // back — all without wall-clock dependence.
+        manager->poll_once();
+        if (verbose) {
+          const online::OnlineReport r = manager->report();
+          std::fprintf(stderr,
+                       "online round %zu: phase=%s cycles=%llu "
+                       "promotions=%llu rollbacks=%llu\n",
+                       round + 1, r.phase.c_str(),
+                       static_cast<unsigned long long>(r.retrain_cycles),
+                       static_cast<unsigned long long>(r.promotions),
+                       static_cast<unsigned long long>(r.rollbacks));
+        }
+      }
     }
-    for (std::thread& p : producers) p.join();
-    server.drain();
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
 
@@ -255,6 +319,43 @@ int main(int argc, char** argv) {
                               : (suspicious ? "SUSPICIOUS" : "clean"));
     }
 
+    if (manager != nullptr) {
+      // Concludes an in-flight shadow by its evidence so far (promote
+      // only on a gate pass), so the final metrics and report reflect a
+      // settled state.
+      manager->stop();
+      const online::OnlineReport orep = manager->report();
+      std::printf(
+          "online: cycles=%llu failures=%llu promotions=%llu "
+          "rollbacks=%llu\n",
+          static_cast<unsigned long long>(orep.retrain_cycles),
+          static_cast<unsigned long long>(orep.retrain_failures),
+          static_cast<unsigned long long>(orep.promotions),
+          static_cast<unsigned long long>(orep.rollbacks));
+      std::printf(
+          "online: windows observed=%llu admitted=%llu rejected=%llu "
+          "cfg-edges-added=%llu\n",
+          static_cast<unsigned long long>(orep.accumulator.windows_observed),
+          static_cast<unsigned long long>(orep.accumulator.windows_admitted),
+          static_cast<unsigned long long>(orep.accumulator.windows_rejected),
+          static_cast<unsigned long long>(orep.accumulator.edges_added));
+      std::printf(
+          "online: last retrain warm=%llu cold=%llu iterations "
+          "(saved=%llu total)\n",
+          static_cast<unsigned long long>(orep.last_warm_iterations),
+          static_cast<unsigned long long>(orep.last_cold_iterations),
+          static_cast<unsigned long long>(orep.warm_iterations_saved));
+      std::printf(
+          "online: shadow compared=%llu disagreements=%llu (rate %.4f, "
+          "latency ratio %.2f)\n",
+          static_cast<unsigned long long>(orep.shadow.compared),
+          static_cast<unsigned long long>(orep.shadow.disagreements),
+          orep.shadow.disagreement_rate(), orep.shadow.latency_ratio());
+      if (!orep.last_error.empty()) {
+        std::fprintf(stderr, "online: last error: %s\n",
+                     orep.last_error.c_str());
+      }
+    }
     const serve::MetricsSnapshot m = server.metrics().snapshot();
     obs_flags.finish();  // before stop(): the collector reads live metrics
     server.stop();

@@ -116,6 +116,14 @@ int main(int argc, char** argv) {
                 stats.iterations);
 
     core::Detector detector(td.preprocessor, scaler, model);
+    // Carry the continual-learning state (benign CFG, scaled training set,
+    // full dual solution) so leaps-serve --online can retrain this
+    // detector incrementally with a warm-started solver.
+    core::ContinualState continual;
+    continual.benign_cfg = td.benign_cfg.graph;
+    continual.train = train;
+    continual.alpha = stats.alpha;
+    detector.set_continual(std::move(continual));
     if (max_false_alarms >= 0.0) {
       const double achieved = detector.calibrate(benign, max_false_alarms);
       std::printf("calibrated threshold %.4f (%.2f%% of clean windows "
