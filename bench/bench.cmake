@@ -23,4 +23,4 @@ foreach(b ${LEAPS_BENCH_TARGETS})
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)
-target_link_libraries(bench_serve PRIVATE leaps_serve)
+target_link_libraries(bench_serve PRIVATE leaps_serve leaps_online)

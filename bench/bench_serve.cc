@@ -15,16 +15,24 @@
 // mismatches are annotated in the JSON, or refused outright with
 // LEAPS_BENCH_STRICT=1 (speedup columns are incomparable across core
 // counts).
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "durable/store.h"
 #include "ml/svm.h"
+#include "online/manager.h"
 #include "serve/server.h"
 #include "sim/scenario.h"
 #include "trace/parser.h"
@@ -106,6 +114,99 @@ double run_once(const Workload& w, std::size_t workers,
          elapsed.count();
 }
 
+/// Warm-restart latency: from "process came back up" (durable recover)
+/// through registry + online-state restore to the first verdict served.
+struct RestartLatency {
+  bool ok = false;
+  double recover_ms = 0.0;        // snapshot + journal replay
+  double first_verdict_ms = 0.0;  // recover + restore + serve to verdict 1
+};
+
+RestartLatency measure_warm_restart(const Workload& w) {
+  RestartLatency out;
+  char tmpl[] = "/tmp/bench_serve_durable_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) return out;
+  const std::string snapshot = std::string(dir) + "/snapshot.leaps";
+  const std::string journal = std::string(dir) + "/journal.wal";
+
+  // Seed the directory with the shape a clean shutdown leaves behind: one
+  // checkpoint holding the incumbent and a batch of pending windows.
+  const std::size_t window = w.detector->preprocessor().window();
+  {
+    durable::DurableOptions dopts;
+    dopts.dir = dir;
+    durable::DurableStore store(dopts);
+    if (!store.open().ok()) return out;
+    durable::CheckpointState state;
+    state.detector = w.detector;
+    for (std::size_t i = 0;
+         i + window <= w.replay.events.size() && i < 32 * window;
+         i += window) {
+      state.pending_windows.push_back(durable::DurableWindow{
+          {w.replay.events.begin() + static_cast<std::ptrdiff_t>(i),
+           w.replay.events.begin() + static_cast<std::ptrdiff_t>(i + window)}});
+    }
+    if (!store.checkpoint(state).ok()) return out;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  durable::DurableOptions dopts;
+  dopts.dir = dir;
+  durable::DurableStore store(dopts);
+  const auto recovered = store.recover();
+  const auto recovered_at = std::chrono::steady_clock::now();
+  if (!recovered.ok() || recovered->detector == nullptr) return out;
+  if (!store.open().ok()) return out;
+
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::DetectionServer server(options);
+  server.registry().add("default", recovered->detector);
+  online::OnlineOptions oopts;
+  oopts.durable = &store;
+  online::OnlineManager manager(&server, oopts);
+  manager.install();
+  manager.restore(*recovered);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool got = false;
+  std::chrono::steady_clock::time_point first;
+  server.set_verdict_sink([&](const serve::VerdictRecord&) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!got) {
+      got = true;
+      first = std::chrono::steady_clock::now();
+      cv.notify_all();
+    }
+  });
+  server.start();
+  const auto session = server.open_session({"restart", 1}, "default");
+  for (std::size_t i = 0; i < 4 * window && i < w.replay.events.size(); ++i) {
+    server.submit(session, w.replay.events[i]);
+  }
+  server.drain();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return got; });
+  }
+  server.stop();
+  manager.stop();
+  if (got) {
+    out.ok = true;
+    out.recover_ms =
+        std::chrono::duration<double, std::milli>(recovered_at - start)
+            .count();
+    out.first_verdict_ms =
+        std::chrono::duration<double, std::milli>(first - start).count();
+  }
+  ::unlink(snapshot.c_str());
+  ::unlink(journal.c_str());
+  ::rmdir(dir);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -146,6 +247,16 @@ int main() {
           ? " (machine has fewer than 4 hardware threads; expect ~1x here)"
           : "");
 
+  const RestartLatency restart = measure_warm_restart(w);
+  if (restart.ok) {
+    std::printf(
+        "warm restart: recover %.2f ms, first verdict %.2f ms "
+        "(checkpoint -> recover -> restore -> serve)\n",
+        restart.recover_ms, restart.first_verdict_ms);
+  } else {
+    std::printf("warm restart: measurement unavailable\n");
+  }
+
   const std::string json_path = util::env_string("LEAPS_BENCH_JSON", "");
   if (!json_path.empty()) {
     const bench::BaselineGuard guard = bench::check_bench_baseline();
@@ -171,7 +282,16 @@ int main() {
                     i + 1 < rows.size() ? "," : "");
       os << line;
     }
-    os << "  ]\n}\n";
+    os << "  ]";
+    if (restart.ok) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    ",\n  \"warm_restart\": {\"recover_ms\": %.2f, "
+                    "\"first_verdict_ms\": %.2f}",
+                    restart.recover_ms, restart.first_verdict_ms);
+      os << line;
+    }
+    os << "\n}\n";
     std::printf("(JSON -> %s)\n", json_path.c_str());
   }
   return 0;

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32c.h"
 
 namespace leaps::core {
 
@@ -15,6 +19,10 @@ namespace {
 constexpr const char* kMagic = "LEAPS-DETECTOR";
 constexpr const char* kVersionV1 = "v1";
 constexpr const char* kVersionV2 = "v2";
+constexpr const char* kVersionV3 = "v3";
+
+// An attacker-supplied BLOCK length must not force a giant allocation.
+constexpr std::size_t kMaxBlockBytes = std::size_t{256} << 20;
 
 void require(bool condition, const std::string& what) {
   if (!condition) throw PersistError(what);
@@ -46,6 +54,65 @@ void write_clusterer(std::ostream& os, const char* tag,
     }
     os << '\n';
   }
+}
+
+void write_options(std::ostream& os, const PreprocessOptions& popt) {
+  os << "OPTIONS " << popt.window << ' '
+     << popt.lib_clustering.cut_distance << ' '
+     << popt.lib_clustering.gap_scale << ' '
+     << popt.func_clustering.cut_distance << ' '
+     << popt.func_clustering.gap_scale << '\n';
+}
+
+void write_scaler(std::ostream& os, const ml::MinMaxScaler& scaler) {
+  os << "SCALER " << scaler.dims() << '\n';
+  os << "MIN";
+  for (const double v : scaler.mins()) os << ' ' << v;
+  os << "\nRANGE";
+  for (const double v : scaler.ranges()) os << ' ' << v;
+  os << '\n';
+}
+
+void write_svm(std::ostream& os, const Detector& detector) {
+  const ml::SvmModel& model = detector.model();
+  const ml::KernelParams& kernel = model.kernel();
+  os << "SVM " << kernel_type_name(kernel.type) << ' ' << kernel.sigma2
+     << ' ' << kernel.degree << ' ' << kernel.coef0 << ' ' << model.bias()
+     << ' ' << model.support_vector_count() << ' '
+     << (model.support_vector_count() > 0 ? model.support_vectors()[0].size()
+                                          : 0)
+     << '\n';
+  for (std::size_t i = 0; i < model.support_vector_count(); ++i) {
+    os << "SV " << model.coefficients()[i];
+    for (const double v : model.support_vectors()[i]) os << ' ' << v;
+    os << '\n';
+  }
+  os << "THRESHOLD " << detector.decision_threshold() << '\n';
+}
+
+void write_continual(std::ostream& os, const ContinualState& cs) {
+  os << "CONTINUAL\n";
+  os << "CFG " << cs.benign_cfg.edge_count() << '\n';
+  for (const auto& [from, succs] : cs.benign_cfg.adjacency()) {
+    for (const cfg::AddressGraph::Address to : succs) {
+      os << "E " << from << ' ' << to << '\n';
+    }
+  }
+  os << "TRAINSET " << cs.train.size() << ' ' << cs.train.dims() << '\n';
+  for (std::size_t i = 0; i < cs.train.size(); ++i) {
+    os << "ROW " << cs.train.y[i] << ' ' << cs.train.weight[i] << ' '
+       << cs.alpha[i];
+    for (const double v : cs.train.X[i]) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+void write_block(std::ostream& os, const char* name,
+                 const std::string& payload) {
+  os << "BLOCK " << name << ' ' << payload.size() << ' ' << std::hex
+     << std::setw(8) << std::setfill('0') << util::crc32c(payload)
+     << std::dec << std::setfill(' ') << '\n'
+     << payload;
 }
 
 /// Token-stream reader with error context.
@@ -131,74 +198,10 @@ SetClusterer read_clusterer(Reader& r, const char* tag,
                                   std::move(result));
 }
 
-}  // namespace
-
-void save_detector(const Detector& detector, std::ostream& os) {
-  os << std::setprecision(17);
-  const Preprocessor& pre = detector.preprocessor();
-  require(pre.fitted(), "detector preprocessor not fitted");
-  const PreprocessOptions& popt = pre.options();
-
-  os << kMagic << ' ' << kVersionV2 << '\n';
-  os << "OPTIONS " << popt.window << ' '
-     << popt.lib_clustering.cut_distance << ' '
-     << popt.lib_clustering.gap_scale << ' '
-     << popt.func_clustering.cut_distance << ' '
-     << popt.func_clustering.gap_scale << '\n';
-  write_clusterer(os, "LIB", pre.lib_clusterer());
-  write_clusterer(os, "FUNC", pre.func_clusterer());
-
-  const ml::MinMaxScaler& scaler = detector.scaler();
-  os << "SCALER " << scaler.dims() << '\n';
-  os << "MIN";
-  for (const double v : scaler.mins()) os << ' ' << v;
-  os << "\nRANGE";
-  for (const double v : scaler.ranges()) os << ' ' << v;
-  os << '\n';
-
-  const ml::SvmModel& model = detector.model();
-  const ml::KernelParams& kernel = model.kernel();
-  os << "SVM " << kernel_type_name(kernel.type) << ' ' << kernel.sigma2
-     << ' ' << kernel.degree << ' ' << kernel.coef0 << ' ' << model.bias()
-     << ' ' << model.support_vector_count() << ' '
-     << (model.support_vector_count() > 0 ? model.support_vectors()[0].size()
-                                          : 0)
-     << '\n';
-  for (std::size_t i = 0; i < model.support_vector_count(); ++i) {
-    os << "SV " << model.coefficients()[i];
-    for (const double v : model.support_vectors()[i]) os << ' ' << v;
-    os << '\n';
-  }
-  os << "THRESHOLD " << detector.decision_threshold() << '\n';
-  if (const ContinualState* cs = detector.continual(); cs != nullptr) {
-    require(cs->alpha.size() == cs->train.size(),
-            "continual state: alpha size disagrees with training set");
-    os << "CONTINUAL\n";
-    os << "CFG " << cs->benign_cfg.edge_count() << '\n';
-    for (const auto& [from, succs] : cs->benign_cfg.adjacency()) {
-      for (const cfg::AddressGraph::Address to : succs) {
-        os << "E " << from << ' ' << to << '\n';
-      }
-    }
-    os << "TRAINSET " << cs->train.size() << ' ' << cs->train.dims() << '\n';
-    for (std::size_t i = 0; i < cs->train.size(); ++i) {
-      os << "ROW " << cs->train.y[i] << ' ' << cs->train.weight[i] << ' '
-         << cs->alpha[i];
-      for (const double v : cs->train.X[i]) os << ' ' << v;
-      os << '\n';
-    }
-  }
-  os << "END\n";
-  require(static_cast<bool>(os), "write failure");
-}
-
-Detector load_detector(std::istream& is) {
-  Reader r(is);
-  r.expect(kMagic);
-  const std::string version = r.word();
-  require(version == kVersionV1 || version == kVersionV2,
-          "unsupported version '" + version + "'");
-
+/// Parses everything after the magic line (OPTIONS..END). Shared by the
+/// v1/v2 token-stream path and the v3 path (which feeds it the verified
+/// concatenated block payloads).
+Detector load_detector_body(Reader& r, bool allow_continual) {
   r.expect("OPTIONS");
   PreprocessOptions popt;
   popt.window = static_cast<std::size_t>(r.integer());
@@ -259,13 +262,13 @@ Detector load_detector(std::istream& is) {
   r.expect("THRESHOLD");
   const double threshold = r.real();
 
-  // v2: optional continual-learning block between THRESHOLD and END. A v1
-  // file goes straight to END and yields a detector without the state —
-  // the cold-start fallback for pre-online-learning model files.
+  // Optional continual-learning block between THRESHOLD and END (v2/v3).
+  // A v1 file goes straight to END and yields a detector without the
+  // state — the cold-start fallback for pre-online-learning model files.
   std::optional<ContinualState> continual;
   std::string tail = r.word();
   if (tail == "CONTINUAL") {
-    require(version == kVersionV2, "CONTINUAL block in a v1 file");
+    require(allow_continual, "CONTINUAL block in a v1 file");
     ContinualState cs;
     r.expect("CFG");
     const auto edges = static_cast<std::size_t>(r.integer());
@@ -308,15 +311,168 @@ Detector load_detector(std::istream& is) {
   return detector;
 }
 
-void save_detector_file(const Detector& detector, const std::string& path) {
-  std::ofstream os(path);
-  require(static_cast<bool>(os), "cannot open for writing: " + path);
-  save_detector(detector, os);
-  require(static_cast<bool>(os), "write failed: " + path);
+std::size_t offset_of(std::istream& is) {
+  const std::streampos pos = is.tellg();
+  return pos < 0 ? 0 : static_cast<std::size_t>(pos);
+}
+
+/// v3: verify every BLOCK's CRC32C before parsing a single token, then
+/// parse the concatenated payloads with the shared body parser. Every
+/// failure names the damaged block and the byte offset of the damage.
+Detector load_detector_v3(std::istream& is) {
+  std::string body;
+  for (;;) {
+    const std::size_t line_offset = offset_of(is);
+    std::string line;
+    if (!std::getline(is, line)) {
+      throw PersistError("truncated v3 file: missing END at byte offset " +
+                         std::to_string(line_offset));
+    }
+    if (line == "END") break;
+    std::istringstream header(line);
+    std::string keyword;
+    std::string name;
+    unsigned long long nbytes = 0;
+    std::string crc_hex;
+    if (!(header >> keyword >> name >> nbytes >> crc_hex) ||
+        keyword != "BLOCK") {
+      throw PersistError("bad v3 block header at byte offset " +
+                         std::to_string(line_offset) + ": '" + line + "'");
+    }
+    require(nbytes <= kMaxBlockBytes,
+            "implausible block size in '" + name + "'");
+    std::size_t crc_len = 0;
+    unsigned long stored_crc = 0;
+    try {
+      stored_crc = std::stoul(crc_hex, &crc_len, 16);
+    } catch (const std::logic_error&) {
+      crc_len = 0;
+    }
+    if (crc_len != crc_hex.size() || crc_hex.empty()) {
+      throw PersistError("bad v3 block checksum field at byte offset " +
+                         std::to_string(line_offset) + ": '" + crc_hex +
+                         "'");
+    }
+
+    const std::size_t payload_offset = offset_of(is);
+    std::string payload(static_cast<std::size_t>(nbytes), '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(nbytes));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    if (got != nbytes) {
+      throw PersistError(
+          "truncated block '" + name + "': expected " +
+          std::to_string(nbytes) + " payload bytes at byte offset " +
+          std::to_string(payload_offset) + ", file ends after " +
+          std::to_string(got));
+    }
+    const std::uint32_t computed = util::crc32c(payload);
+    if (computed != static_cast<std::uint32_t>(stored_crc)) {
+      std::ostringstream msg;
+      msg << "block '" << name << "' checksum mismatch at byte offset "
+          << payload_offset << " (stored " << std::hex << std::setw(8)
+          << std::setfill('0') << stored_crc << ", computed " << std::setw(8)
+          << computed << ")";
+      throw PersistError(msg.str());
+    }
+    body += payload;
+  }
+  // Every block's CRC checked out; parse the concatenation as one v2-style
+  // body with the END sentinel the framing made redundant.
+  body += "END\n";
+  std::istringstream body_stream(body);
+  Reader r(body_stream);
+  return load_detector_body(r, /*allow_continual=*/true);
+}
+
+}  // namespace
+
+void save_detector(const Detector& detector, std::ostream& os,
+                   PersistVersion version) {
+  const Preprocessor& pre = detector.preprocessor();
+  require(pre.fitted(), "detector preprocessor not fitted");
+  const ContinualState* cs = detector.continual();
+  if (cs != nullptr) {
+    require(cs->alpha.size() == cs->train.size(),
+            "continual state: alpha size disagrees with training set");
+  }
+
+  if (version == PersistVersion::kV2) {
+    os << std::setprecision(17);
+    os << kMagic << ' ' << kVersionV2 << '\n';
+    write_options(os, pre.options());
+    write_clusterer(os, "LIB", pre.lib_clusterer());
+    write_clusterer(os, "FUNC", pre.func_clusterer());
+    write_scaler(os, detector.scaler());
+    write_svm(os, detector);
+    if (cs != nullptr) write_continual(os, *cs);
+    os << "END\n";
+    require(static_cast<bool>(os), "write failure");
+    return;
+  }
+
+  // v3: render each section once, frame it with size + CRC32C. The body
+  // parser's END sentinel is supplied by the loader after it verifies and
+  // concatenates the payloads; the outer END terminates the block stream.
+  const auto render = [](const std::function<void(std::ostream&)>& fn) {
+    std::ostringstream section;
+    section << std::setprecision(17);
+    fn(section);
+    return std::move(section).str();
+  };
+  os << kMagic << ' ' << kVersionV3 << '\n';
+  write_block(os, "OPTIONS",
+              render([&](std::ostream& s) { write_options(s, pre.options()); }));
+  write_block(os, "LIB", render([&](std::ostream& s) {
+                write_clusterer(s, "LIB", pre.lib_clusterer());
+              }));
+  write_block(os, "FUNC", render([&](std::ostream& s) {
+                write_clusterer(s, "FUNC", pre.func_clusterer());
+              }));
+  write_block(os, "SCALER", render([&](std::ostream& s) {
+                write_scaler(s, detector.scaler());
+              }));
+  write_block(os, "SVM",
+              render([&](std::ostream& s) { write_svm(s, detector); }));
+  if (cs != nullptr) {
+    write_block(os, "CONTINUAL", render([&](std::ostream& s) {
+                  write_continual(s, *cs);
+                }));
+  }
+  os << "END\n";
+  require(static_cast<bool>(os), "write failure");
+}
+
+Detector load_detector(std::istream& is) {
+  std::string magic_line;
+  require(static_cast<bool>(std::getline(is, magic_line)),
+          "unexpected end of input");
+  std::istringstream header(magic_line);
+  std::string magic;
+  std::string version;
+  require(static_cast<bool>(header >> magic) && magic == kMagic,
+          "expected '" + std::string(kMagic) + "', got '" + magic + "'");
+  require(static_cast<bool>(header >> version),
+          "missing version after magic");
+  if (version == kVersionV3) return load_detector_v3(is);
+  require(version == kVersionV1 || version == kVersionV2,
+          "unsupported version '" + version + "'");
+  Reader r(is);
+  return load_detector_body(r, /*allow_continual=*/version == kVersionV2);
+}
+
+void save_detector_file(const Detector& detector, const std::string& path,
+                        PersistVersion version) {
+  const util::Status status = util::atomic_write_file(
+      path,
+      [&](std::ostream& os) { save_detector(detector, os, version); });
+  if (!status.ok()) {
+    throw PersistError("atomic save of " + path + " failed: " +
+                       status.to_string());
+  }
 }
 
 Detector load_detector_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw PersistError("cannot open: " + path);
   return load_detector(is);
 }

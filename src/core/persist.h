@@ -1,10 +1,10 @@
 // Detector persistence: save a trained Detector (preprocessor clustering
-// state + feature scaler + SVM model) to a versioned, line-oriented text
-// format and load it back — train once on a controlled host, deploy the
-// classifier against production logs elsewhere (the paper's deployment
-// story for the Testing Phase).
+// state + feature scaler + SVM model) to a versioned format and load it
+// back — train once on a controlled host, deploy the classifier against
+// production logs elsewhere (the paper's deployment story for the Testing
+// Phase).
 //
-// Format sketch (all tokens whitespace-separated, doubles in %.17g):
+// v2 body sketch (all tokens whitespace-separated, doubles in %.17g):
 //   LEAPS-DETECTOR v2
 //   OPTIONS window=10 lib_cut=0.3 func_cut=0.35 lib_gap=10 func_gap=10
 //   CLUSTERER LIB <unique_sets> <clusters>
@@ -23,10 +23,21 @@
 //   ROW <y> <c> <alpha> <x>...
 //   END
 //
-// Version compatibility: v1 files (pre-online-learning) still load — they
-// simply carry no CONTINUAL block, so Detector::continual() is null and
-// retraining falls back to a cold start. save_detector always writes v2
-// (the CONTINUAL block only when the detector has the state).
+// v3 wraps the same section texts in checksummed blocks so a torn or
+// bit-flipped file is *detected* instead of mis-parsed:
+//   LEAPS-DETECTOR v3
+//   BLOCK <name> <payload_bytes> <crc32c-hex>
+//   <payload bytes, newline-terminated>
+//   ... (OPTIONS, LIB, FUNC, SCALER, SVM, optional CONTINUAL)
+//   END
+// The loader verifies every block CRC before parsing a single token and
+// reports failures as PersistError with the exact byte offset of the
+// damage ("truncated block", "checksum mismatch", "missing END").
+//
+// Version compatibility: v1 (pre-online-learning) and v2 files still
+// load — v1 carries no CONTINUAL block, so Detector::continual() is null
+// and retraining falls back to a cold start. save_detector defaults to v3;
+// pass PersistVersion::kV2 to emit a file older builds can read.
 #pragma once
 
 #include <iosfwd>
@@ -43,16 +54,25 @@ class PersistError : public std::runtime_error {
       : std::runtime_error("detector persistence: " + what) {}
 };
 
+enum class PersistVersion {
+  kV2,  // plain token stream, readable by pre-durability builds
+  kV3,  // CRC32C block framing (default)
+};
+
 /// Serializes a trained detector. Throws PersistError on unserializable
 /// state (e.g. set members containing whitespace).
-void save_detector(const Detector& detector, std::ostream& os);
+void save_detector(const Detector& detector, std::ostream& os,
+                   PersistVersion version = PersistVersion::kV3);
 
-/// Deserializes; throws PersistError on malformed or version-mismatched
-/// input.
+/// Deserializes any supported version (v1/v2/v3); throws PersistError on
+/// malformed or version-mismatched input. v3 errors carry byte offsets.
 Detector load_detector(std::istream& is);
 
-/// Convenience file-path wrappers (throw PersistError on I/O failure).
-void save_detector_file(const Detector& detector, const std::string& path);
+/// File-path wrappers. Saving goes through util::atomic_write_file
+/// (temp + fsync + rename): a crash mid-save can never leave a
+/// half-written model at `path`. Both throw PersistError on I/O failure.
+void save_detector_file(const Detector& detector, const std::string& path,
+                        PersistVersion version = PersistVersion::kV3);
 Detector load_detector_file(const std::string& path);
 
 }  // namespace leaps::core

@@ -1,0 +1,159 @@
+// DurableStore — crash-safe persistence for a served profile.
+//
+// Two files in one directory own everything the deployment has learned:
+//
+//   snapshot.leaps   atomic v1 snapshot (temp → fsync → rename): last
+//                    folded LSN, accounting baseline, the incumbent
+//                    detector (embedded v3 bytes, CRC-framed), pending
+//                    retrain windows, and the quarantine list
+//   journal.wal      append-only WAL (durable/wal.h) of everything that
+//                    happened since the snapshot
+//
+// Write path: the online subsystem journals admitted windows, retrain
+// outcomes, promotions and rollbacks as they happen; every
+// checkpoint_every_appends appends (and on every promotion) the caller
+// folds current state into a fresh snapshot and truncates the journal.
+// Promotion/quarantine records embed the candidate's full serialized
+// bytes, so a crash after the append but before the checkpoint still
+// recovers the exact promoted detector.
+//
+// Recovery: load the last good snapshot (damage there is a typed
+// PersistError — a corrupt snapshot is an operator problem, not something
+// to silently cold-start over), scan the journal truncating a torn tail,
+// drop records already folded (lsn ≤ snapshot LSN — the crash-between-
+// rename-and-truncate case), and replay the rest in order. The result
+// hands the caller the incumbent detector, the windows to re-observe, the
+// accounting baseline, and the quarantine list.
+//
+// Exported metrics (all eager — zero and absent must differ):
+//   leaps_durable_journal_appends_total / _bytes_total
+//   leaps_durable_checkpoints_total
+//   leaps_durable_recoveries_total
+//   leaps_durable_torn_tail_truncations_total
+//   leaps_durable_records_replayed_total
+//   leaps_durable_recovery_duration_us (gauge)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/persist.h"
+#include "core/pipeline.h"
+#include "durable/wal.h"
+#include "obs/registry.h"
+#include "trace/partition.h"
+#include "util/status.h"
+
+namespace leaps::durable {
+
+struct DurableOptions {
+  /// Directory holding snapshot.leaps + journal.wal (created on open()).
+  std::string dir;
+  /// Journal appends between automatic checkpoints (should_checkpoint()).
+  std::size_t checkpoint_every_appends = 256;
+};
+
+/// Terminal-state accounting baseline carried across restarts. Captured at
+/// checkpoint as ingested := processed + dropped + quarantined — events
+/// still in flight at the crash never reach a terminal state, so counting
+/// them ingested would break the accounting identity forever.
+struct AccountingBaseline {
+  std::uint64_t ingested = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t quarantined = 0;
+};
+
+/// One window awaiting (re-)observation by the online accumulator.
+struct DurableWindow {
+  std::vector<trace::PartitionedEvent> events;
+};
+
+/// Everything checkpoint() folds into a snapshot.
+struct CheckpointState {
+  std::shared_ptr<const core::Detector> detector;  // incumbent (required)
+  std::vector<DurableWindow> pending_windows;
+  std::vector<std::shared_ptr<const core::Detector>> quarantined;
+  AccountingBaseline accounting;
+};
+
+/// Everything recover() reconstructs.
+struct RecoveredState {
+  bool snapshot_found = false;
+  std::shared_ptr<const core::Detector> detector;  // null → cold start
+  std::vector<DurableWindow> pending_windows;      // snapshot + journal
+  std::vector<std::shared_ptr<const core::Detector>> quarantined;
+  AccountingBaseline accounting;
+  std::uint64_t last_lsn = 0;        // highest LSN seen anywhere
+  std::uint64_t replayed = 0;        // journal records applied
+  std::uint64_t skipped = 0;         // records at/below the snapshot LSN
+  bool torn_tail = false;            // journal tail was truncated
+  std::string torn_reason;
+};
+
+// Window payload codec (also used by tests and the corruption corpus).
+std::string encode_window(const trace::PartitionedEvent* events,
+                          std::size_t count);
+util::StatusOr<std::vector<trace::PartitionedEvent>> decode_window(
+    std::string_view payload);
+
+class DurableStore {
+ public:
+  explicit DurableStore(DurableOptions options);
+
+  /// Creates the directory if needed and opens the journal for append,
+  /// seeding the LSN counter past everything already on disk. recover()
+  /// may be called before or after open(); journaling requires open().
+  util::Status open();
+
+  std::string snapshot_path() const { return options_.dir + "/snapshot.leaps"; }
+  std::string journal_path() const { return options_.dir + "/journal.wal"; }
+
+  // --- journaling (require open()) --------------------------------------
+  util::Status journal_window(const trace::PartitionedEvent* events,
+                              std::size_t count);
+  util::Status journal_retrain(bool ok, std::uint64_t new_samples,
+                               const std::string& detail);
+  util::Status journal_promotion(const core::Detector& candidate);
+  util::Status journal_quarantine(const core::Detector& candidate);
+
+  /// True once enough appends have accumulated since the last checkpoint.
+  bool should_checkpoint() const;
+
+  /// Folds `state` into a fresh atomic snapshot, then truncates the
+  /// journal. Fault point "durable.checkpoint.pre_truncate" sits between
+  /// the two — the crash window the LSN guard exists for.
+  util::Status checkpoint(const CheckpointState& state);
+
+  /// Loads snapshot + journal into a RecoveredState. Corrupt snapshots
+  /// and foreign journal magic are errors; a torn journal tail is
+  /// truncated, counted, and reported in the result.
+  util::StatusOr<RecoveredState> recover();
+
+  const DurableOptions& options() const { return options_; }
+
+ private:
+  struct Metrics {
+    obs::Counter& journal_appends;
+    obs::Counter& journal_bytes;
+    obs::Counter& checkpoints;
+    obs::Counter& recoveries;
+    obs::Counter& torn_truncations;
+    obs::Counter& records_replayed;
+    obs::Gauge& recovery_duration_us;
+    Metrics();
+  };
+
+  util::Status journal(WalRecordType type, std::string_view payload);
+  util::Status write_snapshot(const CheckpointState& state,
+                              std::uint64_t lsn);
+
+  const DurableOptions options_;
+  Metrics metrics_;
+  WalWriter wal_;
+  std::uint64_t appends_since_checkpoint_ = 0;
+};
+
+}  // namespace leaps::durable

@@ -1,0 +1,249 @@
+#include "durable/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "core/persist.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
+
+namespace leaps::durable {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+constexpr std::size_t kBodyPrefixBytes = 9;   // u8 type + u64 lsn
+// A single record larger than this is framing damage, not data.
+constexpr std::size_t kMaxRecordBytes = std::size_t{64} << 20;
+
+std::string errno_text(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+util::Status write_all(int fd, const char* data, std::size_t size,
+                       const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::unavailable(errno_text("write", path));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return util::ok_status();
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      next_lsn_(other.next_lsn_),
+      appends_(other.appends_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    next_lsn_ = other.next_lsn_;
+    appends_ = other.appends_;
+  }
+  return *this;
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status WalWriter::open(const std::string& path,
+                             std::uint64_t next_lsn) {
+  close();
+  path_ = path;
+  next_lsn_ = next_lsn == 0 ? 1 : next_lsn;
+  appends_ = 0;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return util::unavailable(errno_text("open", path));
+  const ::off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size == 0) {
+    return write_all(fd_, kWalMagic.data(), kWalMagic.size(), path_);
+  }
+  return util::ok_status();
+}
+
+util::Status WalWriter::append(WalRecordType type, std::string_view payload,
+                               std::uint64_t* assigned_lsn) {
+  if (fd_ < 0) return util::internal_error("WAL not open");
+  std::string body;
+  body.reserve(kBodyPrefixBytes + payload.size());
+  body.push_back(static_cast<char>(type));
+  put_u64(body, next_lsn_);
+  body.append(payload);
+
+  std::string header;
+  put_u32(header, static_cast<std::uint32_t>(body.size()));
+  put_u32(header, util::crc32c(body));
+
+  // Header first, as its own write: a crash between the two leaves a
+  // valid-header/short-body torn tail — the exact shape recovery must
+  // truncate and the corruption corpus must flag.
+  util::Status status = write_all(fd_, header.data(), header.size(), path_);
+  if (!status.ok()) return status;
+  LEAPS_FAULT_POINT("durable.wal.append.mid");
+  status = write_all(fd_, body.data(), body.size(), path_);
+  if (!status.ok()) return status;
+  if (assigned_lsn != nullptr) *assigned_lsn = next_lsn_;
+  ++next_lsn_;
+  ++appends_;
+  return util::ok_status();
+}
+
+util::Status WalWriter::sync() {
+  if (fd_ < 0) return util::internal_error("WAL not open");
+  if (::fsync(fd_) != 0) return util::unavailable(errno_text("fsync", path_));
+  return util::ok_status();
+}
+
+util::Status WalWriter::truncate() {
+  if (fd_ < 0) return util::internal_error("WAL not open");
+  if (::ftruncate(fd_, static_cast<::off_t>(kWalMagic.size())) != 0) {
+    return util::unavailable(errno_text("ftruncate", path_));
+  }
+  if (::fsync(fd_) != 0) return util::unavailable(errno_text("fsync", path_));
+  return util::ok_status();
+}
+
+namespace {
+
+/// Shared scanning core: fills `scan`; returns non-OK only for damage that
+/// precedes any record (missing/foreign magic) or I/O errors.
+util::Status scan_into(const std::string& path, WalScan& scan) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::not_found("cannot open WAL: " + path);
+
+  std::string magic(kWalMagic.size(), '\0');
+  is.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (static_cast<std::size_t>(is.gcount()) != kWalMagic.size() ||
+      magic != kWalMagic) {
+    return util::corrupt_input("bad WAL magic in " + path);
+  }
+
+  std::uint64_t offset = kWalMagic.size();
+  std::uint64_t prev_lsn = 0;
+  for (;;) {
+    unsigned char header[kFrameHeaderBytes];
+    is.read(reinterpret_cast<char*>(header),
+            static_cast<std::streamsize>(kFrameHeaderBytes));
+    const auto header_got = static_cast<std::size_t>(is.gcount());
+    if (header_got == 0) break;  // clean end
+    if (header_got < kFrameHeaderBytes) {
+      scan.torn = true;
+      scan.torn_offset = offset;
+      scan.torn_reason = "torn WAL record header at byte offset " +
+                         std::to_string(offset) + ": " +
+                         std::to_string(header_got) + " of 8 bytes";
+      break;
+    }
+    const std::uint32_t body_len = get_u32(header);
+    const std::uint32_t stored_crc = get_u32(header + 4);
+    if (body_len < kBodyPrefixBytes || body_len > kMaxRecordBytes) {
+      scan.torn = true;
+      scan.torn_offset = offset;
+      scan.torn_reason = "implausible WAL record length " +
+                         std::to_string(body_len) + " at byte offset " +
+                         std::to_string(offset);
+      break;
+    }
+    std::string body(body_len, '\0');
+    is.read(body.data(), static_cast<std::streamsize>(body_len));
+    const auto body_got = static_cast<std::size_t>(is.gcount());
+    if (body_got < body_len) {
+      scan.torn = true;
+      scan.torn_offset = offset;
+      scan.torn_reason =
+          "torn WAL record at byte offset " + std::to_string(offset) +
+          ": header promises " + std::to_string(body_len) +
+          " body bytes, file ends after " + std::to_string(body_got);
+      break;
+    }
+    if (util::crc32c(body) != stored_crc) {
+      scan.torn = true;
+      scan.torn_offset = offset;
+      scan.torn_reason = "WAL record checksum mismatch at byte offset " +
+                         std::to_string(offset);
+      break;
+    }
+    const auto* bytes = reinterpret_cast<const unsigned char*>(body.data());
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(bytes[0]);
+    record.lsn = get_u64(bytes + 1);
+    if (record.lsn <= prev_lsn) {
+      scan.torn = true;
+      scan.torn_offset = offset;
+      scan.torn_reason = "non-monotonic WAL LSN " +
+                         std::to_string(record.lsn) + " at byte offset " +
+                         std::to_string(offset);
+      break;
+    }
+    prev_lsn = record.lsn;
+    record.payload = body.substr(kBodyPrefixBytes);
+    scan.records.push_back(std::move(record));
+    offset += kFrameHeaderBytes + body_len;
+  }
+  return util::ok_status();
+}
+
+}  // namespace
+
+util::StatusOr<WalScan> scan_wal(const std::string& path) {
+  WalScan scan;
+  const util::Status status = scan_into(path, scan);
+  if (status.code() == util::StatusCode::kNotFound) return scan;  // no WAL yet
+  if (!status.ok()) return status;
+  return scan;
+}
+
+std::size_t verify_wal_strict(const std::string& path) {
+  WalScan scan;
+  const util::Status status = scan_into(path, scan);
+  if (!status.ok()) throw core::PersistError(status.message());
+  if (scan.torn) throw core::PersistError(scan.torn_reason);
+  return scan.records.size();
+}
+
+}  // namespace leaps::durable

@@ -1,0 +1,116 @@
+// Write-ahead log for the online-learning subsystem.
+//
+// Everything the server learns between snapshots — admitted benign
+// windows, retrain outcomes, promotions, quarantine entries — is appended
+// here *as it happens*, so a kill -9 at any instant loses at most the
+// record being written. Checkpoints (durable/store.h) fold the journal
+// into an atomic snapshot and truncate it.
+//
+// On-disk layout (little-endian, append-only):
+//
+//   LEAPSWAL1\n                                   10-byte magic
+//   [u32 body_len][u32 crc32c(body)] body         repeated
+//     body = [u8 type][u64 lsn][payload]
+//
+// Every record carries a monotonically increasing LSN. The snapshot
+// records the LSN it folded up to; replay skips records at or below it,
+// which is what makes a crash *between* snapshot rename and journal
+// truncate harmless — the stale records are simply skipped, never
+// double-applied.
+//
+// Torn-tail policy: the writer lands the 8-byte frame header with its own
+// write() before the body (fault point "durable.wal.append.mid" sits
+// between them), so a crash mid-append leaves a record with a valid
+// header and a short body. The reader detects that — and any checksum or
+// framing damage — at an exact byte offset. Recovery truncates the tail
+// and keeps every record before it; strict readers (the corrupt-file
+// corpus) get a typed core::PersistError instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace leaps::durable {
+
+inline constexpr std::string_view kWalMagic = "LEAPSWAL1\n";
+
+enum class WalRecordType : std::uint8_t {
+  kWindow = 1,      // admitted benign window (encoded PartitionedEvents)
+  kRetrain = 2,     // retrain outcome (informational)
+  kPromotion = 3,   // candidate promoted: payload = v3 detector bytes
+  kQuarantine = 4,  // candidate rolled back: payload = v3 detector bytes
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kWindow;
+  std::uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Result of scanning a journal in recovery (truncate-tail) mode.
+struct WalScan {
+  std::vector<WalRecord> records;  // every record before the damage
+  bool torn = false;               // a damaged tail was found
+  std::uint64_t torn_offset = 0;   // byte offset where the damage starts
+  std::string torn_reason;         // human-readable, includes the offset
+};
+
+/// Appends records to `path`, creating it (with magic) when absent. Uses
+/// raw unbuffered writes so what append() returns OK for has reached the
+/// kernel — a process kill cannot un-write it.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if needed) and seeks to the end. `next_lsn` seeds the
+  /// LSN counter; pass 1 + the highest LSN seen by recovery.
+  util::Status open(const std::string& path, std::uint64_t next_lsn);
+
+  /// Appends one record, assigning it the next LSN (returned through
+  /// `assigned_lsn` when non-null). Fault point "durable.wal.append.mid"
+  /// fires after the frame header is on disk, before the body.
+  util::Status append(WalRecordType type, std::string_view payload,
+                      std::uint64_t* assigned_lsn = nullptr);
+
+  /// fsync(2) the journal (checkpoint prologue; appends do not fsync).
+  util::Status sync();
+
+  /// Truncates the journal back to the bare magic (checkpoint epilogue).
+  /// The LSN counter keeps counting — LSNs never repeat within a store.
+  util::Status truncate();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t appends() const { return appends_; }
+  const std::string& path() const { return path_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t appends_ = 0;
+};
+
+/// Scans the journal at `path` in recovery mode: a damaged tail (short
+/// header, short body, checksum mismatch, non-monotonic LSN) ends the scan
+/// at that point with `torn` set and the exact byte offset; records before
+/// it are returned. A missing file is an empty, untorn scan. A bad magic
+/// is kCorruptInput — that is not a torn tail, the file is not ours.
+util::StatusOr<WalScan> scan_wal(const std::string& path);
+
+/// Strict variant for corruption drills: any damage — including a torn
+/// tail recovery would tolerate — throws core::PersistError naming the
+/// byte offset. Returns the record count of a fully intact journal.
+std::size_t verify_wal_strict(const std::string& path);
+
+}  // namespace leaps::durable

@@ -48,6 +48,12 @@ std::vector<PendingWindow> OnlineCfgAccumulator::drain_windows() {
   return out;
 }
 
+std::vector<PendingWindow> OnlineCfgAccumulator::pending_snapshot() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fold_locked();
+  return {retained_.begin(), retained_.end()};
+}
+
 std::uint64_t OnlineCfgAccumulator::events_since_drain() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return events_since_drain_;

@@ -91,6 +91,11 @@ class OnlineCfgAccumulator {
   /// the internal retention buffer is left empty.
   std::vector<PendingWindow> drain_windows();
 
+  /// Copy of the admitted-but-undrained windows (after folding), without
+  /// disturbing them — what a durability checkpoint folds into the
+  /// snapshot so a crash loses no retained window.
+  std::vector<PendingWindow> pending_snapshot();
+
   /// Events observed since construction or the last drain — the retrain
   /// trigger's progress counter. Thread-safe.
   std::uint64_t events_since_drain() const;

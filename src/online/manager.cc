@@ -76,6 +76,14 @@ void OnlineManager::install() {
              const trace::PartitionedEvent* events, std::size_t count) {
         if (!learnable(label)) return;
         metrics_.windows_observed.inc();
+        // Journal before observing: once the accumulator has the window a
+        // crash must be able to get it back. Replay re-runs admission, so
+        // journaling pre-admission stays idempotent.
+        if (options_.durable != nullptr) {
+          const util::Status status =
+              options_.durable->journal_window(events, count);
+          if (!status.ok()) note_durable_failure(status);
+        }
         accumulator_.observe_window(events, count);
       });
 }
@@ -99,6 +107,10 @@ void OnlineManager::stop() {
   wake_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   started_.store(false);
+  // poll_mu_ makes shutdown wait out any directly-driven poll_once still
+  // in flight — a stop() racing a poll step must not lose admitted
+  // windows or double-conclude the shadow.
+  const std::lock_guard<std::mutex> poll_lock(poll_mu_);
   // Conclude a shadow still in flight by its evidence so far: promotion
   // still requires an affirmative gate pass, anything else rolls back.
   std::shared_ptr<ShadowEvaluator> evaluator;
@@ -109,6 +121,8 @@ void OnlineManager::stop() {
   if (evaluator != nullptr) {
     conclude_shadow(evaluator->decision() == RolloverDecision::kPromote);
   }
+  // Clean shutdown leaves nothing for the journal replay to do.
+  if (options_.durable != nullptr) do_checkpoint();
 }
 
 void OnlineManager::run() {
@@ -124,6 +138,7 @@ void OnlineManager::run() {
 }
 
 void OnlineManager::poll_once() {
+  const std::lock_guard<std::mutex> poll_lock(poll_mu_);
   // Export accumulator progress (counters advance by delta; see header).
   const AccumulatorStats acc = accumulator_.stats();
   if (acc.windows_rejected > synced_rejected_) {
@@ -155,12 +170,23 @@ void OnlineManager::poll_once() {
     return;
   }
   maybe_retrain();
+  if (options_.durable != nullptr && options_.durable->should_checkpoint()) {
+    do_checkpoint();
+  }
 }
 
 void OnlineManager::maybe_retrain() {
   if (!scheduler_.due()) return;
   LEAPS_SPAN("online.cycle");
   const RetrainResult result = scheduler_.retrain();
+  // The retrain drained every retained window into the candidate; the
+  // journal record marks that drain point so replay stops treating the
+  // windows before it as still pending.
+  if (options_.durable != nullptr) {
+    const util::Status status = options_.durable->journal_retrain(
+        result.candidate != nullptr, result.new_samples, result.error);
+    if (!status.ok()) note_durable_failure(status);
+  }
   if (result.candidate == nullptr) {
     metrics_.retrain_failures.inc();
     const std::lock_guard<std::mutex> lock(mu_);
@@ -220,17 +246,81 @@ void OnlineManager::conclude_shadow(bool promote) {
   // decision is acted on here (manager thread) and never in the sink.
   server_->end_shadow(options_.profile, promote);
   if (promote && candidate != nullptr) scheduler_.adopt(candidate);
-  const std::lock_guard<std::mutex> lock(mu_);
-  last_shadow_ = final_stats;
-  if (promote) {
-    ++promotions_;
-    metrics_.promotions.inc();
-  } else {
-    ++rollbacks_;
-    metrics_.rollbacks.inc();
+  // Journal the verdict with the candidate's full bytes: a crash after
+  // this append recovers the exact promoted (or quarantined) detector
+  // even if the checkpoint below never lands.
+  if (options_.durable != nullptr && candidate != nullptr) {
+    const util::Status status =
+        promote ? options_.durable->journal_promotion(*candidate)
+                : options_.durable->journal_quarantine(*candidate);
+    if (!status.ok()) note_durable_failure(status);
   }
-  evaluator_.reset();
-  candidate_.reset();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    last_shadow_ = final_stats;
+    if (promote) {
+      ++promotions_;
+      metrics_.promotions.inc();
+    } else {
+      ++rollbacks_;
+      metrics_.rollbacks.inc();
+    }
+    evaluator_.reset();
+    candidate_.reset();
+  }
+  // A promotion is the most valuable state there is; fold it immediately.
+  if (options_.durable != nullptr && promote) do_checkpoint();
+}
+
+void OnlineManager::do_checkpoint() {
+  durable::CheckpointState state;
+  state.detector = server_->registry().find(options_.profile);
+  if (state.detector == nullptr) {
+    note_durable_failure(util::not_found(
+        "checkpoint: profile gone from registry: " + options_.profile));
+    return;
+  }
+  for (PendingWindow& w : accumulator_.pending_snapshot()) {
+    state.pending_windows.push_back(durable::DurableWindow{std::move(w.events)});
+  }
+  state.quarantined = server_->registry().quarantined_all(options_.profile);
+  // Terminal-state capture: events still in flight at a crash never reach
+  // a terminal counter, so ingested is folded as the sum — that keeps the
+  // ingested == processed + dropped + quarantined identity true across
+  // the restart boundary instead of off by the in-queue count.
+  const serve::ServerMetrics& sm = server_->metrics();
+  state.accounting.processed =
+      sm.events_processed.load(std::memory_order_relaxed);
+  state.accounting.dropped = sm.events_dropped.load(std::memory_order_relaxed);
+  state.accounting.quarantined =
+      sm.events_quarantined.load(std::memory_order_relaxed);
+  state.accounting.ingested = state.accounting.processed +
+                              state.accounting.dropped +
+                              state.accounting.quarantined;
+  const util::Status status = options_.durable->checkpoint(state);
+  if (!status.ok()) note_durable_failure(status);
+}
+
+void OnlineManager::restore(const durable::RecoveredState& recovered) {
+  const std::lock_guard<std::mutex> poll_lock(poll_mu_);
+  for (const auto& candidate : recovered.quarantined) {
+    server_->registry().restore_quarantined(options_.profile, candidate);
+  }
+  server_->metrics().restore_baseline(
+      recovered.accounting.ingested, recovered.accounting.processed,
+      recovered.accounting.dropped, recovered.accounting.quarantined);
+  for (const durable::DurableWindow& window : recovered.pending_windows) {
+    accumulator_.observe_window(window.events.data(), window.events.size());
+  }
+  // Fold the replayed state into a fresh snapshot immediately: a crash
+  // right after restart must recover to this same point, not re-replay a
+  // journal that was just truncated.
+  if (options_.durable != nullptr) do_checkpoint();
+}
+
+void OnlineManager::note_durable_failure(const util::Status& status) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_error_ = "durable: " + status.to_string();
 }
 
 OnlineReport OnlineManager::report() const {

@@ -29,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "durable/store.h"
 #include "obs/registry.h"
 #include "online/accumulator.h"
 #include "online/retrain.h"
@@ -45,6 +46,12 @@ struct OnlineOptions {
   RolloverGates gates;
   /// Manager-thread poll cadence (retrain trigger + shadow decision).
   std::chrono::milliseconds poll_interval{100};
+  /// When set, the manager journals learnable windows, retrain outcomes
+  /// and promotions/rollbacks to this store as they happen, checkpoints
+  /// when the store says it is due (and on every promotion, on restore()
+  /// and on stop()), making the online state crash-safe. The store must
+  /// be open()ed and must outlive the manager. Null disables durability.
+  durable::DurableStore* durable = nullptr;
 };
 
 struct OnlineReport {
@@ -83,8 +90,21 @@ class OnlineManager {
   void stop();
 
   /// One control-loop step, callable directly for deterministic drives
-  /// (tests, tools): triggers a due retrain, starts/concludes shadows.
+  /// (tests, tools): triggers a due retrain, starts/concludes shadows,
+  /// checkpoints the durable store when due. Serialized against stop()
+  /// and other poll_once callers — a shutdown racing a poll step can
+  /// never lose admitted windows.
   void poll_once();
+
+  /// Applies a recovered durability state: restores the profile's
+  /// quarantine list and the server's accounting baseline, re-observes
+  /// the recovered pending windows through the accumulator (re-running
+  /// admission — replay is idempotent), then forces a checkpoint so a
+  /// second crash recovers to this same state. Call after install(),
+  /// before the server starts ingesting. The recovered incumbent
+  /// detector must already be registered (it seeds this manager's
+  /// accumulator CFG via the constructor).
+  void restore(const durable::RecoveredState& recovered);
 
   OnlineReport report() const;
   bool shadowing() const { return server_->shadowing(options_.profile); }
@@ -108,12 +128,18 @@ class OnlineManager {
   void run();
   void maybe_retrain();                  // accumulating → shadowing
   void conclude_shadow(bool promote);    // shadowing → accumulating
+  void do_checkpoint();                  // fold journal into a snapshot
+  void note_durable_failure(const util::Status& status);
 
   serve::DetectionServer* const server_;
   const OnlineOptions options_;
   Metrics metrics_;
   OnlineCfgAccumulator accumulator_;
   RetrainScheduler scheduler_;
+
+  /// Serializes control-loop steps (poll_once, stop()'s conclusion and
+  /// final checkpoint, restore()) against each other.
+  std::mutex poll_mu_;
 
   mutable std::mutex mu_;
   std::shared_ptr<ShadowEvaluator> evaluator_;           // guarded by mu_

@@ -62,6 +62,16 @@ void ServerMetrics::note_queue_depth(std::size_t depth) {
   atomic_max(queue_high_water_, depth);
 }
 
+void ServerMetrics::restore_baseline(std::uint64_t ingested,
+                                     std::uint64_t processed,
+                                     std::uint64_t dropped,
+                                     std::uint64_t quarantined) {
+  events_ingested.store(ingested, kRelaxed);
+  events_processed.store(processed, kRelaxed);
+  events_dropped.store(dropped, kRelaxed);
+  events_quarantined.store(quarantined, kRelaxed);
+}
+
 MetricsSnapshot ServerMetrics::snapshot() const {
   MetricsSnapshot s;
   s.events_ingested = events_ingested.load(kRelaxed);

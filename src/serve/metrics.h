@@ -83,6 +83,13 @@ class ServerMetrics {
   /// Raises the queue-depth high-water mark if `depth` exceeds it.
   void note_queue_depth(std::size_t depth);
 
+  /// Seeds the four accounting-identity counters from a recovered
+  /// durability checkpoint, so ingested == processed + dropped +
+  /// quarantined keeps holding across a restart boundary. Only valid
+  /// before the server starts ingesting (counters must still be zero).
+  void restore_baseline(std::uint64_t ingested, std::uint64_t processed,
+                        std::uint64_t dropped, std::uint64_t quarantined);
+
   MetricsSnapshot snapshot() const;
 
   /// Contributes every counter and both histograms to `registry` under

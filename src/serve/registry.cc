@@ -114,4 +114,19 @@ std::shared_ptr<const core::Detector> DetectorRegistry::last_quarantined(
   return it->second.back();
 }
 
+std::vector<std::shared_ptr<const core::Detector>>
+DetectorRegistry::quarantined_all(const std::string& profile) const {
+  const std::shared_lock lock(mu_);
+  const auto it = quarantined_.find(profile);
+  if (it == quarantined_.end()) return {};
+  return it->second;
+}
+
+void DetectorRegistry::restore_quarantined(
+    const std::string& profile,
+    std::shared_ptr<const core::Detector> candidate) {
+  const std::unique_lock lock(mu_);
+  quarantined_[profile].push_back(std::move(candidate));
+}
+
 }  // namespace leaps::serve

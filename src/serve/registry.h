@@ -64,6 +64,15 @@ class DetectorRegistry {
   /// Most recently quarantined candidate; nullptr when none.
   std::shared_ptr<const core::Detector> last_quarantined(
       const std::string& profile) const;
+  /// Full quarantine list, oldest first (durability checkpoints fold it
+  /// into the snapshot so rejected candidates survive restarts).
+  std::vector<std::shared_ptr<const core::Detector>> quarantined_all(
+      const std::string& profile) const;
+  /// Re-appends a quarantined candidate during warm-restart recovery
+  /// (same effect on staging as rollback_shadow, without needing a
+  /// shadow in flight).
+  void restore_quarantined(const std::string& profile,
+                           std::shared_ptr<const core::Detector> candidate);
 
  private:
   mutable std::shared_mutex mu_;

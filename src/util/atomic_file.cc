@@ -1,0 +1,95 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/fault.h"
+
+namespace leaps::util {
+
+namespace {
+
+std::string errno_text(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+// fsync a path opened read-only (used for the containing directory so the
+// rename itself is durable, not just the renamed file's contents).
+Status fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return unavailable(errno_text("open", path));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return unavailable(errno_text("fsync", path));
+  return ok_status();
+}
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path,
+                         const std::function<void(std::ostream&)>& fill) {
+  // Temp file must live in the target's directory: rename(2) is only
+  // atomic within one filesystem.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return unavailable(errno_text("create", tmp));
+    try {
+      fill(out);
+    } catch (...) {
+      out.close();
+      ::unlink(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      ::unlink(tmp.c_str());
+      return unavailable(errno_text("write", tmp));
+    }
+  }
+
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    ::unlink(tmp.c_str());
+    return unavailable(errno_text("open", tmp));
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return unavailable(errno_text("fsync", tmp));
+  }
+  ::close(fd);
+
+  // The new bytes are durable under the temp name; the target still holds
+  // the previous generation. A crash here loses nothing.
+  try {
+    LEAPS_FAULT_POINT("durable.snapshot.pre_rename");
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = unavailable(errno_text("rename", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the directory entry durable too; best effort on filesystems that
+  // refuse to fsync directories.
+  (void)fsync_path(dir);
+  return ok_status();
+}
+
+}  // namespace leaps::util

@@ -1,0 +1,30 @@
+// Crash-safe file replacement: write to a temp file in the destination's
+// directory, flush, fsync, then rename over the target and fsync the
+// directory. A reader therefore sees either the complete old file or the
+// complete new file — never a torn mix — and a kill -9 at any instant
+// leaves at worst an orphaned `.tmp.*` sibling, never a half-written model
+// at the target path.
+//
+// Fault point: "durable.snapshot.pre_rename" fires after the temp file is
+// durable but before the rename, the worst possible crash instant for a
+// non-atomic writer. leaps-chaos --crash kills the process there and
+// asserts the old file survived intact.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace leaps::util {
+
+/// Writes `path` atomically: `fill` streams the payload into a temp file
+/// sited next to `path`; on success the temp file is fsync'd and renamed
+/// over `path`. Returns kUnavailable (with errno text) on any I/O failure
+/// and propagates exceptions from `fill` after unlinking the temp file, so
+/// a failed write never disturbs the previous contents of `path`.
+Status atomic_write_file(const std::string& path,
+                         const std::function<void(std::ostream&)>& fill);
+
+}  // namespace leaps::util

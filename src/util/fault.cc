@@ -58,6 +58,8 @@ bool FaultInjector::arm_from_spec(std::string_view text) {
     spec.action = FaultAction::kError;
   } else if (parts[1] == "delay") {
     spec.action = FaultAction::kDelay;
+  } else if (parts[1] == "exit") {
+    spec.action = FaultAction::kExit;
   } else {
     return false;
   }
@@ -98,6 +100,7 @@ Status FaultInjector::hit(std::string_view point, std::string_view detail) {
   FaultAction action;
   std::chrono::microseconds delay{0};
   StatusCode error_code;
+  int exit_code = 137;
   std::string name;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -116,6 +119,7 @@ Status FaultInjector::hit(std::string_view point, std::string_view detail) {
     action = armed.spec.action;
     delay = armed.spec.delay;
     error_code = armed.spec.error_code;
+    exit_code = armed.spec.exit_code;
     name = it->first;
   }
   switch (action) {
@@ -126,6 +130,10 @@ Status FaultInjector::hit(std::string_view point, std::string_view detail) {
       return ok_status();
     case FaultAction::kError:
       return Status(error_code, "injected fault at " + name);
+    case FaultAction::kExit:
+      // _Exit, not exit/abort: no atexit handlers, no stream flushing, no
+      // signal machinery — the closest portable stand-in for kill -9.
+      std::_Exit(exit_code);
   }
   return ok_status();
 }

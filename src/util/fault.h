@@ -12,9 +12,14 @@
 // exactly.
 //
 // Fault-point catalog (grep LEAPS_FAULT_POINT for ground truth):
-//   serve.worker.classify   per-event, inside Session::feed_run
-//   serve.registry.find     DetectorRegistry lookup (kError → miss)
-//   trace.ingest.read       read_raw_log_binary / read_raw_log_any entry
+//   serve.worker.classify          per-event, inside Session::feed_run
+//   serve.registry.find            DetectorRegistry lookup (kError → miss)
+//   trace.ingest.read              read_raw_log_binary / read_raw_log_any
+//   durable.snapshot.pre_rename    after temp fsync, before rename
+//   durable.wal.append.mid         after a WAL record header is on disk,
+//                                  before its body (torn-record drill)
+//   durable.checkpoint.pre_truncate after snapshot rename, before the WAL
+//                                  truncate (double-replay drill)
 #pragma once
 
 #include <atomic>
@@ -35,6 +40,8 @@ enum class FaultAction {
   kThrow,  // hit() throws FaultInjectedError
   kError,  // hit() returns an error Status
   kDelay,  // hit() sleeps for `delay`, then returns OK
+  kExit,   // hit() calls _Exit(exit_code): simulated kill -9. No unwind,
+           // no flush — exactly what a crash leaves on disk.
 };
 
 struct FaultSpec {
@@ -45,6 +52,8 @@ struct FaultSpec {
   std::chrono::microseconds delay{0};
   /// Status code reported by kError points.
   StatusCode error_code = StatusCode::kInternal;
+  /// Process exit status for kExit (137 mirrors a SIGKILL'd shell child).
+  int exit_code = 137;
   /// When non-empty, inject only at hits whose `detail` contains this
   /// substring (e.g. a session key — lets chaos target victim sessions
   /// while steady sessions stay fault-free).
@@ -73,7 +82,8 @@ class FaultInjector {
 
   void arm(const std::string& point, FaultSpec spec);
   /// Arms from a CLI spec "point:action:probability[:delay_us]" where
-  /// action ∈ {throw, error, delay}. Returns false on a malformed spec.
+  /// action ∈ {throw, error, delay, exit}. Returns false on a malformed
+  /// spec.
   bool arm_from_spec(std::string_view spec);
   void disarm(const std::string& point);
   void disarm_all();

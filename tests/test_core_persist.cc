@@ -93,7 +93,81 @@ TEST(Persist, SerializedFormIsStableText) {
   save_detector(f.detector, a);
   save_detector(f.detector, b);
   EXPECT_EQ(a.str(), b.str());
-  EXPECT_EQ(a.str().rfind("LEAPS-DETECTOR v2", 0), 0u);  // header
+  EXPECT_EQ(a.str().rfind("LEAPS-DETECTOR v3", 0), 0u);  // header
+  EXPECT_NE(a.str().find("BLOCK OPTIONS "), std::string::npos);
+}
+
+TEST(Persist, ExplicitV2StillWritesPlainTokenStream) {
+  // Interop escape hatch: a v2 save must be byte-compatible with what
+  // pre-durability builds read (no BLOCK framing), and still load here.
+  const Fixture f = Fixture::make();
+  std::stringstream buffer;
+  save_detector(f.detector, buffer, PersistVersion::kV2);
+  EXPECT_EQ(buffer.str().rfind("LEAPS-DETECTOR v2", 0), 0u);
+  EXPECT_EQ(buffer.str().find("BLOCK"), std::string::npos);
+  const Detector loaded = load_detector(buffer);
+  EXPECT_EQ(loaded.scan(f.malicious).malicious_windows,
+            f.detector.scan(f.malicious).malicious_windows);
+}
+
+TEST(Persist, V3ChecksumFlipInEveryBlockIsDetectedWithOffset) {
+  // Flip one payload byte inside each BLOCK in turn; every flip must be a
+  // typed PersistError naming a byte offset — never a silent mis-parse.
+  const leaps::testing::TrainedDetector t =
+      leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                                           /*with_continual=*/true);
+  std::stringstream buffer;
+  save_detector(*t.detector, buffer);
+  const std::string text = buffer.str();
+
+  std::size_t blocks = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("BLOCK ", pos)) != std::string::npos) {
+    const std::size_t payload_start = text.find('\n', pos) + 1;
+    ASSERT_NE(payload_start, std::string::npos);
+    std::string bad = text;
+    bad[payload_start] ^= 0x01;
+    std::stringstream is(bad);
+    try {
+      load_detector(is);
+      FAIL() << "flip in block at " << pos << " not detected";
+    } catch (const PersistError& e) {
+      EXPECT_NE(std::string(e.what()).find("byte offset"),
+                std::string::npos)
+          << e.what();
+    }
+    ++blocks;
+    pos = payload_start;
+  }
+  EXPECT_EQ(blocks, 6u);  // OPTIONS LIB FUNC SCALER SVM CONTINUAL
+}
+
+TEST(Persist, V3TruncatedTailIsTypedWithOffset) {
+  const leaps::testing::TrainedDetector t =
+      leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
+                                           /*with_continual=*/true);
+  std::stringstream buffer;
+  save_detector(*t.detector, buffer);
+  const std::string text = buffer.str();
+  // Cut inside the CONTINUAL block payload (the last, largest block).
+  const std::size_t continual = text.find("BLOCK CONTINUAL ");
+  ASSERT_NE(continual, std::string::npos);
+  const std::size_t cut = text.find('\n', continual) + 16;
+  ASSERT_LT(cut, text.size());
+  std::stringstream truncated(text.substr(0, cut));
+  try {
+    load_detector(truncated);
+    FAIL() << "truncated CONTINUAL block not detected";
+  } catch (const PersistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CONTINUAL"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
+  // Cutting between blocks (no END) must also be typed.
+  const std::size_t header_cut = text.find("BLOCK SCALER ");
+  ASSERT_NE(header_cut, std::string::npos);
+  std::stringstream headless(text.substr(0, header_cut));
+  EXPECT_THROW(load_detector(headless), PersistError);
 }
 
 TEST(Persist, FileRoundTrip) {
@@ -152,7 +226,7 @@ TEST(Persist, V1FileLoadsAsColdStartFallback) {
   const Fixture f = Fixture::make();
   ASSERT_EQ(f.detector.continual(), nullptr);
   std::stringstream buffer;
-  save_detector(f.detector, buffer);
+  save_detector(f.detector, buffer, PersistVersion::kV2);
   std::string text = buffer.str();
   ASSERT_EQ(text.rfind("LEAPS-DETECTOR v2", 0), 0u);
   text.replace(0, std::string("LEAPS-DETECTOR v2").size(),
@@ -206,7 +280,7 @@ TEST(Persist, ContinualBlockInV1FileIsRejected) {
       leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
                                            /*with_continual=*/true);
   std::stringstream buffer;
-  save_detector(*t.detector, buffer);
+  save_detector(*t.detector, buffer, PersistVersion::kV2);
   std::string text = buffer.str();
   ASSERT_NE(text.find("CONTINUAL"), std::string::npos);
   text.replace(0, std::string("LEAPS-DETECTOR v2").size(),
@@ -220,7 +294,7 @@ TEST(Persist, RejectsCorruptContinualRows) {
       leaps::testing::train_small_detector("vim_reverse_tcp_online", 1500, 7,
                                            /*with_continual=*/true);
   std::stringstream buffer;
-  save_detector(*t.detector, buffer);
+  save_detector(*t.detector, buffer, PersistVersion::kV2);
   const std::string text = buffer.str();
 
   const auto corrupt = [&](const std::string& from, const std::string& to) {

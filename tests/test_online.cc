@@ -5,14 +5,19 @@
 // deterministically via poll_once(). Runs under -DLEAPS_SANITIZE=thread
 // in CI (ctest -L online / -L concurrency).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "detector_fixture.h"
+#include "durable/store.h"
 #include "online/accumulator.h"
 #include "online/manager.h"
 #include "online/retrain.h"
@@ -580,6 +585,161 @@ TEST(OnlineManagerTest, StartStopWithLiveTrafficIsClean) {
   EXPECT_EQ(server.metrics().snapshot().events_dropped, 0u);
   server.stop();
   manager.stop();  // idempotent
+}
+
+// --- durability (kill-restart behavior, minus the kill) -------------------
+
+durable::DurableStore make_durable(const std::string& name) {
+  durable::DurableOptions options;
+  options.dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(options.dir.c_str(), 0755);
+  ::unlink((options.dir + "/snapshot.leaps").c_str());
+  ::unlink((options.dir + "/journal.wal").c_str());
+  return durable::DurableStore(options);
+}
+
+TEST(OnlineManagerTest, WarmRestartRestoresVerdictsAndAccounting) {
+  const TrainedDetector& f = fixture();
+  durable::DurableStore store = make_durable("online_warm_restart");
+  ASSERT_TRUE(store.open().ok());
+
+  // Generation 1: serve, learn, promote, shut down cleanly.
+  core::Detector::ScanResult baseline_scan;
+  serve::MetricsSnapshot before;
+  {
+    serve::ServerOptions server_options;
+    server_options.workers = 2;
+    serve::DetectionServer server(server_options);
+    server.registry().add("default", f.detector);
+
+    OnlineOptions options;
+    options.accumulator.admit_floor = 0.0;
+    options.retrain.min_new_events = 1;
+    options.retrain.max_new_samples = 32;
+    options.gates = {.max_disagreement = 1.0,
+                     .max_latency_ratio = 1e9,
+                     .min_windows = 2};
+    options.durable = &store;
+    OnlineManager manager(&server, options);
+    manager.install();
+    server.start();
+
+    auto session = server.open_session({"host", 1}, "default");
+    ASSERT_NE(session, nullptr);
+    for (int round = 0; round < 2; ++round) {
+      for (const trace::PartitionedEvent& e : f.benign.events) {
+        ASSERT_TRUE(server.submit(session, e));
+      }
+      server.drain();
+      manager.poll_once();
+    }
+    ASSERT_EQ(manager.report().promotions, 1u) << manager.report().last_error;
+    baseline_scan = server.registry().find("default")->scan(f.malicious);
+    server.stop();
+    manager.stop();
+    before = server.metrics().snapshot();
+  }
+
+  // Generation 2: a fresh process would recover from the same directory.
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  ASSERT_TRUE(recovered->snapshot_found);
+  ASSERT_NE(recovered->detector, nullptr)
+      << "the promoted incumbent must survive the restart";
+
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  serve::DetectionServer server(server_options);
+  server.registry().add("default", recovered->detector);
+  OnlineOptions options;
+  options.durable = &store;
+  OnlineManager manager(&server, options);
+  manager.install();
+  manager.restore(*recovered);
+
+  // Recovered verdicts are identical to the pre-crash incumbent's.
+  const auto scan = server.registry().find("default")->scan(f.malicious);
+  EXPECT_EQ(scan.window_labels, baseline_scan.window_labels)
+      << "recovered verdicts must be identical to the pre-restart ones";
+
+  // The accounting identity survives the restart: the restored baseline
+  // counts only terminal events, and ingested == processed + dropped +
+  // quarantined holds before the first new event arrives.
+  const serve::MetricsSnapshot after = server.metrics().snapshot();
+  EXPECT_EQ(after.events_ingested, after.events_processed +
+                                       after.events_dropped +
+                                       after.events_quarantined);
+  EXPECT_EQ(after.events_processed, before.events_processed);
+  EXPECT_LE(after.events_ingested, before.events_ingested);
+
+  // The restore checkpointed: a second recovery sees the same state even
+  // if the journal is gone.
+  const auto again = store.recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->accounting.ingested, recovered->accounting.ingested);
+  server.stop();
+}
+
+// stop() racing direct poll_once callers must never lose admitted
+// windows: whatever the interleaving, the final checkpoint folds every
+// admitted window (or the retrain that consumed it) into the snapshot.
+TEST(OnlineManagerTest, StopRacingPollOnceLosesNoAdmittedWindows) {
+#if defined(__SANITIZE_THREAD__)
+  constexpr int kRounds = 8;
+#else
+  constexpr int kRounds = 3;
+#endif
+  const TrainedDetector& f = fixture();
+  for (int round = 0; round < kRounds; ++round) {
+    durable::DurableStore store =
+        make_durable("online_stop_race_" + std::to_string(round));
+    ASSERT_TRUE(store.open().ok());
+
+    serve::ServerOptions server_options;
+    server_options.workers = 2;
+    serve::DetectionServer server(server_options);
+    server.registry().add("default", f.detector);
+
+    OnlineOptions options;
+    options.accumulator.admit_floor = 0.0;
+    // Retrain never fires: every admitted window stays pending, so the
+    // recovered pending count must equal the admitted count exactly.
+    options.retrain.min_new_events = std::numeric_limits<std::uint64_t>::max();
+    options.durable = &store;
+    OnlineManager manager(&server, options);
+    manager.install();
+    server.start();
+
+    auto session = server.open_session({"host", 1}, "default");
+    ASSERT_NE(session, nullptr);
+    for (const trace::PartitionedEvent& e : f.benign.events) {
+      ASSERT_TRUE(server.submit(session, e));
+    }
+    server.drain();
+    server.stop();
+
+    ASSERT_GT(manager.report().accumulator.windows_admitted, 0u);
+
+    // The race: a poller hammering poll_once while stop() concludes and
+    // takes the final checkpoint.
+    std::thread poller([&] {
+      for (int i = 0; i < 50; ++i) manager.poll_once();
+    });
+    manager.stop();
+    poller.join();
+
+    // The accumulator folds lazily, so the authoritative admitted count
+    // is the post-stop one (stop()'s checkpoint folds everything still
+    // deferred). Whatever the interleaving, no admitted window may be
+    // missing from the recovered state.
+    const AccumulatorStats acc = manager.report().accumulator;
+    const std::uint64_t admitted = acc.windows_admitted - acc.windows_evicted;
+    const auto recovered = store.recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+    EXPECT_EQ(recovered->pending_windows.size(), admitted)
+        << "round " << round << ": admitted windows lost across stop()"
+        << " (last_error=" << manager.report().last_error << ")";
+  }
 }
 
 }  // namespace

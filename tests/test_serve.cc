@@ -119,6 +119,9 @@ TEST(DetectorRegistry, ConcurrentReadersAndHotSwaps) {
   for (int i = 0; i < 100; ++i) {
     registry.add("app", f.detector);  // hot swap
   }
+  // On a loaded single-core box the swaps can finish before any reader is
+  // ever scheduled; don't stop until the readers have observed something.
+  while (reads.load() == 0) std::this_thread::yield();
   stop.store(true);
   for (auto& r : readers) r.join();
   EXPECT_GT(reads.load(), 0u);

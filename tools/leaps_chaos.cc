@@ -16,21 +16,30 @@
 // Fully deterministic in --seed (fault draws, corpus mutations, and the
 // simulated logs all derive from it). Exit 0 = contract held, 1 = any
 // violation, 2 = usage.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "cli.h"
+#include "core/persist.h"
 #include "core/pipeline.h"
+#include "durable/store.h"
+#include "durable/wal.h"
 #include "ml/svm.h"
 #include "online/manager.h"
 #include "online/shadow.h"
@@ -63,6 +72,11 @@ constexpr const char* kUsage =
     "  --rollover    also exercise the online retrain -> shadow -> promote\n"
     "                machinery plus a forced-rollback drill (not part of\n"
     "                plain --smoke; CI runs it as a non-gating canary)\n"
+    "  --crash       kill-restart drills: a forked child is _Exit()ed at\n"
+    "                each durable fault point (mid-snapshot-rename, mid-\n"
+    "                journal-append, between checkpoint and truncate); the\n"
+    "                recovered state must serve verdicts identical to the\n"
+    "                child's own uncrashed baseline\n"
     "  --trace-out FILE, --profile, --metrics-out FILE  observability\n"
     "exit: 0 contract held, 1 violation, 2 usage\n";
 
@@ -511,9 +525,298 @@ void rollover_chaos(const Trained& trained, std::size_t sessions,
       static_cast<unsigned long long>(m.events_processed));
 }
 
+/// Phase: persist-targeted corruption corpus. Every damaged artifact must
+/// come back as a *typed* core::PersistError (load paths) or a torn-tail
+/// scan (WAL recovery path) — never a crash, hang, or foreign exception.
+void persist_corrupt_corpus(const Trained& trained) {
+  const Watchdog watchdog("persist-corpus", std::chrono::seconds(120));
+  std::ostringstream os;
+  core::save_detector(*trained.detector, os);  // v3, CONTINUAL included
+  const std::string bytes = os.str();
+
+  const auto expect_typed = [](const std::string& mutated, const char* what) {
+    std::istringstream is(mutated);
+    try {
+      core::load_detector(is);
+      check(false, what);
+    } catch (const core::PersistError&) {
+      // typed rejection — contract held
+    } catch (...) {
+      check(false, "persist-corpus: non-PersistError escaped the loader");
+    }
+  };
+
+  // Truncated CONTINUAL block: cut mid-payload.
+  const std::size_t continual = bytes.find("BLOCK CONTINUAL");
+  if (check(continual != std::string::npos,
+            "persist-corpus: detector has no CONTINUAL block")) {
+    const std::size_t payload = bytes.find('\n', continual) + 1;
+    expect_typed(bytes.substr(0, payload + (bytes.size() - payload) / 2),
+                 "persist-corpus: truncated CONTINUAL block must not load");
+  }
+
+  // One checksum flip inside every v3 block's payload.
+  std::size_t blocks = 0;
+  for (std::size_t at = bytes.find("BLOCK "); at != std::string::npos;
+       at = bytes.find("BLOCK ", at + 1)) {
+    const std::size_t payload = bytes.find('\n', at) + 1;
+    std::string mutated = bytes;
+    mutated[payload] ^= 0x01;
+    expect_typed(mutated,
+                 "persist-corpus: checksum flip must not load");
+    ++blocks;
+  }
+  check(blocks >= 6, "persist-corpus: expected every v3 block covered");
+
+  // WAL record with a valid frame header but a short body (the torn shape
+  // a mid-append kill leaves behind).
+  char tmpl[] = "/tmp/leaps-chaos-wal-XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (check(dir != nullptr, "persist-corpus: mkdtemp failed")) {
+    const std::string wal = std::string(dir) + "/journal.wal";
+    {
+      std::ofstream out(wal, std::ios::binary);
+      out << durable::kWalMagic;
+      const std::uint32_t body_len = 100, crc = 0xDEADBEEF;
+      out.write(reinterpret_cast<const char*>(&body_len), 4);
+      out.write(reinterpret_cast<const char*>(&crc), 4);
+      out << "short";  // 5 of the promised 100 body bytes
+    }
+    try {
+      durable::verify_wal_strict(wal);
+      check(false, "persist-corpus: short WAL body passed strict verify");
+    } catch (const core::PersistError&) {
+    } catch (...) {
+      check(false, "persist-corpus: non-PersistError from strict verify");
+    }
+    const auto scan = durable::scan_wal(wal);
+    check(scan.ok() && scan->torn && scan->records.empty(),
+          "persist-corpus: recovery scan must keep the intact prefix only");
+    ::unlink(wal.c_str());
+    ::rmdir(dir);
+  }
+  std::printf("persist corpus: %zu checksum flips + truncated CONTINUAL + "
+              "short WAL body all typed, 0 crashes\n", blocks);
+}
+
+// --- kill-restart drills (--crash) ----------------------------------------
+
+/// Child process for one crash drill (exec'd, never forked bare: the
+/// parent's lazily-started thread pool would not survive a fork). Runs a
+/// deterministic single-worker workload to a complete learn -> promote ->
+/// checkpoint cycle, writes its own uncrashed-baseline verdicts into the
+/// durable dir, then arms the requested fault (action `exit` == _Exit,
+/// the closest portable stand-in for kill -9) and keeps going until it
+/// dies at the fault point.
+int crash_child(const char* dir_c, const char* spec, std::size_t sim_events) {
+  const std::string dir = dir_c;
+  const Trained trained = train_detector(sim_events, 7);
+
+  durable::DurableOptions dopts;
+  dopts.dir = dir;
+  dopts.checkpoint_every_appends = 1u << 30;  // explicit checkpoints only
+  durable::DurableStore store(dopts);
+  if (!store.open().ok()) return 2;
+
+  serve::ServerOptions soptions;
+  soptions.workers = 1;  // deterministic admission order
+  serve::DetectionServer server(soptions);
+  server.registry().add("default", trained.detector);
+
+  online::OnlineOptions oopts;
+  oopts.accumulator.admit_floor = 0.0;
+  oopts.retrain.min_new_events = 1;
+  oopts.retrain.max_new_samples = 32;
+  oopts.gates = {.max_disagreement = 1.0,
+                 .max_latency_ratio = 1e9,
+                 .min_windows = 2};
+  oopts.durable = &store;
+  online::OnlineManager manager(&server, oopts);
+  manager.install();
+  server.start();
+  const auto session = server.open_session({"crash", 1}, "default");
+  if (session == nullptr) return 2;
+  const auto replay = [&] {
+    for (const trace::PartitionedEvent& e : trained.benign.events) {
+      server.submit(session, e);
+    }
+    server.drain();
+  };
+
+  // A complete uncrashed cycle: accumulate -> retrain -> shadow -> promote
+  // (the promotion checkpoints, truncating the journal).
+  replay();
+  manager.poll_once();
+  replay();
+  manager.poll_once();
+  if (manager.report().promotions != 1) return 4;
+  const auto incumbent = server.registry().find("default");
+  {
+    // The uncrashed baseline the parent compares recovery against.
+    std::ofstream out(dir + "/expected_labels.txt");
+    for (const int label : incumbent->scan(trained.mixed).window_labels) {
+      out << label << "\n";
+    }
+  }
+  replay();  // live journal records for the crash to land on top of
+
+  if (!util::FaultInjector::instance().arm_from_spec(spec)) return 2;
+  replay();        // dies here for durable.wal.append.mid
+  manager.stop();  // final checkpoint dies at the snapshot/truncate points
+  return 3;        // fault never fired — the parent fails the drill
+}
+
+struct CrashScenario {
+  const char* name;
+  const char* spec;
+  bool expect_torn;     // journal tail truncated on recovery
+  bool expect_skipped;  // stale records skipped by the LSN guard
+};
+
+/// Phase (--crash): for each durable fault point, exec a child that dies
+/// mid-operation, then recover its directory and assert the contract:
+/// the incumbent survives bit-exactly (verdicts identical to the child's
+/// own pre-crash baseline), the accounting identity holds, torn tails are
+/// truncated, and already-folded journal records are never double-applied.
+void crash_drills(const Trained& trained, std::size_t sim_events) {
+  const Watchdog watchdog("crash", std::chrono::seconds(600));
+  char base_template[] = "/tmp/leaps-chaos-crash-XXXXXX";
+  char* base = ::mkdtemp(base_template);
+  if (!check(base != nullptr, "crash: mkdtemp failed")) return;
+
+  char exe_buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+  if (!check(n > 0, "crash: cannot resolve /proc/self/exe")) return;
+  exe_buf[n] = '\0';
+  const std::string exe = exe_buf;
+
+  const CrashScenario scenarios[] = {
+      {"wal-append-mid", "durable.wal.append.mid:exit:1", true, false},
+      {"snapshot-pre-rename", "durable.snapshot.pre_rename:exit:1", false,
+       false},
+      {"checkpoint-pre-truncate", "durable.checkpoint.pre_truncate:exit:1",
+       false, true},
+  };
+  for (const CrashScenario& sc : scenarios) {
+    const std::string dir = std::string(base) + "/" + sc.name;
+    ::mkdir(dir.c_str(), 0755);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      const std::string events = std::to_string(sim_events);
+      ::execl(exe.c_str(), exe.c_str(), "--crash-child", dir.c_str(), sc.spec,
+              events.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    // 137 is the armed kExit status — anything else means the child never
+    // reached the fault point (or failed before it).
+    if (!check(WIFEXITED(status) && WEXITSTATUS(status) == 137,
+               "crash: child did not die at the fault point")) {
+      std::fprintf(stderr, "  %s: wait status %d\n", sc.name, status);
+      continue;
+    }
+
+    durable::DurableOptions dopts;
+    dopts.dir = dir;
+    durable::DurableStore store(dopts);
+    const auto recovered = store.recover();
+    if (!check(recovered.ok(), "crash: recovery failed")) {
+      std::fprintf(stderr, "  %s: %s\n", sc.name,
+                   recovered.status().to_string().c_str());
+      continue;
+    }
+    check(recovered->snapshot_found, "crash: snapshot missing after drill");
+    check(recovered->torn_tail == sc.expect_torn,
+          "crash: torn-tail state not as the fault point dictates");
+    if (sc.expect_skipped) {
+      check(recovered->skipped > 0 && recovered->replayed == 0,
+            "crash: LSN guard failed to skip already-folded records");
+    }
+    const durable::AccountingBaseline& a = recovered->accounting;
+    check(a.ingested == a.processed + a.dropped + a.quarantined,
+          "crash: recovered accounting identity broken");
+    if (!check(recovered->detector != nullptr,
+               "crash: incumbent lost across the restart")) {
+      continue;
+    }
+
+    std::vector<int> expected;
+    {
+      std::ifstream in(dir + "/expected_labels.txt");
+      int v = 0;
+      while (in >> v) expected.push_back(v);
+    }
+    check(!expected.empty(), "crash: child wrote no baseline verdicts");
+    check(recovered->detector->scan(trained.mixed).window_labels == expected,
+          "crash: recovered verdicts differ from the uncrashed baseline");
+
+    if (std::string_view(sc.name) == "snapshot-pre-rename") {
+      // Warm-restart the full serving path from the recovered state: live
+      // verdicts must match a sequential replay of the recovered model,
+      // and the accounting identity must hold on top of the restored
+      // baseline.
+      if (!check(store.open().ok(), "crash: warm-restart reopen failed")) {
+        continue;
+      }
+      serve::ServerOptions so;
+      so.workers = 2;
+      serve::DetectionServer server(so);
+      server.registry().add("default", recovered->detector);
+      online::OnlineOptions oo;
+      oo.durable = &store;
+      online::OnlineManager manager(&server, oo);
+      manager.install();
+      manager.restore(*recovered);
+      std::mutex mu;
+      std::vector<int> live;
+      server.set_verdict_sink([&](const serve::VerdictRecord& v) {
+        const std::lock_guard<std::mutex> lock(mu);
+        live.push_back(v.label);
+      });
+      server.start();
+      const auto probe_session = server.open_session({"restart", 1},
+                                                     "default");
+      if (!check(probe_session != nullptr,
+                 "crash: warm-restart open_session failed")) {
+        continue;
+      }
+      const std::size_t probe =
+          std::min<std::size_t>(trained.mixed.events.size(), 2048);
+      for (std::size_t i = 0; i < probe; ++i) {
+        server.submit(probe_session, trained.mixed.events[i]);
+      }
+      server.drain();
+      const std::vector<int> sequential =
+          baseline_verdicts(*recovered->detector, trained.mixed, probe);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        check(live == sequential,
+              "crash: warm-restarted serving verdicts diverged");
+      }
+      check_identity(server.metrics().snapshot(), "crash-warm-restart");
+      server.stop();
+      manager.stop();
+    }
+
+    std::printf("crash drill %-24s recovered: %zu pending, %llu replayed, "
+                "%llu skipped, torn=%d, verdicts identical\n",
+                sc.name, recovered->pending_windows.size(),
+                static_cast<unsigned long long>(recovered->replayed),
+                static_cast<unsigned long long>(recovered->skipped),
+                recovered->torn_tail ? 1 : 0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden child mode for the --crash drills (exec'd by crash_drills).
+  if (argc == 5 && std::string_view(argv[1]) == "--crash-child") {
+    return crash_child(argv[2], argv[3],
+                       static_cast<std::size_t>(
+                           std::strtoull(argv[4], nullptr, 10)));
+  }
   cli::ArgParser args(argc, argv, kUsage);
   std::size_t seed = 2015;
   std::size_t events = 10000;
@@ -522,6 +825,7 @@ int main(int argc, char** argv) {
   std::size_t corpus = 200;
   bool smoke = false;
   bool rollover = false;
+  bool crash = false;
   cli::ObsFlags obs_flags;
   args.option("--seed", &seed);
   args.option("--events", &events);
@@ -530,6 +834,7 @@ int main(int argc, char** argv) {
   args.option("--corpus", &corpus);
   args.flag("--smoke", &smoke);
   args.flag("--rollover", &rollover);
+  args.flag("--crash", &crash);
   obs_flags.add_to(args);
   args.parse(0, 0);
   obs_flags.activate();
@@ -550,6 +855,7 @@ int main(int argc, char** argv) {
     const Trained trained = train_detector(smoke ? 900 : 1500, 7);
 
     ingest_chaos(trained.raw_benign, corpus, rng);
+    persist_corrupt_corpus(trained);
 
     const std::vector<int> baseline =
         baseline_verdicts(*trained.detector, trained.mixed, per_session);
@@ -562,6 +868,7 @@ int main(int argc, char** argv) {
                      std::max<std::size_t>(per_session / 4,
                                            std::size_t{128}));
     }
+    if (crash) crash_drills(trained, smoke ? 900 : 1500);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leaps-chaos: FAIL: uncaught exception: %s\n",
                  e.what());

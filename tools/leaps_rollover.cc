@@ -17,6 +17,11 @@
 //   diff <detector-a> <detector-b> <traffic.log>
 //       Prints the positional verdict diff of the two detectors over the
 //       traffic (online::diff_sequences).
+//   recover <durable-dir> [--detector-out FILE]
+//       Replays a durable directory (snapshot.leaps + journal.wal) the way
+//       a restarting server would — torn journal tails are truncated, and
+//       records the snapshot already folded are skipped — then prints the
+//       recovered state. Optionally re-saves the recovered incumbent.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +32,7 @@
 
 #include "cli.h"
 #include "core/persist.h"
+#include "durable/store.h"
 #include "ingest.h"
 #include "online/accumulator.h"
 #include "online/retrain.h"
@@ -48,7 +54,10 @@ constexpr const char* kUsage =
     "      write an all-malicious candidate for rollback drills\n"
     "  diff <detector-a> <detector-b> <traffic.log>\n"
     "      positional verdict diff over the traffic\n"
+    "  recover <durable-dir>\n"
+    "      recover and summarize a crash-safe state directory\n"
     "options:\n"
+    "  --detector-out FILE     (recover) save the recovered incumbent\n"
     "  --admit-floor F         CFG admission floor for retrain "
     "(default 0.25)\n"
     "  --retrain-events N      unused trigger floor (retrain runs "
@@ -249,6 +258,57 @@ int cmd_diff(const std::vector<std::string>& pos) {
   return 0;
 }
 
+int cmd_recover(const std::vector<std::string>& pos,
+                const std::string& detector_out) {
+  durable::DurableOptions options;
+  options.dir = pos[1];
+  durable::DurableStore store(options);
+  const util::StatusOr<durable::RecoveredState> recovered = store.recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "leaps-rollover: recover %s: %s\n",
+                 options.dir.c_str(),
+                 recovered.status().to_string().c_str());
+    return 1;
+  }
+  const durable::RecoveredState& r = *recovered;
+  std::printf("durable dir:        %s\n", options.dir.c_str());
+  std::printf("snapshot:           %s\n",
+              r.snapshot_found ? "found" : "absent (cold start)");
+  std::printf("incumbent detector: %s\n",
+              r.detector != nullptr
+                  ? (r.detector->continual() != nullptr
+                         ? "recovered (with continual state)"
+                         : "recovered")
+                  : "none");
+  std::printf("pending windows:    %zu\n", r.pending_windows.size());
+  std::printf("quarantined:        %zu\n", r.quarantined.size());
+  std::printf("accounting:         ingested=%llu processed=%llu "
+              "dropped=%llu quarantined=%llu\n",
+              static_cast<unsigned long long>(r.accounting.ingested),
+              static_cast<unsigned long long>(r.accounting.processed),
+              static_cast<unsigned long long>(r.accounting.dropped),
+              static_cast<unsigned long long>(r.accounting.quarantined));
+  std::printf("journal:            last_lsn=%llu replayed=%llu "
+              "skipped=%llu%s\n",
+              static_cast<unsigned long long>(r.last_lsn),
+              static_cast<unsigned long long>(r.replayed),
+              static_cast<unsigned long long>(r.skipped),
+              r.torn_tail ? " (torn tail truncated)" : "");
+  if (r.torn_tail) {
+    std::printf("torn tail:          %s\n", r.torn_reason.c_str());
+  }
+  if (!detector_out.empty()) {
+    if (r.detector == nullptr) {
+      std::fprintf(stderr,
+                   "leaps-rollover: no incumbent to save (cold start)\n");
+      return 1;
+    }
+    core::save_detector_file(*r.detector, detector_out);
+    std::printf("incumbent saved:    %s\n", detector_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,7 +323,9 @@ int main(int argc, char** argv) {
   args.option("--shadow-min-windows", &gates.min_windows);
   args.option("--shadow-max-disagree", &gates.max_disagreement);
   args.option("--shadow-max-latency", &gates.max_latency_ratio);
-  const std::vector<std::string> pos = args.parse(3, 4);
+  std::string detector_out;
+  args.option("--detector-out", &detector_out);
+  const std::vector<std::string> pos = args.parse(2, 4);
 
   try {
     const std::string& sub = pos[0];
@@ -282,6 +344,10 @@ int main(int argc, char** argv) {
     if (sub == "diff") {
       if (pos.size() != 4) args.usage_error("%s", "diff takes 3 arguments");
       return cmd_diff(pos);
+    }
+    if (sub == "recover") {
+      if (pos.size() != 2) args.usage_error("%s", "recover takes 1 argument");
+      return cmd_recover(pos, detector_out);
     }
     args.usage_error("unknown subcommand '%s'", sub.c_str());
   } catch (const std::exception& e) {

@@ -12,12 +12,14 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cli.h"
 #include "core/persist.h"
+#include "durable/store.h"
 #include "ingest.h"
 #include "online/manager.h"
 #include "serve/server.h"
@@ -63,6 +65,11 @@ constexpr const char* kUsage =
     "                        -> promote cycle deterministically\n"
     "  --retrain-events N    benign events that trigger a retrain\n"
     "                        (default 2048)\n"
+    "  --durable DIR         crash-safe online state (requires --online):\n"
+    "                        recover DIR on startup — the recovered\n"
+    "                        incumbent replaces the detector file — then\n"
+    "                        journal learnable windows and promotions and\n"
+    "                        checkpoint atomically as the replay runs\n"
     "  --admit-floor F       CFG benignity below which a window is not\n"
     "                        learned from (default 0.25)\n"
     "  --shadow-min-windows N  verdict pairs before the rollover gates are\n"
@@ -147,6 +154,8 @@ int main(int argc, char** argv) {
   args.option_list("--fault", &fault_specs);
   args.option("--fault-seed", &fault_seed);
   args.flag("--online", &online);
+  std::string durable_dir;
+  args.option("--durable", &durable_dir);
   args.option("--online-replays", &online_replays);
   args.option("--retrain-events", &online_options.retrain.min_new_events);
   args.option("--admit-floor", &admit_floor);
@@ -185,7 +194,45 @@ int main(int argc, char** argv) {
     // carries both. Held for the server's lifetime.
     const obs::MetricRegistry::Registration metrics_registration =
         server.metrics().register_with(obs::MetricRegistry::global());
-    server.registry().load_file("default", pos[0]);
+    // Crash-safe online state: recover the durable directory before the
+    // registry is populated — a recovered incumbent (a promotion the
+    // previous process made before dying) outranks the detector file.
+    std::unique_ptr<durable::DurableStore> durable_store;
+    std::optional<durable::RecoveredState> recovered;
+    if (!durable_dir.empty()) {
+      if (!online) args.usage_error("%s requires --online", "--durable");
+      durable::DurableOptions dopts;
+      dopts.dir = durable_dir;
+      durable_store = std::make_unique<durable::DurableStore>(dopts);
+      const util::Status opened = durable_store->open();
+      if (!opened.ok()) {
+        std::fprintf(stderr, "leaps-serve: --durable %s: %s\n",
+                     durable_dir.c_str(), opened.to_string().c_str());
+        return 1;
+      }
+      util::StatusOr<durable::RecoveredState> rec = durable_store->recover();
+      if (!rec.ok()) {
+        std::fprintf(stderr, "leaps-serve: --durable %s: %s\n",
+                     durable_dir.c_str(), rec.status().to_string().c_str());
+        return 1;
+      }
+      recovered = *std::move(rec);
+      std::fprintf(stderr,
+                   "durable: recovered %s (incumbent=%s, %zu pending "
+                   "windows, %zu quarantined, replayed=%llu skipped=%llu%s)\n",
+                   durable_dir.c_str(),
+                   recovered->detector != nullptr ? "yes" : "no",
+                   recovered->pending_windows.size(),
+                   recovered->quarantined.size(),
+                   static_cast<unsigned long long>(recovered->replayed),
+                   static_cast<unsigned long long>(recovered->skipped),
+                   recovered->torn_tail ? ", torn tail truncated" : "");
+    }
+    if (recovered.has_value() && recovered->detector != nullptr) {
+      server.registry().add("default", recovered->detector);
+    } else {
+      server.registry().load_file("default", pos[0]);
+    }
     for (const std::string& spec : extra_detectors) {
       const auto eq = spec.find('=');
       if (eq == std::string::npos || eq == 0) {
@@ -222,9 +269,11 @@ int main(int argc, char** argv) {
     if (online) {
       online_options.profile = "default";
       online_options.accumulator.admit_floor = admit_floor;
+      online_options.durable = durable_store.get();
       manager = std::make_unique<online::OnlineManager>(&server,
                                                         online_options);
       manager->install();
+      if (recovered.has_value()) manager->restore(*recovered);
     }
     server.start();
 
