@@ -374,6 +374,7 @@ DurableStore::DurableStore(DurableOptions options)
     : options_(std::move(options)) {}
 
 util::Status DurableStore::open() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (options_.dir.empty()) {
     return util::invalid_argument_error("DurableOptions.dir is empty");
   }
@@ -385,7 +386,22 @@ util::Status DurableStore::open() {
   // point and any journal records after it.
   std::uint64_t last = peek_snapshot_lsn(snapshot_path());
   auto scan = scan_wal(journal_path());
-  if (scan.ok() && !scan->records.empty()) {
+  if (!scan.ok()) return scan.status();  // foreign magic: not our journal
+  if (scan->torn) {
+    // Drop the torn tail before the writer opens: the scanner stops at
+    // the damage, so anything appended after it could never be recovered.
+    if (::truncate(journal_path().c_str(),
+                   static_cast<::off_t>(scan->torn_offset)) != 0) {
+      return util::unavailable("truncate " + journal_path() + ": " +
+                               std::strerror(errno));
+    }
+    metrics_.torn_truncations.inc();
+    // recover() may legitimately run after open(); remember the tail so
+    // it still gets reported (but not double-counted) there.
+    open_truncated_tail_ = true;
+    open_torn_reason_ = scan->torn_reason;
+  }
+  if (!scan->records.empty()) {
     last = std::max(last, scan->records.back().lsn);
   }
   return wal_.open(journal_path(), last + 1);
@@ -393,6 +409,7 @@ util::Status DurableStore::open() {
 
 util::Status DurableStore::journal(WalRecordType type,
                                    std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const util::Status status = wal_.append(type, payload);
   if (!status.ok()) return status;
   metrics_.journal_appends.inc();
@@ -401,15 +418,21 @@ util::Status DurableStore::journal(WalRecordType type,
   return util::ok_status();
 }
 
+std::uint64_t DurableStore::last_lsn() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return wal_.is_open() ? wal_.next_lsn() - 1 : 0;
+}
+
 util::Status DurableStore::journal_window(
     const trace::PartitionedEvent* events, std::size_t count) {
   return journal(WalRecordType::kWindow, encode_window(events, count));
 }
 
-util::Status DurableStore::journal_retrain(bool ok,
+util::Status DurableStore::journal_retrain(std::uint64_t drain_lsn, bool ok,
                                            std::uint64_t new_samples,
                                            const std::string& detail) {
   std::string payload;
+  put_u64(payload, drain_lsn);
   payload.push_back(ok ? 1 : 0);
   put_u64(payload, new_samples);
   put_u32(payload, static_cast<std::uint32_t>(detail.size()));
@@ -428,6 +451,7 @@ util::Status DurableStore::journal_quarantine(
 }
 
 bool DurableStore::should_checkpoint() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   return options_.checkpoint_every_appends > 0 &&
          appends_since_checkpoint_ >= options_.checkpoint_every_appends;
 }
@@ -458,6 +482,9 @@ util::Status DurableStore::checkpoint(const CheckpointState& state) {
   if (state.detector == nullptr) {
     return util::invalid_argument_error("checkpoint without a detector");
   }
+  // Held across sync→snapshot→truncate: an append slipping in after the
+  // fold LSN was taken would be truncated without ever being folded.
+  const std::lock_guard<std::mutex> lock(mu_);
   if (!wal_.is_open()) return util::internal_error("store not open");
   // Everything journaled so far folds into this snapshot; records at or
   // below this LSN are skipped on replay.
@@ -477,8 +504,14 @@ util::Status DurableStore::checkpoint(const CheckpointState& state) {
 }
 
 util::StatusOr<RecoveredState> DurableStore::recover() {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto start = std::chrono::steady_clock::now();
   RecoveredState out;
+
+  // Pending windows carry the LSN they were journaled (or folded) at, so
+  // a retrain record's drain boundary can clear exactly the windows the
+  // retrain consumed. Snapshot windows were folded at the snapshot LSN.
+  std::vector<std::pair<std::uint64_t, DurableWindow>> pending;
 
   if (file_exists(snapshot_path())) {
     try {
@@ -486,7 +519,9 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
       out.snapshot_found = true;
       out.detector = std::move(snap.detector);
       out.quarantined = std::move(snap.quarantined);
-      out.pending_windows = std::move(snap.windows);
+      for (DurableWindow& window : snap.windows) {
+        pending.emplace_back(snap.lsn, std::move(window));
+      }
       out.accounting = snap.accounting;
       out.last_lsn = snap.lsn;
     } catch (const core::PersistError& e) {
@@ -507,6 +542,12 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
       return util::unavailable("truncate " + journal_path() + ": " +
                                std::strerror(errno));
     }
+  } else if (open_truncated_tail_) {
+    // open() already dropped (and counted) a torn tail; report it on the
+    // recovery that follows, once.
+    out.torn_tail = true;
+    out.torn_reason = open_torn_reason_;
+    open_truncated_tail_ = false;
   }
 
   for (WalRecord& record : scan->records) {
@@ -523,14 +564,26 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
                                      std::to_string(record.lsn) +
                                      "): " + events.status().message());
         }
-        out.pending_windows.push_back(DurableWindow{*std::move(events)});
+        pending.emplace_back(record.lsn, DurableWindow{*std::move(events)});
         break;
       }
-      case WalRecordType::kRetrain:
-        // A retrain drained every window admitted before it into the
-        // candidate; they must not be re-observed as still-pending.
-        out.pending_windows.clear();
+      case WalRecordType::kRetrain: {
+        // The retrain drained every window journaled at or below its
+        // boundary into the candidate; those must not be re-observed as
+        // still pending. Windows journaled while the retrain was training
+        // (boundary < lsn < this record) were not drained — keep them.
+        Cursor c(record.payload);
+        std::uint64_t boundary = 0;
+        if (!c.u64(boundary)) {
+          return util::corrupt_input("WAL retrain record (lsn " +
+                                     std::to_string(record.lsn) +
+                                     "): short payload");
+        }
+        std::erase_if(pending, [boundary](const auto& p) {
+          return p.first <= boundary;
+        });
         break;
+      }
       case WalRecordType::kPromotion:
         try {
           out.detector = detector_from_bytes(record.payload);
@@ -556,6 +609,10 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
                                    " at lsn " + std::to_string(record.lsn));
     }
     ++out.replayed;
+  }
+  out.pending_windows.reserve(pending.size());
+  for (auto& [lsn, window] : pending) {
+    out.pending_windows.push_back(std::move(window));
   }
 
   metrics_.records_replayed.inc(out.replayed);

@@ -25,6 +25,14 @@
 // hands the caller the incumbent detector, the windows to re-observe, the
 // accounting baseline, and the quarantine list.
 //
+// Thread-safety: every member serializes on one internal mutex, so
+// journaling from worker threads (the server's window tap) is safe
+// against the manager thread's records and checkpoints — a WAL record is
+// two write() calls and a checkpoint is a sync/snapshot/truncate sequence;
+// neither may interleave. The mutex does NOT make a caller's state capture
+// atomic with the checkpoint; OnlineManager holds its own tap fence across
+// capture→checkpoint so nothing is journaled into the truncated gap.
+//
 // Exported metrics (all eager — zero and absent must differ):
 //   leaps_durable_journal_appends_total / _bytes_total
 //   leaps_durable_checkpoints_total
@@ -36,6 +44,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,8 +113,11 @@ class DurableStore {
   explicit DurableStore(DurableOptions options);
 
   /// Creates the directory if needed and opens the journal for append,
-  /// seeding the LSN counter past everything already on disk. recover()
-  /// may be called before or after open(); journaling requires open().
+  /// seeding the LSN counter past everything already on disk. A torn
+  /// journal tail is physically truncated here (counted, and reported by
+  /// the next recover()) so the writer can never append records behind
+  /// garbage where no scan would reach them. recover() may be called
+  /// before or after open(); journaling requires open().
   util::Status open();
 
   std::string snapshot_path() const { return options_.dir + "/snapshot.leaps"; }
@@ -114,10 +126,19 @@ class DurableStore {
   // --- journaling (require open()) --------------------------------------
   util::Status journal_window(const trace::PartitionedEvent* events,
                               std::size_t count);
-  util::Status journal_retrain(bool ok, std::uint64_t new_samples,
+  /// `drain_lsn` is last_lsn() captured at the instant the retrain drained
+  /// the accumulator (under the caller's tap fence, so every journaled
+  /// window at or below it is provably in the drained set). Replay drops
+  /// exactly the pending windows journaled at or below `drain_lsn` —
+  /// windows journaled while the retrain was still training stay pending.
+  util::Status journal_retrain(std::uint64_t drain_lsn, bool ok,
+                               std::uint64_t new_samples,
                                const std::string& detail);
   util::Status journal_promotion(const core::Detector& candidate);
   util::Status journal_quarantine(const core::Detector& candidate);
+
+  /// Highest LSN assigned so far (0 when none yet). Requires open().
+  std::uint64_t last_lsn() const;
 
   /// True once enough appends have accumulated since the last checkpoint.
   bool should_checkpoint() const;
@@ -152,8 +173,13 @@ class DurableStore {
 
   const DurableOptions options_;
   Metrics metrics_;
-  WalWriter wal_;
-  std::uint64_t appends_since_checkpoint_ = 0;
+  /// Serializes journal appends (worker taps and the manager thread),
+  /// checkpoints, open() and recover() against each other.
+  mutable std::mutex mu_;
+  WalWriter wal_;                               // guarded by mu_
+  std::uint64_t appends_since_checkpoint_ = 0;  // guarded by mu_
+  bool open_truncated_tail_ = false;            // guarded by mu_
+  std::string open_torn_reason_;                // guarded by mu_
 };
 
 }  // namespace leaps::durable

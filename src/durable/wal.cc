@@ -71,7 +71,8 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
       next_lsn_(other.next_lsn_),
-      appends_(other.appends_) {}
+      appends_(other.appends_),
+      failed_(other.failed_) {}
 
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   if (this != &other) {
@@ -80,6 +81,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     path_ = std::move(other.path_);
     next_lsn_ = other.next_lsn_;
     appends_ = other.appends_;
+    failed_ = other.failed_;
   }
   return *this;
 }
@@ -97,6 +99,7 @@ util::Status WalWriter::open(const std::string& path,
   path_ = path;
   next_lsn_ = next_lsn == 0 ? 1 : next_lsn;
   appends_ = 0;
+  failed_ = false;
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) return util::unavailable(errno_text("open", path));
   const ::off_t size = ::lseek(fd_, 0, SEEK_END);
@@ -106,9 +109,25 @@ util::Status WalWriter::open(const std::string& path,
   return util::ok_status();
 }
 
+util::Status WalWriter::rolled_back(util::Status status, ::off_t start) {
+  // A partial record would stop every future scan right here while later
+  // appends kept "succeeding" into the unreachable region — either give
+  // the bytes back or refuse all further appends.
+  if (::ftruncate(fd_, start) != 0) failed_ = true;
+  return status;
+}
+
 util::Status WalWriter::append(WalRecordType type, std::string_view payload,
                                std::uint64_t* assigned_lsn) {
   if (fd_ < 0) return util::internal_error("WAL not open");
+  if (failed_) {
+    return util::internal_error(
+        "WAL writer disabled: an earlier append left a torn record that "
+        "could not be rolled back; records after it would be unreachable "
+        "to recovery (checkpoint to truncate and re-enable)");
+  }
+  const ::off_t start = ::lseek(fd_, 0, SEEK_END);
+  if (start < 0) return util::unavailable(errno_text("lseek", path_));
   std::string body;
   body.reserve(kBodyPrefixBytes + payload.size());
   body.push_back(static_cast<char>(type));
@@ -121,12 +140,21 @@ util::Status WalWriter::append(WalRecordType type, std::string_view payload,
 
   // Header first, as its own write: a crash between the two leaves a
   // valid-header/short-body torn tail — the exact shape recovery must
-  // truncate and the corruption corpus must flag.
+  // truncate and the corruption corpus must flag. An injected `throw` or
+  // `exit` here simulates that crash (no rollback — the torn bytes are
+  // the drill); an injected `error` behaves like a failed body write and
+  // exercises the rollback below.
   util::Status status = write_all(fd_, header.data(), header.size(), path_);
-  if (!status.ok()) return status;
-  LEAPS_FAULT_POINT("durable.wal.append.mid");
+  if (!status.ok()) return rolled_back(std::move(status), start);
+  {
+    auto& injector = util::FaultInjector::instance();
+    if (injector.any_armed()) {
+      util::Status injected = injector.hit("durable.wal.append.mid");
+      if (!injected.ok()) return rolled_back(std::move(injected), start);
+    }
+  }
   status = write_all(fd_, body.data(), body.size(), path_);
-  if (!status.ok()) return status;
+  if (!status.ok()) return rolled_back(std::move(status), start);
   if (assigned_lsn != nullptr) *assigned_lsn = next_lsn_;
   ++next_lsn_;
   ++appends_;
@@ -145,6 +173,7 @@ util::Status WalWriter::truncate() {
     return util::unavailable(errno_text("ftruncate", path_));
   }
   if (::fsync(fd_) != 0) return util::unavailable(errno_text("fsync", path_));
+  failed_ = false;  // whatever damage poisoned the writer is gone now
   return util::ok_status();
 }
 

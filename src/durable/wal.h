@@ -27,6 +27,8 @@
 // corpus) get a typed core::PersistError instead.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -40,7 +42,9 @@ inline constexpr std::string_view kWalMagic = "LEAPSWAL1\n";
 
 enum class WalRecordType : std::uint8_t {
   kWindow = 1,      // admitted benign window (encoded PartitionedEvents)
-  kRetrain = 2,     // retrain outcome (informational)
+  kRetrain = 2,     // retrain drain marker: payload leads with the u64
+                    // boundary LSN (windows ≤ it were consumed), then the
+                    // informational outcome
   kPromotion = 3,   // candidate promoted: payload = v3 detector bytes
   kQuarantine = 4,  // candidate rolled back: payload = v3 detector bytes
 };
@@ -62,6 +66,10 @@ struct WalScan {
 /// Appends records to `path`, creating it (with magic) when absent. Uses
 /// raw unbuffered writes so what append() returns OK for has reached the
 /// kernel — a process kill cannot un-write it.
+///
+/// Not internally synchronized: callers (DurableStore) must serialize
+/// append()/sync()/truncate() — a record is two write() calls, and
+/// concurrent appends would interleave frames into checksum garbage.
 class WalWriter {
  public:
   WalWriter() = default;
@@ -77,7 +85,16 @@ class WalWriter {
 
   /// Appends one record, assigning it the next LSN (returned through
   /// `assigned_lsn` when non-null). Fault point "durable.wal.append.mid"
-  /// fires after the frame header is on disk, before the body.
+  /// fires after the frame header is on disk, before the body; an injected
+  /// `error` there behaves like a failed body write, `throw`/`exit`
+  /// simulate a crash (the torn record stays for recovery to truncate).
+  ///
+  /// A failed write rolls the file back to the pre-append offset: a
+  /// partial record mid-file would make every later append unreachable
+  /// (scans stop at the damage) while still returning OK. If the rollback
+  /// itself fails the writer is poisoned — subsequent appends refuse
+  /// rather than silently land records recovery can never read. truncate()
+  /// discards the damage and lifts the poisoning.
   util::Status append(WalRecordType type, std::string_view payload,
                       std::uint64_t* assigned_lsn = nullptr);
 
@@ -95,10 +112,13 @@ class WalWriter {
   void close();
 
  private:
+  util::Status rolled_back(util::Status status, ::off_t start);
+
   int fd_ = -1;
   std::string path_;
   std::uint64_t next_lsn_ = 1;
   std::uint64_t appends_ = 0;
+  bool failed_ = false;  // torn record on disk that rollback couldn't remove
 };
 
 /// Scans the journal at `path` in recovery mode: a damaged tail (short

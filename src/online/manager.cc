@@ -76,14 +76,20 @@ void OnlineManager::install() {
              const trace::PartitionedEvent* events, std::size_t count) {
         if (!learnable(label)) return;
         metrics_.windows_observed.inc();
+        if (options_.durable == nullptr) {
+          accumulator_.observe_window(events, count);
+          return;
+        }
         // Journal before observing: once the accumulator has the window a
         // crash must be able to get it back. Replay re-runs admission, so
-        // journaling pre-admission stays idempotent.
-        if (options_.durable != nullptr) {
-          const util::Status status =
-              options_.durable->journal_window(events, count);
-          if (!status.ok()) note_durable_failure(status);
-        }
+        // journaling pre-admission stays idempotent. The fence makes the
+        // pair atomic against checkpoint capture→truncate and the retrain
+        // drain — otherwise a window could land in the truncated journal
+        // gap, or be cleared by a drain boundary it was never part of.
+        const std::lock_guard<std::mutex> tap_lock(tap_mu_);
+        const util::Status status =
+            options_.durable->journal_window(events, count);
+        if (!status.ok()) note_durable_failure(status);
         accumulator_.observe_window(events, count);
       });
 }
@@ -178,13 +184,30 @@ void OnlineManager::poll_once() {
 void OnlineManager::maybe_retrain() {
   if (!scheduler_.due()) return;
   LEAPS_SPAN("online.cycle");
-  const RetrainResult result = scheduler_.retrain();
-  // The retrain drained every retained window into the candidate; the
-  // journal record marks that drain point so replay stops treating the
-  // windows before it as still pending.
+  // Drain under the tap fence and capture the journal high-water mark at
+  // the same instant: every window journaled at or below drain_lsn is
+  // provably in `drained` (the fence keeps journal→observe atomic), and
+  // every window journaled later is untouched by this cycle. Training
+  // runs outside the fence — workers keep serving while the SMO solves.
+  std::vector<PendingWindow> drained;
+  std::uint64_t drain_lsn = 0;
+  {
+    const std::lock_guard<std::mutex> tap_lock(tap_mu_);
+    drained = accumulator_.drain_windows();
+    if (options_.durable != nullptr) {
+      drain_lsn = options_.durable->last_lsn();
+    }
+  }
+  const RetrainResult result = scheduler_.retrain(std::move(drained));
+  // The retrain consumed every window up to the drain boundary; the
+  // journal record makes replay stop treating exactly those as pending.
+  // Journaled only now, after the fit: a crash mid-training leaves no
+  // drain record, so the drained windows replay as pending and the cycle
+  // simply reruns — nothing is lost either way.
   if (options_.durable != nullptr) {
     const util::Status status = options_.durable->journal_retrain(
-        result.candidate != nullptr, result.new_samples, result.error);
+        drain_lsn, result.candidate != nullptr, result.new_samples,
+        result.error);
     if (!status.ok()) note_durable_failure(status);
   }
   if (result.candidate == nullptr) {
@@ -273,6 +296,12 @@ void OnlineManager::conclude_shadow(bool promote) {
 }
 
 void OnlineManager::do_checkpoint() {
+  // Block taps for the whole capture→snapshot→truncate sequence: a window
+  // journaled and observed after pending_snapshot() but before the store's
+  // truncate would end up in neither the snapshot nor the journal. The
+  // store's own mutex cannot close that window — it cannot see the
+  // accumulator — so the fence lives here.
+  const std::lock_guard<std::mutex> tap_lock(tap_mu_);
   durable::CheckpointState state;
   state.detector = server_->registry().find(options_.profile);
   if (state.detector == nullptr) {

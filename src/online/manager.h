@@ -141,6 +141,16 @@ class OnlineManager {
   /// final checkpoint, restore()) against each other.
   std::mutex poll_mu_;
 
+  /// The durability fence. A tap's journal→observe pair and a
+  /// checkpoint's capture→snapshot→truncate sequence must be mutually
+  /// atomic: a window journaled after the pending-state capture but
+  /// before the journal truncate would be in neither the snapshot nor
+  /// the journal, and gone after a crash. The retrain drain takes the
+  /// same fence so its journaled drain boundary exactly matches the
+  /// drained set. Only taken when durability is on; ordering is always
+  /// tap_mu_ → (accumulator / store) internal locks, never the reverse.
+  std::mutex tap_mu_;
+
   mutable std::mutex mu_;
   std::shared_ptr<ShadowEvaluator> evaluator_;           // guarded by mu_
   std::shared_ptr<const core::Detector> candidate_;      // guarded by mu_

@@ -38,6 +38,10 @@ bool RetrainScheduler::due() const {
 }
 
 RetrainResult RetrainScheduler::retrain() {
+  return retrain(accumulator_->drain_windows());
+}
+
+RetrainResult RetrainScheduler::retrain(std::vector<PendingWindow> windows) {
   LEAPS_SPAN("online.retrain");
   RetrainResult result;
   std::shared_ptr<const core::Detector> base;
@@ -53,7 +57,6 @@ RetrainResult RetrainScheduler::retrain() {
     return result;
   }
 
-  std::vector<PendingWindow> windows = accumulator_->drain_windows();
   if (windows.empty()) {
     result.error = "no admitted benign windows since the last cycle";
     return result;

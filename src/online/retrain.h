@@ -81,6 +81,12 @@ class RetrainScheduler {
   /// new α) and the incumbent's calibrated decision threshold.
   RetrainResult retrain();
 
+  /// Same fit over windows the caller already drained — for callers that
+  /// must make the drain atomic with other bookkeeping (OnlineManager
+  /// drains under its durability fence so the journaled drain boundary
+  /// exactly matches this set) while keeping the training outside it.
+  RetrainResult retrain(std::vector<PendingWindow> windows);
+
   /// Rebase after a promotion: subsequent cycles grow from `promoted`'s
   /// ContinualState instead of the original base.
   void adopt(std::shared_ptr<const core::Detector> promoted);

@@ -41,7 +41,7 @@ void FaultInjector::arm(const std::string& point, FaultSpec spec) {
 }
 
 bool FaultInjector::arm_from_spec(std::string_view text) {
-  // point:action:probability[:delay_us]
+  // point:action:probability[:delay_us|:exit_code]
   std::vector<std::string_view> parts;
   std::size_t start = 0;
   for (std::size_t i = 0; i <= text.size(); ++i) {
@@ -71,10 +71,16 @@ bool FaultInjector::arm_from_spec(std::string_view text) {
     return false;
   }
   if (parts.size() == 4) {
-    const std::string us(parts[3]);
-    const unsigned long long n = std::strtoull(us.c_str(), &end, 10);
-    if (end == us.c_str() || *end != '\0') return false;
-    spec.delay = std::chrono::microseconds(n);
+    const std::string num(parts[3]);
+    const unsigned long long n = std::strtoull(num.c_str(), &end, 10);
+    if (end == num.c_str() || *end != '\0') return false;
+    if (spec.action == FaultAction::kExit) {
+      // The wait-status machinery only surfaces the low 8 bits.
+      if (n > 255) return false;
+      spec.exit_code = static_cast<int>(n);
+    } else {
+      spec.delay = std::chrono::microseconds(n);
+    }
   } else if (spec.action == FaultAction::kDelay) {
     return false;  // delay points need a duration
   }

@@ -52,7 +52,8 @@ struct FaultSpec {
   std::chrono::microseconds delay{0};
   /// Status code reported by kError points.
   StatusCode error_code = StatusCode::kInternal;
-  /// Process exit status for kExit (137 mirrors a SIGKILL'd shell child).
+  /// Process exit status for kExit (137 mirrors a SIGKILL'd shell child;
+  /// the spec grammar's optional fourth field overrides it).
   int exit_code = 137;
   /// When non-empty, inject only at hits whose `detail` contains this
   /// substring (e.g. a session key — lets chaos target victim sessions
@@ -81,9 +82,11 @@ class FaultInjector {
   void set_seed(std::uint64_t seed);
 
   void arm(const std::string& point, FaultSpec spec);
-  /// Arms from a CLI spec "point:action:probability[:delay_us]" where
-  /// action ∈ {throw, error, delay, exit}. Returns false on a malformed
-  /// spec.
+  /// Arms from a CLI spec "point:action:probability[:delay_us|:exit_code]"
+  /// where action ∈ {throw, error, delay, exit}. The optional fourth field
+  /// is the sleep in microseconds (required for delay) — except for exit,
+  /// where it is the process exit status (0-255, default 137). Returns
+  /// false on a malformed spec.
   bool arm_from_spec(std::string_view spec);
   void disarm(const std::string& point);
   void disarm_all();

@@ -5,9 +5,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/persist.h"
 #include "detector_fixture.h"
@@ -283,9 +287,10 @@ TEST(DurableStoreTest, JournalReplayAppliesWindowsRetrainsAndPromotions) {
   EXPECT_EQ(r1->pending_windows.size(), 2u);
   EXPECT_EQ(r1->replayed, 2u);
 
-  // A retrain record marks the drain point: earlier windows stop being
-  // pending. The promotion then carries the candidate's full bytes.
-  ASSERT_TRUE(store.journal_retrain(true, 16, "").ok());
+  // A retrain record marks the drain point: windows journaled at or below
+  // its boundary stop being pending. The promotion then carries the
+  // candidate's full bytes.
+  ASSERT_TRUE(store.journal_retrain(store.last_lsn(), true, 16, "").ok());
   ASSERT_TRUE(store.journal_promotion(*f.detector).ok());
   ASSERT_TRUE(store.journal_window(f.benign.events.data(), 5).ok());
   ASSERT_TRUE(store.journal_quarantine(*f.detector).ok());
@@ -297,6 +302,26 @@ TEST(DurableStoreTest, JournalReplayAppliesWindowsRetrainsAndPromotions) {
   EXPECT_EQ(r2->pending_windows.size(), 1u);
   EXPECT_EQ(r2->quarantined.size(), 1u);
   EXPECT_EQ(r2->replayed, 6u);
+}
+
+TEST(DurableStoreTest, RetrainBoundaryKeepsWindowsJournaledDuringTraining) {
+  // The drain boundary is captured when the accumulator is drained, but
+  // the retrain record lands only after training. A window journaled in
+  // between was NOT part of the drained set — replay must keep it pending
+  // instead of sweeping it away with the drained ones.
+  const TrainedDetector& f = fixture();
+  DurableStore store = make_store("store_drain_boundary");
+  ASSERT_TRUE(store.open().ok());
+  ASSERT_TRUE(store.journal_window(f.benign.events.data(), 8).ok());  // lsn 1
+  const std::uint64_t boundary = store.last_lsn();  // drain happens here
+  ASSERT_TRUE(store.journal_window(f.benign.events.data(), 6).ok());  // lsn 2
+  ASSERT_TRUE(store.journal_retrain(boundary, true, 8, "").ok());     // lsn 3
+
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  ASSERT_EQ(recovered->pending_windows.size(), 1u)
+      << "the mid-training window must survive the drain marker";
+  EXPECT_EQ(recovered->pending_windows[0].events.size(), 6u);
 }
 
 TEST(DurableStoreTest, LsnGuardSkipsRecordsAlreadyFolded) {
@@ -352,6 +377,121 @@ TEST(DurableStoreTest, TornJournalTailIsTruncatedNotFatal) {
   ASSERT_TRUE(again.ok());
   EXPECT_FALSE(again->torn_tail);
   EXPECT_EQ(again->pending_windows.size(), 1u);
+}
+
+TEST(DurableStoreTest, OpenTruncatesTornTailBeforeAppending) {
+  // A crash mid-append leaves a torn tail. If the next process open()s and
+  // journals before ever calling recover(), those appends must land after
+  // the last good record — not behind garbage where no scan reaches them.
+  const TrainedDetector& f = fixture();
+  const std::string dir = fresh_dir("store_open_torn");
+  {
+    DurableOptions options;
+    options.dir = dir;
+    DurableStore store(options);
+    ASSERT_TRUE(store.open().ok());
+    ASSERT_TRUE(store.journal_window(f.benign.events.data(), 8).ok());
+    util::ScopedFault fault("durable.wal.append.mid",
+                            {.action = util::FaultAction::kThrow});
+    EXPECT_THROW(store.journal_window(f.benign.events.data(), 8),
+                 util::FaultInjectedError);
+  }
+  // "Restart": open() must truncate the torn tail, then append cleanly.
+  DurableOptions options;
+  options.dir = dir;
+  DurableStore store(options);
+  ASSERT_TRUE(store.open().ok());
+  ASSERT_TRUE(store.journal_window(f.benign.events.data(), 4).ok());
+  // Both the pre-crash record and the new one are reachable, and the
+  // truncated tail is still reported by the recovery that follows.
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_TRUE(recovered->torn_tail);
+  ASSERT_EQ(recovered->pending_windows.size(), 2u);
+  EXPECT_EQ(recovered->pending_windows[1].events.size(), 4u);
+  // ...but only once: the next recovery is clean.
+  const auto again = store.recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->torn_tail);
+}
+
+TEST(Wal, FailedAppendRollsBackInsteadOfStrandingLaterRecords) {
+  // A body-write failure (ENOSPC et al., injected here as an error at the
+  // mid-append point) must not leave a partial record mid-file: later
+  // appends would return OK but be unreachable to every scan. The writer
+  // rolls the file back to the pre-append offset and stays usable.
+  const std::string dir = fresh_dir("wal_failed_append");
+  const std::string path = dir + "/journal.wal";
+  WalWriter writer;
+  ASSERT_TRUE(writer.open(path, 1).ok());
+  ASSERT_TRUE(writer.append(WalRecordType::kWindow, "before").ok());
+  {
+    util::ScopedFault fault("durable.wal.append.mid",
+                            {.action = util::FaultAction::kError});
+    EXPECT_FALSE(writer.append(WalRecordType::kWindow, "doomed").ok());
+  }
+  // The failed record left no bytes behind; the next append is reachable.
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE(writer.append(WalRecordType::kWindow, "after", &lsn).ok());
+  EXPECT_EQ(lsn, 2u) << "the failed append must not consume an LSN";
+  writer.close();
+  EXPECT_EQ(verify_wal_strict(path), 2u);
+  const auto scan = scan_wal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->torn);
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[1].payload, "after");
+}
+
+TEST(DurableStoreTest, ConcurrentJournalersAndCheckpointsStayWellFramed) {
+  // Worker taps journal from several threads while the manager thread
+  // checkpoints: every record is two write()s and a checkpoint ends in a
+  // truncate, so without the store's serialization this interleaves into
+  // checksum garbage. After the storm the journal must scan clean and
+  // recovery must succeed.
+  const TrainedDetector& f = fixture();
+  DurableStore store = make_store("store_concurrent", /*every=*/1000);
+  ASSERT_TRUE(store.open().ok());
+
+#if defined(__SANITIZE_THREAD__)
+  constexpr int kAppendsPerThread = 120;
+#else
+  constexpr int kAppendsPerThread = 60;
+#endif
+  constexpr int kThreads = 4;
+  std::atomic<std::uint64_t> appended{0};
+  std::vector<std::thread> journalers;
+  journalers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    journalers.emplace_back([&store, &appended, &f, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const std::size_t n = 1 + static_cast<std::size_t>((t + i) % 8);
+        if (store.journal_window(f.benign.events.data(), n).ok()) {
+          appended.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread checkpointer([&store, &f] {
+    for (int i = 0; i < 10; ++i) {
+      CheckpointState state;
+      state.detector = f.detector;
+      EXPECT_TRUE(store.checkpoint(state).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::thread& t : journalers) t.join();
+  checkpointer.join();
+  EXPECT_EQ(appended.load(), kThreads * kAppendsPerThread)
+      << "no append may fail under contention";
+
+  // Whatever interleaving happened, the surviving journal is well-framed
+  // (strict verify throws on any framing or checksum damage) and recovery
+  // replays it without complaint.
+  EXPECT_NO_THROW(verify_wal_strict(store.journal_path()));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_FALSE(recovered->torn_tail);
 }
 
 TEST(DurableStoreTest, CorruptSnapshotIsTypedError) {

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -739,6 +740,76 @@ TEST(OnlineManagerTest, StopRacingPollOnceLosesNoAdmittedWindows) {
     EXPECT_EQ(recovered->pending_windows.size(), admitted)
         << "round " << round << ": admitted windows lost across stop()"
         << " (last_error=" << manager.report().last_error << ")";
+  }
+}
+
+// Worker-thread taps racing checkpoint truncations must never lose an
+// admitted window. The manager's tap fence makes a tap's journal→observe
+// pair atomic against a checkpoint's capture→snapshot→truncate, so every
+// admitted window lands either in the snapshot or in the journal above
+// its fold LSN — checkpointing on nearly every append maximizes the
+// chances of a truncate landing inside an unfenced tap.
+TEST(OnlineManagerTest, TapsRacingCheckpointsLoseNoAdmittedWindows) {
+#if defined(__SANITIZE_THREAD__)
+  constexpr int kRounds = 4;
+#else
+  constexpr int kRounds = 2;
+#endif
+  const TrainedDetector& f = fixture();
+  for (int round = 0; round < kRounds; ++round) {
+    durable::DurableOptions durable_options;
+    durable_options.dir = ::testing::TempDir() + "/online_tap_ckpt_race_" +
+                          std::to_string(round);
+    ::mkdir(durable_options.dir.c_str(), 0755);
+    ::unlink((durable_options.dir + "/snapshot.leaps").c_str());
+    ::unlink((durable_options.dir + "/journal.wal").c_str());
+    durable_options.checkpoint_every_appends = 2;
+    durable::DurableStore store(durable_options);
+    ASSERT_TRUE(store.open().ok());
+
+    serve::ServerOptions server_options;
+    server_options.workers = 2;
+    serve::DetectionServer server(server_options);
+    server.registry().add("default", f.detector);
+
+    OnlineOptions options;
+    options.accumulator.admit_floor = 0.0;
+    // Retrain never fires: pending must track admitted exactly.
+    options.retrain.min_new_events = std::numeric_limits<std::uint64_t>::max();
+    options.durable = &store;
+    OnlineManager manager(&server, options);
+    manager.install();
+    server.start();
+
+    auto session = server.open_session({"host", 1}, "default");
+    ASSERT_NE(session, nullptr);
+
+    // Checkpoints hammer on the poller thread while worker taps journal
+    // windows from live traffic.
+    std::atomic<bool> done{false};
+    std::thread poller([&] {
+      while (!done.load(std::memory_order_relaxed)) manager.poll_once();
+    });
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const trace::PartitionedEvent& e : f.benign.events) {
+        ASSERT_TRUE(server.submit(session, e));
+      }
+      server.drain();
+    }
+    done.store(true, std::memory_order_relaxed);
+    poller.join();
+    server.stop();
+    manager.stop();
+
+    const AccumulatorStats acc = manager.report().accumulator;
+    const std::uint64_t admitted = acc.windows_admitted - acc.windows_evicted;
+    ASSERT_GT(admitted, 0u);
+    const auto recovered = store.recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+    EXPECT_EQ(recovered->pending_windows.size(), admitted)
+        << "round " << round << ": window lost between a tap's journal"
+        << " append and a checkpoint truncate (last_error="
+        << manager.report().last_error << ")";
   }
 }
 

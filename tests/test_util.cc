@@ -409,6 +409,8 @@ TEST(Fault, ArmFromSpecParsesTheCliGrammar) {
   EXPECT_TRUE(injector.arm_from_spec("p.a:throw:0.5"));
   EXPECT_TRUE(injector.arm_from_spec("p.b:error:1"));
   EXPECT_TRUE(injector.arm_from_spec("p.c:delay:0.25:1500"));
+  // For the exit action the fourth field is the exit status, not a delay.
+  EXPECT_TRUE(injector.arm_from_spec("p.e:exit:1:91"));
   EXPECT_TRUE(injector.any_armed());
   injector.disarm_all();
   EXPECT_FALSE(injector.any_armed());
@@ -418,6 +420,7 @@ TEST(Fault, ArmFromSpecParsesTheCliGrammar) {
   EXPECT_FALSE(injector.arm_from_spec("p:badaction:0.5"));
   EXPECT_FALSE(injector.arm_from_spec("p:throw:notanumber"));
   EXPECT_FALSE(injector.arm_from_spec("p:delay:0.5"));  // delay needs us
+  EXPECT_FALSE(injector.arm_from_spec("p:exit:1:300"));  // > 8 bits
   EXPECT_FALSE(injector.any_armed());
 }
 

@@ -669,6 +669,7 @@ int crash_child(const char* dir_c, const char* spec, std::size_t sim_events) {
 struct CrashScenario {
   const char* name;
   const char* spec;
+  int exit_status;      // what the armed exit fault reports via waitpid
   bool expect_torn;     // journal tail truncated on recovery
   bool expect_skipped;  // stale records skipped by the LSN guard
 };
@@ -691,11 +692,14 @@ void crash_drills(const Trained& trained, std::size_t sim_events) {
   const std::string exe = exe_buf;
 
   const CrashScenario scenarios[] = {
-      {"wal-append-mid", "durable.wal.append.mid:exit:1", true, false},
-      {"snapshot-pre-rename", "durable.snapshot.pre_rename:exit:1", false,
+      // The explicit :91 exercises the spec grammar's exit-code field; the
+      // others take the 137 default.
+      {"wal-append-mid", "durable.wal.append.mid:exit:1:91", 91, true,
        false},
+      {"snapshot-pre-rename", "durable.snapshot.pre_rename:exit:1", 137,
+       false, false},
       {"checkpoint-pre-truncate", "durable.checkpoint.pre_truncate:exit:1",
-       false, true},
+       137, false, true},
   };
   for (const CrashScenario& sc : scenarios) {
     const std::string dir = std::string(base) + "/" + sc.name;
@@ -709,9 +713,9 @@ void crash_drills(const Trained& trained, std::size_t sim_events) {
     }
     int status = 0;
     ::waitpid(pid, &status, 0);
-    // 137 is the armed kExit status — anything else means the child never
-    // reached the fault point (or failed before it).
-    if (!check(WIFEXITED(status) && WEXITSTATUS(status) == 137,
+    // Only the armed kExit status is acceptable — anything else means the
+    // child never reached the fault point (or failed before it).
+    if (!check(WIFEXITED(status) && WEXITSTATUS(status) == sc.exit_status,
                "crash: child did not die at the fault point")) {
       std::fprintf(stderr, "  %s: wait status %d\n", sc.name, status);
       continue;

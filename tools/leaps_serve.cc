@@ -53,7 +53,7 @@ constexpr const char* kUsage =
     "  --shed-wait-us N      shed load when queue-wait p99 exceeds N us\n"
     "                        (0 off)\n"
     "  --fault SPEC          arm a fault point (repeatable):\n"
-    "                        point:action:probability[:delay_us],\n"
+    "                        point:action:probability[:delay_us|:exit_code],\n"
     "                        action = throw | error | delay\n"
     "  --fault-seed N        deterministic seed for fault injection\n"
     "  --online              continuous learning for the default profile:\n"
