@@ -16,6 +16,7 @@
 #include "ml/hmm.h"
 #include "ml/logreg.h"
 #include "ml/svm.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"
 #include "sim/scenario.h"
 #include "trace/binary_log.h"
@@ -353,6 +354,53 @@ void BM_SpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanEnabled);
+
+// Decision-value sketch hot path: every scored window pays one insert, so
+// this is the per-verdict observability overhead (amortized — most
+// inserts land in level 0, the occasional one triggers a compaction
+// cascade).
+void BM_SketchInsert(benchmark::State& state) {
+  obs::QuantileSketch sketch;
+  util::Rng rng(29);
+  std::size_t i = 0;
+  std::vector<double> values(4096);
+  for (double& v : values) v = rng.next_gaussian();
+  for (auto _ : state) {
+    sketch.insert(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(&sketch);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchInsert);
+
+// Quantile queries run on the metrics-export path (Prometheus summary
+// lines + status JSON), never per verdict.
+void BM_SketchQuantile(benchmark::State& state) {
+  obs::QuantileSketch sketch;
+  util::Rng rng(31);
+  for (int i = 0; i < 100000; ++i) sketch.insert(rng.next_gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.quantile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchQuantile);
+
+// Merge cost (shard aggregation): fold a 10k-value sketch into a growing
+// accumulator each iteration.
+void BM_SketchMerge(benchmark::State& state) {
+  obs::QuantileSketch shard;
+  util::Rng rng(37);
+  for (int i = 0; i < 10000; ++i) shard.insert(rng.next_gaussian());
+  for (auto _ : state) {
+    obs::QuantileSketch merged;
+    merged.merge(shard);
+    merged.merge(shard);
+    benchmark::DoNotOptimize(&merged);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchMerge);
 
 void BM_DetectorPersistRoundTrip(benchmark::State& state) {
   const auto& logs = cached_logs(2000);

@@ -207,6 +207,62 @@ RestartLatency measure_warm_restart(const Workload& w) {
   return out;
 }
 
+/// Drift-detection latency at the default window sizes (reference 256,
+/// live 128): the per-verdict observe() cost the tap pays, and the KS
+/// evaluate-to-trigger cost the manager poll pays.
+struct DriftLatency {
+  bool ok = false;
+  double observe_ns = 0.0;   // per observed decision value
+  double evaluate_us = 0.0;  // per full-window KS evaluation
+  int fired = 0;             // triggers over kDriftRounds evaluations
+};
+
+constexpr int kDriftRounds = 100;
+
+DriftLatency measure_drift_trigger(const Workload& w) {
+  DriftLatency out;
+  // Real decision values from a real replay seed the reference; the live
+  // window gets the same values shifted — a guaranteed, repeatable drift.
+  std::vector<double> values;
+  core::Detector::Stream stream = w.detector->stream();
+  for (const trace::PartitionedEvent& e : w.replay.events) {
+    if (stream.push(e).has_value()) {
+      values.push_back(stream.last_decision_value());
+    }
+    if (values.size() >= 512) break;
+  }
+  online::DriftOptions dopts;
+  dopts.enabled = true;
+  if (values.size() < dopts.reference_target + dopts.min_live) return out;
+  online::DriftMonitor monitor(dopts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const bool live = i >= dopts.reference_target;
+    monitor.observe(values[i] + (live ? 1.0 : 0.0), 1);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.observe_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(values.size());
+
+  double total_us = 0.0;
+  for (int r = 0; r < kDriftRounds; ++r) {
+    const auto e0 = std::chrono::steady_clock::now();
+    const bool fired = monitor.evaluate();
+    const auto e1 = std::chrono::steady_clock::now();
+    total_us += std::chrono::duration<double, std::micro>(e1 - e0).count();
+    if (fired) ++out.fired;
+    monitor.consume_trigger();  // clears the live window (cooldown)
+    for (std::size_t i = dopts.reference_target; i < values.size(); ++i) {
+      monitor.observe(values[i] + 1.0, 1);
+    }
+  }
+  out.evaluate_us = total_us / kDriftRounds;
+  out.ok = true;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -257,6 +313,16 @@ int main() {
     std::printf("warm restart: measurement unavailable\n");
   }
 
+  const DriftLatency drift = measure_drift_trigger(w);
+  if (drift.ok) {
+    std::printf(
+        "drift monitor: observe %.0f ns/value, KS evaluate %.1f us "
+        "(ref=256 live=128), trigger fired %d/%d rounds\n",
+        drift.observe_ns, drift.evaluate_us, drift.fired, kDriftRounds);
+  } else {
+    std::printf("drift monitor: measurement unavailable\n");
+  }
+
   const std::string json_path = util::env_string("LEAPS_BENCH_JSON", "");
   if (!json_path.empty()) {
     const bench::BaselineGuard guard = bench::check_bench_baseline();
@@ -289,6 +355,14 @@ int main() {
                     ",\n  \"warm_restart\": {\"recover_ms\": %.2f, "
                     "\"first_verdict_ms\": %.2f}",
                     restart.recover_ms, restart.first_verdict_ms);
+      os << line;
+    }
+    if (drift.ok) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    ",\n  \"drift\": {\"observe_ns\": %.0f, "
+                    "\"evaluate_us\": %.2f, \"fired\": %d}",
+                    drift.observe_ns, drift.evaluate_us, drift.fired);
       os << line;
     }
     os << "\n}\n";

@@ -128,8 +128,12 @@ Detector::ScanResult Detector::scan(const trace::PartitionedLog& log) const {
 }
 
 int Detector::predict(const ml::FeatureVector& raw_features) const {
-  const double f = model_.decision_value(scaler_.transform(raw_features));
+  const double f = decision_value(raw_features);
   return f >= decision_threshold_ ? 1 : -1;
+}
+
+double Detector::decision_value(const ml::FeatureVector& raw_features) const {
+  return model_.decision_value(scaler_.transform(raw_features));
 }
 
 double Detector::calibrate(const trace::PartitionedLog& clean_log,
@@ -175,7 +179,9 @@ std::optional<int> Detector::Stream::push(
   if (pending_.size() < 3 * detector_->preprocessor().window()) {
     return std::nullopt;
   }
-  const int label = detector_->predict(pending_);
+  const double f = detector_->decision_value(pending_);
+  const int label = f >= detector_->decision_threshold() ? 1 : -1;
+  last_decision_value_ = f;
   pending_.clear();
   tally_.window_labels.push_back(label);
   (label == 1 ? tally_.benign_windows : tally_.malicious_windows) += 1;

@@ -118,6 +118,12 @@ class Detector {
   /// Classifies one already-extracted (unscaled) feature window.
   int predict(const ml::FeatureVector& raw_features) const;
 
+  /// The SVM decision value f(x) for one (unscaled) feature window —
+  /// predict() is `f >= decision_threshold()`. Exposed separately so the
+  /// serving layer can report *how* malicious a window looked (audit
+  /// stream) and watch the distribution drift (src/online/drift.h).
+  double decision_value(const ml::FeatureVector& raw_features) const;
+
   /// Calibrates the verdict threshold so that at most
   /// `max_false_alarm_rate` of the given known-clean log's windows are
   /// flagged malicious (an operator-facing operating point; the default
@@ -160,11 +166,15 @@ class Detector {
     /// scan() semantics: a trailing partial window is never classified.
     std::size_t pending_events() const { return pending_.size() / 3; }
     const ScanResult& tally() const { return tally_; }
+    /// Decision value of the most recently completed window (0 before the
+    /// first verdict). Valid right after push() returned a label.
+    double last_decision_value() const { return last_decision_value_; }
 
    private:
     const Detector* detector_;
     ml::FeatureVector pending_;
     std::size_t events_seen_ = 0;
+    double last_decision_value_ = 0.0;
     ScanResult tally_;
   };
   Stream stream() const { return Stream(*this); }

@@ -38,6 +38,12 @@ void put_u64(std::string& out, std::uint64_t v) {
   }
 }
 
+void put_f64(std::string& out, double v) {
+  std::uint64_t raw;
+  std::memcpy(&raw, &v, sizeof raw);
+  put_u64(out, raw);
+}
+
 /// Bounds-checked little-endian cursor over a window payload.
 class Cursor {
  public:
@@ -64,6 +70,12 @@ class Cursor {
       v = (v << 8) | static_cast<unsigned char>(bytes_[pos_ + i]);
     }
     pos_ += 8;
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    std::memcpy(&v, &raw, sizeof v);
     return true;
   }
   bool str(std::string& v, std::size_t max_len) {
@@ -110,6 +122,7 @@ struct SnapshotData {
   std::shared_ptr<const core::Detector> detector;
   std::vector<std::shared_ptr<const core::Detector>> quarantined;
   std::vector<DurableWindow> windows;
+  std::string drift;  // empty: no DRIFT blob (pre-drift snapshot)
 };
 
 std::size_t offset_of(std::istream& is) {
@@ -117,14 +130,11 @@ std::size_t offset_of(std::istream& is) {
   return pos < 0 ? 0 : static_cast<std::size_t>(pos);
 }
 
-std::string read_blob(std::istream& is, const std::string& kind) {
-  const std::size_t line_offset = offset_of(is);
-  std::string line;
-  if (!std::getline(is, line)) {
-    throw core::PersistError("snapshot truncated: missing " + kind +
-                             " header at byte offset " +
-                             std::to_string(line_offset));
-  }
+/// Reads a blob whose header line has already been consumed (the caller
+/// peeked it to dispatch on the kind keyword).
+std::string read_blob_body(std::istream& is, const std::string& kind,
+                           const std::string& line,
+                           std::size_t line_offset) {
   std::istringstream header(line);
   std::string got_kind;
   unsigned long long nbytes = 0;
@@ -173,6 +183,17 @@ std::string read_blob(std::istream& is, const std::string& kind) {
                              std::to_string(offset_of(is)));
   }
   return payload;
+}
+
+std::string read_blob(std::istream& is, const std::string& kind) {
+  const std::size_t line_offset = offset_of(is);
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw core::PersistError("snapshot truncated: missing " + kind +
+                             " header at byte offset " +
+                             std::to_string(line_offset));
+  }
+  return read_blob_body(is, kind, line, line_offset);
 }
 
 SnapshotData load_snapshot(const std::string& path) {
@@ -247,8 +268,25 @@ SnapshotData load_snapshot(const std::string& path) {
     }
     data.windows.push_back(DurableWindow{*std::move(events)});
   }
-  const std::size_t end_offset = offset_of(is);
-  if (!std::getline(is, line) || line != "END") {
+  // The DRIFT blob is optional (absent when drift is disabled, and from
+  // snapshots written before drift existed): peek the next line and
+  // dispatch on its keyword.
+  std::size_t end_offset = offset_of(is);
+  if (!std::getline(is, line)) {
+    throw core::PersistError("snapshot truncated: missing END at byte "
+                             "offset " +
+                             std::to_string(end_offset));
+  }
+  if (line.rfind("DRIFT ", 0) == 0) {
+    data.drift = read_blob_body(is, "DRIFT", line, end_offset);
+    end_offset = offset_of(is);
+    if (!std::getline(is, line)) {
+      throw core::PersistError("snapshot truncated: missing END at byte "
+                               "offset " +
+                               std::to_string(end_offset));
+    }
+  }
+  if (line != "END") {
     throw core::PersistError("snapshot truncated: missing END at byte "
                              "offset " +
                              std::to_string(end_offset));
@@ -408,9 +446,10 @@ util::Status DurableStore::open() {
 }
 
 util::Status DurableStore::journal(WalRecordType type,
-                                   std::string_view payload) {
+                                   std::string_view payload,
+                                   std::uint64_t* assigned_lsn) {
   const std::lock_guard<std::mutex> lock(mu_);
-  const util::Status status = wal_.append(type, payload);
+  const util::Status status = wal_.append(type, payload, assigned_lsn);
   if (!status.ok()) return status;
   metrics_.journal_appends.inc();
   metrics_.journal_bytes.inc(payload.size());
@@ -450,6 +489,26 @@ util::Status DurableStore::journal_quarantine(
   return journal(WalRecordType::kQuarantine, detector_bytes(candidate));
 }
 
+util::Status DurableStore::journal_drift_batch(const DriftSample* samples,
+                                               std::size_t count) {
+  if (count == 0) return util::ok_status();
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    put_f64(payload, samples[i].value);
+    payload.push_back(static_cast<char>(samples[i].label));
+  }
+  return journal(WalRecordType::kDriftBatch, payload);
+}
+
+util::Status DurableStore::journal_drift_trigger(
+    std::uint32_t generation, double p_value, std::uint64_t* assigned_lsn) {
+  std::string payload;
+  put_u32(payload, generation);
+  put_f64(payload, p_value);
+  return journal(WalRecordType::kDriftTrigger, payload, assigned_lsn);
+}
+
 bool DurableStore::should_checkpoint() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return options_.checkpoint_every_appends > 0 &&
@@ -474,6 +533,7 @@ util::Status DurableStore::write_snapshot(const CheckpointState& state,
       write_blob(os, "WINDOW",
                  encode_window(window.events.data(), window.events.size()));
     }
+    if (!state.drift.empty()) write_blob(os, "DRIFT", state.drift);
     os << "END\n";
   });
 }
@@ -523,6 +583,7 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
         pending.emplace_back(snap.lsn, std::move(window));
       }
       out.accounting = snap.accounting;
+      out.drift = std::move(snap.drift);
       out.last_lsn = snap.lsn;
     } catch (const core::PersistError& e) {
       return util::corrupt_input(e.what());
@@ -582,8 +643,43 @@ util::StatusOr<RecoveredState> DurableStore::recover() {
         std::erase_if(pending, [boundary](const auto& p) {
           return p.first <= boundary;
         });
+        // The retrain is also the consumption point of any drift trigger
+        // that fired before it (the manager consumes before draining).
+        out.drift_ops.push_back(
+            DriftReplayOp{DriftReplayOp::Kind::kRetrain, 0.0, 0});
         break;
       }
+      case WalRecordType::kDriftBatch: {
+        Cursor c(record.payload);
+        std::uint32_t n = 0;
+        if (!c.u32(n) || n > (1u << 20)) {
+          return util::corrupt_input("WAL drift batch (lsn " +
+                                     std::to_string(record.lsn) +
+                                     "): bad sample count");
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+          DriftReplayOp op;
+          op.kind = DriftReplayOp::Kind::kObserve;
+          std::uint8_t label = 0;
+          if (!c.f64(op.value) || !c.u8(label)) {
+            return util::corrupt_input("WAL drift batch (lsn " +
+                                       std::to_string(record.lsn) +
+                                       "): truncated sample");
+          }
+          op.label = static_cast<int>(static_cast<std::int8_t>(label));
+          out.drift_ops.push_back(op);
+        }
+        if (!c.exhausted()) {
+          return util::corrupt_input("WAL drift batch (lsn " +
+                                     std::to_string(record.lsn) +
+                                     "): trailing bytes");
+        }
+        break;
+      }
+      case WalRecordType::kDriftTrigger:
+        out.drift_ops.push_back(
+            DriftReplayOp{DriftReplayOp::Kind::kTrigger, 0.0, 0});
+        break;
       case WalRecordType::kPromotion:
         try {
           out.detector = detector_from_bytes(record.payload);

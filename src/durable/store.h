@@ -80,12 +80,34 @@ struct DurableWindow {
   std::vector<trace::PartitionedEvent> events;
 };
 
+/// One drift observation: a scored window's decision value and verdict.
+struct DriftSample {
+  double value = 0.0;
+  int label = 0;  // +1 benign / -1 malicious
+};
+
+/// One replayed drift-relevant journal record, in journal order. The
+/// caller folds these into its DriftMonitor after restoring the snapshot
+/// blob: kObserve re-observes a value, kTrigger re-latches a fired
+/// trigger, kRetrain marks the consumption point (a pending trigger at a
+/// retrain record was consumed by that retrain pre-crash).
+struct DriftReplayOp {
+  enum class Kind : std::uint8_t { kObserve, kTrigger, kRetrain };
+  Kind kind = Kind::kObserve;
+  double value = 0.0;  // kObserve only
+  int label = 0;       // kObserve only
+};
+
 /// Everything checkpoint() folds into a snapshot.
 struct CheckpointState {
   std::shared_ptr<const core::Detector> detector;  // incumbent (required)
   std::vector<DurableWindow> pending_windows;
   std::vector<std::shared_ptr<const core::Detector>> quarantined;
   AccountingBaseline accounting;
+  /// Opaque serialized DriftMonitor state; empty = drift disabled (the
+  /// snapshot then carries no DRIFT blob and stays loadable by readers
+  /// that never heard of drift).
+  std::string drift;
 };
 
 /// Everything recover() reconstructs.
@@ -95,6 +117,11 @@ struct RecoveredState {
   std::vector<DurableWindow> pending_windows;      // snapshot + journal
   std::vector<std::shared_ptr<const core::Detector>> quarantined;
   AccountingBaseline accounting;
+  /// Serialized DriftMonitor state from the snapshot's DRIFT blob (empty
+  /// when the snapshot predates drift or drift was disabled).
+  std::string drift;
+  /// Drift journal records after the snapshot, in journal order.
+  std::vector<DriftReplayOp> drift_ops;
   std::uint64_t last_lsn = 0;        // highest LSN seen anywhere
   std::uint64_t replayed = 0;        // journal records applied
   std::uint64_t skipped = 0;         // records at/below the snapshot LSN
@@ -136,6 +163,16 @@ class DurableStore {
                                const std::string& detail);
   util::Status journal_promotion(const core::Detector& candidate);
   util::Status journal_quarantine(const core::Detector& candidate);
+  /// Decision values the drift monitor observed since the last flush
+  /// (batched — one record per manager poll, not per window).
+  util::Status journal_drift_batch(const DriftSample* samples,
+                                   std::size_t count);
+  /// A drift trigger fired; `assigned_lsn` (when non-null) receives the
+  /// record's LSN — the drift drill asserts a recovered run re-fires at
+  /// the same one.
+  util::Status journal_drift_trigger(std::uint32_t generation,
+                                     double p_value,
+                                     std::uint64_t* assigned_lsn = nullptr);
 
   /// Highest LSN assigned so far (0 when none yet). Requires open().
   std::uint64_t last_lsn() const;
@@ -167,7 +204,8 @@ class DurableStore {
     Metrics();
   };
 
-  util::Status journal(WalRecordType type, std::string_view payload);
+  util::Status journal(WalRecordType type, std::string_view payload,
+                       std::uint64_t* assigned_lsn = nullptr);
   util::Status write_snapshot(const CheckpointState& state,
                               std::uint64_t lsn);
 

@@ -47,6 +47,10 @@ enum class WalRecordType : std::uint8_t {
                     // informational outcome
   kPromotion = 3,   // candidate promoted: payload = v3 detector bytes
   kQuarantine = 4,  // candidate rolled back: payload = v3 detector bytes
+  kDriftBatch = 5,  // decision values observed by the drift monitor since
+                    // the last flush: [u32 n] n × ([f64 value][i8 label])
+  kDriftTrigger = 6,  // drift retrain trigger fired: [u32 generation]
+                      // [f64 p_value] (informational; replay re-latches)
 };
 
 struct WalRecord {

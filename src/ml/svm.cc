@@ -62,6 +62,29 @@ int SvmModel::predict(const FeatureVector& x) const {
   return decision_value(x) >= 0.0 ? 1 : -1;
 }
 
+std::vector<SvmModel::Contribution> SvmModel::top_contributions(
+    const FeatureVector& x, std::size_t top_k) const {
+  std::vector<Contribution> all;
+  all.reserve(svs_.size());
+  for (std::size_t i = 0; i < svs_.size(); ++i) {
+    Contribution c;
+    c.sv_index = i;
+    c.coefficient = coef_[i];
+    c.kernel_value = kernel_(svs_[i], x);
+    c.contribution = c.coefficient * c.kernel_value;
+    all.push_back(c);
+  }
+  std::sort(all.begin(), all.end(), [](const Contribution& a,
+                                       const Contribution& b) {
+    const double ma = std::abs(a.contribution);
+    const double mb = std::abs(b.contribution);
+    if (ma != mb) return ma > mb;
+    return a.sv_index < b.sv_index;
+  });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
 SvmModel SvmTrainer::train(const Dataset& data, TrainStats* stats,
                            const std::vector<double>* warm_alpha) const {
   LEAPS_SPAN("svm.train");

@@ -48,6 +48,20 @@ class SvmModel {
   /// +1 (benign) or -1 (malicious).
   int predict(const FeatureVector& x) const;
 
+  /// One support vector's share of f(x) — the explain unit of the verdict
+  /// audit stream (serve/audit.h).
+  struct Contribution {
+    std::size_t sv_index = 0;    // into support_vectors()
+    double coefficient = 0.0;    // αᵢ yᵢ (negative ⇒ pulls malicious)
+    double kernel_value = 0.0;   // k(svᵢ, x)
+    double contribution = 0.0;   // coefficient · kernel_value
+  };
+  /// The ≤ top_k support vectors with the largest |contribution| to f(x),
+  /// most influential first (ties broken by sv_index for determinism).
+  /// Off the hot path: costs one kernel evaluation per support vector.
+  std::vector<Contribution> top_contributions(const FeatureVector& x,
+                                              std::size_t top_k) const;
+
   std::size_t support_vector_count() const { return svs_.size(); }
   double bias() const { return bias_; }
   const KernelParams& kernel() const { return kernel_; }

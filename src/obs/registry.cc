@@ -1,7 +1,12 @@
 #include "obs/registry.h"
 
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/trace.h"
+#include "util/build_info.h"
 
 namespace leaps::obs {
 
@@ -15,8 +20,65 @@ const char* type_name(MetricType t) {
       return "gauge";
     case MetricType::kHistogram:
       return "histogram";
+    case MetricType::kSummary:
+      return "summary";
   }
   return "unknown";
+}
+
+/// Prometheus float rendering: shortest round-trippable-enough form, with
+/// the spec's spellings for the non-finite values.
+void append_double(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+/// `name` or `name{labels}`.
+void append_sample_name(std::ostringstream& os, const MetricSample& s) {
+  os << s.name;
+  if (!s.labels.empty()) os << "{" << s.labels << "}";
+}
+
+void summary_prometheus(std::ostringstream& os, const MetricSample& s) {
+  const std::string prefix = s.labels.empty() ? "" : s.labels + ",";
+  const std::pair<const char*, double> quantiles[] = {
+      {"0.5", s.summary.q50}, {"0.9", s.summary.q90}, {"0.99", s.summary.q99}};
+  for (const auto& [q, v] : quantiles) {
+    os << s.name << "{" << prefix << "quantile=\"" << q << "\"} ";
+    append_double(os, v);
+    os << "\n";
+  }
+  os << s.name << "_sum";
+  if (!s.labels.empty()) os << "{" << s.labels << "}";
+  os << " ";
+  append_double(os, s.summary.sum);
+  os << "\n" << s.name << "_count";
+  if (!s.labels.empty()) os << "{" << s.labels << "}";
+  os << " " << s.summary.count << "\n";
+}
+
+void summary_json(std::ostringstream& os, const Summary::Snapshot& s) {
+  os << "\"count\":" << s.count << ",\"sum\":";
+  append_double(os, s.sum);
+  os << ",\"min\":";
+  append_double(os, s.min);
+  os << ",\"max\":";
+  append_double(os, s.max);
+  os << ",\"q50\":";
+  append_double(os, s.q50);
+  os << ",\"q90\":";
+  append_double(os, s.q90);
+  os << ",\"q99\":";
+  append_double(os, s.q99);
 }
 
 void histogram_prometheus(std::ostringstream& os, const std::string& name,
@@ -73,6 +135,39 @@ void append_json_escaped(std::ostringstream& os, const std::string& s) {
 
 MetricRegistry& MetricRegistry::global() {
   static MetricRegistry registry;
+  // Process-wide collectors live only on the global registry (private test
+  // registries stay empty until populated). Destroyed before `registry`
+  // (constructed after it), so reset() never dangles.
+  static const auto collectors = [] {
+    struct GlobalCollectors {
+      Registration build_info;
+      Registration tracer;
+    } c;
+    c.build_info = registry.register_collector(
+        [](std::vector<MetricSample>& out) {
+          MetricSample s;
+          s.name = "leaps_build_info";
+          s.help =
+              "build identity: constant 1, labels carry version/SHA/type";
+          s.type = MetricType::kGauge;
+          s.gauge_value = 1;
+          s.labels = std::string("version=\"") + util::kVersion +
+                     "\",git_sha=\"" + util::kGitSha + "\",build_type=\"" +
+                     util::kBuildType + "\",sanitizer=\"" + util::kSanitizer +
+                     "\"";
+          out.push_back(std::move(s));
+        });
+    c.tracer = registry.register_collector([](std::vector<MetricSample>& out) {
+      MetricSample s;
+      s.name = "leaps_trace_spans_dropped_total";
+      s.help = "spans lost because the tracer ring was full";
+      s.type = MetricType::kCounter;
+      s.counter_value = Tracer::instance().dropped();
+      out.push_back(std::move(s));
+    });
+    return c;
+  }();
+  (void)collectors;
   return registry;
 }
 
@@ -94,6 +189,9 @@ MetricRegistry::Owned& MetricRegistry::find_or_create(const std::string& name,
         break;
       case MetricType::kHistogram:
         owned.histogram = std::make_unique<LatencyHistogram>();
+        break;
+      case MetricType::kSummary:
+        owned.summary = std::make_unique<Summary>();
         break;
     }
     it = owned_.emplace(name, std::move(owned)).first;
@@ -118,6 +216,11 @@ Gauge& MetricRegistry::gauge(const std::string& name,
 LatencyHistogram& MetricRegistry::histogram(const std::string& name,
                                             const std::string& help) {
   return *find_or_create(name, help, MetricType::kHistogram).histogram;
+}
+
+Summary& MetricRegistry::summary(const std::string& name,
+                                 const std::string& help) {
+  return *find_or_create(name, help, MetricType::kSummary).summary;
 }
 
 MetricRegistry::Registration MetricRegistry::register_collector(
@@ -160,6 +263,9 @@ std::vector<MetricSample> MetricRegistry::collect() const {
       case MetricType::kHistogram:
         s.histogram = owned.histogram->snapshot();
         break;
+      case MetricType::kSummary:
+        s.summary = owned.summary->snapshot();
+        break;
     }
     out.push_back(std::move(s));
   }
@@ -174,13 +280,18 @@ std::string samples_to_prometheus(const std::vector<MetricSample>& samples) {
     os << "# TYPE " << s.name << " " << type_name(s.type) << "\n";
     switch (s.type) {
       case MetricType::kCounter:
-        os << s.name << " " << s.counter_value << "\n";
+        append_sample_name(os, s);
+        os << " " << s.counter_value << "\n";
         break;
       case MetricType::kGauge:
-        os << s.name << " " << s.gauge_value << "\n";
+        append_sample_name(os, s);
+        os << " " << s.gauge_value << "\n";
         break;
       case MetricType::kHistogram:
         histogram_prometheus(os, s.name, s.histogram);
+        break;
+      case MetricType::kSummary:
+        summary_prometheus(os, s);
         break;
     }
   }
@@ -197,6 +308,11 @@ std::string samples_to_json(const std::vector<MetricSample>& samples) {
     os << "\n\"";
     append_json_escaped(os, s.name);
     os << "\":{\"type\":\"" << type_name(s.type) << "\",";
+    if (!s.labels.empty()) {
+      os << "\"labels\":\"";
+      append_json_escaped(os, s.labels);
+      os << "\",";
+    }
     switch (s.type) {
       case MetricType::kCounter:
         os << "\"value\":" << s.counter_value;
@@ -206,6 +322,9 @@ std::string samples_to_json(const std::vector<MetricSample>& samples) {
         break;
       case MetricType::kHistogram:
         histogram_json(os, s.histogram);
+        break;
+      case MetricType::kSummary:
+        summary_json(os, s.summary);
         break;
     }
     os << "}";

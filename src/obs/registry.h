@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
+#include "obs/sketch.h"
 
 namespace leaps::obs {
 
@@ -55,7 +56,7 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-enum class MetricType { kCounter, kGauge, kHistogram };
+enum class MetricType { kCounter, kGauge, kHistogram, kSummary };
 
 /// One collected reading, the unit of exposition. Owned metrics produce
 /// these from their atomics; collectors append them directly.
@@ -63,9 +64,14 @@ struct MetricSample {
   std::string name;
   std::string help;
   MetricType type = MetricType::kCounter;
+  /// Optional Prometheus label pairs, pre-rendered without the braces
+  /// (e.g. `version="0.7",git="abc123"`). Attached to the sample line
+  /// only; HELP/TYPE headers always use the bare name.
+  std::string labels;
   std::uint64_t counter_value = 0;              // kCounter
   std::int64_t gauge_value = 0;                 // kGauge
   LatencyHistogram::Snapshot histogram;         // kHistogram
+  Summary::Snapshot summary;                    // kSummary
 };
 
 /// Appends this holder's readings. Called under the registry mutex; must
@@ -88,6 +94,7 @@ class MetricRegistry {
   Gauge& gauge(const std::string& name, const std::string& help = "");
   LatencyHistogram& histogram(const std::string& name,
                               const std::string& help = "");
+  Summary& summary(const std::string& name, const std::string& help = "");
 
   /// RAII collector registration; unregisters on destruction. The handle
   /// must not outlive the registry, and the collector's data sources must
@@ -137,6 +144,7 @@ class MetricRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<LatencyHistogram> histogram;
+    std::unique_ptr<Summary> summary;
   };
 
   Owned& find_or_create(const std::string& name, const std::string& help,

@@ -1,0 +1,308 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace leaps::obs {
+
+namespace {
+
+constexpr char kSketchMagic[] = "LPQS1";  // 5 bytes, no NUL in stream
+constexpr char kWindowMagic[] = "LPRW1";
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Little-endian reader over a byte string; sets `fail` instead of
+/// throwing (hostile bytes may arrive via checkpoint files).
+struct Cursor {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  bool take(std::size_t n) {
+    if (fail || bytes.size() - pos < n) {
+      fail = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data() + pos);
+    pos += 2;
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+};
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(std::uint16_t k) : k_(std::max<std::uint16_t>(k, 8)) {}
+
+void QuantileSketch::insert(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+  sum_ += v;
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    levels_.front().reserve(k_);
+    keep_odd_.push_back(0);
+  }
+  levels_[0].push_back(v);
+  if (levels_[0].size() >= k_) compact();
+}
+
+void QuantileSketch::compact() {
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    std::vector<double>& buf = levels_[lvl];
+    if (buf.size() < k_) continue;
+    std::sort(buf.begin(), buf.end());
+    if (lvl + 1 == levels_.size()) {
+      levels_.emplace_back();
+      levels_.back().reserve(k_);
+      keep_odd_.push_back(0);
+      // levels_ may have reallocated; re-reference the buffer.
+    }
+    std::vector<double>& up = levels_[lvl + 1];
+    std::vector<double>& cur = levels_[lvl];
+    // Keep every other element, alternating the starting offset between
+    // compactions so neither parity is systematically favored. Fully
+    // deterministic: state depends only on the insertion sequence.
+    const std::size_t offset = keep_odd_[lvl] ? 1 : 0;
+    keep_odd_[lvl] = static_cast<std::uint8_t>(1 - keep_odd_[lvl]);
+    for (std::size_t i = offset; i < cur.size(); i += 2) up.push_back(cur[i]);
+    cur.clear();
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (levels_.size() < other.levels_.size()) {
+    levels_.resize(other.levels_.size());
+    keep_odd_.resize(other.levels_.size(), 0);
+  }
+  for (std::size_t lvl = 0; lvl < other.levels_.size(); ++lvl) {
+    levels_[lvl].insert(levels_[lvl].end(), other.levels_[lvl].begin(),
+                        other.levels_[lvl].end());
+  }
+  compact();
+}
+
+std::vector<std::pair<double, std::uint64_t>> QuantileSketch::weighted_values()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const std::uint64_t w = std::uint64_t{1} << lvl;
+    for (const double v : levels_[lvl]) out.emplace_back(v, w);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const std::vector<std::pair<double, std::uint64_t>> wv = weighted_values();
+  std::uint64_t total = 0;
+  for (const auto& [v, w] : wv) total += w;
+  if (total == 0) return min_;
+  // Nearest-rank over the weighted sample.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cum = 0;
+  for (const auto& [v, w] : wv) {
+    cum += w;
+    if (cum >= target) return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+std::string QuantileSketch::serialize() const {
+  std::string out;
+  out.append(kSketchMagic, sizeof(kSketchMagic) - 1);
+  put_u16(out, k_);
+  put_u64(out, count_);
+  put_f64(out, sum_);
+  put_f64(out, min_);
+  put_f64(out, max_);
+  put_u32(out, static_cast<std::uint32_t>(levels_.size()));
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    out.push_back(static_cast<char>(keep_odd_[lvl]));
+    put_u32(out, static_cast<std::uint32_t>(levels_[lvl].size()));
+    for (const double v : levels_[lvl]) put_f64(out, v);
+  }
+  return out;
+}
+
+util::StatusOr<QuantileSketch> QuantileSketch::deserialize(
+    std::string_view bytes) {
+  constexpr std::size_t kMagicLen = sizeof(kSketchMagic) - 1;
+  if (bytes.size() < kMagicLen ||
+      bytes.substr(0, kMagicLen) != kSketchMagic) {
+    return util::corrupt_input("quantile sketch: bad magic");
+  }
+  Cursor c{bytes.substr(kMagicLen)};
+  QuantileSketch s(c.u16());
+  s.count_ = c.u64();
+  s.sum_ = c.f64();
+  s.min_ = c.f64();
+  s.max_ = c.f64();
+  const std::uint32_t n_levels = c.u32();
+  if (c.fail || n_levels > 64) {
+    return util::corrupt_input("quantile sketch: truncated header");
+  }
+  std::uint64_t retained = 0;
+  for (std::uint32_t lvl = 0; lvl < n_levels; ++lvl) {
+    if (!c.take(1)) break;
+    const auto flag = static_cast<std::uint8_t>(c.bytes[c.pos++]);
+    const std::uint32_t n = c.u32();
+    if (c.fail || flag > 1 || n > 4u * s.k_ ||
+        (c.bytes.size() - c.pos) / 8 < n) {
+      return util::corrupt_input("quantile sketch: implausible level");
+    }
+    s.keep_odd_.push_back(flag);
+    std::vector<double> level;
+    level.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) level.push_back(c.f64());
+    retained += (std::uint64_t{1} << lvl) * n;
+    s.levels_.push_back(std::move(level));
+  }
+  if (c.fail || c.pos != c.bytes.size() || retained != s.count_) {
+    return util::corrupt_input("quantile sketch: truncated or inconsistent");
+  }
+  return s;
+}
+
+ReservoirWindow::ReservoirWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void ReservoirWindow::insert(double v) {
+  total_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(v);
+    return;
+  }
+  ring_[head_] = v;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void ReservoirWindow::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+std::vector<double> ReservoirWindow::values() const {
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string ReservoirWindow::serialize() const {
+  std::string out;
+  out.append(kWindowMagic, sizeof(kWindowMagic) - 1);
+  put_u64(out, capacity_);
+  put_u64(out, total_);
+  const std::vector<double> vals = values();  // oldest-first normal form
+  put_u32(out, static_cast<std::uint32_t>(vals.size()));
+  for (const double v : vals) put_f64(out, v);
+  return out;
+}
+
+util::StatusOr<ReservoirWindow> ReservoirWindow::deserialize(
+    std::string_view bytes) {
+  constexpr std::size_t kMagicLen = sizeof(kWindowMagic) - 1;
+  if (bytes.size() < kMagicLen ||
+      bytes.substr(0, kMagicLen) != kWindowMagic) {
+    return util::corrupt_input("reservoir window: bad magic");
+  }
+  Cursor c{bytes.substr(kMagicLen)};
+  const std::uint64_t capacity = c.u64();
+  const std::uint64_t total = c.u64();
+  const std::uint32_t n = c.u32();
+  if (c.fail || capacity == 0 || n > capacity || n > total ||
+      (c.bytes.size() - c.pos) / 8 < n) {
+    return util::corrupt_input("reservoir window: implausible header");
+  }
+  ReservoirWindow w(static_cast<std::size_t>(capacity));
+  for (std::uint32_t i = 0; i < n; ++i) w.ring_.push_back(c.f64());
+  w.total_ = total;
+  if (c.fail || c.pos != c.bytes.size()) {
+    return util::corrupt_input("reservoir window: truncated");
+  }
+  return w;
+}
+
+Summary::Snapshot Summary::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = sketch_.count();
+  s.sum = sketch_.sum();
+  s.min = sketch_.min();
+  s.max = sketch_.max();
+  s.q50 = sketch_.quantile(0.50);
+  s.q90 = sketch_.quantile(0.90);
+  s.q99 = sketch_.quantile(0.99);
+  return s;
+}
+
+}  // namespace leaps::obs

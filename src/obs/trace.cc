@@ -166,6 +166,11 @@ std::string Tracer::profile_text() const {
                   static_cast<double>(agg->max_ns) / 1e6);
     os << line;
   }
+  // Footer: ring-drop accounting, always present so silent span loss (or
+  // its absence) is explicit. The same value is scraped as the
+  // leaps_trace_spans_dropped_total counter.
+  os << "  spans recorded: " << spans.size() << ", dropped: " << dropped()
+     << " (ring capacity " << kCapacity << ")\n";
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace leaps::online {
 
@@ -56,7 +57,22 @@ OnlineManager::Metrics::Metrics()
           "candidates rolled back into quarantine")),
       cfg_edges(obs::MetricRegistry::global().gauge(
           "leaps_online_cfg_edges_added",
-          "edges the accumulator has merged into the benign CFG")) {}
+          "edges the accumulator has merged into the benign CFG")),
+      drift_triggers(obs::MetricRegistry::global().counter(
+          "leaps_online_drift_triggers_total",
+          "decision-value drift triggers fired by the KS test")),
+      drift_retrains(obs::MetricRegistry::global().counter(
+          "leaps_online_drift_retrains_total",
+          "retrain cycles scheduled by a drift trigger")),
+      drift_p_value_ppm(obs::MetricRegistry::global().gauge(
+          "leaps_online_drift_p_value_ppm",
+          "latest two-sample KS p-value, parts per million")),
+      drift_ks_ppm(obs::MetricRegistry::global().gauge(
+          "leaps_online_drift_ks_ppm",
+          "latest two-sample KS statistic, parts per million")),
+      drift_generation(obs::MetricRegistry::global().gauge(
+          "leaps_online_drift_generation",
+          "detector generation the drift monitor is watching")) {}
 
 OnlineManager::OnlineManager(serve::DetectionServer* server,
                              OnlineOptions options)
@@ -66,14 +82,28 @@ OnlineManager::OnlineManager(serve::DetectionServer* server,
       accumulator_(seed_cfg(*required_detector(server, options_.profile)),
                    options_.accumulator),
       scheduler_(required_detector(server, options_.profile), &accumulator_,
-                 options_.retrain) {}
+                 options_.retrain),
+      drift_(options_.drift) {}
 
 OnlineManager::~OnlineManager() { stop(); }
 
 void OnlineManager::install() {
   server_->set_window_tap(
-      [this](const serve::SessionKey& /*key*/, int label,
+      [this](const serve::SessionKey& /*key*/, std::size_t /*window_index*/,
+             int label, double decision_value,
              const trace::PartitionedEvent* events, std::size_t count) {
+        // Drift watches every verdict (the malicious tail is exactly what
+        // a shifted distribution moves), so it runs before the learnable
+        // filter. The fence keeps the observe and its buffered journal
+        // sample one atom against poll flushes and checkpoint captures.
+        if (options_.drift.enabled) {
+          const std::lock_guard<std::mutex> tap_lock(tap_mu_);
+          drift_.observe(decision_value, label);
+          if (options_.durable != nullptr) {
+            drift_buffer_.push_back(
+                durable::DriftSample{decision_value, label});
+          }
+        }
         if (!learnable(label)) return;
         metrics_.windows_observed.inc();
         if (options_.durable == nullptr) {
@@ -152,6 +182,7 @@ void OnlineManager::poll_once() {
     synced_rejected_ = acc.windows_rejected;
   }
   metrics_.cfg_edges.set(static_cast<std::int64_t>(acc.edges_added));
+  if (options_.drift.enabled) poll_drift();
 
   std::shared_ptr<ShadowEvaluator> evaluator;
   {
@@ -181,8 +212,60 @@ void OnlineManager::poll_once() {
   }
 }
 
+void OnlineManager::poll_drift() {
+  // Flush the buffered drift samples as one journal record before
+  // evaluating: the trigger decision below must be reproducible from the
+  // journal alone (the drill's crash point sits between flush and the
+  // trigger append).
+  if (options_.durable != nullptr) {
+    const std::lock_guard<std::mutex> tap_lock(tap_mu_);
+    flush_drift_locked();
+  }
+  drift_.evaluate();
+  const DriftStatus ds = drift_.status();
+  metrics_.drift_p_value_ppm.set(
+      static_cast<std::int64_t>(ds.p_value * 1e6));
+  metrics_.drift_ks_ppm.set(
+      static_cast<std::int64_t>(ds.ks_statistic * 1e6));
+  metrics_.drift_generation.set(static_cast<std::int64_t>(ds.generation));
+  if (ds.triggers > synced_drift_triggers_) {
+    metrics_.drift_triggers.inc(ds.triggers - synced_drift_triggers_);
+    synced_drift_triggers_ = ds.triggers;
+    if (options_.durable != nullptr) {
+      // Fault point for the kill-restart drill: dying here leaves the
+      // flushed samples but no trigger record — recovery re-observes
+      // them, re-evaluates, and must re-fire at the same LSN.
+      LEAPS_FAULT_POINT("online.drift.pre_trigger");
+      std::uint64_t lsn = 0;
+      const util::Status status = options_.durable->journal_drift_trigger(
+          ds.generation, ds.p_value, &lsn);
+      if (!status.ok()) {
+        note_durable_failure(status);
+      } else {
+        const std::lock_guard<std::mutex> lock(mu_);
+        last_drift_trigger_lsn_ = lsn;
+      }
+    }
+  }
+}
+
+void OnlineManager::flush_drift_locked() {
+  if (drift_buffer_.empty() || options_.durable == nullptr) return;
+  const util::Status status = options_.durable->journal_drift_batch(
+      drift_buffer_.data(), drift_buffer_.size());
+  if (!status.ok()) note_durable_failure(status);
+  drift_buffer_.clear();
+}
+
 void OnlineManager::maybe_retrain() {
-  if (!scheduler_.due()) return;
+  const bool drift_due = options_.drift.enabled && drift_.trigger_pending();
+  if (!scheduler_.due() && !drift_due) return;
+  if (drift_due) {
+    drift_.consume_trigger();
+    metrics_.drift_retrains.inc();
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++drift_retrains_;
+  }
   LEAPS_SPAN("online.cycle");
   // Drain under the tap fence and capture the journal high-water mark at
   // the same instant: every window journaled at or below drain_lsn is
@@ -269,6 +352,9 @@ void OnlineManager::conclude_shadow(bool promote) {
   // decision is acted on here (manager thread) and never in the sink.
   server_->end_shadow(options_.profile, promote);
   if (promote && candidate != nullptr) scheduler_.adopt(candidate);
+  // A promoted model has a new "normal": reset the drift reference so the
+  // monitor re-learns the new generation's decision-value distribution.
+  if (promote && options_.drift.enabled) drift_.advance_generation();
   // Journal the verdict with the candidate's full bytes: a crash after
   // this append recovers the exact promoted (or quarantined) detector
   // even if the checkpoint below never lands.
@@ -302,7 +388,12 @@ void OnlineManager::do_checkpoint() {
   // store's own mutex cannot close that window — it cannot see the
   // accumulator — so the fence lives here.
   const std::lock_guard<std::mutex> tap_lock(tap_mu_);
+  // Land the buffered drift samples in the journal first so a failed
+  // checkpoint leaves them recoverable; a successful one folds the full
+  // monitor state into the DRIFT blob and truncates them away.
+  if (options_.drift.enabled) flush_drift_locked();
   durable::CheckpointState state;
+  if (options_.drift.enabled) state.drift = drift_.serialize();
   state.detector = server_->registry().find(options_.profile);
   if (state.detector == nullptr) {
     note_durable_failure(util::not_found(
@@ -341,6 +432,30 @@ void OnlineManager::restore(const durable::RecoveredState& recovered) {
   for (const durable::DurableWindow& window : recovered.pending_windows) {
     accumulator_.observe_window(window.events.data(), window.events.size());
   }
+  if (options_.drift.enabled) {
+    // Snapshot state first, then the journaled tail in order: observes
+    // rebuild the windows value by value (the monitor is a pure function
+    // of its observation sequence), a trigger record re-latches, and a
+    // retrain record marks where a pending trigger was consumed.
+    if (!recovered.drift.empty()) {
+      const util::Status status = drift_.deserialize(recovered.drift);
+      if (!status.ok()) note_durable_failure(status);
+    }
+    for (const durable::DriftReplayOp& op : recovered.drift_ops) {
+      switch (op.kind) {
+        case durable::DriftReplayOp::Kind::kObserve:
+          drift_.observe(op.value, op.label);
+          break;
+        case durable::DriftReplayOp::Kind::kTrigger:
+          drift_.restore_trigger();
+          break;
+        case durable::DriftReplayOp::Kind::kRetrain:
+          if (drift_.trigger_pending()) drift_.consume_trigger();
+          break;
+      }
+    }
+    synced_drift_triggers_ = drift_.status().triggers;
+  }
   // Fold the replayed state into a fresh snapshot immediately: a crash
   // right after restart must recover to this same point, not re-replay a
   // journal that was just truncated.
@@ -356,7 +471,10 @@ OnlineReport OnlineManager::report() const {
   OnlineReport r;
   r.accumulator = accumulator_.stats();
   r.retrain_cycles = scheduler_.cycles();
+  r.drift = drift_.status();
   const std::lock_guard<std::mutex> lock(mu_);
+  r.last_drift_trigger_lsn = last_drift_trigger_lsn_;
+  r.drift_retrains = drift_retrains_;
   r.phase = evaluator_ != nullptr ? "shadowing" : "accumulating";
   r.retrain_failures = retrain_failures_;
   r.warm_iterations_saved = warm_saved_;

@@ -32,6 +32,7 @@
 #include "durable/store.h"
 #include "obs/registry.h"
 #include "online/accumulator.h"
+#include "online/drift.h"
 #include "online/retrain.h"
 #include "online/shadow.h"
 #include "serve/server.h"
@@ -46,6 +47,10 @@ struct OnlineOptions {
   RolloverGates gates;
   /// Manager-thread poll cadence (retrain trigger + shadow decision).
   std::chrono::milliseconds poll_interval{100};
+  /// Decision-value drift detection (online/drift.h). When enabled, every
+  /// scored window's decision value feeds the DriftMonitor and a KS-test
+  /// trigger schedules a retrain alongside the volume trigger.
+  DriftOptions drift;
   /// When set, the manager journals learnable windows, retrain outcomes
   /// and promotions/rollbacks to this store as they happen, checkpoints
   /// when the store says it is due (and on every promotion, on restore()
@@ -65,6 +70,11 @@ struct OnlineReport {
   std::uint64_t promotions = 0;
   std::uint64_t rollbacks = 0;
   DiffStats shadow;  // current (or final) shadow comparison
+  DriftStatus drift;
+  /// LSN of the most recent journaled drift trigger (0 = none); the drift
+  /// drill asserts a recovered run re-fires at the same one.
+  std::uint64_t last_drift_trigger_lsn = 0;
+  std::uint64_t drift_retrains = 0;  // retrains caused by a drift trigger
   std::string last_error;
 };
 
@@ -122,6 +132,11 @@ class OnlineManager {
     obs::Counter& promotions;
     obs::Counter& rollbacks;
     obs::Gauge& cfg_edges;
+    obs::Counter& drift_triggers;
+    obs::Counter& drift_retrains;
+    obs::Gauge& drift_p_value_ppm;
+    obs::Gauge& drift_ks_ppm;
+    obs::Gauge& drift_generation;
     Metrics();
   };
 
@@ -129,6 +144,8 @@ class OnlineManager {
   void maybe_retrain();                  // accumulating → shadowing
   void conclude_shadow(bool promote);    // shadowing → accumulating
   void do_checkpoint();                  // fold journal into a snapshot
+  void poll_drift();                     // flush, evaluate, journal trigger
+  void flush_drift_locked();             // requires tap_mu_ held
   void note_durable_failure(const util::Status& status);
 
   serve::DetectionServer* const server_;
@@ -136,6 +153,12 @@ class OnlineManager {
   Metrics metrics_;
   OnlineCfgAccumulator accumulator_;
   RetrainScheduler scheduler_;
+  DriftMonitor drift_;
+  /// Drift samples observed since the last journal flush (poll_once and
+  /// do_checkpoint flush them as one kDriftBatch record). Guarded by
+  /// tap_mu_ — the same fence that keeps window journaling atomic against
+  /// checkpoints keeps the batch aligned with the monitor state.
+  std::vector<durable::DriftSample> drift_buffer_;
 
   /// Serializes control-loop steps (poll_once, stop()'s conclusion and
   /// final checkpoint, restore()) against each other.
@@ -168,6 +191,9 @@ class OnlineManager {
   std::uint64_t synced_rejected_ = 0;
   std::uint64_t synced_shadow_windows_ = 0;
   std::uint64_t synced_shadow_disagreements_ = 0;
+  std::uint64_t synced_drift_triggers_ = 0;
+  std::uint64_t last_drift_trigger_lsn_ = 0;  // guarded by mu_
+  std::uint64_t drift_retrains_ = 0;          // guarded by mu_
 
   std::thread thread_;
   std::mutex wake_mu_;

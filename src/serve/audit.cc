@@ -1,0 +1,218 @@
+#include "serve/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "cfg/weight.h"
+#include "ml/svm.h"
+#include "obs/registry.h"
+
+namespace leaps::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+obs::Counter& records_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "leaps_serve_audit_records_total",
+      "anomalous-verdict audit records written");
+  return c;
+}
+
+obs::Counter& dropped_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "leaps_serve_audit_dropped_total",
+      "audit records dropped because the writer queue was full");
+  return c;
+}
+
+void append_double(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+AuditLog::AuditLog(AuditOptions options) : options_(std::move(options)) {}
+
+AuditLog::~AuditLog() { stop(); }
+
+util::Status AuditLog::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return util::ok_status();
+  if (options_.path == "-") {
+    out_ = &std::cout;
+  } else {
+    file_.open(options_.path, std::ios::out | std::ios::trunc);
+    if (!file_.is_open()) {
+      return util::unavailable("audit: cannot open '" + options_.path + "'");
+    }
+    out_ = &file_;
+  }
+  stop_ = false;
+  started_ = true;
+  writer_ = std::thread([this] { writer_loop(); });
+  return util::ok_status();
+}
+
+void AuditLog::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) file_.close();
+  out_ = nullptr;
+  started_ = false;
+}
+
+void AuditLog::submit(const SessionKey& key, const std::string& profile,
+                      std::size_t window_index, int label,
+                      double decision_value,
+                      const trace::PartitionedEvent* events,
+                      std::size_t count,
+                      std::shared_ptr<const core::Detector> detector) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (started_ && !stop_ && queue_.size() < options_.queue_capacity) {
+      Record r;
+      r.key = key;
+      r.profile = profile;
+      r.window_index = window_index;
+      r.label = label;
+      r.decision_value = decision_value;
+      r.events.assign(events, events + count);
+      r.detector = std::move(detector);
+      queue_.push_back(std::move(r));
+      cv_.notify_one();
+      return;
+    }
+  }
+  dropped_.fetch_add(1, kRelaxed);
+  dropped_counter().inc();
+}
+
+void AuditLog::writer_loop() {
+  for (;;) {
+    Record r;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      r = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const std::string line =
+        r.detector == nullptr
+            ? std::string()
+            : format_record(r.key, r.profile, r.window_index, r.label,
+                            r.decision_value, r.events, *r.detector,
+                            options_.top_k);
+    if (!line.empty()) {
+      // out_ is set before the writer spawns and cleared after it joins,
+      // so the unguarded use here never races with start()/stop().
+      (*out_) << line << "\n";
+      out_->flush();
+      written_.fetch_add(1, kRelaxed);
+      records_counter().inc();
+    }
+  }
+}
+
+std::string AuditLog::format_record(
+    const SessionKey& key, const std::string& profile,
+    std::size_t window_index, int label, double decision_value,
+    const std::vector<trace::PartitionedEvent>& events,
+    const core::Detector& detector, std::size_t top_k) {
+  std::ostringstream os;
+  os << "{\"window\":" << window_index << ",\"host\":\"";
+  append_json_escaped(os, key.host);
+  os << "\",\"pid\":" << key.pid << ",\"profile\":\"";
+  append_json_escaped(os, profile);
+  os << "\",\"label\":" << label << ",\"decision_value\":";
+  append_double(os, decision_value);
+  os << ",\"threshold\":";
+  append_double(os, detector.decision_threshold());
+  os << ",\"events\":" << events.size();
+
+  // Top-k support-vector contributions to f(x), against the scaled window
+  // features — the same x the model scored.
+  ml::FeatureVector raw;
+  raw.reserve(3 * events.size());
+  for (const trace::PartitionedEvent& e : events) {
+    const core::EventTuple t = detector.preprocessor().tuple(e);
+    raw.push_back(static_cast<double>(t.event_type));
+    raw.push_back(t.lib_coord);
+    raw.push_back(t.func_coord);
+  }
+  os << ",\"sv_contributions\":[";
+  const ml::FeatureVector x = detector.scaler().transform(raw);
+  const auto contributions = detector.model().top_contributions(x, top_k);
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    const auto& c = contributions[i];
+    if (i > 0) os << ",";
+    os << "{\"sv\":" << c.sv_index << ",\"coefficient\":";
+    append_double(os, c.coefficient);
+    os << ",\"kernel\":";
+    append_double(os, c.kernel_value);
+    os << ",\"contribution\":";
+    append_double(os, c.contribution);
+    os << "}";
+  }
+  os << "]";
+
+  // The CFG-weight terms that dominated: the k least-benign application
+  // addresses in the window, judged against the benign CFG the deployed
+  // weights were assessed on. Empty when the detector carries no
+  // ContinualState (pre-v2 model file).
+  os << ",\"cfg_terms\":[";
+  if (detector.continual() != nullptr) {
+    const cfg::WeightAssessor assessor(detector.continual()->benign_cfg);
+    std::map<std::uint64_t, double> benignity;
+    for (const trace::PartitionedEvent& e : events) {
+      for (const std::uint64_t addr : e.app_stack) {
+        benignity.emplace(addr, assessor.node_benignity(addr));
+      }
+    }
+    std::vector<std::pair<std::uint64_t, double>> terms(benignity.begin(),
+                                                        benignity.end());
+    std::sort(terms.begin(), terms.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    if (terms.size() > top_k) terms.resize(top_k);
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) os << ",";
+      char addr[32];
+      std::snprintf(addr, sizeof addr, "0x%llx",
+                    static_cast<unsigned long long>(terms[i].first));
+      os << "{\"address\":\"" << addr << "\",\"benignity\":";
+      append_double(os, terms[i].second);
+      os << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace leaps::serve

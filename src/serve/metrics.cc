@@ -94,6 +94,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.queue_high_water = queue_high_water_.load(kRelaxed);
   s.queue_wait = queue_wait.snapshot();
   s.classify = classify.snapshot();
+  s.decision_values = decision_values.snapshot();
   return s;
 }
 
@@ -118,6 +119,17 @@ std::string MetricsSnapshot::to_text() const {
      << " registry-retries=" << registry_retries << "\n";
   histogram_text(os, "queue-wait", queue_wait);
   histogram_text(os, "classify ", classify);
+  os << "  decision-value: count=" << decision_values.count;
+  if (decision_values.count > 0) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  " min=%.4f q50=%.4f q90=%.4f q99=%.4f max=%.4f",
+                  decision_values.min, decision_values.q50,
+                  decision_values.q90, decision_values.q99,
+                  decision_values.max);
+    os << buf;
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -144,7 +156,16 @@ std::string MetricsSnapshot::to_json() const {
   histogram_json(os, "queue_wait", queue_wait);
   os << ",";
   histogram_json(os, "classify", classify);
-  os << "}";
+  char dv[256];
+  std::snprintf(dv, sizeof dv,
+                ",\"decision_value\":{\"count\":%llu,\"sum\":%.9g,"
+                "\"min\":%.9g,\"max\":%.9g,\"q50\":%.9g,\"q90\":%.9g,"
+                "\"q99\":%.9g}",
+                static_cast<unsigned long long>(decision_values.count),
+                decision_values.sum, decision_values.min,
+                decision_values.max, decision_values.q50,
+                decision_values.q90, decision_values.q99);
+  os << dv << "}";
   return os.str();
 }
 
@@ -218,6 +239,13 @@ obs::MetricRegistry::Registration ServerMetrics::register_with(
     cl.type = obs::MetricType::kHistogram;
     cl.histogram = snap.classify;
     out.push_back(std::move(cl));
+
+    obs::MetricSample dv;
+    dv.name = "leaps_serve_decision_value";
+    dv.help = "SVM decision values over scored windows (quantile sketch)";
+    dv.type = obs::MetricType::kSummary;
+    dv.summary = snap.decision_values;
+    out.push_back(std::move(dv));
   });
 }
 

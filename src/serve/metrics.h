@@ -51,6 +51,9 @@ struct MetricsSnapshot {
   std::uint64_t queue_high_water = 0;  // deepest any shard queue got
   LatencyHistogram::Snapshot queue_wait;  // enqueue → worker dequeue
   LatencyHistogram::Snapshot classify;    // per drained run of one session
+  /// Distribution of SVM decision values over every scored window — the
+  /// model-health signal (quantiles from the streaming sketch).
+  obs::Summary::Snapshot decision_values;
 
   std::string to_text() const;
   std::string to_json() const;
@@ -79,6 +82,9 @@ class ServerMetrics {
   std::atomic<std::uint64_t> shed_activations{0};
   LatencyHistogram queue_wait;
   LatencyHistogram classify;
+  /// Streaming quantile sketch of per-window decision values (mutex-
+  /// guarded internally; observed once per scored window, not per event).
+  obs::Summary decision_values;
 
   /// Raises the queue-depth high-water mark if `depth` exceeds it.
   void note_queue_depth(std::size_t depth);

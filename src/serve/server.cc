@@ -49,6 +49,12 @@ void DetectionServer::set_window_tap(WindowTap tap) {
   tap_ = std::move(tap);
 }
 
+void DetectionServer::set_audit_log(AuditLog* audit) {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  LEAPS_CHECK_MSG(!started_, "set the audit log before start()");
+  audit_ = audit;
+}
+
 bool DetectionServer::begin_shadow(
     const std::string& profile,
     std::shared_ptr<const core::Detector> candidate, ShadowSink sink) {
@@ -87,6 +93,27 @@ void DetectionServer::start() {
   const std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return;
   LEAPS_CHECK_MSG(!stopped_, "a stopped server cannot be restarted");
+  // Fold the user tap and the audit hook into one window callback so
+  // feed_run buffers events whenever either consumer wants them.
+  if (audit_ != nullptr) {
+    effective_tap_ = [this](const SessionKey& key, std::size_t window_index,
+                            int label, double decision_value,
+                            const trace::PartitionedEvent* events,
+                            std::size_t count) {
+      if (tap_) tap_(key, window_index, label, decision_value, events, count);
+      if (label == -1) {
+        // Anomalous verdicts are the rare path; the session lookup (one
+        // shared-lock map find) buys the audit record the exact detector
+        // snapshot that scored the window.
+        if (const std::shared_ptr<Session> s = sessions_.find(key)) {
+          audit_->submit(key, s->profile(), window_index, label,
+                         decision_value, events, count, s->detector());
+        }
+      }
+    };
+  } else {
+    effective_tap_ = tap_;
+  }
   started_ = true;
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
@@ -283,10 +310,9 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
       RunOutcome outcome;
       bool run_ok = true;
       try {
-        outcome = batch[i].session->feed_run(run.data(), run.size(),
-                                             verdicts,
-                                             options_.circuit_breaker,
-                                             tap_ ? &tap_ : nullptr);
+        outcome = batch[i].session->feed_run(
+            run.data(), run.size(), verdicts, options_.circuit_breaker,
+            effective_tap_ ? &effective_tap_ : nullptr);
       } catch (...) {
         // feed_run guards each event, so reaching here means something
         // escaped even that (e.g. a throwing verdict copy). Quarantine
@@ -320,9 +346,10 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
         (v.label == 1 ? metrics_.verdicts_benign
                       : metrics_.verdicts_malicious)
             .fetch_add(1, kRelaxed);
+        metrics_.decision_values.observe(v.decision_value);
         if (sink_) {
           sink_(VerdictRecord{batch[i].session->key(), v.window_index,
-                              v.label});
+                              v.label, v.decision_value});
         }
       }
       note_completed(run.size());

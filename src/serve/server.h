@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/audit.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
 #include "serve/registry.h"
@@ -97,6 +98,7 @@ struct VerdictRecord {
   SessionKey key;
   std::size_t window_index;
   int label;  // +1 benign / -1 malicious
+  double decision_value = 0.0;  // SVM f(x); label is f >= threshold
 };
 using VerdictSink = std::function<void(const VerdictRecord&)>;
 
@@ -122,6 +124,12 @@ class DetectionServer {
   /// Install before start(); observes every completed window on the worker
   /// path with its raw events (the online-learning feed, see WindowTap).
   void set_window_tap(WindowTap tap);
+
+  /// Install before start(); every anomalous (label −1) completed window
+  /// is submitted to `audit` with its events and the session's pinned
+  /// detector (drop-not-block; see serve/audit.h). The log must outlive
+  /// the server and be started/stopped by the caller.
+  void set_audit_log(AuditLog* audit);
 
   /// Stages `candidate` as the shadow for `profile` (see
   /// DetectorRegistry::begin_shadow) and attaches a shadow stream to every
@@ -203,6 +211,10 @@ class DetectionServer {
   ServerMetrics metrics_;
   VerdictSink sink_;
   WindowTap tap_;  // set before start(), then read-only from workers
+  AuditLog* audit_ = nullptr;  // set before start(); not owned
+  // tap_ and the audit hook folded into one callable for feed_run; built
+  // at start() so the per-window dispatch is a single call.
+  WindowTap effective_tap_;
   // Serializes begin/end shadow against the open_session auto-attach.
   mutable std::mutex shadow_mu_;
   std::map<std::string, std::shared_ptr<const ShadowSink>> shadow_sinks_;

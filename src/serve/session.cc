@@ -42,7 +42,8 @@ std::optional<Verdict> Session::feed(const trace::PartitionedEvent& event) {
   touch();
   const std::optional<int> label = stream_.push(event);
   if (!label.has_value()) return std::nullopt;
-  return Verdict{stream_.tally().window_labels.size() - 1, *label};
+  return Verdict{stream_.tally().window_labels.size() - 1, *label,
+                 stream_.last_decision_value()};
 }
 
 RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
@@ -98,8 +99,10 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
       ++outcome.processed;
       if (tap != nullptr) tap_buf_.push_back(*events[i]);
       if (label.has_value()) {
-        out.push_back(
-            Verdict{stream_.tally().window_labels.size() - 1, *label});
+        const double decision = stream_.last_decision_value();
+        const std::size_t window_index =
+            stream_.tally().window_labels.size() - 1;
+        out.push_back(Verdict{window_index, *label, decision});
         if (shadow_ != nullptr && shadow_label.has_value()) {
           (*shadow_->sink)(key_, *label, *shadow_label, shadow_->active_ns,
                            shadow_->shadow_ns);
@@ -110,7 +113,8 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
           // Report only full windows: a buffer started mid-window is short
           // at its first verdict and merely resynchronizes here.
           if (tap_buf_.size() == detector_->preprocessor().window()) {
-            (*tap)(key_, *label, tap_buf_.data(), tap_buf_.size());
+            (*tap)(key_, window_index, *label, decision, tap_buf_.data(),
+                   tap_buf_.size());
           }
           tap_buf_.clear();
         }

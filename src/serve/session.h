@@ -55,15 +55,20 @@ enum class SessionState {
 struct Verdict {
   std::size_t window_index = 0;
   int label = 0;  // +1 benign / -1 malicious
+  /// SVM decision value f(x); label is `f >= decision_threshold`. The raw
+  /// model-health signal: drift monitoring and the audit stream key on it.
+  double decision_value = 0.0;
 };
 
 /// Observes every *completed* window on the worker path, with the raw
 /// events that formed it — the feed of the online-learning accumulator
-/// (src/online/). Called under the session mutex from worker threads: must
-/// be thread-safe, cheap, and must not throw or call back into the session.
-/// `events` points at `count` buffered copies valid only for the call.
+/// and drift monitor (src/online/). Called under the session mutex from
+/// worker threads: must be thread-safe, cheap, and must not throw or call
+/// back into the session. `events` points at `count` buffered copies valid
+/// only for the call.
 using WindowTap =
-    std::function<void(const SessionKey& key, int label,
+    std::function<void(const SessionKey& key, std::size_t window_index,
+                       int label, double decision_value,
                        const trace::PartitionedEvent* events,
                        std::size_t count)>;
 
@@ -136,6 +141,12 @@ class Session {
   SessionReport report() const;
   const SessionKey& key() const { return key_; }
   const std::string& profile() const { return profile_; }
+  /// The detector snapshot pinned at open time (never changes; see class
+  /// comment). The audit stream borrows it to explain this session's
+  /// verdicts against the exact model that produced them.
+  const std::shared_ptr<const core::Detector>& detector() const {
+    return detector_;
+  }
   /// Stable hash of the key — the server's shard selector.
   std::size_t shard_hash() const { return shard_hash_; }
 

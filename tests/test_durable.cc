@@ -534,5 +534,63 @@ TEST(DurableStoreTest, ShouldCheckpointHonorsAppendCadence) {
   EXPECT_EQ(verify_wal_strict(store.journal_path()), 0u);
 }
 
+// --- Drift records ---------------------------------------------------------
+
+TEST(DurableStoreTest, DriftRecordsRoundTripThroughRecovery) {
+  const TrainedDetector& f = fixture();
+  DurableStore store = make_store("store_drift");
+  ASSERT_TRUE(store.open().ok());
+
+  // The DRIFT blob is opaque to the store: whatever the checkpointer
+  // serialized comes back verbatim from recover().
+  CheckpointState state;
+  state.detector = f.detector;
+  state.drift = std::string("drift-monitor-state\x00with-nul", 28);
+  ASSERT_TRUE(store.checkpoint(state).ok());
+
+  // A zero-length batch is a no-op: no record, no LSN consumed.
+  const std::uint64_t before = store.last_lsn();
+  ASSERT_TRUE(store.journal_drift_batch(nullptr, 0).ok());
+  EXPECT_EQ(store.last_lsn(), before);
+
+  const DriftSample samples[] = {{0.5, 1}, {-0.7, -1}, {0.25, 1}};
+  ASSERT_TRUE(store.journal_drift_batch(samples, 3).ok());
+  std::uint64_t trigger_lsn = 0;
+  ASSERT_TRUE(store.journal_drift_trigger(2, 1e-6, &trigger_lsn).ok());
+  EXPECT_EQ(trigger_lsn, store.last_lsn());
+  ASSERT_TRUE(store.journal_retrain(store.last_lsn(), true, 8, "").ok());
+
+  const auto r = store.recover();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->drift, state.drift);
+  // One op per sample, then the trigger, then the retrain consumption
+  // marker — in journal order.
+  ASSERT_EQ(r->drift_ops.size(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r->drift_ops[i].kind, DriftReplayOp::Kind::kObserve);
+    EXPECT_DOUBLE_EQ(r->drift_ops[i].value, samples[i].value);
+    EXPECT_EQ(r->drift_ops[i].label, samples[i].label);
+  }
+  EXPECT_EQ(r->drift_ops[3].kind, DriftReplayOp::Kind::kTrigger);
+  EXPECT_EQ(r->drift_ops[4].kind, DriftReplayOp::Kind::kRetrain);
+}
+
+TEST(DurableStoreTest, SnapshotWithoutDriftBlobStaysLoadable) {
+  // Drift-disabled deployments (and snapshots that predate drift) carry
+  // no DRIFT section; recovery must come back empty-handed, not fail.
+  const TrainedDetector& f = fixture();
+  DurableStore store = make_store("store_no_drift");
+  ASSERT_TRUE(store.open().ok());
+  CheckpointState state;
+  state.detector = f.detector;
+  ASSERT_TRUE(store.checkpoint(state).ok());
+  const auto r = store.recover();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r->snapshot_found);
+  ASSERT_NE(r->detector, nullptr);
+  EXPECT_TRUE(r->drift.empty());
+  EXPECT_TRUE(r->drift_ops.empty());
+}
+
 }  // namespace
 }  // namespace leaps::durable

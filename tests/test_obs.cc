@@ -5,9 +5,12 @@
 // instrumentation's span tree.
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "detector_fixture.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"
 #include "serve/metrics.h"
 
@@ -513,6 +517,168 @@ TEST_F(TracerTest, PipelinePrepareEmitsANestedStageTree) {
   }
   EXPECT_LE(child_total, prepare->dur_ns);
   EXPECT_GE(child_total, prepare->dur_ns / 2);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch / ReservoirWindow (obs/sketch.h)
+
+TEST(Sketch, QuantilesOnAdversarialOrderings) {
+  // The alternating-compaction sketch must stay accurate on exactly the
+  // inputs that break naive samplers: fully sorted, reverse-sorted, and
+  // constant streams. Rank error at k=128 over n=10000 is ~5%, so allow
+  // a generous ±8% of the value range.
+  constexpr int kN = 10000;
+  constexpr double kTol = 0.08 * kN;
+  QuantileSketch asc, desc, flat;
+  for (int i = 0; i < kN; ++i) {
+    asc.insert(static_cast<double>(i));
+    desc.insert(static_cast<double>(kN - 1 - i));
+    flat.insert(42.0);
+  }
+  for (const QuantileSketch* s : {&asc, &desc}) {
+    EXPECT_EQ(s->count(), static_cast<std::uint64_t>(kN));
+    EXPECT_DOUBLE_EQ(s->quantile(0.0), 0.0);          // exact min
+    EXPECT_DOUBLE_EQ(s->quantile(1.0), kN - 1.0);     // exact max
+    EXPECT_NEAR(s->quantile(0.5), 0.5 * kN, kTol);
+    EXPECT_NEAR(s->quantile(0.9), 0.9 * kN, kTol);
+    EXPECT_NEAR(s->quantile(0.99), 0.99 * kN, kTol);
+  }
+  EXPECT_DOUBLE_EQ(flat.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(flat.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(flat.sum(), 42.0 * kN);
+
+  QuantileSketch empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+}
+
+TEST(Sketch, MergeIsEquivalentToUnion) {
+  QuantileSketch left, right;
+  for (int i = 0; i < 5000; ++i) left.insert(static_cast<double>(i));
+  for (int i = 5000; i < 10000; ++i) right.insert(static_cast<double>(i));
+  left.merge(right);
+  EXPECT_EQ(left.count(), 10000u);
+  EXPECT_DOUBLE_EQ(left.min(), 0.0);
+  EXPECT_DOUBLE_EQ(left.max(), 9999.0);
+  EXPECT_DOUBLE_EQ(left.sum(), 10000.0 * 9999.0 / 2.0);
+  EXPECT_NEAR(left.quantile(0.5), 5000.0, 0.08 * 10000.0);
+  // Merging an empty sketch is a no-op; merging *into* an empty sketch
+  // copies the donor's distribution.
+  QuantileSketch empty;
+  const std::string before = left.serialize();
+  left.merge(empty);
+  EXPECT_EQ(left.serialize(), before);
+  empty.merge(left);
+  EXPECT_EQ(empty.count(), left.count());
+  EXPECT_DOUBLE_EQ(empty.max(), left.max());
+}
+
+TEST(Sketch, StateIsAPureFunctionOfTheInsertionSequence) {
+  QuantileSketch a, b;
+  for (int i = 0; i < 4096; ++i) {
+    const double v = std::sin(i * 0.7) * 100.0;
+    a.insert(v);
+    b.insert(v);
+  }
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(Sketch, SerializeRoundTripIsBitExact) {
+  QuantileSketch s(64);
+  for (int i = 0; i < 3000; ++i) s.insert(std::cos(i) * 1e6);
+  const std::string bytes = s.serialize();
+  util::StatusOr<QuantileSketch> back = QuantileSketch::deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_TRUE(*back == s);
+  EXPECT_EQ(back->serialize(), bytes);
+  EXPECT_EQ(back->k(), s.k());
+  // Weighted values (the KS-test view) survive the trip verbatim.
+  EXPECT_EQ(back->weighted_values(), s.weighted_values());
+
+  EXPECT_FALSE(QuantileSketch::deserialize("not a sketch").ok());
+  EXPECT_FALSE(QuantileSketch::deserialize("").ok());
+  EXPECT_FALSE(
+      QuantileSketch::deserialize(std::string_view(bytes).substr(
+          0, bytes.size() / 2))
+          .ok());
+}
+
+TEST(Sketch, ReservoirWindowIsAnExactFifo) {
+  ReservoirWindow w(4);
+  for (int i = 1; i <= 6; ++i) w.insert(static_cast<double>(i));
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.capacity(), 4u);
+  EXPECT_EQ(w.total(), 6u);
+  EXPECT_EQ(w.values(), (std::vector<double>{3.0, 4.0, 5.0, 6.0}));
+
+  // Serialization is the oldest-first normal form: a rotated ring and its
+  // deserialized twin are logically equal (same values(), same bytes) even
+  // though the member-wise layout differs.
+  const std::string bytes = w.serialize();
+  util::StatusOr<ReservoirWindow> back = ReservoirWindow::deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->values(), w.values());
+  EXPECT_EQ(back->total(), w.total());
+  EXPECT_EQ(back->serialize(), bytes);
+  // An unrotated window round-trips to a member-wise identical object.
+  ReservoirWindow small(8);
+  small.insert(1.0);
+  small.insert(2.0);
+  util::StatusOr<ReservoirWindow> small_back =
+      ReservoirWindow::deserialize(small.serialize());
+  ASSERT_TRUE(small_back.ok());
+  EXPECT_TRUE(*small_back == small);
+  EXPECT_FALSE(ReservoirWindow::deserialize("garbage").ok());
+
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.values().empty());
+}
+
+TEST(Registry, SummaryPrometheusAndJsonExposition) {
+  MetricRegistry r;
+  Summary& s = r.summary("leaps_test_decision_value", "decision values");
+  for (int i = 0; i < 1000; ++i) s.observe(i * 0.001);
+  const std::string text = r.to_prometheus();
+  EXPECT_NE(text.find("# HELP leaps_test_decision_value decision values\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE leaps_test_decision_value summary\n"),
+            std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99"}) {
+    EXPECT_NE(text.find("leaps_test_decision_value{quantile=\"" +
+                        std::string(q) + "\"} "),
+              std::string::npos)
+        << "missing quantile " << q << " in:\n" << text;
+  }
+  EXPECT_NE(text.find("leaps_test_decision_value_sum "), std::string::npos);
+  EXPECT_NE(text.find("leaps_test_decision_value_count 1000\n"),
+            std::string::npos);
+
+  const std::string json = r.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"leaps_test_decision_value\""), std::string::npos);
+
+  // Same name must come back as the same Summary; cross-kind lookups throw.
+  EXPECT_EQ(&r.summary("leaps_test_decision_value"), &s);
+  EXPECT_THROW(r.counter("leaps_test_decision_value"), std::logic_error);
+}
+
+TEST(Registry, GlobalRegistryExportsBuildInfoAndTracerDrops) {
+  const std::string text = MetricRegistry::global().to_prometheus();
+  EXPECT_NE(text.find("# TYPE leaps_build_info gauge\n"), std::string::npos);
+  const std::size_t pos = text.find("leaps_build_info{");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = text.substr(pos, text.find('\n', pos) - pos);
+  EXPECT_NE(line.find("version="), std::string::npos) << line;
+  EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+
+  EXPECT_NE(text.find("# TYPE leaps_trace_spans_dropped_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("leaps_trace_spans_dropped_total "), std::string::npos);
+  EXPECT_TRUE(is_valid_json(MetricRegistry::global().to_json()));
 }
 
 }  // namespace

@@ -462,7 +462,8 @@ TEST(ServerShadow, WindowTapDeliversWholeWindowsWithLabels) {
 
   std::mutex mu;
   std::vector<std::pair<int, std::size_t>> taps;  // (label, event count)
-  server.set_window_tap([&](const serve::SessionKey&, int label,
+  server.set_window_tap([&](const serve::SessionKey&, std::size_t,
+                            int label, double,
                             const trace::PartitionedEvent* events,
                             std::size_t count) {
     ASSERT_NE(events, nullptr);

@@ -7,14 +7,21 @@
 // Run under -DLEAPS_SANITIZE=thread in CI (ctest -L concurrency).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "detector_fixture.h"
+#include "serve/audit.h"
 #include "serve/queue.h"
 #include "serve/server.h"
 #include "util/fault.h"
@@ -556,6 +563,129 @@ TEST(DetectionServer, EvictionRacingStopIsClean) {
     const MetricsSnapshot m = server.metrics().snapshot();
     expect_accounting_identity(m);
   }
+}
+
+// --- AuditLog (verdict provenance) ----------------------------------------
+
+// Structural JSON check: balanced {}/[] outside string literals, one
+// complete object, no trailing garbage. CI additionally pipes real audit
+// output through `python -m json.tool`; this keeps the unit test
+// dependency-free.
+bool looks_like_one_json_object(const std::string& s) {
+  if (s.empty() || s.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+      if (depth == 0) return i + 1 == s.size();
+    }
+  }
+  return false;
+}
+
+TEST(AuditLog, FormatRecordExplainsTheVerdict) {
+  // cfg_terms come from the ContinualState's benign CFG, so this test
+  // needs a continual-enabled model (the shared fixture trains without).
+  static const TrainedDetector* trained = new TrainedDetector(
+      train_small_detector("vim_reverse_tcp_online", 1200, 7,
+                           /*with_continual=*/true));
+  const TrainedDetector& f = *trained;
+  // The explanation re-featurizes the events, so the slice must be exactly
+  // one detector window — the same contract the server's tap honors.
+  const std::size_t win = f.detector->preprocessor().window();
+  ASSERT_GE(f.malicious.events.size(), win);
+  const std::vector<trace::PartitionedEvent> events(
+      f.malicious.events.begin(),
+      f.malicious.events.begin() + static_cast<std::ptrdiff_t>(win));
+  const SessionKey key{"web1", 4242};
+  const std::string line = AuditLog::format_record(
+      key, "default", 12, -1, -0.41, events, *f.detector, /*top_k=*/3);
+
+  EXPECT_TRUE(looks_like_one_json_object(line)) << line;
+  const std::string events_field = "\"events\":" + std::to_string(win);
+  EXPECT_NE(line.find(events_field), std::string::npos) << line;
+  for (const char* field :
+       {"\"window\":12", "\"host\":\"web1\"", "\"pid\":4242",
+        "\"profile\":\"default\"", "\"label\":-1",
+        "\"decision_value\":-0.41", "\"threshold\":",
+        "\"sv_contributions\":[", "\"sv\":", "\"coefficient\":",
+        "\"kernel\":", "\"contribution\":", "\"cfg_terms\":[",
+        "\"address\":\"0x"}) {
+    EXPECT_NE(line.find(field), std::string::npos)
+        << "missing " << field << " in:\n" << line;
+  }
+  // top_k bounds the explanation: at most 3 support vectors listed.
+  std::size_t svs = 0;
+  for (std::size_t pos = line.find("\"sv\":"); pos != std::string::npos;
+       pos = line.find("\"sv\":", pos + 1)) {
+    ++svs;
+  }
+  EXPECT_LE(svs, 3u);
+  EXPECT_GE(svs, 1u);
+}
+
+TEST(AuditLog, WritesOneJsonLinePerAnomalousWindow) {
+  const TrainedDetector& f = fixture();
+  char tmpl[] = "/tmp/leaps-audit-XXXXXX";
+  const int fd = mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string path = tmpl;
+
+  {
+    const std::size_t win = f.detector->preprocessor().window();
+    AuditLog log(AuditOptions{path, /*queue_capacity=*/16, /*top_k=*/2});
+    ASSERT_TRUE(log.start().ok());
+    const SessionKey key{"db7", 99};
+    for (std::size_t i = 0; i < 3; ++i) {
+      log.submit(key, "default", i, -1, -0.5 - 0.1 * i,
+                 f.malicious.events.data(), win, f.detector);
+    }
+    log.stop();
+    EXPECT_EQ(log.written(), 3u);
+    EXPECT_EQ(log.dropped(), 0u);
+    // submit() after stop() drops, never blocks or crashes.
+    log.submit(key, "default", 9, -1, -1.0, f.malicious.events.data(), win,
+               f.detector);
+    EXPECT_EQ(log.dropped(), 1u);
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(looks_like_one_json_object(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(AuditLog, FullQueueDropsInsteadOfBlocking) {
+  const TrainedDetector& f = fixture();
+  // Never started: the writer thread isn't draining, so every submit
+  // falls through to the drop path immediately — the caller (a worker
+  // thread holding the session mutex) must not stall.
+  AuditLog log(AuditOptions{"/dev/null", /*queue_capacity=*/2, /*top_k=*/1});
+  const SessionKey key{"h", 1};
+  for (std::size_t i = 0; i < 5; ++i) {
+    log.submit(key, "default", i, -1, -0.5, f.malicious.events.data(),
+               f.detector->preprocessor().window(), f.detector);
+  }
+  EXPECT_EQ(log.written(), 0u);
+  EXPECT_EQ(log.dropped(), 5u);
 }
 
 }  // namespace

@@ -95,8 +95,11 @@ endforeach()
 string(REGEX REPLACE "\n$" "" prom_body "${prom}")
 string(REPLACE "\n" ";" prom_lines "${prom_body}")
 foreach(line ${prom_lines})
+  # Values may be floats: summary metrics (decision-value quantiles,
+  # _sum) export alongside the integer counters and gauges.
   if(NOT line MATCHES "^# (HELP|TYPE) " AND
-     NOT line MATCHES "^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9]+$")
+     NOT line MATCHES
+       "^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?$")
     message(FATAL_ERROR "bad Prometheus exposition line: '${line}'")
   endif()
 endforeach()

@@ -76,7 +76,11 @@ constexpr const char* kUsage =
     "                each durable fault point (mid-snapshot-rename, mid-\n"
     "                journal-append, between checkpoint and truncate); the\n"
     "                recovered state must serve verdicts identical to the\n"
-    "                child's own uncrashed baseline\n"
+    "                child's own uncrashed baseline. Also runs the drift\n"
+    "                drill: a child killed between the journaled drift\n"
+    "                samples and the trigger record must, after recovery,\n"
+    "                re-fire the KS trigger at the same LSN with an\n"
+    "                identical monitor state\n"
     "  --trace-out FILE, --profile, --metrics-out FILE  observability\n"
     "exit: 0 contract held, 1 violation, 2 usage\n";
 
@@ -131,6 +135,7 @@ struct Trained {
   trace::RawLog raw_benign;  // serialization fodder for the ingest phase
   trace::PartitionedLog benign;
   trace::PartitionedLog mixed;
+  trace::PartitionedLog malicious;  // the drift drill's shifted replay
   std::shared_ptr<const core::Detector> detector;
 };
 
@@ -149,6 +154,7 @@ Trained train_detector(std::size_t sim_events, std::uint64_t seed) {
   out.raw_benign = logs.benign;
   out.benign = partition_raw(logs.benign);
   out.mixed = partition_raw(logs.mixed);
+  out.malicious = partition_raw(logs.malicious);
 
   const core::TrainingData td =
       core::LeapsPipeline().prepare(out.benign, out.mixed);
@@ -812,12 +818,246 @@ void crash_drills(const Trained& trained, std::size_t sim_events) {
   }
 }
 
+// --- drift kill-restart drill (--crash) -----------------------------------
+
+/// Canonical text form of a DriftStatus — the drift drill's equality
+/// probe. %.17g round-trips doubles exactly, so two fingerprints compare
+/// equal iff the monitor states (windows, sketch, KS result, counters)
+/// are bit-identical.
+std::string drift_fingerprint(const online::DriftStatus& d) {
+  std::ostringstream os;
+  char buf[256];
+  os << "gen=" << d.generation << " observed=" << d.observed
+     << " ref=" << d.reference_size << " frozen=" << d.reference_frozen
+     << " live=" << d.live_size;
+  std::snprintf(buf, sizeof buf, " ks=%.17g p=%.17g", d.ks_statistic,
+                d.p_value);
+  os << buf << " evals=" << d.evaluations << " triggers=" << d.triggers
+     << " pending=" << d.trigger_pending;
+  std::snprintf(buf, sizeof buf,
+                " sketch=%llu/%.17g/%.17g/%.17g/%.17g/%.17g/%.17g",
+                static_cast<unsigned long long>(d.sketch.count), d.sketch.sum,
+                d.sketch.min, d.sketch.max, d.sketch.q50, d.sketch.q90,
+                d.sketch.q99);
+  os << buf;
+  for (const online::GenerationMix& g : d.generations) {
+    os << " mix=" << g.benign << "/" << g.malicious;
+  }
+  return os.str();
+}
+
+/// Shared configuration for the drift drill's children and the parent's
+/// recovery continuation — the reference window is exactly one benign
+/// replay, the live window exactly one malicious replay, and the volume
+/// trigger is parked out of reach so drift is the only way to retrain.
+online::OnlineOptions drift_drill_options(const Trained& trained,
+                                          durable::DurableStore* store) {
+  online::OnlineOptions oopts;
+  oopts.accumulator.admit_floor = 0.0;
+  oopts.retrain.min_new_events = 1u << 30;
+  oopts.retrain.max_new_samples = 32;
+  oopts.gates = {.max_disagreement = 1.0,
+                 .max_latency_ratio = 1e9,
+                 .min_windows = 2};
+  oopts.drift.enabled = true;
+  oopts.drift.reference_target =
+      trained.detector->scan(trained.benign).window_labels.size();
+  oopts.drift.live_window =
+      trained.detector->scan(trained.malicious).window_labels.size();
+  oopts.drift.min_live = std::min<std::size_t>(oopts.drift.live_window, 8);
+  oopts.drift.p_threshold = 0.05;
+  oopts.durable = store;
+  return oopts;
+}
+
+/// Child process for the drift kill-restart drill (exec'd like
+/// crash_child). Deterministic single-worker drive: a benign replay
+/// freezes the generation-0 reference window, a malicious replay — the
+/// distribution shift — fills the live window, and the next poll fires
+/// the KS trigger. Mode "baseline" completes that poll uncrashed and
+/// records the trigger LSN + monitor fingerprint; mode "crash" arms
+/// online.drift.pre_trigger and dies between the journaled sample batch
+/// and the trigger record.
+int drift_child(const char* dir_c, const char* mode_c,
+                std::size_t sim_events) {
+  const std::string dir = dir_c;
+  const bool crash = std::string_view(mode_c) == "crash";
+  const Trained trained = train_detector(sim_events, 7);
+
+  durable::DurableOptions dopts;
+  dopts.dir = dir;
+  dopts.checkpoint_every_appends = 1;  // checkpoint at every poll
+  durable::DurableStore store(dopts);
+  if (!store.open().ok()) return 2;
+
+  serve::ServerOptions soptions;
+  soptions.workers = 1;  // deterministic observation order
+  serve::DetectionServer server(soptions);
+  server.registry().add("default", trained.detector);
+
+  const online::OnlineOptions oopts = drift_drill_options(trained, &store);
+  if (oopts.drift.reference_target == 0 || oopts.drift.live_window == 0) {
+    return 2;
+  }
+  online::OnlineManager manager(&server, oopts);
+  manager.install();
+  server.start();
+  const auto session = server.open_session({"drift", 1}, "default");
+  if (session == nullptr) return 2;
+
+  for (const trace::PartitionedEvent& e : trained.benign.events) {
+    server.submit(session, e);
+  }
+  server.drain();
+  manager.poll_once();  // journals the reference batch, checkpoint folds it
+  if (!manager.report().drift.reference_frozen) return 4;
+
+  for (const trace::PartitionedEvent& e : trained.malicious.events) {
+    server.submit(session, e);
+  }
+  server.drain();
+
+  if (crash && !util::FaultInjector::instance().arm_from_spec(
+                   "online.drift.pre_trigger:exit:1")) {
+    return 2;
+  }
+  manager.poll_once();  // crash mode dies here, before the trigger record
+  const online::OnlineReport report = manager.report();
+  if (report.drift.triggers != 1 || report.last_drift_trigger_lsn == 0) {
+    return 4;
+  }
+  {
+    std::ofstream out(dir + "/drift_baseline.txt");
+    out << report.last_drift_trigger_lsn << "\n"
+        << drift_fingerprint(report.drift) << "\n";
+  }
+  manager.stop();
+  server.stop();
+  return 0;
+}
+
+/// Phase (--crash): kill-restart the drift monitor. A baseline child
+/// runs the drive uncrashed and records where the KS trigger lands; a
+/// second child dies at online.drift.pre_trigger — its journal holds the
+/// drift samples but not the trigger. The parent recovers the crashed
+/// directory, polls once, and the lost trigger must re-fire at the same
+/// LSN with a monitor state identical to the uncrashed baseline.
+void drift_crash_drill(const Trained& trained, std::size_t sim_events) {
+  const Watchdog watchdog("drift-crash", std::chrono::seconds(600));
+  char base_template[] = "/tmp/leaps-chaos-drift-XXXXXX";
+  char* base = ::mkdtemp(base_template);
+  if (!check(base != nullptr, "drift-crash: mkdtemp failed")) return;
+
+  char exe_buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+  if (!check(n > 0, "drift-crash: cannot resolve /proc/self/exe")) return;
+  exe_buf[n] = '\0';
+
+  const std::string events = std::to_string(sim_events);
+  const auto run_child = [&](const char* mode, const std::string& dir) {
+    ::mkdir(dir.c_str(), 0755);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl(exe_buf, exe_buf, "--drift-child", dir.c_str(), mode,
+              events.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return status;
+  };
+
+  const std::string baseline_dir = std::string(base) + "/baseline";
+  const int baseline_status = run_child("baseline", baseline_dir);
+  if (!check(WIFEXITED(baseline_status) && WEXITSTATUS(baseline_status) == 0,
+             "drift-crash: baseline child failed")) {
+    std::fprintf(stderr, "  baseline: wait status %d\n", baseline_status);
+    return;
+  }
+  std::uint64_t baseline_lsn = 0;
+  std::string baseline_fp;
+  {
+    std::ifstream in(baseline_dir + "/drift_baseline.txt");
+    in >> baseline_lsn;
+    in.ignore();  // the newline before the fingerprint line
+    std::getline(in, baseline_fp);
+  }
+  if (!check(baseline_lsn != 0 && !baseline_fp.empty(),
+             "drift-crash: baseline child recorded nothing")) {
+    return;
+  }
+
+  const std::string crash_dir = std::string(base) + "/crash";
+  const int crash_status = run_child("crash", crash_dir);
+  if (!check(WIFEXITED(crash_status) && WEXITSTATUS(crash_status) == 137,
+             "drift-crash: child did not die at online.drift.pre_trigger")) {
+    std::fprintf(stderr, "  crash: wait status %d\n", crash_status);
+    return;
+  }
+
+  durable::DurableOptions dopts;
+  dopts.dir = crash_dir;
+  dopts.checkpoint_every_appends = 1;
+  durable::DurableStore store(dopts);
+  const auto recovered = store.recover();
+  if (!check(recovered.ok(), "drift-crash: recovery failed")) {
+    std::fprintf(stderr, "  %s\n", recovered.status().to_string().c_str());
+    return;
+  }
+  check(!recovered->drift.empty(),
+        "drift-crash: snapshot carried no DRIFT blob");
+  check(!recovered->drift_ops.empty(),
+        "drift-crash: journal replay produced no drift ops");
+  if (!check(recovered->detector != nullptr,
+             "drift-crash: incumbent lost across the restart") ||
+      !check(store.open().ok(), "drift-crash: reopen failed")) {
+    return;
+  }
+
+  serve::ServerOptions so;
+  so.workers = 1;
+  serve::DetectionServer server(so);
+  server.registry().add("default", recovered->detector);
+  online::OnlineManager manager(&server,
+                                drift_drill_options(trained, &store));
+  manager.install();
+  manager.restore(*recovered);
+  server.start();
+  manager.poll_once();  // must re-evaluate and re-fire the lost trigger
+  const online::OnlineReport r = manager.report();
+  check(r.drift.triggers == 1,
+        "drift-crash: recovered run did not re-fire the trigger");
+  if (!check(r.last_drift_trigger_lsn == baseline_lsn,
+             "drift-crash: re-fired trigger landed at a different LSN")) {
+    std::fprintf(stderr, "  baseline lsn %llu, recovered lsn %llu\n",
+                 static_cast<unsigned long long>(baseline_lsn),
+                 static_cast<unsigned long long>(r.last_drift_trigger_lsn));
+  }
+  const std::string fp = drift_fingerprint(r.drift);
+  if (!check(fp == baseline_fp,
+             "drift-crash: recovered monitor state diverged from baseline")) {
+    std::fprintf(stderr, "  baseline:  %s\n  recovered: %s\n",
+                 baseline_fp.c_str(), fp.c_str());
+  }
+  server.stop();
+  manager.stop();
+  std::printf("drift crash drill: trigger re-fired at lsn %llu after "
+              "kill-restart, monitor state identical\n",
+              static_cast<unsigned long long>(r.last_drift_trigger_lsn));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Hidden child mode for the --crash drills (exec'd by crash_drills).
+  // Hidden child modes for the --crash drills (exec'd by crash_drills
+  // and drift_crash_drill).
   if (argc == 5 && std::string_view(argv[1]) == "--crash-child") {
     return crash_child(argv[2], argv[3],
+                       static_cast<std::size_t>(
+                           std::strtoull(argv[4], nullptr, 10)));
+  }
+  if (argc == 5 && std::string_view(argv[1]) == "--drift-child") {
+    return drift_child(argv[2], argv[3],
                        static_cast<std::size_t>(
                            std::strtoull(argv[4], nullptr, 10)));
   }
@@ -872,7 +1112,10 @@ int main(int argc, char** argv) {
                      std::max<std::size_t>(per_session / 4,
                                            std::size_t{128}));
     }
-    if (crash) crash_drills(trained, smoke ? 900 : 1500);
+    if (crash) {
+      crash_drills(trained, smoke ? 900 : 1500);
+      drift_crash_drill(trained, smoke ? 900 : 1500);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "leaps-chaos: FAIL: uncaught exception: %s\n",
                  e.what());

@@ -35,6 +35,7 @@
 #include "durable/store.h"
 #include "ingest.h"
 #include "online/accumulator.h"
+#include "online/drift.h"
 #include "online/retrain.h"
 #include "online/shadow.h"
 #include "online/verdict_diff.h"
@@ -54,6 +55,9 @@ constexpr const char* kUsage =
     "      write an all-malicious candidate for rollback drills\n"
     "  diff <detector-a> <detector-b> <traffic.log>\n"
     "      positional verdict diff over the traffic\n"
+    "  drift <detector> <reference.log> <live.log>\n"
+    "      offline drift check: two-sample KS over the decision values of\n"
+    "      the two replays; exit 0 = stable, 4 = drift\n"
     "  recover <durable-dir>\n"
     "      recover and summarize a crash-safe state directory\n"
     "options:\n"
@@ -67,7 +71,9 @@ constexpr const char* kUsage =
     "  --shadow-min-windows N  pairs required before gating (default 64)\n"
     "  --shadow-max-disagree F max disagreement rate (default 0.02)\n"
     "  --shadow-max-latency F  max latency ratio (default 3.0)\n"
-    "exit: 0 ok/promote, 4 rollback, 1 error, 2 usage\n";
+    "  --drift-p F             (drift) KS p-value threshold (default "
+    "0.01)\n"
+    "exit: 0 ok/promote/stable, 4 rollback/drift, 1 error, 2 usage\n";
 
 trace::PartitionedLog load_log(const std::string& path) {
   util::StatusOr<trace::PartitionedLog> log = cli::load_partitioned_log(path);
@@ -258,6 +264,49 @@ int cmd_diff(const std::vector<std::string>& pos) {
   return 0;
 }
 
+/// Replays a log, collecting each completed window's decision value —
+/// the drift subcommand's sample extractor.
+std::vector<double> decision_values(const core::Detector& detector,
+                                    const trace::PartitionedLog& log) {
+  std::vector<double> values;
+  core::Detector::Stream stream = detector.stream();
+  for (const trace::PartitionedEvent& event : log.events) {
+    if (stream.push(event).has_value()) {
+      values.push_back(stream.last_decision_value());
+    }
+  }
+  return values;
+}
+
+int cmd_drift(const std::vector<std::string>& pos, double p_threshold) {
+  const core::Detector detector = load_detector(pos[1]);
+  const std::vector<double> reference =
+      decision_values(detector, load_log(pos[2]));
+  const std::vector<double> live =
+      decision_values(detector, load_log(pos[3]));
+  if (reference.empty() || live.empty()) {
+    std::fprintf(stderr,
+                 "leaps-rollover: drift needs at least one complete window "
+                 "in each log (reference %zu, live %zu)\n",
+                 reference.size(), live.size());
+    return 1;
+  }
+  const double d = online::DriftMonitor::ks_statistic(reference, live);
+  const double p =
+      online::DriftMonitor::ks_p_value(d, reference.size(), live.size());
+  std::printf("reference %zu windows, live %zu windows\n", reference.size(),
+              live.size());
+  std::printf("two-sample KS: D=%.6f p=%.6g (threshold %g)\n", d, p,
+              p_threshold);
+  if (p < p_threshold) {
+    std::printf("decision: DRIFT — live decision values shifted from the "
+                "reference\n");
+    return 4;
+  }
+  std::printf("decision: STABLE\n");
+  return 0;
+}
+
 int cmd_recover(const std::vector<std::string>& pos,
                 const std::string& detector_out) {
   durable::DurableOptions options;
@@ -297,6 +346,19 @@ int cmd_recover(const std::vector<std::string>& pos,
   if (r.torn_tail) {
     std::printf("torn tail:          %s\n", r.torn_reason.c_str());
   }
+  std::size_t drift_observes = 0, drift_triggers = 0, drift_retrains = 0;
+  for (const durable::DriftReplayOp& op : r.drift_ops) {
+    switch (op.kind) {
+      case durable::DriftReplayOp::Kind::kObserve: ++drift_observes; break;
+      case durable::DriftReplayOp::Kind::kTrigger: ++drift_triggers; break;
+      case durable::DriftReplayOp::Kind::kRetrain: ++drift_retrains; break;
+    }
+  }
+  std::printf("drift:              %s; journal ops: %zu observe, "
+              "%zu trigger, %zu retrain\n",
+              r.drift.empty() ? "no monitor state in snapshot"
+                              : "monitor state recovered",
+              drift_observes, drift_triggers, drift_retrains);
   if (!detector_out.empty()) {
     if (r.detector == nullptr) {
       std::fprintf(stderr,
@@ -323,6 +385,8 @@ int main(int argc, char** argv) {
   args.option("--shadow-min-windows", &gates.min_windows);
   args.option("--shadow-max-disagree", &gates.max_disagreement);
   args.option("--shadow-max-latency", &gates.max_latency_ratio);
+  double drift_p = 0.01;
+  args.option("--drift-p", &drift_p);
   std::string detector_out;
   args.option("--detector-out", &detector_out);
   const std::vector<std::string> pos = args.parse(2, 4);
@@ -344,6 +408,10 @@ int main(int argc, char** argv) {
     if (sub == "diff") {
       if (pos.size() != 4) args.usage_error("%s", "diff takes 3 arguments");
       return cmd_diff(pos);
+    }
+    if (sub == "drift") {
+      if (pos.size() != 4) args.usage_error("%s", "drift takes 3 arguments");
+      return cmd_drift(pos, drift_p);
     }
     if (sub == "recover") {
       if (pos.size() != 2) args.usage_error("%s", "recover takes 1 argument");

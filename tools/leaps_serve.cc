@@ -22,6 +22,8 @@
 #include "durable/store.h"
 #include "ingest.h"
 #include "online/manager.h"
+#include "online/status.h"
+#include "serve/audit.h"
 #include "serve/server.h"
 #include "trace/partition.h"
 #include "util/fault.h"
@@ -78,6 +80,25 @@ constexpr const char* kUsage =
     "                        (default 0.02)\n"
     "  --shadow-max-latency F  max shadow/active latency ratio to promote\n"
     "                        (default 3.0)\n"
+    "  --drift               decision-value drift detection (requires\n"
+    "                        --online): a two-sample KS test between the\n"
+    "                        frozen reference window and the live window\n"
+    "                        schedules a retrain when the distribution\n"
+    "                        shifts\n"
+    "  --drift-reference N   values that freeze the reference (default 256)\n"
+    "  --drift-live N        live-window capacity (default 128)\n"
+    "  --drift-min-live N    live values before the KS test runs\n"
+    "                        (default 64)\n"
+    "  --drift-p F           trigger when the KS p-value drops below F\n"
+    "                        (default 0.01)\n"
+    "  --audit-out FILE      verdict provenance: one JSONL record per\n"
+    "                        anomalous window (decision value, top SV\n"
+    "                        contributions, dominating CFG terms); '-' =\n"
+    "                        stdout; drop-not-block under backpressure\n"
+    "  --status-json FILE    atomically rewrite FILE with a live status\n"
+    "                        snapshot (sessions, queues, drift, verdict\n"
+    "                        mix) every --metrics-every seconds and on\n"
+    "                        exit; `leaps-top FILE` renders it\n"
     "  --json                final metrics report as JSON\n"
     "  --verbose             print each malicious window as it is scored\n"
     "  --trace-out FILE      write a chrome://tracing span JSON\n"
@@ -156,6 +177,16 @@ int main(int argc, char** argv) {
   args.flag("--online", &online);
   std::string durable_dir;
   args.option("--durable", &durable_dir);
+  bool drift = false;
+  args.flag("--drift", &drift);
+  args.option("--drift-reference", &online_options.drift.reference_target);
+  args.option("--drift-live", &online_options.drift.live_window);
+  args.option("--drift-min-live", &online_options.drift.min_live);
+  args.option("--drift-p", &online_options.drift.p_threshold);
+  std::string audit_out;
+  args.option("--audit-out", &audit_out);
+  std::string status_json;
+  args.option("--status-json", &status_json);
   args.option("--online-replays", &online_replays);
   args.option("--retrain-events", &online_options.retrain.min_new_events);
   args.option("--admit-floor", &admit_floor);
@@ -176,6 +207,8 @@ int main(int argc, char** argv) {
   }
   options.overflow = *parsed_policy;
   if (options.workers == 0) args.usage_error("%s must be >= 1", "--workers");
+  if (drift && !online) args.usage_error("%s requires --online", "--drift");
+  online_options.drift.enabled = drift;
   options.idle_ttl = std::chrono::milliseconds(idle_ttl_ms);
   options.shed_queue_wait_us = shed_wait_us;
 
@@ -188,7 +221,22 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // The audit log outlives the server (workers hold a raw pointer into
+    // it until stop()), so it is constructed first and stopped last.
+    std::unique_ptr<serve::AuditLog> audit;
+    if (!audit_out.empty()) {
+      serve::AuditOptions aopts;
+      aopts.path = audit_out;
+      audit = std::make_unique<serve::AuditLog>(aopts);
+      const util::Status started = audit->start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "leaps-serve: --audit-out %s: %s\n",
+                     audit_out.c_str(), started.to_string().c_str());
+        return 1;
+      }
+    }
     serve::DetectionServer server(options);
+    if (audit != nullptr) server.set_audit_log(audit.get());
     // One scrape surface: the server's counters join the ingest/pipeline
     // metrics already living in the global registry, so --metrics-out
     // carries both. Held for the server's lifetime.
@@ -277,11 +325,24 @@ int main(int argc, char** argv) {
     }
     server.start();
 
+    const online::StatusInputs status_inputs{&server, manager.get(),
+                                             audit.get()};
+    const auto refresh_status = [&status_json, &status_inputs] {
+      if (status_json.empty()) return;
+      const util::Status status =
+          online::write_status_json(status_json, status_inputs);
+      if (!status.ok()) {
+        std::fprintf(stderr, "leaps-serve: --status-json %s: %s\n",
+                     status_json.c_str(), status.to_string().c_str());
+      }
+    };
+    refresh_status();  // an empty-but-valid document from second zero
+
     std::atomic<bool> done{false};
     std::thread metrics_thread;
     if (metrics_every > 0) {
-      metrics_thread =
-          std::thread([&server, &done, metrics_every, &obs_flags] {
+      metrics_thread = std::thread(
+          [&server, &done, metrics_every, &obs_flags, &refresh_status] {
             while (!done.load()) {
               std::this_thread::sleep_for(
                   std::chrono::seconds(metrics_every));
@@ -289,6 +350,7 @@ int main(int argc, char** argv) {
               std::fprintf(stderr, "%s",
                            server.metrics().snapshot().to_text().c_str());
               obs_flags.write_metrics();  // keep --metrics-out fresh
+              refresh_status();
             }
           });
     }
@@ -400,11 +462,30 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(orep.shadow.compared),
           static_cast<unsigned long long>(orep.shadow.disagreements),
           orep.shadow.disagreement_rate(), orep.shadow.latency_ratio());
+      if (orep.drift.enabled) {
+        std::printf(
+            "online: drift generation=%u observed=%llu p=%.6f ks=%.6f "
+            "triggers=%llu drift-retrains=%llu trigger-lsn=%llu\n",
+            orep.drift.generation,
+            static_cast<unsigned long long>(orep.drift.observed),
+            orep.drift.p_value, orep.drift.ks_statistic,
+            static_cast<unsigned long long>(orep.drift.triggers),
+            static_cast<unsigned long long>(orep.drift_retrains),
+            static_cast<unsigned long long>(orep.last_drift_trigger_lsn));
+      }
       if (!orep.last_error.empty()) {
         std::fprintf(stderr, "online: last error: %s\n",
                      orep.last_error.c_str());
       }
     }
+    if (audit != nullptr) {
+      audit->stop();  // flush the queue before the summary line
+      std::printf("audit: records=%llu dropped=%llu -> %s\n",
+                  static_cast<unsigned long long>(audit->written()),
+                  static_cast<unsigned long long>(audit->dropped()),
+                  audit_out.c_str());
+    }
+    refresh_status();  // final settled snapshot
     const serve::MetricsSnapshot m = server.metrics().snapshot();
     obs_flags.finish();  // before stop(): the collector reads live metrics
     server.stop();

@@ -1,0 +1,166 @@
+// leaps_top — render the live status snapshot leaps-serve maintains with
+// --status-json as a compact operator dashboard.
+//
+// The reader is deliberately a tolerant field scanner, not a JSON parser:
+// it greps scoped `"key":value` pairs out of the document, so it keeps
+// working when newer writers add fields, and it needs nothing beyond the
+// standard library. The file itself is atomically replaced by the writer,
+// so every read sees a complete document.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "cli.h"
+
+namespace {
+
+using namespace leaps;
+
+constexpr const char* kUsage =
+    "usage: leaps-top <status.json>\n"
+    "  renders the status snapshot written by leaps-serve --status-json.\n"
+    "  --once          render one frame and exit (for scripts and CI)\n"
+    "  --interval S    refresh every S seconds (default 2)\n"
+    "exit: 0 ok, 1 unreadable status file, 2 usage\n";
+
+/// Body of the top-level object `"key":{...}` ("" when absent).
+std::string object_of(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":{";
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t pos = at + needle.size() - 1;
+  int depth = 0;
+  for (std::size_t i = pos; i < doc.size(); ++i) {
+    if (doc[i] == '{') ++depth;
+    if (doc[i] == '}' && --depth == 0) {
+      return doc.substr(pos, i - pos + 1);
+    }
+  }
+  return "";
+}
+
+/// Scalar after `"key":` inside `scope` (numbers, true/false; "?" absent).
+std::string scalar_of(const std::string& scope, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = scope.find(needle);
+  if (at == std::string::npos) return "?";
+  std::size_t pos = at + needle.size();
+  std::size_t end = pos;
+  while (end < scope.size() && scope[end] != ',' && scope[end] != '}' &&
+         scope[end] != ']') {
+    ++end;
+  }
+  std::string v = scope.substr(pos, end - pos);
+  if (!v.empty() && v.front() == '"') v = v.substr(1, v.size() - 2);
+  return v;
+}
+
+bool render(const std::string& path, bool clear) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "leaps-top: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string doc = buf.str();
+
+  const std::string sessions = object_of(doc, "sessions");
+  const std::string events = object_of(doc, "events");
+  const std::string windows = object_of(doc, "windows");
+  const std::string queues = object_of(doc, "queues");
+  const std::string decision = object_of(doc, "decision_value");
+  const std::string online = object_of(doc, "online");
+  const std::string drift = object_of(doc, "drift");
+  const std::string audit = object_of(doc, "audit");
+
+  if (clear) std::printf("\033[H\033[2J");
+  std::printf("leaps-top — %s\n", path.c_str());
+  std::printf("sessions  active=%s opened=%s closed=%s quarantined=%s "
+              "evicted=%s\n",
+              scalar_of(sessions, "active").c_str(),
+              scalar_of(sessions, "opened").c_str(),
+              scalar_of(sessions, "closed").c_str(),
+              scalar_of(sessions, "quarantined").c_str(),
+              scalar_of(sessions, "evicted").c_str());
+  std::printf("events    ingested=%s processed=%s dropped=%s rejected=%s "
+              "shed=%s\n",
+              scalar_of(events, "ingested").c_str(),
+              scalar_of(events, "processed").c_str(),
+              scalar_of(events, "dropped").c_str(),
+              scalar_of(events, "rejected").c_str(),
+              scalar_of(events, "shed").c_str());
+  std::printf("windows   scored=%s benign=%s malicious=%s\n",
+              scalar_of(windows, "scored").c_str(),
+              scalar_of(windows, "benign").c_str(),
+              scalar_of(windows, "malicious").c_str());
+  std::printf("queues    high-water=%s batches=%s shed-activations=%s "
+              "wait-p99-us=%s\n",
+              scalar_of(queues, "high_water").c_str(),
+              scalar_of(queues, "batches").c_str(),
+              scalar_of(queues, "shed_activations").c_str(),
+              scalar_of(queues, "wait_p99_us").c_str());
+  std::printf("decision  count=%s q50=%s q90=%s q99=%s min=%s max=%s\n",
+              scalar_of(decision, "count").c_str(),
+              scalar_of(decision, "q50").c_str(),
+              scalar_of(decision, "q90").c_str(),
+              scalar_of(decision, "q99").c_str(),
+              scalar_of(decision, "min").c_str(),
+              scalar_of(decision, "max").c_str());
+  if (online.empty()) {
+    std::printf("online    (not running)\n");
+  } else {
+    std::printf("online    phase=%s cycles=%s failures=%s promotions=%s "
+                "rollbacks=%s drift-retrains=%s\n",
+                scalar_of(online, "phase").c_str(),
+                scalar_of(online, "retrain_cycles").c_str(),
+                scalar_of(online, "retrain_failures").c_str(),
+                scalar_of(online, "promotions").c_str(),
+                scalar_of(online, "rollbacks").c_str(),
+                scalar_of(online, "drift_retrains").c_str());
+  }
+  if (drift.empty() || scalar_of(drift, "enabled") == "false") {
+    std::printf("drift     (disabled)\n");
+  } else {
+    std::printf("drift     gen=%s ref=%s%s live=%s ks=%s p=%s triggers=%s "
+                "pending=%s\n",
+                scalar_of(drift, "generation").c_str(),
+                scalar_of(drift, "reference_size").c_str(),
+                scalar_of(drift, "reference_frozen") == "true" ? "(frozen)"
+                                                               : "",
+                scalar_of(drift, "live_size").c_str(),
+                scalar_of(drift, "ks").c_str(),
+                scalar_of(drift, "p_value").c_str(),
+                scalar_of(drift, "triggers").c_str(),
+                scalar_of(drift, "trigger_pending").c_str());
+  }
+  if (audit.empty()) {
+    std::printf("audit     (off)\n");
+  } else {
+    std::printf("audit     written=%s dropped=%s\n",
+                scalar_of(audit, "written").c_str(),
+                scalar_of(audit, "dropped").c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args(argc, argv, kUsage);
+  bool once = false;
+  std::size_t interval = 2;
+  args.flag("--once", &once);
+  args.option("--interval", &interval);
+  const std::vector<std::string> pos = args.parse(1);
+  if (interval == 0) interval = 1;
+
+  if (once) return render(pos[0], /*clear=*/false) ? 0 : 1;
+  for (;;) {
+    if (!render(pos[0], /*clear=*/true)) return 1;
+    std::this_thread::sleep_for(std::chrono::seconds(interval));
+  }
+}
