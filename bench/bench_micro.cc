@@ -18,8 +18,10 @@
 #include "ml/svm.h"
 #include "obs/sketch.h"
 #include "obs/trace.h"
+#include "serve/session.h"
 #include "sim/scenario.h"
 #include "trace/binary_log.h"
+#include "trace/intern.h"
 #include "trace/parser.h"
 #include "trace/partition.h"
 #include "util/rng.h"
@@ -426,6 +428,47 @@ void BM_DetectorPersistRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectorPersistRoundTrip);
+
+// The per-event fault-point detail on the worker path: rebuilding
+// "host:pid" per event (the old behavior) vs the cached key string the
+// session now carries. The gap is what caching buys every classified
+// event.
+void BM_SessionKeyToString(benchmark::State& state) {
+  const serve::SessionKey key{"fleet-host-042.prod.example", 48213};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.to_string());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionKeyToString);
+
+void BM_SessionKeyCachedString(benchmark::State& state) {
+  const serve::SessionKey key{"fleet-host-042.prod.example", 48213};
+  const std::string cached = key.to_string();  // what Session{} does once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionKeyCachedString);
+
+// Interning one event at the ingest boundary (steady state: every lookup
+// hits). This is the submit()-side cost that buys string-free workers.
+void BM_TokenTableCompact(benchmark::State& state) {
+  const auto& logs = cached_logs(1000);
+  const trace::ParsedTrace t = trace::RawLogParser().parse_raw(logs.benign);
+  const trace::PartitionedLog log =
+      trace::StackPartitioner(t.log.process_name).partition(t.log);
+  trace::TokenTable table;  // private table: the benchmark stays hermetic
+  std::size_t i = 0;
+  const std::size_t n = log.events.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.compact(log.events[i]));
+    i = (i + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenTableCompact);
 
 }  // namespace
 

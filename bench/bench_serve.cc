@@ -78,11 +78,13 @@ Workload build_workload(std::size_t train_events) {
 }
 
 double run_once(const Workload& w, std::size_t workers,
-                std::size_t sessions, std::size_t events_per_session) {
+                std::size_t sessions, std::size_t events_per_session,
+                std::size_t coalesce) {
   serve::ServerOptions options;
   options.workers = workers;
   options.queue_capacity = 4096;
   options.batch_size = 128;
+  options.coalesce = coalesce;
   serve::DetectionServer server(options);
   server.registry().add("bench", w.detector);
 
@@ -273,12 +275,16 @@ int main() {
       util::env_int("LEAPS_SERVE_EVENTS", fast ? 1500 : 6000));
   const auto train_events =
       static_cast<std::size_t>(util::env_int("LEAPS_EVENTS", 3000));
+  // Micro-batched hand-off (events staged per queue push). 4 keeps queue
+  // contention visible but low; 1 reproduces the classic per-event path.
+  const auto coalesce = static_cast<std::size_t>(
+      util::env_int("LEAPS_SERVE_COALESCE", 4));
 
   std::printf("LEAPS reproduction — serving throughput (bench_serve)\n");
   std::printf(
       "config: sessions=%zu events/session=%zu train_events=%zu "
-      "hardware_concurrency=%u\n\n",
-      sessions, events_per_session, train_events,
+      "coalesce=%zu hardware_concurrency=%u\n\n",
+      sessions, events_per_session, train_events, coalesce,
       std::thread::hardware_concurrency());
 
   const Workload w = build_workload(train_events);
@@ -288,8 +294,9 @@ int main() {
   std::vector<std::pair<std::size_t, double>> rows;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     // Warm-up pass, then the measured pass.
-    run_once(w, workers, sessions, events_per_session / 4 + 1);
-    const double rate = run_once(w, workers, sessions, events_per_session);
+    run_once(w, workers, sessions, events_per_session / 4 + 1, coalesce);
+    const double rate =
+        run_once(w, workers, sessions, events_per_session, coalesce);
     if (workers == 1) base = rate;
     if (workers == 4) at4 = rate;
     rows.emplace_back(workers, rate);
@@ -335,6 +342,7 @@ int main() {
        << "  \"config\": {\"sessions\": " << sessions
        << ", \"events_per_session\": " << events_per_session
        << ", \"train_events\": " << train_events
+       << ", \"coalesce\": " << coalesce
        << ", \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << guard.annotation
        << "},\n  \"results\": [\n";

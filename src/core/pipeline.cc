@@ -171,7 +171,16 @@ Detector::Stream::Stream(const Detector& detector) : detector_(&detector) {
 
 std::optional<int> Detector::Stream::push(
     const trace::PartitionedEvent& event) {
-  const EventTuple t = detector_->preprocessor().tuple(event);
+  return push_tuple(detector_->preprocessor().tuple(event));
+}
+
+std::optional<int> Detector::Stream::push(const trace::CompactEvent& event,
+                                          const trace::TokenTable& table) {
+  return push_tuple(
+      detector_->codec().tuple(detector_->preprocessor(), table, event));
+}
+
+std::optional<int> Detector::Stream::push_tuple(const EventTuple& t) {
   pending_.push_back(static_cast<double>(t.event_type));
   pending_.push_back(t.lib_coord);
   pending_.push_back(t.func_coord);

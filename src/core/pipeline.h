@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "cfg/alignment.h"
@@ -94,12 +95,16 @@ struct ContinualState {
 /// A deployed classifier: preprocessing + scaling + (W)SVM, applied to any
 /// partitioned log (the Testing Phase).
 ///
-/// Thread safety: every const member (scan, predict, stream, accessors) is
-/// genuinely read-only — no hidden caches — so a `const Detector` may be
-/// shared freely across threads (the serving layer in src/serve/ relies on
-/// this). The only mutators are calibrate() and set_decision_threshold();
-/// finish calibrating before publishing the detector to other threads.
-/// Stream objects are NOT thread-safe: one stream = one event source.
+/// Thread safety: every const member (scan, predict, stream, accessors)
+/// may be called concurrently on a shared `const Detector` (the serving
+/// layer in src/serve/ relies on this). The model/preprocessor state is
+/// genuinely read-only; the one internal cache — the TupleCodec that
+/// memoizes interned-id features for the compact-event path — is itself
+/// thread-safe and deterministic (same id, same value), so sharing stays
+/// race-free and verdicts stay byte-identical. The only mutators are
+/// calibrate() and set_decision_threshold(); finish calibrating before
+/// publishing the detector to other threads. Stream objects are NOT
+/// thread-safe: one stream = one event source.
 class Detector {
  public:
   Detector(Preprocessor preprocessor, ml::MinMaxScaler scaler,
@@ -140,6 +145,11 @@ class Detector {
   const ml::SvmModel& model() const { return model_; }
   const Preprocessor& preprocessor() const { return preprocessor_; }
   const ml::MinMaxScaler& scaler() const { return scaler_; }
+  /// The interned-feature cache for the compact-event serving path (see
+  /// TupleCodec). Shared by every Stream of this detector; copies of the
+  /// detector share it too (the cached values depend only on the model,
+  /// never on addresses).
+  TupleCodec& codec() const { return *codec_; }
 
   /// Continual-learning state, when this detector carries one (see
   /// ContinualState). Like calibrate(), set it before publishing the
@@ -161,6 +171,12 @@ class Detector {
     /// Returns a verdict when this event completes a window.
     std::optional<int> push(const trace::PartitionedEvent& event);
 
+    /// Compact-event fast path: same verdicts, byte for byte, as push()
+    /// on the event `table` interned. Features come from the detector's
+    /// TupleCodec (id-keyed cache) instead of rebuilding string sets.
+    std::optional<int> push(const trace::CompactEvent& event,
+                            const trace::TokenTable& table);
+
     std::size_t events_seen() const { return events_seen_; }
     /// Events buffered toward the next (incomplete) window. Mirrors batch
     /// scan() semantics: a trailing partial window is never classified.
@@ -171,6 +187,8 @@ class Detector {
     double last_decision_value() const { return last_decision_value_; }
 
    private:
+    std::optional<int> push_tuple(const EventTuple& tuple);
+
     const Detector* detector_;
     ml::FeatureVector pending_;
     std::size_t events_seen_ = 0;
@@ -185,6 +203,9 @@ class Detector {
   ml::SvmModel model_;
   double decision_threshold_ = 0.0;
   std::optional<ContinualState> continual_;
+  // shared_ptr keeps the detector movable/copyable while the codec stays
+  // non-copyable (its cache is address-stable, not its identity).
+  std::shared_ptr<TupleCodec> codec_ = std::make_shared<TupleCodec>();
 };
 
 }  // namespace leaps::core

@@ -168,6 +168,29 @@ EventTuple Preprocessor::tuple(const trace::PartitionedEvent& event) const {
   return t;
 }
 
+EventTuple TupleCodec::tuple(const Preprocessor& preprocessor,
+                             const trace::TokenTable& table,
+                             const trace::CompactEvent& event) const {
+  LEAPS_CHECK_MSG(preprocessor.fitted(), "Preprocessor used before fit()");
+  EventTuple t;
+  t.event_type = trace::event_type_id(event.type);
+  const SetClusterer& libs = preprocessor.lib_clusterer();
+  const SetClusterer& funcs = preprocessor.func_clusterer();
+  const auto& lib_slot = libs_.get(event.lib_id, [&](Slot& slot) {
+    slot.cluster = libs.assign(table.lib_set(event.lib_id));
+    slot.coord = libs.position(slot.cluster);
+  });
+  const auto& func_slot = funcs_.get(event.func_id, [&](Slot& slot) {
+    slot.cluster = funcs.assign(table.func_set(event.func_id));
+    slot.coord = funcs.position(slot.cluster);
+  });
+  t.lib_cluster = lib_slot.cluster;
+  t.lib_coord = lib_slot.coord;
+  t.func_cluster = func_slot.cluster;
+  t.func_coord = func_slot.coord;
+  return t;
+}
+
 WindowedData Preprocessor::make_windows(
     const trace::PartitionedLog& log) const {
   LEAPS_SPAN("preprocess.windows");

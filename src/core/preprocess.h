@@ -12,14 +12,20 @@
 // to the nearest training set's cluster.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "ml/dataset.h"
 #include "ml/distance.h"
 #include "ml/hcluster.h"
+#include "trace/intern.h"
 #include "trace/partition.h"
 
 namespace leaps::core {
@@ -150,6 +156,108 @@ class Preprocessor {
   PreprocessOptions options_;
   SetClusterer libs_{};
   SetClusterer funcs_{};
+};
+
+/// Concurrent interned-id -> discretized-feature cache: the bridge that
+/// lets the serving hot path consume trace::CompactEvent without ever
+/// rebuilding the Lib/Func string sets. Each detector owns one codec;
+/// the first time a given lib_id/func_id reaches it, the set is fetched
+/// from the TokenTable and run through SetClusterer::assign/position
+/// exactly once, then every later event carrying that id reads the
+/// cached (cluster, coord) pair lock-free. Because assign() is a pure
+/// function of the set, and ids map 1:1 to sets, the cached values are
+/// byte-identical to what the string path computes per event.
+///
+/// Thread safety: fully thread-safe. Reads are lock-free (per-entry
+/// release/acquire publication in append-only segments); a miss computes
+/// under a mutex (one thread computes, others wait briefly).
+///
+/// Ids are only meaningful relative to the TokenTable that minted them:
+/// feed one codec from one table (the serving layer always uses
+/// trace::TokenTable::global()).
+class TupleCodec {
+ public:
+  TupleCodec() = default;
+  TupleCodec(const TupleCodec&) = delete;
+  TupleCodec& operator=(const TupleCodec&) = delete;
+
+  /// The discretized 3-tuple of one compact event; identical to
+  /// `preprocessor.tuple(table.materialize(event))`.
+  EventTuple tuple(const Preprocessor& preprocessor,
+                   const trace::TokenTable& table,
+                   const trace::CompactEvent& event) const;
+
+  /// Distinct (lib_id + func_id) entries resolved so far.
+  std::size_t cached() const {
+    return libs_.size() + funcs_.size();
+  }
+
+ private:
+  struct Slot {
+    std::atomic<int> state{0};  // 0 = empty, 1 = ready
+    int cluster = 0;
+    double coord = 0.0;
+  };
+
+  /// Append-only id-indexed slot table (ids are dense, so segments fill
+  /// front to back; a segment is allocated the first time an id in its
+  /// range arrives).
+  class IdCache {
+   public:
+    static constexpr std::size_t kSegBits = 10;  // 1024 slots per segment
+    static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+    static constexpr std::size_t kMaxSegments = 4096;  // ~4.2M ids
+
+    IdCache() = default;
+    ~IdCache() {
+      for (auto& s : segments_) delete[] s.load(std::memory_order_relaxed);
+    }
+
+    /// Returns the slot for `id`, computing it with `fill` under the
+    /// cache mutex when absent. `fill` writes cluster/coord.
+    template <typename Fill>
+    const Slot& get(std::uint32_t id, Fill&& fill) const {
+      Slot* slot = find(id);
+      if (slot != nullptr &&
+          slot->state.load(std::memory_order_acquire) == 1) {
+        return *slot;
+      }
+      const std::lock_guard<std::mutex> lock(mu_);
+      slot = ensure(id);
+      if (slot->state.load(std::memory_order_relaxed) != 1) {
+        fill(*slot);
+        slot->state.store(1, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return *slot;
+    }
+
+    std::size_t size() const {
+      return size_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    Slot* find(std::uint32_t id) const {
+      Slot* seg = segments_[id >> kSegBits].load(std::memory_order_acquire);
+      return seg == nullptr ? nullptr : &seg[id & (kSegSize - 1)];
+    }
+    Slot* ensure(std::uint32_t id) const {  // caller holds mu_
+      const std::size_t seg_index = id >> kSegBits;
+      Slot* seg = segments_[seg_index].load(std::memory_order_relaxed);
+      if (seg == nullptr) {
+        seg = new Slot[kSegSize];
+        segments_[seg_index].store(seg, std::memory_order_release);
+      }
+      return &seg[id & (kSegSize - 1)];
+    }
+
+    mutable std::array<std::atomic<Slot*>, kMaxSegments> segments_{};
+    mutable std::atomic<std::size_t> size_{0};
+    mutable std::mutex mu_;
+  };
+
+  IdCache libs_;
+  IdCache funcs_;
 };
 
 }  // namespace leaps::core

@@ -159,4 +159,141 @@ class BoundedQueue {
   bool shedding_ = false;
 };
 
+/// Bounded MPMC queue for *weighted* items — the batched hand-off form.
+/// Each item carries a weight (events per batch) and capacity, size,
+/// high-water, and drop accounting are all in weight units, so a server
+/// configured for "4096 queued events" admits exactly that many whether
+/// they arrive one per item or thirty-two. Same backpressure policies and
+/// close semantics as BoundedQueue, with two differences forced by
+/// batching:
+///
+///   * eviction hands the evicted items back (via `evicted`) instead of
+///     returning a count — the caller must retire each evicted event and
+///     recycle the batch buffer,
+///   * an item heavier than the whole capacity is admitted when the
+///     queue is empty (kBlock would otherwise deadlock); it simply
+///     occupies the queue alone.
+template <typename T>
+class WeightedQueue {
+ public:
+  explicit WeightedQueue(std::size_t capacity,
+                         OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  WeightedQueue(const WeightedQueue&) = delete;
+  WeightedQueue& operator=(const WeightedQueue&) = delete;
+
+  /// Enqueues one item of `weight` units. Under kBlock, waits until the
+  /// item fits (or the queue is empty — see class comment); under
+  /// kDropOldest — or kBlock with shedding engaged — evicts oldest items
+  /// into `evicted` until it fits. Returns false (item discarded, not
+  /// evicted into the vector) only when the queue is closed.
+  bool push(T item, std::size_t weight, std::vector<T>* evicted = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      space_.wait(lock, [this, weight] {
+        return closed_ || shedding_ || items_.empty() ||
+               weight_ + weight <= capacity_;
+      });
+    }
+    if (closed_) return false;
+    while (weight_ + weight > capacity_ && !items_.empty()) {
+      Entry& front = items_.front();
+      dropped_ += front.weight;
+      weight_ -= front.weight;
+      if (evicted != nullptr) evicted->push_back(std::move(front.item));
+      items_.pop_front();
+    }
+    items_.push_back(Entry{std::move(item), weight});
+    weight_ += weight;
+    if (weight_ > high_water_) high_water_ = weight_;
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// See BoundedQueue::set_shedding.
+  void set_shedding(bool on) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (shedding_ == on) return;
+      shedding_ = on;
+    }
+    if (on) space_.notify_all();
+  }
+  bool shedding() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return shedding_;
+  }
+
+  /// Appends items to `out` until at least `max_weight` units have been
+  /// taken (the last item may overshoot), blocking for the first one.
+  /// Returns the total weight appended; 0 means closed and drained.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_weight) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::size_t taken = 0;
+    while (!items_.empty() && (taken == 0 || taken < max_weight)) {
+      Entry& front = items_.front();
+      taken += front.weight;
+      weight_ -= front.weight;
+      out.push_back(std::move(front.item));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (taken > 0) space_.notify_all();
+    return taken;
+  }
+
+  /// No further pushes succeed; consumers drain what remains.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Queued weight (events), not item count.
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return weight_;
+  }
+  /// Heaviest the queue has ever been, in weight units.
+  std::size_t high_water() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+  /// Weight units evicted since construction.
+  std::size_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+
+ private:
+  struct Entry {
+    T item;
+    std::size_t weight;
+  };
+
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<Entry> items_;
+  std::size_t weight_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t dropped_ = 0;
+  bool closed_ = false;
+  bool shedding_ = false;
+};
+
 }  // namespace leaps::serve

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <span>
 
 #include "obs/trace.h"
 #include "util/check.h"
@@ -28,9 +29,10 @@ std::uint64_t batch_p99_us(std::vector<std::uint64_t>& waits_us) {
 DetectionServer::DetectionServer(ServerOptions options) : options_(options) {
   LEAPS_CHECK_MSG(options_.workers >= 1, "server needs at least one worker");
   LEAPS_CHECK_MSG(options_.batch_size >= 1, "batch size must be >= 1");
+  LEAPS_CHECK_MSG(options_.coalesce >= 1, "coalesce must be >= 1");
   shards_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
-    shards_.push_back(std::make_unique<BoundedQueue<Item>>(
+    shards_.push_back(std::make_unique<WeightedQueue<EventBatch>>(
         options_.queue_capacity, options_.overflow));
   }
 }
@@ -127,6 +129,10 @@ void DetectionServer::start() {
 void DetectionServer::stop() {
   const std::lock_guard<std::mutex> lock(lifecycle_mu_);
   stopped_ = true;
+  // Fence new submits, then flush what already staged: any submit that
+  // misses this store re-checks closing_ after staging and self-flushes
+  // (see the closing_ comment in the header), so no event strands.
+  closing_.store(true, std::memory_order_seq_cst);
   // Sweeper first: it must not race session eviction against shutdown.
   {
     const std::lock_guard<std::mutex> sweep_lock(sweep_mu_);
@@ -134,6 +140,7 @@ void DetectionServer::stop() {
   }
   sweep_cv_.notify_all();
   if (sweeper_.joinable()) sweeper_.join();
+  flush_all_stages();  // queues still open; workers still draining
   for (const auto& shard : shards_) shard->close();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -143,6 +150,9 @@ void DetectionServer::stop() {
 }
 
 void DetectionServer::drain() {
+  // Ship partial stages first, or their events would never retire and
+  // this wait could not terminate.
+  flush_all_stages();
   std::unique_lock<std::mutex> lock(drain_mu_);
   drain_cv_.wait(lock, [this] {
     return retired_.load(std::memory_order_acquire) >=
@@ -189,17 +199,27 @@ std::shared_ptr<Session> DetectionServer::open_session(
 
 std::optional<SessionReport> DetectionServer::close_session(
     const SessionKey& key) {
+  // Hold the handle across close so any staged events can still ship
+  // (they are already counted ingested and must retire).
+  const std::shared_ptr<Session> session = sessions_.find(key);
   std::optional<SessionReport> report = sessions_.close(key);
-  if (report.has_value()) metrics_.sessions_closed.fetch_add(1, kRelaxed);
+  if (report.has_value()) {
+    metrics_.sessions_closed.fetch_add(1, kRelaxed);
+    if (session != nullptr) flush_staged(session);
+  }
   return report;
 }
 
 std::size_t DetectionServer::sweep_idle_now() {
   if (options_.idle_ttl.count() == 0) return 0;
   const auto cutoff = std::chrono::steady_clock::now() - options_.idle_ttl;
-  const std::vector<SessionReport> evicted = sessions_.evict_idle(cutoff);
+  const std::vector<std::shared_ptr<Session>> evicted =
+      sessions_.evict_idle_sessions(cutoff);
   if (!evicted.empty()) {
     metrics_.sessions_evicted.fetch_add(evicted.size(), kRelaxed);
+    // An evicted session's staged events still retire: flush them now
+    // (the queue keeps the session alive until they are processed).
+    for (const auto& s : evicted) flush_staged(s);
   }
   return evicted.size();
 }
@@ -210,32 +230,80 @@ bool DetectionServer::submit(const std::shared_ptr<Session>& session,
     metrics_.events_rejected.fetch_add(1, kRelaxed);
     return false;
   }
-  BoundedQueue<Item>& shard =
-      *shards_[session->shard_hash() % shards_.size()];
-  accepted_.fetch_add(1, std::memory_order_release);
-  std::size_t evicted = 0;
-  const bool ok = shard.push(
-      Item{session, std::move(event), std::chrono::steady_clock::now()},
-      &evicted);
-  metrics_.note_queue_depth(shard.high_water());
-  if (evicted > 0) {
-    metrics_.events_dropped.fetch_add(evicted, kRelaxed);
-    if (shard.shedding()) metrics_.events_shed.fetch_add(evicted, kRelaxed);
-    note_completed(evicted);  // evicted events retire unprocessed
-  }
-  if (!ok) {
-    // Queue closed (server stopped): the event was never enqueued.
+  if (closing_.load(std::memory_order_seq_cst)) {
     metrics_.events_rejected.fetch_add(1, kRelaxed);
-    note_completed(1);
     return false;
   }
+  // Ingest boundary: the event's strings die here; only the compact form
+  // (interned ids, see trace/intern.h) flows onward.
+  const trace::CompactEvent compact =
+      trace::TokenTable::global().compact(event);
+  accepted_.fetch_add(1, std::memory_order_release);
   metrics_.events_ingested.fetch_add(1, kRelaxed);
+  {
+    const std::lock_guard<std::mutex> lock(session->stage_mutex());
+    session->stage().push_back(compact);
+    if (session->stage().size() >= options_.coalesce) {
+      flush_locked(session);
+    }
+  }
+  // Shutdown race: if stop() raised closing_ after our check above, its
+  // flush_all_stages may already have passed this session. Re-check and
+  // self-flush so the staged event retires either way.
+  if (closing_.load(std::memory_order_seq_cst)) flush_staged(session);
   return true;
 }
 
 bool DetectionServer::submit(const SessionKey& key,
                              trace::PartitionedEvent event) {
   return submit(sessions_.find(key), std::move(event));
+}
+
+void DetectionServer::retire_dropped(std::size_t n, bool shed) {
+  metrics_.events_dropped.fetch_add(n, kRelaxed);
+  if (shed) metrics_.events_shed.fetch_add(n, kRelaxed);
+  note_completed(n);
+}
+
+void DetectionServer::flush_locked(const std::shared_ptr<Session>& session) {
+  if (session->stage().empty()) return;
+  EventBatch batch;
+  batch.session = session;
+  batch.events = std::move(session->stage());
+  session->stage() = batch_pool_.acquire();
+  batch.enqueued = std::chrono::steady_clock::now();
+  const std::size_t weight = batch.events.size();
+  WeightedQueue<EventBatch>& shard =
+      *shards_[session->shard_hash() % shards_.size()];
+  // Pushed while the stage lock is held: two racing flushes for one
+  // session would otherwise be able to enqueue out of order, corrupting
+  // the per-session FIFO that window assembly depends on.
+  std::vector<EventBatch> evicted;
+  const bool ok = shard.push(std::move(batch), weight, &evicted);
+  metrics_.note_queue_depth(shard.high_water());
+  if (!evicted.empty()) {
+    const bool shed = shard.shedding();
+    for (EventBatch& b : evicted) {
+      retire_dropped(b.events.size(), shed);
+      batch_pool_.release(std::move(b.events));
+    }
+  }
+  if (!ok) {
+    // Queue closed mid-shutdown: these events were accepted (ingested),
+    // so they retire as dropped to keep the accounting identity exact.
+    retire_dropped(weight, false);
+  }
+}
+
+void DetectionServer::flush_staged(const std::shared_ptr<Session>& session) {
+  const std::lock_guard<std::mutex> lock(session->stage_mutex());
+  flush_locked(session);
+}
+
+void DetectionServer::flush_all_stages() {
+  // Coalesce == 1 ships every event at submit; nothing can be staged.
+  if (options_.coalesce <= 1) return;
+  for (const auto& session : sessions_.all()) flush_staged(session);
 }
 
 void DetectionServer::note_completed(std::uint64_t n) {
@@ -260,23 +328,23 @@ void DetectionServer::sweeper_loop() {
 }
 
 void DetectionServer::worker_loop(std::size_t shard_index) {
-  BoundedQueue<Item>& queue = *shards_[shard_index];
-  std::vector<Item> batch;
-  std::vector<const trace::PartitionedEvent*> run;
+  WeightedQueue<EventBatch>& queue = *shards_[shard_index];
+  std::vector<EventBatch> batches;
+  std::vector<trace::CompactEvent> run;
   std::vector<Verdict> verdicts;
   std::vector<std::uint64_t> waits_us;
-  batch.reserve(options_.batch_size);
+  batches.reserve(options_.batch_size);
   run.reserve(options_.batch_size);
   waits_us.reserve(options_.batch_size);
   while (true) {
-    batch.clear();
-    const std::size_t n = queue.pop_batch(batch, options_.batch_size);
+    batches.clear();
+    const std::size_t n = queue.pop_batch(batches, options_.batch_size);
     if (n == 0) break;  // closed and drained
     metrics_.batches_drained.fetch_add(1, kRelaxed);
     const auto dequeued = std::chrono::steady_clock::now();
     waits_us.clear();
-    for (const Item& item : batch) {
-      const auto wait = dequeued - item.enqueued;
+    for (const EventBatch& b : batches) {
+      const auto wait = dequeued - b.enqueued;
       metrics_.queue_wait.record(wait);
       waits_us.push_back(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(wait)
@@ -294,14 +362,16 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
         queue.set_shedding(false);
       }
     }
-    // Feed maximal consecutive runs of the same session under one session
-    // lock — this is where window classification batches up.
+    // Feed maximal consecutive same-session runs under one session lock —
+    // this is where window classification batches up. Compact events are
+    // 32-byte PODs, so concatenating a run is a cheap copy.
     std::size_t i = 0;
-    while (i < batch.size()) {
+    while (i < batches.size()) {
       std::size_t j = i;
       run.clear();
-      while (j < batch.size() && batch[j].session == batch[i].session) {
-        run.push_back(&batch[j].event);
+      while (j < batches.size() && batches[j].session == batches[i].session) {
+        run.insert(run.end(), batches[j].events.begin(),
+                   batches[j].events.end());
         ++j;
       }
       verdicts.clear();
@@ -310,8 +380,9 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
       RunOutcome outcome;
       bool run_ok = true;
       try {
-        outcome = batch[i].session->feed_run(
-            run.data(), run.size(), verdicts, options_.circuit_breaker,
+        outcome = batches[i].session->feed_run(
+            std::span<const trace::CompactEvent>(run), verdicts,
+            options_.circuit_breaker,
             effective_tap_ ? &effective_tap_ : nullptr);
       } catch (...) {
         // feed_run guards each event, so reaching here means something
@@ -321,12 +392,15 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
       }
       metrics_.classify.record(std::chrono::steady_clock::now() - t0);
       if (!run_ok) {
-        const bool already = batch[i].session->quarantined();
-        batch[i].session->quarantine();
+        const bool already = batches[i].session->quarantined();
+        batches[i].session->quarantine();
         if (!already) metrics_.sessions_quarantined.fetch_add(1, kRelaxed);
         metrics_.events_failed.fetch_add(run.size(), kRelaxed);
         metrics_.events_quarantined.fetch_add(run.size(), kRelaxed);
         note_completed(run.size());
+        for (std::size_t k = i; k < j; ++k) {
+          batch_pool_.release(std::move(batches[k].events));
+        }
         i = j;
         continue;
       }
@@ -348,11 +422,14 @@ void DetectionServer::worker_loop(std::size_t shard_index) {
             .fetch_add(1, kRelaxed);
         metrics_.decision_values.observe(v.decision_value);
         if (sink_) {
-          sink_(VerdictRecord{batch[i].session->key(), v.window_index,
+          sink_(VerdictRecord{batches[i].session->key(), v.window_index,
                               v.label, v.decision_value});
         }
       }
       note_completed(run.size());
+      for (std::size_t k = i; k < j; ++k) {
+        batch_pool_.release(std::move(batches[k].events));
+      }
       i = j;
     }
   }

@@ -1,5 +1,7 @@
 #include "serve/session.h"
 
+#include <algorithm>
+#include <bit>
 #include <exception>
 #include <functional>
 
@@ -32,6 +34,7 @@ Session::Session(SessionKey key, std::string profile,
       key_string_(key_.to_string()),
       shard_hash_(hash_key(key_)),
       detector_(checked(std::move(detector))),
+      table_(&trace::TokenTable::global()),
       last_active_(
           std::chrono::steady_clock::now().time_since_epoch().count()),
       stream_(detector_->stream()) {}
@@ -46,8 +49,8 @@ std::optional<Verdict> Session::feed(const trace::PartitionedEvent& event) {
                  stream_.last_decision_value()};
 }
 
-RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
-                             std::size_t count, std::vector<Verdict>& out,
+RunOutcome Session::feed_run(std::span<const trace::CompactEvent> events,
+                             std::vector<Verdict>& out,
                              std::size_t breaker_threshold,
                              const WindowTap* tap) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -56,7 +59,7 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
   // would no longer span contiguous events, so restart at a boundary.
   if (tap == nullptr && !tap_buf_.empty()) tap_buf_.clear();
   RunOutcome outcome;
-  for (std::size_t i = 0; i < count; ++i) {
+  for (const trace::CompactEvent& event : events) {
     if (quarantined()) {
       ++outcome.skipped;
       continue;
@@ -71,14 +74,14 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
         }
         if (shadow_->aligned) {
           const auto a0 = std::chrono::steady_clock::now();
-          label = stream_.push(*events[i]);
+          label = stream_.push(event, *table_);
           const auto a1 = std::chrono::steady_clock::now();
           shadow_->active_ns += static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(a1 - a0)
                   .count());
           try {
             const auto s0 = std::chrono::steady_clock::now();
-            shadow_label = shadow_->stream.push(*events[i]);
+            shadow_label = shadow_->stream.push(event, *table_);
             const auto s1 = std::chrono::steady_clock::now();
             shadow_->shadow_ns += static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
@@ -90,14 +93,14 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
             shadow_label.reset();
           }
         } else {
-          label = stream_.push(*events[i]);
+          label = stream_.push(event, *table_);
         }
       } else {
-        label = stream_.push(*events[i]);
+        label = stream_.push(event, *table_);
       }
       consecutive_failures_ = 0;
       ++outcome.processed;
-      if (tap != nullptr) tap_buf_.push_back(*events[i]);
+      if (tap != nullptr) tap_buf_.push_back(event);
       if (label.has_value()) {
         const double decision = stream_.last_decision_value();
         const std::size_t window_index =
@@ -111,10 +114,19 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
         }
         if (tap != nullptr) {
           // Report only full windows: a buffer started mid-window is short
-          // at its first verdict and merely resynchronizes here.
+          // at its first verdict and merely resynchronizes here. Tapped
+          // windows are materialized back to the string form exactly
+          // (TokenTable interning is lossless), so tap consumers — the
+          // online accumulator, the durable WAL, the audit stream — see
+          // byte-identical events to the pre-interning fabric.
           if (tap_buf_.size() == detector_->preprocessor().window()) {
-            (*tap)(key_, window_index, *label, decision, tap_buf_.data(),
-                   tap_buf_.size());
+            tap_scratch_.clear();
+            tap_scratch_.reserve(tap_buf_.size());
+            for (const trace::CompactEvent& e : tap_buf_) {
+              tap_scratch_.push_back(table_->materialize(e));
+            }
+            (*tap)(key_, window_index, *label, decision,
+                   tap_scratch_.data(), tap_scratch_.size());
           }
           tap_buf_.clear();
         }
@@ -134,6 +146,20 @@ RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
     }
   }
   return outcome;
+}
+
+RunOutcome Session::feed_run(const trace::PartitionedEvent* const* events,
+                             std::size_t count, std::vector<Verdict>& out,
+                             std::size_t breaker_threshold,
+                             const WindowTap* tap) {
+  auto& table = trace::TokenTable::global();
+  std::vector<trace::CompactEvent> compact;
+  compact.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    compact.push_back(table.compact(*events[i]));
+  }
+  return feed_run(std::span<const trace::CompactEvent>(compact), out,
+                  breaker_threshold, tap);
 }
 
 bool Session::attach_shadow(std::shared_ptr<const core::Detector> candidate,
@@ -176,80 +202,112 @@ SessionReport Session::report() const {
   return r;
 }
 
-SessionManager::SessionManager(const DetectorRegistry* registry)
-    : registry_(registry) {
+SessionManager::SessionManager(const DetectorRegistry* registry,
+                               std::size_t shards,
+                               std::shared_ptr<SlabGauges> slab_gauges)
+    : registry_(registry),
+      pool_(std::make_shared<SlabPool>(/*slots_per_chunk=*/256,
+                                       std::move(slab_gauges))) {
   LEAPS_CHECK_MSG(registry_ != nullptr, "SessionManager needs a registry");
+  const std::size_t n = std::bit_ceil(shards == 0 ? std::size_t{1} : shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SessionManager::Shard& SessionManager::shard_for(
+    const SessionKey& key) const {
+  // shards_.size() is a power of two, so masking the key hash picks a
+  // shard uniformly; Session::shard_hash() uses the same hash, keeping
+  // queue sharding and table sharding coherent.
+  return *shards_[hash_key(key) & (shards_.size() - 1)];
 }
 
 std::shared_ptr<Session> SessionManager::open(const SessionKey& key,
                                               const std::string& profile) {
+  Shard& shard = shard_for(key);
   {
-    const std::shared_lock lock(mu_);
-    const auto it = sessions_.find(key);
-    if (it != sessions_.end()) return it->second;
+    const std::shared_lock lock(shard.mu);
+    const auto it = shard.sessions.find(key);
+    if (it != shard.sessions.end()) return it->second;
   }
-  // Snapshot the detector outside the sessions lock.
+  // Snapshot the detector outside the shard lock.
   std::shared_ptr<const core::Detector> detector = registry_->find(profile);
   if (detector == nullptr) return nullptr;
-  auto session =
-      std::make_shared<Session>(key, profile, std::move(detector));
-  const std::unique_lock lock(mu_);
+  // allocate_shared: the Session and its control block land in one slab
+  // slot; the allocator's pool shared_ptr keeps the slot's chunk alive
+  // even if the manager dies while queued events still hold the session.
+  auto session = std::allocate_shared<Session>(
+      SlabAllocator<Session>(pool_), key, profile, std::move(detector));
+  const std::unique_lock lock(shard.mu);
   // Another opener may have raced us; first one in wins.
-  const auto [it, inserted] = sessions_.emplace(key, std::move(session));
+  const auto [it, inserted] = shard.sessions.emplace(key, std::move(session));
   return it->second;
 }
 
 std::shared_ptr<Session> SessionManager::find(const SessionKey& key) const {
-  const std::shared_lock lock(mu_);
-  const auto it = sessions_.find(key);
-  return it == sessions_.end() ? nullptr : it->second;
+  Shard& shard = shard_for(key);
+  const std::shared_lock lock(shard.mu);
+  const auto it = shard.sessions.find(key);
+  return it == shard.sessions.end() ? nullptr : it->second;
 }
 
 std::optional<SessionReport> SessionManager::close(const SessionKey& key) {
+  Shard& shard = shard_for(key);
   std::shared_ptr<Session> session;
   {
-    const std::unique_lock lock(mu_);
-    const auto it = sessions_.find(key);
-    if (it == sessions_.end()) return std::nullopt;
+    const std::unique_lock lock(shard.mu);
+    const auto it = shard.sessions.find(key);
+    if (it == shard.sessions.end()) return std::nullopt;
     session = std::move(it->second);
-    sessions_.erase(it);
+    shard.sessions.erase(it);
   }
   return session->report();
 }
 
 std::vector<SessionReport> SessionManager::evict_idle(
     std::chrono::steady_clock::time_point cutoff) {
-  std::vector<std::shared_ptr<Session>> evicted;
-  {
-    const std::unique_lock lock(mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (it->second->last_active() < cutoff) {
-        evicted.push_back(std::move(it->second));
-        it = sessions_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  // Reports outside the manager lock: report() takes each session's mutex.
+  const std::vector<std::shared_ptr<Session>> evicted =
+      evict_idle_sessions(cutoff);
+  // Reports outside the shard locks: report() takes each session's mutex.
   std::vector<SessionReport> reports;
   reports.reserve(evicted.size());
   for (const auto& s : evicted) reports.push_back(s->report());
   return reports;
 }
 
+std::vector<std::shared_ptr<Session>> SessionManager::evict_idle_sessions(
+    std::chrono::steady_clock::time_point cutoff) {
+  std::vector<std::shared_ptr<Session>> evicted;
+  for (const auto& shard : shards_) {
+    const std::unique_lock lock(shard->mu);
+    for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
+      if (it->second->last_active() < cutoff) {
+        evicted.push_back(std::move(it->second));
+        it = shard->sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
 std::size_t SessionManager::active() const {
-  const std::shared_lock lock(mu_);
-  return sessions_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mu);
+    n += shard->sessions.size();
+  }
+  return n;
 }
 
 std::vector<SessionReport> SessionManager::reports() const {
-  std::vector<std::shared_ptr<Session>> live;
-  {
-    const std::shared_lock lock(mu_);
-    live.reserve(sessions_.size());
-    for (const auto& [_, s] : sessions_) live.push_back(s);
-  }
+  std::vector<std::shared_ptr<Session>> live = all();
+  // Key order, as before sharding (shards interleave the key space).
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a->key() < b->key(); });
   std::vector<SessionReport> out;
   out.reserve(live.size());
   for (const auto& s : live) out.push_back(s->report());
@@ -259,9 +317,20 @@ std::vector<SessionReport> SessionManager::reports() const {
 std::vector<std::shared_ptr<Session>> SessionManager::sessions_for(
     const std::string& profile) const {
   std::vector<std::shared_ptr<Session>> out;
-  const std::shared_lock lock(mu_);
-  for (const auto& [_, s] : sessions_) {
-    if (s->profile() == profile) out.push_back(s);
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mu);
+    for (const auto& [_, s] : shard->sessions) {
+      if (s->profile() == profile) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::all() const {
+  std::vector<std::shared_ptr<Session>> out;
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mu);
+    for (const auto& [_, s] : shard->sessions) out.push_back(s);
   }
   return out;
 }

@@ -6,6 +6,11 @@
 // only sessions opened afterwards — a session must not change classifiers
 // mid-stream, or its window verdicts become incomparable).
 //
+// Hot-path form: the worker path feeds trace::CompactEvent batches
+// (interned at the ingest boundary, see trace/intern.h); strings never
+// reach feed_run. Tapped windows are materialized — exactly — from the
+// TokenTable only when a WindowTap/audit consumer is installed.
+//
 // Failure model: classification runs against adversarial event streams,
 // so feed_run guards every event. An event that throws (poison input, an
 // injected fault) counts as *failed* and bumps the session's
@@ -18,6 +23,12 @@
 // are sharded by session key), but feed_run() still takes the session
 // mutex so that reports() and direct submit paths are race-free under
 // ThreadSanitizer.
+//
+// SessionManager is sharded: the key space is split across N
+// independently-locked shards (power of two, key-hash selected), so
+// open/find/close on different shards never contend — the fleet-scale
+// fabric's first requirement. Session objects themselves come from a
+// freelist-backed slab pool (serve/slab.h).
 #pragma once
 
 #include <atomic>
@@ -29,11 +40,14 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "serve/registry.h"
+#include "serve/slab.h"
+#include "trace/intern.h"
 #include "trace/partition.h"
 
 namespace leaps::serve {
@@ -65,7 +79,7 @@ struct Verdict {
 /// and drift monitor (src/online/). Called under the session mutex from
 /// worker threads: must be thread-safe, cheap, and must not throw or call
 /// back into the session. `events` points at `count` buffered copies valid
-/// only for the call.
+/// only for the call (materialized exactly from the interned form).
 using WindowTap =
     std::function<void(const SessionKey& key, std::size_t window_index,
                        int label, double decision_value,
@@ -112,13 +126,21 @@ class Session {
   /// Quarantined sessions ignore the event and return nullopt.
   std::optional<Verdict> feed(const trace::PartitionedEvent& event);
 
-  /// Feeds a run of events under one lock (the worker batch path),
-  /// appending any completed-window verdicts to `out`. Every event is
-  /// individually guarded: one that throws is counted as failed, and
+  /// Feeds a run of interned events under one lock (the worker batch
+  /// path), appending any completed-window verdicts to `out`. Every event
+  /// is individually guarded: one that throws is counted as failed, and
   /// `breaker_threshold` consecutive failures quarantine the session
   /// (0 disables the breaker — failures never quarantine).
   /// `tap`, when non-null, observes every completed window (see WindowTap);
   /// the session buffers the window's events only while a tap is passed.
+  RunOutcome feed_run(std::span<const trace::CompactEvent> events,
+                      std::vector<Verdict>& out,
+                      std::size_t breaker_threshold,
+                      const WindowTap* tap = nullptr);
+
+  /// String-event compatibility shim (direct callers and tests): interns
+  /// each event through the global TokenTable, then runs the compact
+  /// path. Verdicts are byte-identical either way.
   RunOutcome feed_run(const trace::PartitionedEvent* const* events,
                       std::size_t count, std::vector<Verdict>& out,
                       std::size_t breaker_threshold,
@@ -141,6 +163,9 @@ class Session {
   SessionReport report() const;
   const SessionKey& key() const { return key_; }
   const std::string& profile() const { return profile_; }
+  /// Cached `key().to_string()` — use this on hot paths (fault-point
+  /// details, per-verdict logging) instead of rebuilding the string.
+  const std::string& key_string() const { return key_string_; }
   /// The detector snapshot pinned at open time (never changes; see class
   /// comment). The audit stream borrows it to explain this session's
   /// verdicts against the exact model that produced them.
@@ -166,6 +191,14 @@ class Session {
         std::chrono::steady_clock::duration(
             last_active_.load(std::memory_order_acquire)));
   }
+
+  /// The producer-side micro-batch stage (guarded by its own mutex so
+  /// staging never contends with classification). submit() appends here
+  /// and the server flushes a full stage into the shard queue as one
+  /// EventBatch; see DetectionServer. Exposed as plain members for the
+  /// server (same translation unit family), not for general use.
+  std::mutex& stage_mutex() { return stage_mu_; }
+  std::vector<trace::CompactEvent>& stage() { return stage_; }
 
  private:
   // Shadow-deploy state (guarded by mu_). The candidate's stream exists
@@ -197,6 +230,7 @@ class Session {
   const std::string key_string_;  // cached fault-point detail
   const std::size_t shard_hash_;
   const std::shared_ptr<const core::Detector> detector_;
+  const trace::TokenTable* table_;  // interning domain of compact events
   std::atomic<SessionState> state_{SessionState::kActive};
   std::atomic<std::chrono::steady_clock::duration::rep> last_active_;
   mutable std::mutex mu_;
@@ -206,14 +240,26 @@ class Session {
   std::unique_ptr<ShadowState> shadow_;   // guarded by mu_
   // Window-event buffer for the tap; filled only on tapped feed_run calls,
   // and only with events since the last window boundary (guarded by mu_).
-  std::vector<trace::PartitionedEvent> tap_buf_;
+  std::vector<trace::CompactEvent> tap_buf_;
+  // Scratch for materializing a tapped window (guarded by mu_; reused).
+  std::vector<trace::PartitionedEvent> tap_scratch_;
+  // Producer-side micro-batch stage (guarded by stage_mu_, never by mu_).
+  std::mutex stage_mu_;
+  std::vector<trace::CompactEvent> stage_;
 };
 
-/// Owns the live sessions; thread-safe open/find/close.
+/// Owns the live sessions; thread-safe open/find/close. Sharded: the key
+/// space is hash-split across independently-locked shards, so session
+/// table operations scale with the worker count instead of serializing
+/// on one map mutex. Iterating calls (reports, evict_idle, sessions_for)
+/// lock one shard at a time.
 class SessionManager {
  public:
-  /// The registry must outlive the manager.
-  explicit SessionManager(const DetectorRegistry* registry);
+  /// Shards are rounded up to a power of two (default 64). The registry
+  /// must outlive the manager.
+  explicit SessionManager(const DetectorRegistry* registry,
+                          std::size_t shards = 64,
+                          std::shared_ptr<SlabGauges> slab_gauges = nullptr);
 
   /// Opens a session for `key` classified by `profile`'s detector.
   /// Returns the existing session if one is already open for `key` (its
@@ -231,8 +277,15 @@ class SessionManager {
   /// Removes every session idle since before `cutoff` and returns their
   /// final reports (the TTL sweep). Queued events for an evicted session
   /// are still processed — the shared_ptr keeps it alive — but, as with
-  /// close(), the report is taken at eviction time.
+  /// close(), the report is taken at eviction time. Sweeps shard by
+  /// shard; never holds more than one shard lock.
   std::vector<SessionReport> evict_idle(
+      std::chrono::steady_clock::time_point cutoff);
+
+  /// evict_idle, but hands back the session objects instead of reports —
+  /// the server needs the handles to flush staged events so none strand
+  /// in an evicted session's stage.
+  std::vector<std::shared_ptr<Session>> evict_idle_sessions(
       std::chrono::steady_clock::time_point cutoff);
 
   std::size_t active() const;
@@ -244,10 +297,22 @@ class SessionManager {
   std::vector<std::shared_ptr<Session>> sessions_for(
       const std::string& profile) const;
 
+  /// Every live session (for the server's stage flush); unordered.
+  std::vector<std::shared_ptr<Session>> all() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<SessionKey, std::shared_ptr<Session>> sessions;
+  };
+
+  Shard& shard_for(const SessionKey& key) const;
+
   const DetectorRegistry* registry_;
-  mutable std::shared_mutex mu_;
-  std::map<SessionKey, std::shared_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<SlabPool> pool_;  // session slots; outlives via allocator
 };
 
 }  // namespace leaps::serve

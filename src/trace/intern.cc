@@ -1,0 +1,198 @@
+#include "trace/intern.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace leaps::trace {
+
+namespace {
+
+constexpr std::size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+
+inline void combine(std::size_t& h, std::size_t v) {
+  h ^= v + kHashSeed + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::size_t TokenTable::FrameSeqHash::operator()(
+    const std::vector<StackFrame>& frames) const {
+  std::size_t h = frames.size();
+  for (const StackFrame& f : frames) {
+    combine(h, std::hash<std::uint64_t>{}(f.address));
+    combine(h, std::hash<std::string>{}(f.module));
+    combine(h, std::hash<std::string>{}(f.function));
+  }
+  return h;
+}
+
+std::size_t TokenTable::AddrSeqHash::operator()(
+    const std::vector<std::uint64_t>& addrs) const {
+  std::size_t h = addrs.size();
+  for (const std::uint64_t a : addrs) {
+    combine(h, std::hash<std::uint64_t>{}(a));
+  }
+  return h;
+}
+
+std::size_t TokenTable::StringSetHash::operator()(
+    const StringSet& set) const {
+  std::size_t h = set.size();
+  for (const std::string& s : set) {
+    combine(h, std::hash<std::string>{}(s));
+  }
+  return h;
+}
+
+TokenTable& TokenTable::global() {
+  static TokenTable* table = new TokenTable();  // never destroyed
+  return *table;
+}
+
+StringSet TokenTable::derive_lib_set(const std::vector<StackFrame>& frames) {
+  StringSet out;
+  out.reserve(frames.size());
+  for (const StackFrame& f : frames) out.push_back(f.module);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StringSet TokenTable::derive_func_set(const std::vector<StackFrame>& frames) {
+  StringSet out;
+  out.reserve(frames.size());
+  for (const StackFrame& f : frames) {
+    // Functions are module-qualified: ReadFile in kernel32 and in
+    // kernelbase are different functions (same rule as the preprocessor).
+    out.push_back(f.module + "!" + f.function);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint32_t TokenTable::intern_set(
+    StringSet set,
+    std::unordered_map<StringSet, std::uint32_t, StringSetHash>& ids,
+    SegmentedStore<StringSet>& store) {
+  const auto it = ids.find(set);
+  if (it != ids.end()) return it->second;
+  StringSet key = set;  // map key and stored value are separate copies
+  const std::uint32_t id = store.append(std::move(set));
+  ids.emplace(std::move(key), id);
+  return id;
+}
+
+CompactEvent TokenTable::compact(const PartitionedEvent& event) {
+  CompactEvent out;
+  out.seq = event.seq;
+  out.tid = event.tid;
+  out.type = event.type;
+  bool missed = false;
+
+  // System-stack domain (carries the derived Lib/Func set ids).
+  {
+    bool hit = false;
+    {
+      const std::shared_lock lock(sys_mu_);
+      const auto it = sys_ids_.find(event.system_stack);
+      if (it != sys_ids_.end()) {
+        out.sys_id = it->second;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      const std::unique_lock lock(sys_mu_);
+      const auto it = sys_ids_.find(event.system_stack);
+      if (it != sys_ids_.end()) {
+        out.sys_id = it->second;
+      } else {
+        missed = true;
+        SysEntry entry;
+        entry.frames = event.system_stack;
+        entry.lib_id = intern_set(derive_lib_set(event.system_stack),
+                                  lib_ids_, lib_store_);
+        entry.func_id = intern_set(derive_func_set(event.system_stack),
+                                   func_ids_, func_store_);
+        out.sys_id = sys_store_.append(std::move(entry));
+        sys_ids_.emplace(event.system_stack, out.sys_id);
+        LEAPS_CHECK_MSG(
+            out.sys_id < SegmentedStore<SysEntry>::kMaxSegments *
+                             SegmentedStore<SysEntry>::kSegSize,
+            "TokenTable system-stack domain exhausted");
+      }
+    }
+    const SysEntry& entry = sys_store_[out.sys_id];
+    out.lib_id = entry.lib_id;
+    out.func_id = entry.func_id;
+  }
+
+  // App-stack domain.
+  {
+    bool hit = false;
+    {
+      const std::shared_lock lock(app_mu_);
+      const auto it = app_ids_.find(event.app_stack);
+      if (it != app_ids_.end()) {
+        out.app_id = it->second;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      const std::unique_lock lock(app_mu_);
+      const auto it = app_ids_.find(event.app_stack);
+      if (it != app_ids_.end()) {
+        out.app_id = it->second;
+      } else {
+        missed = true;
+        out.app_id = app_store_.append(event.app_stack);
+        app_ids_.emplace(event.app_stack, out.app_id);
+      }
+    }
+  }
+
+  (missed ? interned_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+PartitionedEvent TokenTable::materialize(const CompactEvent& event) const {
+  PartitionedEvent out;
+  out.seq = event.seq;
+  out.tid = event.tid;
+  out.type = event.type;
+  out.app_stack = app_stack(event.app_id);
+  out.system_stack = system_stack(event.sys_id);
+  return out;
+}
+
+const StringSet& TokenTable::lib_set(std::uint32_t lib_id) const {
+  return lib_store_[lib_id];
+}
+
+const StringSet& TokenTable::func_set(std::uint32_t func_id) const {
+  return func_store_[func_id];
+}
+
+const std::vector<StackFrame>& TokenTable::system_stack(
+    std::uint32_t sys_id) const {
+  return sys_store_[sys_id].frames;
+}
+
+const std::vector<std::uint64_t>& TokenTable::app_stack(
+    std::uint32_t app_id) const {
+  return app_store_[app_id];
+}
+
+TokenTable::Stats TokenTable::stats() const {
+  Stats s;
+  s.system_stacks = sys_store_.size();
+  s.app_stacks = app_store_.size();
+  s.lib_sets = lib_store_.size();
+  s.func_sets = func_store_.size();
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.interned = interned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace leaps::trace

@@ -1,0 +1,198 @@
+// Ingest-boundary token interning (the serving hot path's event form).
+//
+// The classification path only ever consumes an event through three
+// projections: its EventType id, the *set* of system-stack modules
+// (Lib), and the set of "module!function" names (Func). Carrying the
+// full string-bearing PartitionedEvent through the queues and workers
+// means allocating and hashing those strings once per event per stage.
+// TokenTable hoists all of that to the ingest boundary: a producer
+// interns each event exactly once into a CompactEvent — six integers —
+// and everything downstream (queues, workers, Detector::Stream) works
+// with uint32 ids. Strings are touched again only on the cold paths
+// (a first-seen set reaching a detector's TupleCodec, a tapped window
+// being materialized for the online/audit consumers).
+//
+// Interning is exact, not lossy: the table stores the first-seen
+// system-stack frame sequence (addresses included) and app-stack
+// address sequence verbatim, so materialize() reconstructs a
+// PartitionedEvent byte-identical to the original. The Lib/Func sets
+// derived at intern time use the same sort-and-deduplicate recipe as
+// core::Preprocessor::lib_set/func_set (asserted by tests), which is
+// what makes id-keyed feature caching downstream byte-identical to the
+// string path.
+//
+// Thread safety: fully thread-safe. Lookups by id are lock-free
+// (append-only segmented storage, entries never move); interning takes
+// a per-domain shared_mutex — shared for the common already-seen case,
+// exclusive only for first-seen tokens. Ids are dense per domain and
+// stable for the table's lifetime; they are NOT stable across processes
+// (never persist them — durability serializes materialized events).
+//
+// Memory: the table only grows (every distinct stack sequence is kept
+// forever). Real deployments recycle stack shapes heavily, so growth
+// flattens fast; an adversary can still inflate it with synthetic
+// stacks, which stats() exposes for monitoring. Bounded/evicting
+// interning is future work (see DESIGN.md §14).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/partition.h"
+
+namespace leaps::trace {
+
+/// Sorted, deduplicated string set — mirrors ml::StringSet (trace sits
+/// below ml in the layering, so the alias is restated here).
+using StringSet = std::vector<std::string>;
+
+/// The interned hot-path event: what PartitionedEvent becomes at the
+/// ingest boundary. Plain integers, no heap state — cheap to copy, to
+/// queue in batches, and to keep in pooled buffers.
+struct CompactEvent {
+  std::uint64_t seq = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t sys_id = 0;   // system-stack frame sequence
+  std::uint32_t app_id = 0;   // app-stack address sequence
+  std::uint32_t lib_id = 0;   // derived Lib set (modules)
+  std::uint32_t func_id = 0;  // derived Func set ("module!function")
+  EventType type = EventType::kSysCallEnter;
+};
+
+/// Append-only id -> value storage with lock-free reads: values live in
+/// fixed-size heap segments that never move or shrink, so a reference
+/// obtained by id stays valid for the store's lifetime. append() must be
+/// serialized externally (the TokenTable domain mutex); readers need no
+/// lock.
+template <typename T>
+class SegmentedStore {
+ public:
+  static constexpr std::size_t kSegBits = 12;  // 4096 entries per segment
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+  static constexpr std::size_t kMaxSegments = 4096;  // ~16.7M ids per domain
+
+  SegmentedStore() = default;
+  SegmentedStore(const SegmentedStore&) = delete;
+  SegmentedStore& operator=(const SegmentedStore&) = delete;
+  ~SegmentedStore() {
+    for (auto& s : segments_) delete[] s.load(std::memory_order_relaxed);
+  }
+
+  const T& operator[](std::uint32_t id) const {
+    const T* seg =
+        segments_[id >> kSegBits].load(std::memory_order_acquire);
+    return seg[id & (kSegSize - 1)];
+  }
+
+  /// Caller must hold the owning domain's exclusive lock.
+  std::uint32_t append(T value) {
+    const std::uint32_t id = size_.load(std::memory_order_relaxed);
+    const std::size_t seg_index = id >> kSegBits;
+    T* seg = segments_[seg_index].load(std::memory_order_relaxed);
+    if (seg == nullptr) {
+      seg = new T[kSegSize];
+      segments_[seg_index].store(seg, std::memory_order_release);
+    }
+    seg[id & (kSegSize - 1)] = std::move(value);
+    size_.store(id + 1, std::memory_order_release);
+    return id;
+  }
+
+  std::uint32_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::array<std::atomic<T*>, kMaxSegments> segments_{};
+  std::atomic<std::uint32_t> size_{0};
+};
+
+class TokenTable {
+ public:
+  TokenTable() = default;
+  TokenTable(const TokenTable&) = delete;
+  TokenTable& operator=(const TokenTable&) = delete;
+
+  /// The process-wide table the serving layer interns through.
+  static TokenTable& global();
+
+  /// Interns every projection of `event` and returns its compact form.
+  CompactEvent compact(const PartitionedEvent& event);
+
+  /// Exact reconstruction: equal to the event compact() consumed, field
+  /// for field (first-seen stack sequences are stored verbatim).
+  PartitionedEvent materialize(const CompactEvent& event) const;
+
+  /// Id lookups; references stay valid for the table's lifetime.
+  const StringSet& lib_set(std::uint32_t lib_id) const;
+  const StringSet& func_set(std::uint32_t func_id) const;
+  const std::vector<StackFrame>& system_stack(std::uint32_t sys_id) const;
+  const std::vector<std::uint64_t>& app_stack(std::uint32_t app_id) const;
+
+  struct Stats {
+    std::uint64_t system_stacks = 0;  // distinct frame sequences
+    std::uint64_t app_stacks = 0;     // distinct app address sequences
+    std::uint64_t lib_sets = 0;       // distinct Lib sets
+    std::uint64_t func_sets = 0;      // distinct Func sets
+    std::uint64_t hits = 0;           // compact() calls fully cached
+    std::uint64_t interned = 0;       // compact() calls that added a token
+  };
+  Stats stats() const;
+
+  /// The sort-and-deduplicate set recipes, restated from
+  /// core::Preprocessor::lib_set/func_set (which cannot be called from
+  /// this layer). tests/test_serve_fabric.cc asserts they agree.
+  static StringSet derive_lib_set(const std::vector<StackFrame>& frames);
+  static StringSet derive_func_set(const std::vector<StackFrame>& frames);
+
+ private:
+  struct SysEntry {
+    std::vector<StackFrame> frames;
+    std::uint32_t lib_id = 0;
+    std::uint32_t func_id = 0;
+  };
+
+  struct FrameSeqHash {
+    std::size_t operator()(const std::vector<StackFrame>& frames) const;
+  };
+  struct AddrSeqHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& addrs) const;
+  };
+  struct StringSetHash {
+    std::size_t operator()(const StringSet& set) const;
+  };
+
+  /// Interns `set` in one of the two string-set domains. Caller must
+  /// hold sys_mu_ exclusively (set interning only happens while a new
+  /// system stack is being added, so the sys lock covers these maps too).
+  std::uint32_t intern_set(
+      StringSet set,
+      std::unordered_map<StringSet, std::uint32_t, StringSetHash>& ids,
+      SegmentedStore<StringSet>& store);
+
+  mutable std::shared_mutex sys_mu_;
+  std::unordered_map<std::vector<StackFrame>, std::uint32_t, FrameSeqHash>
+      sys_ids_;
+  std::unordered_map<StringSet, std::uint32_t, StringSetHash> lib_ids_;
+  std::unordered_map<StringSet, std::uint32_t, StringSetHash> func_ids_;
+  SegmentedStore<SysEntry> sys_store_;
+  SegmentedStore<StringSet> lib_store_;
+  SegmentedStore<StringSet> func_store_;
+
+  mutable std::shared_mutex app_mu_;
+  std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, AddrSeqHash>
+      app_ids_;
+  SegmentedStore<std::vector<std::uint64_t>> app_store_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> interned_{0};
+};
+
+}  // namespace leaps::trace

@@ -1,0 +1,458 @@
+// Fleet-scale session-fabric tests (the sharded/interned/slab-backed/
+// batched serving hot path):
+//
+//   * TokenTable — exact round-trip interning (materialize ==
+//     original, byte for byte), derived-set equality with
+//     core::Preprocessor's recipes, and concurrent-intern determinism,
+//   * SessionManager sharding — an open/close/find/evict/reports race
+//     hammer across threads (run under -DLEAPS_SANITIZE=thread in CI),
+//   * batched hand-off — windows assemble identically across any batch
+//     split: coalesce=1 vs coalesce=7 vs a sequential Detector::Stream
+//     produce byte-identical verdicts (decision values compared exactly),
+//   * WeightedQueue — event-granular capacity/drop accounting,
+//   * SlabPool / BufferPool — slot reuse, overflow fallback, gauges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "detector_fixture.h"
+#include "core/preprocess.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/slab.h"
+#include "trace/intern.h"
+
+namespace leaps::serve {
+namespace {
+
+using leaps::testing::TrainedDetector;
+using leaps::testing::train_small_detector;
+
+const TrainedDetector& fixture() {
+  static const TrainedDetector* f =
+      new TrainedDetector(train_small_detector());
+  return *f;
+}
+
+bool same_event(const trace::PartitionedEvent& a,
+                const trace::PartitionedEvent& b) {
+  return a.seq == b.seq && a.tid == b.tid && a.type == b.type &&
+         a.system_stack == b.system_stack && a.app_stack == b.app_stack;
+}
+
+// --- TokenTable -----------------------------------------------------------
+
+TEST(TokenTable, RoundTripIsExact) {
+  trace::TokenTable table;
+  const auto& events = fixture().mixed.events;
+  ASSERT_FALSE(events.empty());
+  for (const trace::PartitionedEvent& e : events) {
+    const trace::CompactEvent c = table.compact(e);
+    const trace::PartitionedEvent back = table.materialize(c);
+    ASSERT_TRUE(same_event(e, back))
+        << "materialize() must reconstruct the event byte-identically";
+  }
+  const trace::TokenTable::Stats stats = table.stats();
+  EXPECT_GT(stats.hits, 0u) << "a real log recycles stack shapes";
+  EXPECT_GT(stats.interned, 0u);
+}
+
+TEST(TokenTable, HandlesEmptyStacksAndHostileNames) {
+  trace::TokenTable table;
+  trace::PartitionedEvent e;
+  e.seq = 42;
+  e.tid = 7;
+  e.type = trace::EventType::kSysCallEnter;
+  // Empty stacks are legal (partitioner output for stackless events).
+  const trace::CompactEvent c0 = table.compact(e);
+  EXPECT_TRUE(same_event(e, table.materialize(c0)));
+  // '!' inside a module name must not collide with the module!function
+  // separator in a *different* stack (ids key on the frame sequence, not
+  // on the joined string, so no ambiguity is possible).
+  trace::PartitionedEvent bang1 = e;
+  bang1.system_stack.push_back({0x10, "lib!odd", "fn"});
+  trace::PartitionedEvent bang2 = e;
+  bang2.system_stack.push_back({0x10, "lib", "odd!fn"});
+  const trace::CompactEvent c1 = table.compact(bang1);
+  const trace::CompactEvent c2 = table.compact(bang2);
+  EXPECT_NE(c1.sys_id, c2.sys_id);
+  EXPECT_TRUE(same_event(bang1, table.materialize(c1)));
+  EXPECT_TRUE(same_event(bang2, table.materialize(c2)));
+}
+
+TEST(TokenTable, DerivedSetsMatchPreprocessorRecipes) {
+  trace::TokenTable table;
+  for (const trace::PartitionedEvent& e : fixture().mixed.events) {
+    const trace::CompactEvent c = table.compact(e);
+    EXPECT_EQ(table.lib_set(c.lib_id), core::Preprocessor::lib_set(e))
+        << "Lib recipe diverged from core::Preprocessor::lib_set";
+    EXPECT_EQ(table.func_set(c.func_id), core::Preprocessor::func_set(e))
+        << "Func recipe diverged from core::Preprocessor::func_set";
+  }
+}
+
+TEST(TokenTable, ConcurrentInterningIsDeterministic) {
+  trace::TokenTable table;
+  const auto& events = fixture().mixed.events;
+  const std::size_t n = std::min<std::size_t>(events.size(), 512);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<trace::CompactEvent>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t].reserve(n);
+      // Different threads walk in different orders: first-seen racing is
+      // the point.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = (t % 2 == 0) ? i : n - 1 - i;
+        per_thread[t].push_back(table.compact(events[idx]));
+      }
+      if (t % 2 != 0) {
+        std::reverse(per_thread[t].begin(), per_thread[t].end());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Every thread must have observed identical ids for identical events —
+  // a racing double-intern handing out two ids for one token would make
+  // downstream id-keyed caches diverge between workers.
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(per_thread[0][i].sys_id, per_thread[t][i].sys_id);
+      EXPECT_EQ(per_thread[0][i].app_id, per_thread[t][i].app_id);
+      EXPECT_EQ(per_thread[0][i].lib_id, per_thread[t][i].lib_id);
+      EXPECT_EQ(per_thread[0][i].func_id, per_thread[t][i].func_id);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(same_event(events[i], table.materialize(per_thread[0][i])));
+  }
+}
+
+// --- SessionManager sharding ----------------------------------------------
+
+TEST(SessionManagerShards, PowerOfTwoRounding) {
+  DetectorRegistry registry;
+  registry.add("p", fixture().detector);
+  EXPECT_EQ(SessionManager(&registry, 1).shard_count(), 1u);
+  EXPECT_EQ(SessionManager(&registry, 3).shard_count(), 4u);
+  EXPECT_EQ(SessionManager(&registry, 64).shard_count(), 64u);
+  EXPECT_EQ(SessionManager(&registry, 65).shard_count(), 128u);
+}
+
+TEST(SessionManagerShards, OpenCloseFindSweepRaceHammer) {
+  DetectorRegistry registry;
+  registry.add("p", fixture().detector);
+  SessionManager manager(&registry, 8);
+  constexpr std::size_t kKeys = 64;
+  constexpr int kRounds = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> finds{0};
+
+  std::vector<std::thread> threads;
+  // Openers/closers churn overlapping key ranges across every shard.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::size_t k = static_cast<std::size_t>(t); k < kKeys;
+             k += 4) {
+          const SessionKey key{"hammer", static_cast<std::uint32_t>(k)};
+          ASSERT_NE(manager.open(key, "p"), nullptr);
+          if ((r + t) % 3 == 0) manager.close(key);
+        }
+      }
+    });
+  }
+  // Readers: find / reports / active / sessions_for against the churn.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (std::size_t k = 0; k < kKeys; ++k) {
+          if (manager.find({"hammer", static_cast<std::uint32_t>(k)})) {
+            finds.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        const std::vector<SessionReport> reports = manager.reports();
+        // reports() promises key order even across shards.
+        for (std::size_t i = 1; i < reports.size(); ++i) {
+          ASSERT_LT(reports[i - 1].key, reports[i].key);
+        }
+        (void)manager.active();
+        (void)manager.sessions_for("p").size();
+      }
+    });
+  }
+  // Sweeper: a future cutoff evicts everything (nothing ever feeds, so
+  // every session is "idle") — open races must survive concurrent erasure.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)manager.evict_idle(std::chrono::steady_clock::now() +
+                               std::chrono::hours(1));
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < 4; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = 4; t < threads.size(); ++t) threads[t].join();
+  EXPECT_GT(finds.load(), 0u);
+
+  // Deterministic closing sweep: whatever survived is found and closed.
+  std::size_t closed = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    closed += manager.close({"hammer", static_cast<std::uint32_t>(k)})
+                      .has_value()
+                  ? 1
+                  : 0;
+  }
+  EXPECT_EQ(manager.active(), 0u);
+  EXPECT_LE(closed, kKeys);
+}
+
+TEST(SessionManagerShards, ReportsAreKeyOrderedAcrossShards) {
+  DetectorRegistry registry;
+  registry.add("p", fixture().detector);
+  SessionManager manager(&registry, 16);
+  for (std::uint32_t pid = 0; pid < 40; ++pid) {
+    ASSERT_NE(manager.open({"host-" + std::to_string(pid % 5), pid}, "p"),
+              nullptr);
+  }
+  const std::vector<SessionReport> reports = manager.reports();
+  ASSERT_EQ(reports.size(), 40u);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LT(reports[i - 1].key, reports[i].key);
+  }
+}
+
+// --- batched hand-off: window assembly across batch splits ----------------
+
+std::map<std::size_t, std::vector<std::pair<std::size_t, double>>>
+serve_verdicts(std::size_t coalesce, std::size_t sessions,
+               std::size_t per_session) {
+  const TrainedDetector& f = fixture();
+  ServerOptions options;
+  options.workers = 3;
+  options.coalesce = coalesce;
+  options.session_shards = 4;
+  serve::DetectionServer server(options);
+  server.registry().add("p", f.detector);
+
+  std::mutex mu;
+  std::map<std::size_t, std::vector<std::pair<std::size_t, double>>> got;
+  server.set_verdict_sink([&](const VerdictRecord& v) {
+    const std::lock_guard<std::mutex> lock(mu);
+    got[v.key.pid].emplace_back(v.window_index, v.decision_value);
+  });
+
+  std::vector<std::shared_ptr<Session>> opened;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    opened.push_back(server.open_session(
+        {"batch", static_cast<std::uint32_t>(s)}, "p"));
+  }
+  server.start();
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto& events = f.mixed.events;
+      for (std::size_t i = 0; i < per_session; ++i) {
+        server.submit(opened[s], events[i % events.size()]);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  server.drain();
+  server.stop();
+  return got;
+}
+
+TEST(BatchedHandoff, WindowAssemblyIdenticalAcrossBatchSplits) {
+  const TrainedDetector& f = fixture();
+  constexpr std::size_t kSessions = 4;
+  const std::size_t per_session = 40 * f.detector->preprocessor().window();
+
+  // Sequential ground truth: one Detector::Stream per session.
+  std::vector<std::pair<std::size_t, double>> expected;
+  {
+    core::Detector::Stream stream = f.detector->stream();
+    std::size_t window_index = 0;
+    for (std::size_t i = 0; i < per_session; ++i) {
+      const auto& events = f.mixed.events;
+      if (stream.push(events[i % events.size()]).has_value()) {
+        expected.emplace_back(window_index++,
+                              stream.last_decision_value());
+      }
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  // coalesce=1 (per-event hand-off), a prime coalesce that never divides
+  // the window size, and one larger than the worker drain batch.
+  for (const std::size_t coalesce : {std::size_t{1}, std::size_t{7},
+                                     std::size_t{160}}) {
+    const auto got = serve_verdicts(coalesce, kSessions, per_session);
+    ASSERT_EQ(got.size(), kSessions) << "coalesce=" << coalesce;
+    for (const auto& [pid, verdicts] : got) {
+      ASSERT_EQ(verdicts.size(), expected.size())
+          << "coalesce=" << coalesce << " session " << pid;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(verdicts[i].first, expected[i].first);
+        // Byte-identical decision values — the interned/batched path must
+        // not perturb the math by even one ulp.
+        EXPECT_EQ(verdicts[i].second, expected[i].second)
+            << "coalesce=" << coalesce << " window " << i;
+      }
+    }
+  }
+}
+
+// --- WeightedQueue --------------------------------------------------------
+
+TEST(WeightedQueue, CapacityAndDropsAreInWeightUnits) {
+  WeightedQueue<int> q(10, OverflowPolicy::kDropOldest);
+  std::vector<int> evicted;
+  EXPECT_TRUE(q.push(1, 4, &evicted));
+  EXPECT_TRUE(q.push(2, 4, &evicted));
+  EXPECT_TRUE(q.push(3, 2, &evicted));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(q.size(), 10u);
+  // 4 more weight units: evicting item 1 (4 units) already makes room.
+  EXPECT_TRUE(q.push(4, 4, &evicted));
+  EXPECT_EQ(evicted, (std::vector<int>{1}));
+  EXPECT_EQ(q.dropped(), 4u);
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_EQ(q.high_water(), 10u);
+  // 9 more: every queued item goes — freeing 4+2 is still not enough, so
+  // the evictor keeps walking until the newcomer fits.
+  evicted.clear();
+  EXPECT_TRUE(q.push(5, 9, &evicted));
+  EXPECT_EQ(evicted, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(q.dropped(), 14u);
+  EXPECT_EQ(q.size(), 9u);
+}
+
+TEST(WeightedQueue, OversizedItemAdmittedWhenEmpty) {
+  WeightedQueue<int> q(4, OverflowPolicy::kBlock);
+  // Heavier than the whole queue: admitted alone rather than deadlocking.
+  EXPECT_TRUE(q.push(7, 100));
+  EXPECT_EQ(q.size(), 100u);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 100u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(WeightedQueue, PopBatchTakesAtLeastOneAndStopsAtMaxWeight) {
+  WeightedQueue<int> q(100, OverflowPolicy::kBlock);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i, 10));
+  std::vector<int> out;
+  // 25 units: items 0,1 fit (20), item 2 overshoots to 30 — the batch
+  // takes it (last item may overshoot) and stops.
+  EXPECT_EQ(q.pop_batch(out, 25), 30u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  out.clear();
+  q.close();
+  EXPECT_EQ(q.pop_batch(out, 1000), 20u);
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+  EXPECT_EQ(q.pop_batch(out, 1000), 0u);  // closed and drained
+}
+
+// --- SlabPool / BufferPool ------------------------------------------------
+
+TEST(SlabPool, ReusesSlotsAndPublishesGauges) {
+  auto gauges = std::make_shared<SlabGauges>();
+  SlabPool pool(4, gauges);
+  void* a = pool.allocate(64, 8);
+  void* b = pool.allocate(64, 8);
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.chunk_count(), 1u);
+  EXPECT_EQ(gauges->in_use.load(), 2);
+  pool.deallocate(a, 64, 8);
+  EXPECT_EQ(gauges->free.load(), 3);
+  // A freed slot is handed out again before any chunk growth.
+  void* c = pool.allocate(64, 8);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pool.chunk_count(), 1u);
+  pool.deallocate(b, 64, 8);
+  pool.deallocate(c, 64, 8);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(gauges->in_use.load(), 0);
+}
+
+TEST(SlabPool, MismatchedSizeFallsBackToHeapWithCounter) {
+  auto gauges = std::make_shared<SlabGauges>();
+  SlabPool pool(4, gauges);
+  void* a = pool.allocate(64, 8);  // fixes the slot size
+  void* odd = pool.allocate(128, 8);
+  ASSERT_NE(odd, nullptr);
+  EXPECT_EQ(pool.overflow(), 1u);
+  EXPECT_EQ(gauges->overflow.load(), 1);
+  EXPECT_EQ(pool.in_use(), 1u);  // overflow blocks are not pool slots
+  pool.deallocate(odd, 128, 8);  // classified by containment -> heap path
+  pool.deallocate(a, 64, 8);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(SlabPool, GrowsByWholeChunks) {
+  SlabPool pool(2);
+  std::vector<void*> slots;
+  for (int i = 0; i < 5; ++i) slots.push_back(pool.allocate(32, 8));
+  EXPECT_EQ(pool.chunk_count(), 3u);  // ceil(5 / 2)
+  const std::set<void*> unique(slots.begin(), slots.end());
+  EXPECT_EQ(unique.size(), slots.size());
+  for (void* p : slots) pool.deallocate(p, 32, 8);
+  EXPECT_EQ(pool.free_slots(), 6u);
+}
+
+TEST(BufferPool, RecyclesCapacityAndBoundsFreeList) {
+  auto gauges = std::make_shared<SlabGauges>();
+  BufferPool<int> pool(2, gauges);
+  std::vector<int> a = pool.acquire();
+  a.reserve(1024);
+  const std::size_t cap = a.capacity();
+  int* data = a.data();
+  pool.release(std::move(a));
+  std::vector<int> b = pool.acquire();
+  EXPECT_EQ(b.data(), data) << "capacity must be recycled, not reallocated";
+  EXPECT_GE(b.capacity(), cap);
+  EXPECT_TRUE(b.empty());
+  // max_free bounds the free list: the third release is dropped.
+  pool.release(std::move(b));
+  pool.release(pool.acquire());
+  std::vector<int> c = pool.acquire();
+  std::vector<int> d = pool.acquire();
+  std::vector<int> e = pool.acquire();
+  pool.release(std::move(c));
+  pool.release(std::move(d));
+  pool.release(std::move(e));
+  EXPECT_LE(pool.free_buffers(), 2u);
+  EXPECT_EQ(gauges->in_use.load(), 0);
+}
+
+TEST(SlabAllocator, SessionsAllocateFromThePoolViaAllocateShared) {
+  auto gauges = std::make_shared<SlabGauges>();
+  DetectorRegistry registry;
+  registry.add("p", fixture().detector);
+  SessionManager manager(&registry, 4, gauges);
+  std::vector<std::shared_ptr<Session>> held;
+  for (std::uint32_t pid = 0; pid < 16; ++pid) {
+    held.push_back(manager.open({"slab", pid}, "p"));
+    ASSERT_NE(held.back(), nullptr);
+  }
+  EXPECT_EQ(gauges->in_use.load() +
+                gauges->overflow.load(),
+            16);
+  for (std::uint32_t pid = 0; pid < 16; ++pid) manager.close({"slab", pid});
+  held.clear();  // last refs drop -> slots return to the freelist
+  EXPECT_EQ(gauges->in_use.load(), 0);
+}
+
+}  // namespace
+}  // namespace leaps::serve

@@ -69,6 +69,12 @@ constexpr const char* kUsage =
     "  --rate F      per-event fault probability on victims (default 0.05)\n"
     "  --corpus N    corrupted binary-log variants per kind (default 200)\n"
     "  --smoke       small fast run for CI\n"
+    "  --soak        fleet-scale session-fabric soak: hold --sessions live\n"
+    "                sessions at once (CI drills 100000; pass 1000000 for\n"
+    "                the documented 1M-session scale), burst-classify a\n"
+    "                sample through micro-batched hand-off, then close the\n"
+    "                fleet — asserting exact accounting and slab-slot\n"
+    "                reconciliation. Runs instead of the replay phases\n"
     "  --rollover    also exercise the online retrain -> shadow -> promote\n"
     "                machinery plus a forced-rollback drill (not part of\n"
     "                plain --smoke; CI runs it as a non-gating canary)\n"
@@ -271,10 +277,12 @@ void fault_replay(const Trained& trained, std::size_t sessions,
   server.registry().add("default", trained.detector);
 
   std::mutex verdicts_mu;
-  std::map<std::string, std::vector<int>> verdicts;
+  // Keyed by SessionKey directly: rebuilding "host:pid" strings per
+  // verdict was measurable noise on the hot sink path.
+  std::map<serve::SessionKey, std::vector<int>> verdicts;
   server.set_verdict_sink([&](const serve::VerdictRecord& v) {
     const std::lock_guard<std::mutex> lock(verdicts_mu);
-    verdicts[v.key.to_string()].push_back(v.label);
+    verdicts[v.key].push_back(v.label);
   });
 
   std::vector<serve::SessionKey> keys;
@@ -324,7 +332,7 @@ void fault_replay(const Trained& trained, std::size_t sessions,
         check(!quarantined,
               "fault-replay: a steady session was quarantined");
         const online::SequenceDiff diff =
-            online::diff_sequences(verdicts[keys[s].to_string()], baseline);
+            online::diff_sequences(verdicts[keys[s]], baseline);
         if (!check(diff.identical(),
                    "fault-replay: steady session diverged from the "
                    "fault-free run")) {
@@ -603,6 +611,90 @@ void persist_corrupt_corpus(const Trained& trained) {
   }
   std::printf("persist corpus: %zu checksum flips + truncated CONTINUAL + "
               "short WAL body all typed, 0 crashes\n", blocks);
+}
+
+/// Phase (--soak): fleet-scale session-fabric soak. Holds `fleet` live
+/// sessions at once (CI drills 100k; the documented scale is 1M — pass
+/// --sessions 1000000), drives a classification burst through a rotating
+/// sample with micro-batched hand-off engaged, then closes the whole
+/// fleet. The contract: every open succeeds and stays held (peak active
+/// == fleet), exact accounting after drain, the slab pool accounts for
+/// every session slot, and teardown returns every slot to the freelist.
+void soak_fabric(const Trained& trained, std::size_t fleet, bool smoke) {
+  const Watchdog watchdog("soak", std::chrono::seconds(smoke ? 600 : 3000));
+
+  serve::ServerOptions options;
+  options.workers = smoke ? 2 : 4;
+  options.session_shards = 256;   // the sharded table is what soaks
+  options.coalesce = 8;           // exercise the batched hand-off path
+  options.queue_capacity = 8192;
+  serve::DetectionServer server(options);
+  server.registry().add("default", trained.detector);
+  server.start();
+
+  for (std::size_t s = 0; s < fleet; ++s) {
+    const serve::SessionKey key{"soak-" + std::to_string(s & 1023),
+                                static_cast<std::uint32_t>(s)};
+    if (server.open_session(key, "default") == nullptr) {
+      check(false, "soak: open_session failed mid-fleet");
+      return;
+    }
+  }
+  const std::size_t peak = server.sessions().active();
+  check(peak == fleet, "soak: fleet not fully held");
+  {
+    const serve::MetricsSnapshot m = server.metrics().snapshot();
+    check(m.slab_sessions_in_use + m.slab_overflow ==
+              static_cast<std::int64_t>(fleet),
+          "soak: slab pool does not account for every session slot");
+  }
+
+  // Classification burst through a sample of the fleet (windows must
+  // still assemble correctly while 100k+ sessions are resident).
+  const std::size_t window = trained.detector->preprocessor().window();
+  const std::size_t sample = std::min<std::size_t>(fleet, 512);
+  const std::size_t burst = window * 2;
+  const auto& events = trained.benign.events;
+  for (std::size_t s = 0; s < sample; ++s) {
+    // Spread the sample across the fleet, not just the first shards.
+    const std::size_t idx = s * (fleet / sample);
+    const serve::SessionKey key{"soak-" + std::to_string(idx & 1023),
+                                static_cast<std::uint32_t>(idx)};
+    for (std::size_t i = 0; i < burst; ++i) {
+      server.submit(key, events[i % events.size()]);
+    }
+  }
+  server.drain();
+  const serve::MetricsSnapshot mid = server.metrics().snapshot();
+  check_identity(mid, "soak");
+  check(mid.events_ingested == sample * burst,
+        "soak: burst events not all accepted");
+  check(mid.windows_scored >= sample,
+        "soak: sampled sessions scored no windows");
+
+  // Teardown: close the entire fleet; every slab slot must come home.
+  std::size_t closed = 0;
+  for (std::size_t s = 0; s < fleet; ++s) {
+    const serve::SessionKey key{"soak-" + std::to_string(s & 1023),
+                                static_cast<std::uint32_t>(s)};
+    closed += server.close_session(key).has_value() ? 1 : 0;
+  }
+  check(closed == fleet, "soak: close did not find every session");
+  check(server.sessions().active() == 0, "soak: sessions left behind");
+  server.drain();
+  server.stop();
+  {
+    const serve::MetricsSnapshot m = server.metrics().snapshot();
+    check(m.slab_sessions_in_use == 0,
+          "soak: session slots leaked after teardown");
+    check(m.slab_sessions_free > 0,
+          "soak: freelist empty after returning the fleet");
+  }
+  std::printf("soak: held %zu sessions (peak %zu), burst %zu x %zu events "
+              "through micro-batches, accounting exact, slab slots "
+              "reconciled (1M is the documented scale: --sessions "
+              "1000000)\n",
+              fleet, peak, sample, burst);
 }
 
 // --- kill-restart drills (--crash) ----------------------------------------
@@ -1068,6 +1160,7 @@ int main(int argc, char** argv) {
   double rate = 0.05;
   std::size_t corpus = 200;
   bool smoke = false;
+  bool soak = false;
   bool rollover = false;
   bool crash = false;
   cli::ObsFlags obs_flags;
@@ -1077,6 +1170,7 @@ int main(int argc, char** argv) {
   args.option("--rate", &rate);
   args.option("--corpus", &corpus);
   args.flag("--smoke", &smoke);
+  args.flag("--soak", &soak);
   args.flag("--rollover", &rollover);
   args.flag("--crash", &crash);
   obs_flags.add_to(args);
@@ -1085,7 +1179,8 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     events = std::min<std::size_t>(events, 2000);
-    sessions = std::min<std::size_t>(sessions, 4);
+    // --soak's whole point is the session count; never cap it.
+    if (!soak) sessions = std::min<std::size_t>(sessions, 4);
     corpus = std::min<std::size_t>(corpus, 48);
   }
   if (sessions < 2) args.usage_error("%s must be >= 2", "--sessions");
@@ -1097,6 +1192,20 @@ int main(int argc, char** argv) {
 
     std::printf("training detector (seed %zu)...\n", seed);
     const Trained trained = train_detector(smoke ? 900 : 1500, 7);
+
+    if (soak) {
+      // The soak replaces the replay phases: same binary, same detector,
+      // but the subject under stress is the session fabric itself.
+      soak_fabric(trained, sessions, smoke);
+      obs_flags.finish();
+      if (g_failures > 0) {
+        std::fprintf(stderr, "leaps-chaos: %d violation(s)\n", g_failures);
+        return 1;
+      }
+      std::printf("leaps-chaos: contract held (no crashes, no deadlocks, "
+                  "accounting exact)\n");
+      return 0;
+    }
 
     ingest_chaos(trained.raw_benign, corpus, rng);
     persist_corrupt_corpus(trained);

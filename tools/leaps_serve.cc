@@ -46,6 +46,10 @@ constexpr const char* kUsage =
     "  --queue-capacity N    per-shard queue capacity (default 4096)\n"
     "  --policy P            backpressure: block | drop-oldest\n"
     "  --batch N             worker drain batch size (default 128)\n"
+    "  --coalesce N          events staged per session before one queue\n"
+    "                        hand-off (default 1 = per-event; raise to\n"
+    "                        amortize queue contention at fleet scale)\n"
+    "  --session-shards N    session-table shards (default 64, pow2)\n"
     "  --threshold F         flagged fraction per session that makes the\n"
     "                        overall verdict suspicious (default 0.25)\n"
     "  --metrics-every S     dump metrics to stderr every S seconds\n"
@@ -167,6 +171,8 @@ int main(int argc, char** argv) {
   args.option("--queue-capacity", &options.queue_capacity);
   args.option("--policy", &policy);
   args.option("--batch", &options.batch_size);
+  args.option("--coalesce", &options.coalesce);
+  args.option("--session-shards", &options.session_shards);
   args.option("--threshold", &threshold);
   args.option("--metrics-every", &metrics_every);
   args.option("--breaker", &options.circuit_breaker);
@@ -207,6 +213,7 @@ int main(int argc, char** argv) {
   }
   options.overflow = *parsed_policy;
   if (options.workers == 0) args.usage_error("%s must be >= 1", "--workers");
+  if (options.coalesce == 0) args.usage_error("%s must be >= 1", "--coalesce");
   if (drift && !online) args.usage_error("%s requires --online", "--drift");
   online_options.drift.enabled = drift;
   options.idle_ttl = std::chrono::milliseconds(idle_ttl_ms);
