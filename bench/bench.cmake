@@ -14,6 +14,7 @@ set(LEAPS_BENCH_TARGETS
   bench_micro
   bench_serve
   bench_train
+  bench_campaign
 )
 foreach(b ${LEAPS_BENCH_TARGETS})
   add_executable(${b} bench/${b}.cc)
@@ -24,3 +25,4 @@ foreach(b ${LEAPS_BENCH_TARGETS})
 endforeach()
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)
 target_link_libraries(bench_serve PRIVATE leaps_serve leaps_online)
+target_link_libraries(bench_campaign PRIVATE leaps_attrib)

@@ -1,0 +1,103 @@
+// Campaign signatures: what the attribution subsystem matches against.
+//
+// A CampaignSignature is a small DAG of technique nodes over
+// {Event_Type, Lib, Func} predicates with ordering/time-gap edges — the
+// detect-then-attribute half of the cascade APT-attribution setting
+// (arxiv 2410.22602): LEAPS flags the windows, the signature library
+// names the campaign. A node describes one technique ("foothold":
+// FileWrite/MemProtect through direct ntdll chains); an edge (a → b)
+// asserts that technique b was first observed in a strictly later
+// flagged window than technique a, optionally within `max_gap_windows`.
+//
+// Signatures live in a plain-text `.sig` format (one per file, '#'
+// comments), parsed behind the same StatusOr discipline as the trace
+// dialects:
+//
+//   SIGNATURE campaign_putty_apt
+//   NODE 0 recon TYPES ProcessCreate,RegistryRead LIBS ntdll.dll
+//     FUNCS ntdll.dll!NtQuerySystemInformation
+//   EDGE 0 1 GAP 0
+//
+// Empty LIBS/FUNCS predicate lists are written as `-` (match any).
+// `signature_from_campaign` derives the ground-truth signature for a
+// sim::CampaignSpec from the same action-variant tables the executor
+// fabricates stacks from, and `decoy_signatures` derives the permuted
+// negatives (reversed edge order, rotated node predicates) the
+// acceptance tests score against.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.h"
+#include "trace/event.h"
+#include "util/status.h"
+
+namespace leaps::attrib {
+
+/// One technique node: a window matches it when the window's evidence
+/// intersects `event_types` and (when non-empty) `libs` / `funcs`.
+struct TechniqueNode {
+  std::uint32_t id = 0;
+  std::string name;  // e.g. "recon"
+  std::vector<trace::EventType> event_types;  // sorted, unique
+  std::vector<std::string> libs;              // sorted, unique; empty = any
+  std::vector<std::string> funcs;             // "lib!func"; empty = any
+};
+
+/// Ordering edge: `to` must first match strictly after `from`, and —
+/// when max_gap_windows > 0 — within that many flagged windows.
+struct SignatureEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t max_gap_windows = 0;  // 0 = unbounded
+};
+
+struct CampaignSignature {
+  std::string name;
+  std::vector<TechniqueNode> nodes;  // listed in topological order
+  std::vector<SignatureEdge> edges;
+};
+
+/// Serializes one signature in the `.sig` text format.
+void write_signature(const CampaignSignature& sig, std::ostream& os);
+std::string signature_to_string(const CampaignSignature& sig);
+
+/// Parses one `.sig` document; kCorruptInput (with the 1-based line
+/// number) on malformed input — unknown event-type names, edges that
+/// reference missing nodes, duplicate node ids all reject.
+util::StatusOr<CampaignSignature> read_signature(std::istream& is);
+
+/// Derives the ground-truth signature of a campaign: one node per stage,
+/// predicates taken from the action-variant table for exactly the
+/// {ActionKind, ChainStyle} set the stage payload draws from, and one
+/// ordering edge per consecutive stage pair.
+CampaignSignature signature_from_campaign(const sim::CampaignSpec& spec);
+
+/// Deterministic permuted negatives for `sig`: `<name>__reversed` (edge
+/// directions flipped — the kill chain run backwards) and
+/// `<name>__rotated` (node predicates rotated one stage out of phase).
+std::vector<CampaignSignature> decoy_signatures(const CampaignSignature& sig);
+
+/// An in-memory signature library (sorted by name, names unique).
+class SignatureLibrary {
+ public:
+  /// Adds a signature; a later add with the same name replaces it.
+  void add(CampaignSignature sig);
+
+  /// Loads every `*.sig` file under `dir` (non-recursive, name order).
+  /// Fails with the first file's parse error; kNotFound when the
+  /// directory does not exist or holds no signatures.
+  util::Status load_dir(const std::string& dir);
+
+  const std::vector<CampaignSignature>& signatures() const { return sigs_; }
+  bool empty() const { return sigs_.empty(); }
+  std::size_t size() const { return sigs_.size(); }
+
+ private:
+  std::vector<CampaignSignature> sigs_;  // name-sorted
+};
+
+}  // namespace leaps::attrib

@@ -113,6 +113,33 @@ std::string render_status_json(const StatusInputs& inputs) {
   } else {
     os << ",\"audit\":null";
   }
+
+  if (inputs.attrib != nullptr) {
+    const auto sessions = inputs.attrib->snapshot();
+    os << ",\"attribution\":{\"sessions\":" << sessions.size()
+       << ",\"flagged_windows\":" << inputs.attrib->flagged_total()
+       << ",\"verdicts\":[";
+    bool first = true;
+    for (const auto& s : sessions) {
+      for (const attrib::AttributionVerdict& v : s.verdicts) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"type\":\"AttributionVerdict\",\"session\":\""
+           << s.key.to_string() << "\",\"signature\":\"" << v.signature
+           << "\",\"score\":";
+        append_double(os, v.score);
+        os << ",\"nodes_matched\":" << v.nodes_matched
+           << ",\"nodes_total\":" << v.nodes_total
+           << ",\"edges_satisfied\":" << v.edges_satisfied
+           << ",\"edges_total\":" << v.edges_total
+           << ",\"first_window\":" << v.first_window
+           << ",\"last_window\":" << v.last_window << "}";
+      }
+    }
+    os << "]}";
+  } else {
+    os << ",\"attribution\":null";
+  }
   os << "}";
   return os.str();
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "attrib/matcher.h"
 #include "online/manager.h"
 #include "serve/audit.h"
 #include "serve/server.h"
@@ -31,6 +32,9 @@ struct StatusInputs {
   const OnlineManager* manager = nullptr;
   /// Optional: audit stream counters (null → "audit": null).
   const serve::AuditLog* audit = nullptr;
+  /// Optional: campaign attribution (null → "attribution": null). Each
+  /// ranked claim renders as an object tagged "AttributionVerdict".
+  const attrib::FleetAttributor* attrib = nullptr;
 };
 
 /// The full status document (one JSON object, no trailing newline).

@@ -10,6 +10,7 @@
 #include "cfg/weight.h"
 #include "ml/svm.h"
 #include "obs/registry.h"
+#include "trace/intern.h"
 
 namespace leaps::serve {
 
@@ -211,7 +212,44 @@ std::string AuditLog::format_record(
       os << "}";
     }
   }
-  os << "]}";
+  os << "]";
+
+  // The window's {Event_Type, Lib, Func} projections — what the
+  // attribution matcher (src/attrib/) consumes when replaying this
+  // stream offline via leaps-attrib. Same sorted-unique recipes as the
+  // TokenTable's derived sets.
+  std::vector<std::string> types;
+  std::vector<std::string> libs;
+  std::vector<std::string> funcs;
+  for (const trace::PartitionedEvent& e : events) {
+    types.emplace_back(trace::event_type_name(e.type));
+    for (std::string& lib : trace::TokenTable::derive_lib_set(e.system_stack)) {
+      libs.push_back(std::move(lib));
+    }
+    for (std::string& func :
+         trace::TokenTable::derive_func_set(e.system_stack)) {
+      funcs.push_back(std::move(func));
+    }
+  }
+  const auto emit_set = [&os](const char* name, std::vector<std::string>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    os << "\"" << name << "\":[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"";
+      append_json_escaped(os, v[i]);
+      os << "\"";
+    }
+    os << "]";
+  };
+  os << ",\"evidence\":{";
+  emit_set("event_types", types);
+  os << ",";
+  emit_set("libs", libs);
+  os << ",";
+  emit_set("funcs", funcs);
+  os << "}}";
   return os.str();
 }
 

@@ -57,6 +57,13 @@ void DetectionServer::set_audit_log(AuditLog* audit) {
   audit_ = audit;
 }
 
+void DetectionServer::add_window_tap(WindowTap tap) {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  LEAPS_CHECK_MSG(!started_, "add window taps before start()");
+  LEAPS_CHECK_MSG(tap, "add_window_tap needs a callable tap");
+  extra_taps_.push_back(std::move(tap));
+}
+
 bool DetectionServer::begin_shadow(
     const std::string& profile,
     std::shared_ptr<const core::Detector> candidate, ShadowSink sink) {
@@ -95,15 +102,18 @@ void DetectionServer::start() {
   const std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return;
   LEAPS_CHECK_MSG(!stopped_, "a stopped server cannot be restarted");
-  // Fold the user tap and the audit hook into one window callback so
-  // feed_run buffers events whenever either consumer wants them.
-  if (audit_ != nullptr) {
+  // Fold the user tap, the extra taps, and the audit hook into one window
+  // callback so feed_run buffers events whenever any consumer wants them.
+  if (audit_ != nullptr || !extra_taps_.empty()) {
     effective_tap_ = [this](const SessionKey& key, std::size_t window_index,
                             int label, double decision_value,
                             const trace::PartitionedEvent* events,
                             std::size_t count) {
       if (tap_) tap_(key, window_index, label, decision_value, events, count);
-      if (label == -1) {
+      for (const WindowTap& tap : extra_taps_) {
+        tap(key, window_index, label, decision_value, events, count);
+      }
+      if (audit_ != nullptr && label == -1) {
         // Anomalous verdicts are the rare path; the session lookup (one
         // shared-lock map find) buys the audit record the exact detector
         // snapshot that scored the window.

@@ -166,6 +166,12 @@ class DetectionServer {
   /// the server and be started/stopped by the caller.
   void set_audit_log(AuditLog* audit);
 
+  /// Install before start(); like set_window_tap but additive — each
+  /// registered tap observes every completed window after the primary
+  /// tap. This is how serve-agnostic consumers (the attribution matcher)
+  /// join the window stream without claiming the online-learning slot.
+  void add_window_tap(WindowTap tap);
+
   /// Stages `candidate` as the shadow for `profile` (see
   /// DetectorRegistry::begin_shadow) and attaches a shadow stream to every
   /// live session of the profile; sessions opened while the shadow is in
@@ -267,6 +273,7 @@ class DetectionServer {
   AuditLog* audit_ = nullptr;  // set before start(); not owned
   // tap_ and the audit hook folded into one callable for feed_run; built
   // at start() so the per-window dispatch is a single call.
+  std::vector<WindowTap> extra_taps_;
   WindowTap effective_tap_;
   // Serializes begin/end shadow against the open_session auto-attach.
   mutable std::mutex shadow_mu_;

@@ -1,0 +1,221 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/address_space.h"
+#include "sim/profiles.h"
+#include "util/check.h"
+
+namespace leaps::sim {
+
+namespace {
+using K = ActionKind;
+}  // namespace
+
+std::string_view campaign_stage_name(CampaignStage s) {
+  switch (s) {
+    case CampaignStage::kRecon:
+      return "recon";
+    case CampaignStage::kFoothold:
+      return "foothold";
+    case CampaignStage::kLateral:
+      return "lateral";
+    case CampaignStage::kExfil:
+      return "exfil";
+    case CampaignStage::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<CampaignStageSpec> default_kill_chain() {
+  std::vector<CampaignStageSpec> stages(4);
+  // Recon: enumerate the host — process snapshots, token/registry reads,
+  // DNS lookups for the C2 rendezvous.
+  stages[0].stage = CampaignStage::kRecon;
+  stages[0].dwell_fraction = 0.20;
+  stages[0].intensity = 0.85;
+  stages[0].mix = {{K::kProcSnapshot, 0.30}, {K::kTokenQuery, 0.20},
+                   {K::kRegRead, 0.22},      {K::kDnsResolve, 0.16},
+                   {K::kFileRead, 0.12}};
+  // Foothold: drop and arm the implant — file/registry writes, memory
+  // carving, a persistence thread.
+  stages[1].stage = CampaignStage::kFoothold;
+  stages[1].dwell_fraction = 0.20;
+  stages[1].intensity = 0.90;
+  stages[1].mix = {{K::kFileWrite, 0.28},   {K::kRegWrite, 0.18},
+                   {K::kMemAlloc, 0.18},    {K::kMemProtect, 0.14},
+                   {K::kThreadCreate, 0.12}, {K::kFileOpen, 0.10}};
+  // Lateral movement: pivot traffic and remote execution.
+  stages[2].stage = CampaignStage::kLateral;
+  stages[2].dwell_fraction = 0.28;
+  stages[2].intensity = 0.90;
+  stages[2].mix = {{K::kTcpConnect, 0.16}, {K::kTcpSend, 0.26},
+                   {K::kTcpRecv, 0.24},    {K::kProcessCreate, 0.16},
+                   {K::kTokenQuery, 0.10}, {K::kProcSnapshot, 0.08}};
+  // Exfiltration: bulk reads encrypted and pushed out.
+  stages[3].stage = CampaignStage::kExfil;
+  stages[3].dwell_fraction = 0.32;
+  stages[3].intensity = 0.95;
+  stages[3].mix = {{K::kFileRead, 0.30},  {K::kCryptoOp, 0.18},
+                   {K::kTcpSend, 0.24},   {K::kHttpRequest, 0.16},
+                   {K::kFileOpen, 0.12}};
+  return stages;
+}
+
+const std::vector<CampaignSpec>& campaign_catalog() {
+  static const std::vector<CampaignSpec> specs = [] {
+    std::vector<CampaignSpec> out;
+    const auto chain = default_kill_chain();
+    for (const char* app : {"putty", "vim"}) {
+      CampaignSpec s;
+      s.name = std::string("campaign_") + app + "_apt";
+      s.app = app;
+      s.lotl = false;
+      s.stages = chain;
+      out.push_back(std::move(s));
+    }
+    for (const char* app : {"winscp", "chrome"}) {
+      CampaignSpec s;
+      s.name = std::string("campaign_") + app + "_lotl";
+      s.app = app;
+      s.lotl = true;
+      s.stages = chain;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }();
+  return specs;
+}
+
+const CampaignSpec& find_campaign(std::string_view name) {
+  for (const CampaignSpec& s : campaign_catalog()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown campaign: " + std::string(name));
+}
+
+ProgramSpec campaign_stage_payload_spec(const CampaignSpec& spec,
+                                        const CampaignStageSpec& stage) {
+  ProgramSpec s;
+  s.name = spec.name + "_" + std::string(campaign_stage_name(stage.stage));
+  s.function_count = 20;
+  s.branching = 1.8;
+  s.back_edge_fraction = 0.15;
+  s.action_fraction = 0.7;
+  if (!spec.lotl) {
+    s.chain_style = ChainStyle::kDirect;
+    s.mix = stage.mix;
+    return s;
+  }
+  // Living off the land: framework chains, and only ActionKinds the host
+  // application itself performs — every {Lib, Func} pair the payload can
+  // produce is one the benign profile already produces.
+  s.chain_style = ChainStyle::kFramework;
+  const ProgramSpec host = app_spec(spec.app);
+  ActionMix mix;
+  for (const auto& [kind, weight] : stage.mix) {
+    if (host.mix.count(kind) != 0) mix[kind] = weight;
+  }
+  s.mix = mix.empty() ? host.mix : mix;
+  return s;
+}
+
+CampaignLogs generate_campaign(const CampaignSpec& spec,
+                               const SimConfig& config) {
+  LEAPS_CHECK_MSG(!spec.stages.empty(), "campaign spec without stages");
+  CampaignLogs out;
+  out.spec = spec;
+
+  util::Rng master(config.seed ^ util::hash_string(spec.name));
+  util::Rng build_rng = master.fork(1);
+  const Program app =
+      build_program(app_spec(spec.app), kAppImageBase, build_rng);
+
+  // Stage payloads are built once at the EXE base (the code as compiled)
+  // and relocated to per-stage injection allocations for the mixed run —
+  // far private pages with no image record, online-injection style.
+  std::vector<Program> built;
+  std::vector<Program> injected;
+  built.reserve(spec.stages.size());
+  injected.reserve(spec.stages.size());
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    util::Rng payload_rng = master.fork(7 + s);
+    ProgramSpec pspec = campaign_stage_payload_spec(spec, spec.stages[s]);
+    if (config.payload_framework_chains) {
+      pspec.chain_style = ChainStyle::kFramework;
+    }
+    built.push_back(build_program(pspec, kAppImageBase, payload_rng));
+    injected.push_back(relocate(
+        built.back(), kInjectionBase + static_cast<std::uint64_t>(s) *
+                                           0x0000000010000000ULL));
+  }
+
+  const LibraryRegistry registry = LibraryRegistry::standard();
+  const Executor executor(registry, config.exec);
+
+  out.benign = executor.run_benign(app, config.benign_events, master.fork(3));
+
+  // Dwell windows: sequential slices of the post-activation trace,
+  // proportional to the (normalized) dwell fractions.
+  const auto activation = static_cast<std::size_t>(
+      config.exec.activation_point *
+      static_cast<double>(config.mixed_events));
+  double total_fraction = 0.0;
+  for (const CampaignStageSpec& st : spec.stages) {
+    LEAPS_CHECK_MSG(st.dwell_fraction > 0.0, "non-positive dwell fraction");
+    total_fraction += st.dwell_fraction;
+  }
+  std::vector<Executor::CampaignStagePlan> plan(spec.stages.size());
+  const double span =
+      static_cast<double>(config.mixed_events - activation);
+  double cursor = static_cast<double>(activation);
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    const double width =
+        span * spec.stages[s].dwell_fraction / total_fraction;
+    plan[s].payload = &injected[s];
+    plan[s].begin = static_cast<std::size_t>(cursor);
+    cursor += width;
+    plan[s].end = s + 1 == spec.stages.size()
+                      ? config.mixed_events
+                      : static_cast<std::size_t>(cursor);
+    plan[s].intensity = spec.stages[s].intensity;
+    out.dwell.emplace_back(plan[s].begin, plan[s].end);
+  }
+
+  auto mixed = executor.run_campaign(app, plan, config.mixed_events,
+                                     master.fork(4));
+  out.mixed = std::move(mixed.log);
+  out.mixed_truth = std::move(mixed.is_malicious);
+  out.mixed_stage = std::move(mixed.stage_of_event);
+
+  // Pure-malicious ground truth: the extracted stage implants replayed
+  // standalone, stage after stage, in one process context. Their code
+  // stays unmapped (no image records), matching how the mixed log's
+  // attack events look to the partitioner.
+  out.malicious.process_name = spec.name + ".exe";
+  registry.append_records(out.malicious);
+  const std::size_t share =
+      std::max<std::size_t>(1, config.malicious_events / injected.size());
+  std::uint64_t seq = 0;
+  for (std::size_t s = 0; s < injected.size(); ++s) {
+    const std::size_t used = share * s;
+    const std::size_t n =
+        s + 1 == injected.size()
+            ? (config.malicious_events > used
+                   ? config.malicious_events - used
+                   : share)
+            : share;
+    trace::RawLog part = executor.run_payload_standalone(
+        injected[s], n, master.fork(40 + s));
+    for (trace::RawEvent& e : part.events) {
+      e.seq = seq++;
+      e.tid = static_cast<std::uint32_t>(2 + s);
+      out.malicious.events.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace leaps::sim

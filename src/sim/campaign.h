@@ -1,0 +1,105 @@
+// Multi-stage APT campaign scenarios (ROADMAP scenario-diversity item;
+// modeled on the cascade APT-attribution setting of arxiv 2410.22602).
+//
+// A campaign sequences attack behavior through the classic kill-chain
+// stages — recon → foothold → lateral movement → exfiltration — with a
+// per-stage dwell window (the fraction of the trace the stage occupies)
+// and a per-stage action mix. Each stage runs as its own injected payload
+// thread inside the benign host process; between dwell windows the
+// adversary is silent.
+//
+// Two payload styles:
+//  * kDirect ("apt") — stage payloads are shellcode-style programs with
+//    direct system-call chains, like the Table-I payloads.
+//  * living-off-the-land ("lotl") — the hardest camouflage: stage payloads
+//    are generated *from the host profile itself*. They use framework
+//    chains and only those ActionKinds the host application's own mix
+//    contains, so every {Lib, Func} pair they touch is one the benign
+//    process already uses; only event ordering/density separates them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/program.h"
+#include "sim/scenario.h"
+#include "trace/raw_log.h"
+
+namespace leaps::sim {
+
+enum class CampaignStage : std::uint8_t {
+  kRecon = 0,
+  kFoothold,
+  kLateral,
+  kExfil,
+  kCount,  // sentinel
+};
+
+constexpr std::size_t kCampaignStageCount =
+    static_cast<std::size_t>(CampaignStage::kCount);
+
+std::string_view campaign_stage_name(CampaignStage s);
+
+/// One stage of a campaign spec.
+struct CampaignStageSpec {
+  CampaignStage stage = CampaignStage::kRecon;
+  /// Fraction of the post-activation trace this stage's dwell window
+  /// occupies (fractions are normalized over the whole campaign).
+  double dwell_fraction = 0.25;
+  /// Attack intensity inside the dwell window (see ExecConfig).
+  double intensity = 0.9;
+  /// The stage payload's system-interaction mix. For LotL campaigns this
+  /// is intersected with the host profile's mix before use.
+  ActionMix mix;
+};
+
+struct CampaignSpec {
+  std::string name;  // e.g. "campaign_putty_apt"
+  std::string app;   // host application profile
+  /// Living-off-the-land: stage payloads restricted to the host's own
+  /// ActionKinds and compiled with framework chains.
+  bool lotl = false;
+  std::vector<CampaignStageSpec> stages;
+};
+
+/// The canned campaign catalog (campaign_* dataset names).
+const std::vector<CampaignSpec>& campaign_catalog();
+
+/// Looks a campaign up by name; throws std::invalid_argument if unknown.
+const CampaignSpec& find_campaign(std::string_view name);
+
+/// The default kill-chain stage specs (recon/foothold/lateral/exfil with
+/// their canonical action mixes) — the building blocks of the catalog.
+std::vector<CampaignStageSpec> default_kill_chain();
+
+/// The stage payload's ProgramSpec: a direct-chain implant for APT
+/// campaigns, or — when `host` is a LotL campaign's host profile — a
+/// framework-chain program whose mix is the renormalized intersection of
+/// the stage mix with the host's mix (falling back to the host mix when
+/// the intersection is empty, so the payload never calls anything the
+/// host would not).
+ProgramSpec campaign_stage_payload_spec(const CampaignSpec& spec,
+                                        const CampaignStageSpec& stage);
+
+struct CampaignLogs {
+  CampaignSpec spec;
+  trace::RawLog benign;
+  trace::RawLog mixed;
+  trace::RawLog malicious;
+  /// Ground truth for the mixed log (tests/diagnostics only).
+  std::vector<bool> mixed_truth;
+  /// Per mixed event: −1 benign, else the emitting stage's index.
+  std::vector<int> mixed_stage;
+  /// Dwell windows actually used, one [begin, end) per stage.
+  std::vector<std::pair<std::size_t, std::size_t>> dwell;
+};
+
+/// Generates the campaign's three logs. Fully deterministic in
+/// (spec.name, config.seed), same discipline as generate_scenario.
+CampaignLogs generate_campaign(const CampaignSpec& spec,
+                               const SimConfig& config);
+
+}  // namespace leaps::sim

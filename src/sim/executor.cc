@@ -322,6 +322,84 @@ Executor::MixedRun Executor::run_source_trojan(const SourceTrojan& trojan,
   return out;
 }
 
+Executor::CampaignRun Executor::run_campaign(
+    const Program& app, const std::vector<CampaignStagePlan>& stages,
+    std::size_t num_events, util::Rng rng) const {
+  LEAPS_CHECK_MSG(!stages.empty(), "campaign needs at least one stage");
+  CampaignRun out;
+  trace::RawLog& log = out.log;
+  log.process_name = app.name;
+  // Stage payloads live in far private allocations with no image record
+  // (online-injection style): their frames resolve to no module and land
+  // on the application stack trace, visible to CFG inference.
+  log.modules.push_back({app.image_base, app.image_size, app.name});
+  registry_.append_records(log);
+
+  Walker app_walker(&app, &behavior_, &config_, /*tid=*/1,
+                    {base_thread_init_, user_thread_start_}, rng.fork(1));
+  std::vector<Walker> stage_walkers;
+  stage_walkers.reserve(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    LEAPS_CHECK_MSG(stages[s].payload != nullptr, "stage without payload");
+    LEAPS_CHECK_MSG(stages[s].begin <= stages[s].end, "inverted dwell window");
+    LEAPS_CHECK_MSG(s == 0 || stages[s - 1].end <= stages[s].begin,
+                    "overlapping dwell windows");
+    // Remote/implant threads begin at RtlUserThreadStart directly.
+    stage_walkers.emplace_back(stages[s].payload, &behavior_, &config_,
+                               /*tid=*/static_cast<std::uint32_t>(2 + s),
+                               std::vector<std::uint64_t>{user_thread_start_},
+                               rng.fork(2 + s));
+  }
+
+  // Markov attack sessions, re-armed per stage: the adversary works each
+  // stage's tooling in bursts inside its dwell window, then goes quiet
+  // until the next stage opens.
+  const double attack_mean = std::max(1.0, config_.attack_phase_mean_events);
+  bool in_attack = false;
+  std::size_t active_stage = stages.size();  // sentinel: none
+
+  log.events.reserve(num_events);
+  out.is_malicious.reserve(num_events);
+  out.stage_of_event.reserve(num_events);
+  for (std::size_t seq = 0; seq < num_events; ++seq) {
+    std::size_t stage = stages.size();
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      if (seq >= stages[s].begin && seq < stages[s].end) {
+        stage = s;
+        break;
+      }
+    }
+    if (stage != active_stage) {
+      in_attack = false;  // dwell boundary closes any open session
+      active_stage = stage;
+    }
+    bool from_payload = false;
+    if (stage < stages.size()) {
+      const double intensity =
+          std::clamp(stages[stage].intensity, 0.05, 1.0);
+      const double f_attack =
+          std::min(0.95, config_.payload_ratio / intensity);
+      const double benign_mean =
+          std::max(1.0, attack_mean * (1.0 - f_attack) / f_attack);
+      if (in_attack) {
+        if (rng.next_bool(1.0 / attack_mean)) in_attack = false;
+      } else {
+        if (rng.next_bool(1.0 / benign_mean)) in_attack = true;
+      }
+      from_payload = in_attack && rng.next_bool(intensity);
+    }
+    Walker& walker =
+        from_payload ? stage_walkers[stage] : app_walker;
+    trace::RawEvent e = walker.next_event();
+    e.seq = seq;
+    log.events.push_back(std::move(e));
+    out.is_malicious.push_back(from_payload);
+    out.stage_of_event.push_back(
+        from_payload ? static_cast<int>(stage) : -1);
+  }
+  return out;
+}
+
 trace::RawLog Executor::run_payload_standalone(const Program& payload,
                                                std::size_t num_events,
                                                util::Rng rng) const {

@@ -89,6 +89,30 @@ class Executor {
                                        std::size_t num_events,
                                        util::Rng rng) const;
 
+  /// One stage of a multi-stage campaign: a payload program (already
+  /// relocated to its in-process address) active over the half-open event
+  /// range [begin, end) — the stage's dwell window — with its own attack
+  /// intensity. Ranges must be non-overlapping and ascending.
+  struct CampaignStagePlan {
+    const Program* payload = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    double intensity = 0.9;
+  };
+
+  /// Multi-stage mixed trace: the benign application runs throughout;
+  /// each stage's payload thread (tid 2+stage) wakes only inside its dwell
+  /// window, in Markov attack sessions like run_infected. `stage_of_event`
+  /// is −1 for benign events, else the emitting stage's index.
+  struct CampaignRun {
+    trace::RawLog log;
+    std::vector<bool> is_malicious;
+    std::vector<int> stage_of_event;
+  };
+  CampaignRun run_campaign(const Program& app,
+                           const std::vector<CampaignStagePlan>& stages,
+                           std::size_t num_events, util::Rng rng) const;
+
   const ExecConfig& config() const { return config_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/registry.h"
+#include "trace/auditd_log.h"
 #include "trace/parser.h"
 #include "util/fault.h"
 
@@ -272,8 +273,34 @@ bool is_binary_log(std::istream& is) {
   return ok;
 }
 
+namespace {
+
+// The auditd dialect is the only format whose records start with 't'
+// ("type="): the text grammar's records start with '#', P, M, S or E and
+// the binary magic starts with 'L', so — like is_binary_log — a one-byte
+// peek suffices on pipes and a short prefix read on seekable streams.
+bool is_auditd_log(std::istream& is) {
+  const std::streampos pos = is.tellg();
+  if (pos == std::streampos(-1)) {
+    is.clear();
+    return is.peek() == std::char_traits<char>::to_int_type('t');
+  }
+  constexpr char kPrefix[] = {'t', 'y', 'p', 'e', '='};
+  char head[sizeof(kPrefix)];
+  is.read(head, sizeof(head));
+  const bool ok = is.gcount() == sizeof(head) &&
+                  std::equal(std::begin(head), std::end(head),
+                             std::begin(kPrefix));
+  is.clear();
+  is.seekg(pos);
+  return ok;
+}
+
+}  // namespace
+
 util::StatusOr<RawLog> read_raw_log_any(std::istream& is) {
   if (is_binary_log(is)) return read_raw_log_binary(is);
+  if (is_auditd_log(is)) return read_raw_log_auditd(is);
   // Text: run the grammar parser, then project back to raw records.
   LEAPS_FAULT_POINT_STATUS("trace.ingest.read");
   util::StatusOr<ParsedTrace> parsed = RawLogParser().parse(is);

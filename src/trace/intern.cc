@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.h"
 #include "util/check.h"
 
 namespace leaps::trace {
@@ -12,6 +13,22 @@ constexpr std::size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
 
 inline void combine(std::size_t& h, std::size_t v) {
   h ^= v + kHashSeed + (h << 6) + (h >> 2);
+}
+
+// Approximate heap footprint of a newly interned token. Counts payload
+// bytes plus container headers; deliberately ignores allocator slack and
+// the id-map keys (which roughly double it) — the gauge tracks growth, it
+// is not an accountant.
+std::uint64_t set_bytes(const StringSet& set) {
+  std::uint64_t b = sizeof(StringSet) + set.size() * sizeof(std::string);
+  for (const std::string& s : set) b += s.size();
+  return b;
+}
+
+std::uint64_t frames_bytes(const std::vector<StackFrame>& frames) {
+  std::uint64_t b = frames.size() * sizeof(StackFrame);
+  for (const StackFrame& f : frames) b += f.module.size() + f.function.size();
+  return b;
 }
 
 }  // namespace
@@ -46,7 +63,52 @@ std::size_t TokenTable::StringSetHash::operator()(
 }
 
 TokenTable& TokenTable::global() {
-  static TokenTable* table = new TokenTable();  // never destroyed
+  static TokenTable* table = [] {
+    auto* t = new TokenTable();  // never destroyed
+    // The global table is the one the serving hot path interns through,
+    // so its growth is fleet-visible state: expose it on the process
+    // scrape surface. The registration handle leaks with the table.
+    static obs::MetricRegistry::Registration reg =
+        obs::MetricRegistry::global().register_collector(
+            [t](std::vector<obs::MetricSample>& out) {
+              const Stats s = t->stats();
+              const auto gauge = [&out](const char* name, const char* help,
+                                        std::uint64_t v) {
+                obs::MetricSample m;
+                m.name = name;
+                m.help = help;
+                m.type = obs::MetricType::kGauge;
+                m.gauge_value = static_cast<std::int64_t>(v);
+                out.push_back(std::move(m));
+              };
+              gauge("leaps_trace_token_table_system_stacks",
+                    "distinct system-stack sequences interned",
+                    s.system_stacks);
+              gauge("leaps_trace_token_table_app_stacks",
+                    "distinct app-stack address sequences interned",
+                    s.app_stacks);
+              gauge("leaps_trace_token_table_lib_sets",
+                    "distinct Lib sets interned", s.lib_sets);
+              gauge("leaps_trace_token_table_func_sets",
+                    "distinct Func sets interned", s.func_sets);
+              gauge("leaps_trace_token_table_bytes_retained",
+                    "approximate heap bytes pinned by interned tokens",
+                    s.bytes_retained);
+              obs::MetricSample hits;
+              hits.name = "leaps_trace_token_table_hits_total";
+              hits.help = "compact() calls served fully from cache";
+              hits.type = obs::MetricType::kCounter;
+              hits.counter_value = s.hits;
+              out.push_back(std::move(hits));
+              obs::MetricSample interned;
+              interned.name = "leaps_trace_token_table_interned_total";
+              interned.help = "compact() calls that added a token";
+              interned.type = obs::MetricType::kCounter;
+              interned.counter_value = s.interned;
+              out.push_back(std::move(interned));
+            });
+    return t;
+  }();
   return *table;
 }
 
@@ -111,10 +173,21 @@ CompactEvent TokenTable::compact(const PartitionedEvent& event) {
         missed = true;
         SysEntry entry;
         entry.frames = event.system_stack;
+        const std::uint32_t lib_before = lib_store_.size();
+        const std::uint32_t func_before = func_store_.size();
         entry.lib_id = intern_set(derive_lib_set(event.system_stack),
                                   lib_ids_, lib_store_);
         entry.func_id = intern_set(derive_func_set(event.system_stack),
                                    func_ids_, func_store_);
+        std::uint64_t bytes =
+            sizeof(SysEntry) + frames_bytes(entry.frames);
+        if (lib_store_.size() > lib_before) {
+          bytes += set_bytes(lib_store_[entry.lib_id]);
+        }
+        if (func_store_.size() > func_before) {
+          bytes += set_bytes(func_store_[entry.func_id]);
+        }
+        bytes_retained_.fetch_add(bytes, std::memory_order_relaxed);
         out.sys_id = sys_store_.append(std::move(entry));
         sys_ids_.emplace(event.system_stack, out.sys_id);
         LEAPS_CHECK_MSG(
@@ -146,6 +219,10 @@ CompactEvent TokenTable::compact(const PartitionedEvent& event) {
         out.app_id = it->second;
       } else {
         missed = true;
+        bytes_retained_.fetch_add(
+            sizeof(std::vector<std::uint64_t>) +
+                event.app_stack.size() * sizeof(std::uint64_t),
+            std::memory_order_relaxed);
         out.app_id = app_store_.append(event.app_stack);
         app_ids_.emplace(event.app_stack, out.app_id);
       }
@@ -192,6 +269,7 @@ TokenTable::Stats TokenTable::stats() const {
   s.func_sets = func_store_.size();
   s.hits = hits_.load(std::memory_order_relaxed);
   s.interned = interned_.load(std::memory_order_relaxed);
+  s.bytes_retained = bytes_retained_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -143,6 +143,11 @@ class TokenTable {
     std::uint64_t func_sets = 0;      // distinct Func sets
     std::uint64_t hits = 0;           // compact() calls fully cached
     std::uint64_t interned = 0;       // compact() calls that added a token
+    /// Approximate heap bytes pinned by interned tokens (string payloads,
+    /// stack sequences, and per-entry container headers). The table never
+    /// evicts, so this only grows — the leaps_trace_token_table_* gauges
+    /// exist to watch it.
+    std::uint64_t bytes_retained = 0;
   };
   Stats stats() const;
 
@@ -193,6 +198,7 @@ class TokenTable {
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> interned_{0};
+  std::atomic<std::uint64_t> bytes_retained_{0};
 };
 
 }  // namespace leaps::trace

@@ -153,6 +153,71 @@ run_checked(4 ${LEAPS_ROLLOVER} shadow ${WORK_DIR}/detector.txt
             ${WORK_DIR}/broken.txt ${WORK_DIR}/benign.log
             --shadow-min-windows 2)
 
+# --- campaign / auditd / attribution round ----------------------------------
+# A multi-stage APT campaign emitted in the auditd dialect must flow
+# through every tool unchanged (stat, train, scan, serve all sniff the
+# format), and the attribution pipeline must name the campaign: the true
+# signature at rank 1 with both permuted decoys scoring strictly lower —
+# online (leaps-serve --attrib, surfaced in --status-json) and offline
+# (leaps-attrib match over the audit JSONL).
+file(MAKE_DIRECTORY ${WORK_DIR}/camp ${WORK_DIR}/camp/sigs)
+run_checked(0 ${LEAPS_SIM} campaign_putty_apt ${WORK_DIR}/camp
+            --events 4000 --seed 7 --auditd)
+run_checked(0 ${LEAPS_STAT} ${WORK_DIR}/camp/benign.log)
+run_checked(0 ${LEAPS_TRAIN} ${WORK_DIR}/camp/benign.log
+            ${WORK_DIR}/camp/mixed.log ${WORK_DIR}/camp/detector.txt
+            --folds 5 --max-false-alarms 0.02)
+run_checked(3 ${LEAPS_SCAN} ${WORK_DIR}/camp/detector.txt
+            ${WORK_DIR}/camp/malicious.log)
+run_checked(0 ${LEAPS_ATTRIB} derive campaign_putty_apt ${WORK_DIR}/camp/sigs
+            --decoys)
+run_checked(3 ${LEAPS_SERVE} ${WORK_DIR}/camp/detector.txt
+            ${WORK_DIR}/camp/mixed.log --attrib ${WORK_DIR}/camp/sigs
+            --audit-out ${WORK_DIR}/camp/audit.jsonl
+            --status-json ${WORK_DIR}/camp/status.json --workers 2)
+
+file(READ ${WORK_DIR}/camp/status.json camp_status)
+if(NOT camp_status MATCHES "\"type\":\"AttributionVerdict\"" OR
+   NOT camp_status MATCHES "\"signature\":\"campaign_putty_apt\"")
+  message(FATAL_ERROR "--status-json carries no AttributionVerdict:\n"
+                      "${camp_status}")
+endif()
+
+execute_process(COMMAND ${LEAPS_ATTRIB} match ${WORK_DIR}/camp/audit.jsonl
+                ${WORK_DIR}/camp/sigs
+                RESULT_VARIABLE rc OUTPUT_VARIABLE attrib_out
+                ERROR_VARIABLE attrib_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "leaps-attrib match exited ${rc}:\n${attrib_out}\n"
+                      "${attrib_err}")
+endif()
+string(REGEX MATCH "rank=1 signature=campaign_putty_apt score=([0-9.]+)"
+       rank1 "${attrib_out}")
+if(rank1 STREQUAL "")
+  message(FATAL_ERROR "true signature is not rank 1:\n${attrib_out}")
+endif()
+set(true_score ${CMAKE_MATCH_1})
+string(REGEX MATCH "rank=2 signature=campaign_putty_apt__[a-z]+ "
+       rank2 "${attrib_out}")
+if(rank2 STREQUAL "")
+  message(FATAL_ERROR "rank 2 is not a decoy:\n${attrib_out}")
+endif()
+# Scores print as fixed-width %.6f, so lexicographic comparison is
+# numeric comparison; the decoys must be STRICTLY below the true score.
+foreach(decoy __reversed __rotated)
+  string(REGEX MATCH
+         "signature=campaign_putty_apt${decoy} score=([0-9.]+)"
+         found "${attrib_out}")
+  if(found STREQUAL "")
+    message(FATAL_ERROR "decoy ${decoy} missing from ranking:\n${attrib_out}")
+  endif()
+  if(NOT CMAKE_MATCH_1 STRLESS true_score)
+    message(FATAL_ERROR "decoy ${decoy} (${CMAKE_MATCH_1}) does not score "
+                        "strictly below the true signature (${true_score}):\n"
+                        "${attrib_out}")
+  endif()
+endforeach()
+
 # --- help and version flags --------------------------------------------------
 foreach(tool ${LEAPS_SIM} ${LEAPS_TRAIN} ${LEAPS_SCAN} ${LEAPS_STAT}
         ${LEAPS_SERVE})

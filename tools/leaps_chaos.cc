@@ -46,6 +46,7 @@
 #include "online/verdict_diff.h"
 #include "serve/server.h"
 #include "sim/scenario.h"
+#include "trace/auditd_log.h"
 #include "trace/binary_log.h"
 #include "trace/parser.h"
 #include "trace/partition.h"
@@ -245,6 +246,67 @@ void ingest_chaos(const trace::RawLog& log, std::size_t corpus,
   std::printf("ingest chaos: %zu truncations rejected, bit-flips "
               "%zu ok / %zu rejected, 0 crashes\n",
               corpus, flips_ok, flips_rejected);
+
+  // Same drill against the auditd/provenance dialect. Auditd is a line
+  // format, so a truncation at a record boundary can still be
+  // structurally complete — it must then parse to strictly fewer events,
+  // never crash; any other outcome is kCorruptInput.
+  std::ostringstream audit_encoded;
+  trace::write_raw_log_auditd(log, audit_encoded);
+  const std::string audit_bytes = audit_encoded.str();
+  {
+    std::istringstream is(audit_bytes);
+    const util::StatusOr<trace::RawLog> got = trace::read_raw_log_any(is);
+    check(got.ok() && *got == log,
+          "ingest: pristine auditd log must round-trip through sniffing");
+  }
+  std::size_t audit_cut_rejected = 0;
+  std::size_t audit_cut_shorter = 0;
+  for (std::size_t i = 0; i < corpus; ++i) {
+    const std::size_t cut = rng.next_below(audit_bytes.size());
+    std::istringstream is(audit_bytes.substr(0, cut));
+    try {
+      const util::StatusOr<trace::RawLog> got = trace::read_raw_log_any(is);
+      if (!got.ok()) {
+        check(got.status().code() == util::StatusCode::kCorruptInput,
+              "ingest: a truncated auditd log must reject as CORRUPT_INPUT");
+        ++audit_cut_rejected;
+      } else {
+        // A cut that strips only the trailing newline (or the tail of
+        // the final token) can keep every event; it can never invent
+        // new ones.
+        check(got->events.size() <= log.events.size(),
+              "ingest: a truncated auditd log cannot gain events");
+        ++audit_cut_shorter;
+      }
+    } catch (...) {
+      check(false, "ingest: auditd reader let an exception escape on a cut");
+    }
+  }
+  std::size_t audit_flips_ok = 0;
+  std::size_t audit_flips_rejected = 0;
+  for (std::size_t i = 0; i < corpus; ++i) {
+    std::string mutated = audit_bytes;
+    const std::size_t flips = 1 + rng.next_below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.next_below(mutated.size());
+      mutated[at] = static_cast<char>(
+          static_cast<unsigned char>(mutated[at]) ^
+          (1u << rng.next_below(8)));
+    }
+    std::istringstream is(mutated);
+    try {
+      const util::StatusOr<trace::RawLog> got = trace::read_raw_log_any(is);
+      got.ok() ? ++audit_flips_ok : ++audit_flips_rejected;
+    } catch (...) {
+      check(false,
+            "ingest: auditd reader let an exception escape on corrupt bytes");
+    }
+  }
+  std::printf("ingest chaos (auditd): cuts %zu rejected / %zu shortened, "
+              "bit-flips %zu ok / %zu rejected, 0 crashes\n",
+              audit_cut_rejected, audit_cut_shorter, audit_flips_ok,
+              audit_flips_rejected);
 }
 
 /// Phase: fault-free sequential replay — the per-session ground truth.

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "attrib/matcher.h"
+#include "attrib/signature.h"
 #include "cli.h"
 #include "core/persist.h"
 #include "durable/store.h"
@@ -95,6 +97,11 @@ constexpr const char* kUsage =
     "                        (default 64)\n"
     "  --drift-p F           trigger when the KS p-value drops below F\n"
     "                        (default 0.01)\n"
+    "  --attrib DIR          campaign attribution: load the *.sig library\n"
+    "                        under DIR, collect flagged windows per\n"
+    "                        session, and rank AttributionVerdicts (shown\n"
+    "                        in the final report and --status-json)\n"
+    "  --attrib-min-score F  hide verdicts scoring below F (default 0.2)\n"
     "  --audit-out FILE      verdict provenance: one JSONL record per\n"
     "                        anomalous window (decision value, top SV\n"
     "                        contributions, dominating CFG terms); '-' =\n"
@@ -191,6 +198,10 @@ int main(int argc, char** argv) {
   args.option("--drift-p", &online_options.drift.p_threshold);
   std::string audit_out;
   args.option("--audit-out", &audit_out);
+  std::string attrib_dir;
+  double attrib_min_score = 0.2;
+  args.option("--attrib", &attrib_dir);
+  args.option("--attrib-min-score", &attrib_min_score);
   std::string status_json;
   args.option("--status-json", &status_json);
   args.option("--online-replays", &online_replays);
@@ -316,6 +327,30 @@ int main(int argc, char** argv) {
         }
       });
     }
+    // Campaign attribution: the signature library loads up front, the
+    // attributor joins the window stream as an extra tap (leaving the
+    // primary tap slot to the online manager).
+    std::unique_ptr<attrib::SignatureLibrary> signatures;
+    std::unique_ptr<attrib::FleetAttributor> attributor;
+    if (!attrib_dir.empty()) {
+      signatures = std::make_unique<attrib::SignatureLibrary>();
+      const util::Status loaded = signatures->load_dir(attrib_dir);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "leaps-serve: --attrib %s: %s\n",
+                     attrib_dir.c_str(), loaded.to_string().c_str());
+        return 1;
+      }
+      attributor = std::make_unique<attrib::FleetAttributor>(
+          signatures.get(), attrib_min_score);
+      attrib::FleetAttributor* a = attributor.get();
+      server.add_window_tap(
+          [a](const serve::SessionKey& key, std::size_t window_index,
+              int label, double decision_value,
+              const trace::PartitionedEvent* events, std::size_t count) {
+            a->observe(key, window_index, label, decision_value, events,
+                       count);
+          });
+    }
     // The online manager hooks the window tap, so it must exist before
     // start(). It is stepped deterministically between replay rounds
     // (poll_once) instead of on its own thread — replay is a bounded
@@ -333,7 +368,7 @@ int main(int argc, char** argv) {
     server.start();
 
     const online::StatusInputs status_inputs{&server, manager.get(),
-                                             audit.get()};
+                                             audit.get(), attributor.get()};
     const auto refresh_status = [&status_json, &status_inputs] {
       if (status_json.empty()) return;
       const util::Status status =
@@ -484,6 +519,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "online: last error: %s\n",
                      orep.last_error.c_str());
       }
+    }
+    if (attributor != nullptr) {
+      for (const auto& s : attributor->snapshot()) {
+        for (const attrib::AttributionVerdict& v : s.verdicts) {
+          std::printf(
+              "AttributionVerdict session=%s signature=%s score=%.6f "
+              "nodes=%zu/%zu edges=%zu/%zu windows=[%zu,%zu]\n",
+              s.key.to_string().c_str(), v.signature.c_str(), v.score,
+              v.nodes_matched, v.nodes_total, v.edges_satisfied,
+              v.edges_total, v.first_window, v.last_window);
+        }
+      }
+      std::printf("attribution: sessions=%zu flagged=%llu signatures=%zu\n",
+                  attributor->sessions(),
+                  static_cast<unsigned long long>(attributor->flagged_total()),
+                  signatures->size());
     }
     if (audit != nullptr) {
       audit->stop();  // flush the queue before the summary line

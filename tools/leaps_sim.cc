@@ -1,19 +1,24 @@
 // leaps_sim — generate raw event-trace logs for a scenario.
 //
 // Usage:
-//   leaps_sim <scenario|app_payload_srctrojan> <output-dir>
-//             [--events N] [--seed S]
+//   leaps_sim <scenario|app_payload_srctrojan|campaign_*> <output-dir>
+//             [--events N] [--seed S] [--binary|--auditd]
 //
-// Writes three raw logs (the ETL-file stand-ins) into <output-dir>:
+// Writes three raw logs (the ETL-file stand-ins) into <output-dir> in
+// the text, binary, or auditd dialect:
 //   benign.log  mixed.log  malicious.log
 // plus truth.txt with the mixed log's per-event ground truth (for
-// experimentation only; a real tracer cannot produce it).
+// experimentation only; a real tracer cannot produce it). campaign_*
+// datasets additionally write stages.txt (per-event kill-chain stage
+// index and the per-stage dwell windows).
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "cli.h"
+#include "sim/campaign.h"
 #include "sim/scenario.h"
+#include "trace/auditd_log.h"
 #include "trace/binary_log.h"
 #include "trace/raw_log.h"
 #include "util/strings.h"
@@ -23,34 +28,51 @@ namespace {
 std::string usage_text() {
   std::string text =
       "usage: leaps-sim <scenario> <output-dir> [--events N] [--seed S] "
-      "[--binary]\n"
+      "[--binary] [--auditd]\n"
       "       scenario: a Table-I dataset name (e.g. winscp_reverse_tcp),\n"
-      "       or <app>_<payload>_srctrojan for a source-level trojan.\n"
+      "       <app>_<payload>_srctrojan for a source-level trojan,\n"
+      "       or a campaign_* multi-stage APT dataset.\n"
       "  --events N  benign-log events, N >= 100 (mixed = 3N/4, "
       "malicious = N/2)\n"
       "  --seed S    simulation seed\n"
       "  --binary    write the compact binary log format\n"
+      "  --auditd    write the Linux auditd/provenance dialect\n"
       "known scenarios:\n";
   for (const auto& s : leaps::sim::table1_scenarios()) {
     text += "  " + s.name + "\n";
   }
+  for (const auto& c : leaps::sim::campaign_catalog()) {
+    text += "  " + c.name + "\n";
+  }
   return text;
 }
 
+enum class Dialect { kText, kBinary, kAuditd };
+
 void write_log(const leaps::trace::RawLog& log, const std::string& path,
-               bool binary) {
-  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+               Dialect dialect) {
+  std::ofstream os(path, dialect == Dialect::kBinary ? std::ios::binary
+                                                     : std::ios::out);
   if (!os) {
     std::fprintf(stderr, "leaps-sim: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  if (binary) {
-    leaps::trace::write_raw_log_binary(log, os);
-  } else {
-    leaps::trace::write_raw_log(log, os);
+  const char* tag = "";
+  switch (dialect) {
+    case Dialect::kText:
+      leaps::trace::write_raw_log(log, os);
+      break;
+    case Dialect::kBinary:
+      leaps::trace::write_raw_log_binary(log, os);
+      tag = ", binary";
+      break;
+    case Dialect::kAuditd:
+      leaps::trace::write_raw_log_auditd(log, os);
+      tag = ", auditd";
+      break;
   }
   std::printf("wrote %-30s (%zu events%s)\n", path.c_str(),
-              log.events.size(), binary ? ", binary" : "");
+              log.events.size(), tag);
 }
 
 }  // namespace
@@ -62,12 +84,20 @@ int main(int argc, char** argv) {
   std::size_t events = 0;
   std::size_t seed = static_cast<std::size_t>(config.seed);
   bool binary = false;
+  bool auditd = false;
   args.option("--events", &events);
   args.option("--seed", &seed);
   args.flag("--binary", &binary);
+  args.flag("--auditd", &auditd);
   const std::vector<std::string> pos = args.parse(2, 2);
   const std::string scenario = pos[0];
   const std::string dir = pos[1];
+  if (binary && auditd) {
+    args.usage_error("%s and --auditd are mutually exclusive", "--binary");
+  }
+  const Dialect dialect = binary ? Dialect::kBinary
+                         : auditd ? Dialect::kAuditd
+                                  : Dialect::kText;
 
   config.seed = static_cast<std::uint64_t>(seed);
   if (events != 0) {
@@ -75,6 +105,39 @@ int main(int argc, char** argv) {
     config.benign_events = events;
     config.mixed_events = events * 3 / 4;
     config.malicious_events = events / 2;
+  }
+
+  if (scenario.rfind("campaign_", 0) == 0) {
+    sim::CampaignLogs logs;
+    try {
+      logs = sim::generate_campaign(sim::find_campaign(scenario), config);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "leaps-sim: %s\n", e.what());
+      return 2;
+    }
+    write_log(logs.benign, dir + "/benign.log", dialect);
+    write_log(logs.mixed, dir + "/mixed.log", dialect);
+    write_log(logs.malicious, dir + "/malicious.log", dialect);
+    {
+      std::ofstream os(dir + "/truth.txt");
+      for (const bool b : logs.mixed_truth) os << (b ? '1' : '0') << '\n';
+    }
+    {
+      // Per-event stage index of the mixed log (-1 = benign), preceded by
+      // one comment line per stage naming its dwell window.
+      std::ofstream os(dir + "/stages.txt");
+      for (std::size_t s = 0; s < logs.spec.stages.size(); ++s) {
+        os << "# stage " << s << " "
+           << sim::campaign_stage_name(logs.spec.stages[s].stage) << " ["
+           << logs.dwell[s].first << "," << logs.dwell[s].second << ")\n";
+      }
+      for (const int stage : logs.mixed_stage) os << stage << '\n';
+    }
+    std::printf("campaign %s (%zu stages%s), seed %llu\n",
+                logs.spec.name.c_str(), logs.spec.stages.size(),
+                logs.spec.lotl ? ", living-off-the-land" : "",
+                static_cast<unsigned long long>(config.seed));
+    return 0;
   }
 
   sim::ScenarioLogs logs;
@@ -104,9 +167,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_log(logs.benign, dir + "/benign.log", binary);
-  write_log(logs.mixed, dir + "/mixed.log", binary);
-  write_log(logs.malicious, dir + "/malicious.log", binary);
+  write_log(logs.benign, dir + "/benign.log", dialect);
+  write_log(logs.mixed, dir + "/mixed.log", dialect);
+  write_log(logs.malicious, dir + "/malicious.log", dialect);
   {
     std::ofstream os(dir + "/truth.txt");
     for (const bool b : logs.mixed_truth) os << (b ? '1' : '0') << '\n';
